@@ -1,0 +1,62 @@
+"""End-to-end pipeline benches: the executor and the Thicket composition.
+
+These time the paper's actual workflow — run the whole suite on the Table
+III configuration, write profiles, compose with Thicket — so regressions
+in the orchestration layer are visible.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.caliper import runtime_report
+from repro.suite import RunParams, SuiteExecutor
+from repro.thicket import Thicket
+
+
+def bench_full_suite_paper_configuration(benchmark, artifact_dir):
+    """All 76 kernels, all four Table III rows, model predictions +
+    counters -> 4 Caliper profiles."""
+    params = RunParams(problem_size="32M")
+    executor = SuiteExecutor(params)
+
+    result = benchmark.pedantic(
+        executor.run_paper_configuration, rounds=2, iterations=1
+    )
+    assert len(result.profiles) == 4
+    for profile in result.profiles:
+        kernels = [n for n in profile.region_names() if "_" in n]
+        assert len(kernels) == 76
+    save_artifact(
+        artifact_dir,
+        "executor_report",
+        runtime_report(result.profiles[0], metric="Avg time/rank", min_fraction=0.01),
+    )
+
+
+def bench_thicket_composition(benchmark):
+    """Compose 12 profiles (4 machines x 3 trials) into one Thicket."""
+    params = RunParams(problem_size="32M", trials=3)
+    profiles = SuiteExecutor(params).run_paper_configuration().profiles
+    assert len(profiles) == 12
+
+    thicket = benchmark(Thicket.from_caliperreader, profiles)
+    assert len(thicket.profiles) == 12
+    assert thicket.dataframe.nrows == 12 * (76 + 8)  # kernels + group/root rows
+
+
+def bench_cali_file_roundtrip(benchmark, tmp_path):
+    """Write + read the full-suite profile set."""
+    from repro.caliper import read_cali, write_cali
+
+    params = RunParams(problem_size="32M")
+    profiles = SuiteExecutor(params).run_paper_configuration().profiles
+
+    def roundtrip():
+        paths = [
+            write_cali(p, tmp_path / f"p{i}.cali") for i, p in enumerate(profiles)
+        ]
+        return [read_cali(path) for path in paths]
+
+    loaded = benchmark(roundtrip)
+    assert len(loaded) == 4
+    assert loaded[0].globals == profiles[0].globals

@@ -1,0 +1,83 @@
+"""Fig. 10: achieved memory bandwidth vs FLOPS on all four systems."""
+
+import pytest
+from conftest import save_artifact
+
+from repro.analysis import run_speedup_study
+from repro.reporting import fig10
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_speedup_study()
+
+
+def bench_fig10_scatter(benchmark, artifact_dir):
+    text = benchmark(fig10)
+    save_artifact(artifact_dir, "fig10", text)
+    for machine in ("SPR-DDR", "SPR-HBM", "P9-V100", "EPYC-MI250X"):
+        assert f"Fig. 10 {machine}" in text
+
+
+def test_seventeen_flop_heavy_kernels(study):
+    """The paper's 17 FLOP-heavy kernels are all above the diagonal."""
+    flop_heavy = set(study.flop_heavy_kernels())
+    paper = {
+        "Apps_CONVECTION3DPA", "Apps_DEL_DOT_VEC_2D", "Apps_DIFFUSION3DPA",
+        "Apps_EDGE3D", "Apps_FIR", "Apps_LTIMES", "Apps_LTIMES_NOVIEW",
+        "Apps_MASS3DPA", "Apps_VOL3D", "Basic_MAT_MAT_SHARED",
+        "Basic_PI_ATOMIC", "Basic_PI_REDUCE", "Basic_TRAP_INT",
+        "Polybench_2MM", "Polybench_3MM", "Polybench_FLOYD_WARSHALL",
+        "Polybench_GEMM",
+    }
+    assert paper <= flop_heavy
+
+
+def test_bandwidth_rises_ddr_to_hbm_but_flops_flat(study):
+    """Fig. 10a vs 10b: SPR-HBM raises achieved bandwidth for streaming
+    kernels but leaves the FLOP rate roughly unchanged."""
+    triad = study.record("Stream_TRIAD")
+    assert triad.achieved_gbytes("SPR-HBM") > 2.0 * triad.achieved_gbytes("SPR-DDR")
+    matmat = study.record("Basic_MAT_MAT_SHARED")
+    flops_ratio = matmat.achieved_gflops("SPR-HBM") / matmat.achieved_gflops("SPR-DDR")
+    assert 0.7 < flops_ratio < 1.1
+
+
+def test_v100_boosts_both_axes(study):
+    """Fig. 10c: the V100 raises both achieved bandwidth and FLOPs."""
+    triad = study.record("Stream_TRIAD")
+    assert triad.achieved_gbytes("P9-V100") > 5 * triad.achieved_gbytes("SPR-DDR")
+    matmat = study.record("Basic_MAT_MAT_SHARED")
+    assert matmat.achieved_gflops("P9-V100") > 5 * matmat.achieved_gflops("SPR-DDR")
+
+
+def test_mi250x_bandwidth_about_3x_v100(study):
+    """Fig. 10d: 'the memory bandwidth trends towards around 3x of the
+    P9-V100 for many kernels'."""
+    ratios = []
+    for name in ("Stream_TRIAD", "Stream_ADD", "Stream_COPY", "Lcals_HYDRO_1D"):
+        record = study.record(name)
+        ratios.append(
+            record.achieved_gbytes("EPYC-MI250X") / record.achieved_gbytes("P9-V100")
+        )
+    mean = sum(ratios) / len(ratios)
+    assert mean == pytest.approx(3.0, rel=0.25)
+
+
+def test_fig10d_annotated_tflops_kernels(study):
+    """The four kernels annotated with >10,000 GFLOPS on the MI250X:
+    MAT_MAT_SHARED (13326), EDGE3D (84113), VOL3D (11259),
+    DIFFUSION3DPA (14975)."""
+    paper_values = {
+        "Basic_MAT_MAT_SHARED": 13_326.4,
+        "Apps_EDGE3D": 84_113.3,
+        "Apps_VOL3D": 11_259.0,
+        "Apps_DIFFUSION3DPA": 14_974.5,
+    }
+    top4 = sorted(
+        study.records, key=lambda r: r.achieved_gflops("EPYC-MI250X"), reverse=True
+    )[:4]
+    assert {r.kernel for r in top4} == set(paper_values)
+    for name, paper_gflops in paper_values.items():
+        measured = study.record(name).achieved_gflops("EPYC-MI250X")
+        assert measured == pytest.approx(paper_gflops, rel=0.35), name

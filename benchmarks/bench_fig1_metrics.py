@@ -1,0 +1,32 @@
+"""Fig. 1: analytic metrics per kernel iteration."""
+
+from conftest import save_artifact
+
+from repro.reporting import fig1
+from repro.suite.registry import make_kernel
+
+
+def bench_fig1_analytic_metrics(benchmark, artifact_dir):
+    text = benchmark(fig1)
+    save_artifact(artifact_dir, "fig1", text)
+    assert len(text.splitlines()) == 3 + 76
+
+
+def test_fig1_spot_values():
+    """Spot-check the rows the paper's Fig. 1 makes visually prominent."""
+    triad = make_kernel("Stream_TRIAD", 32_000_000).analytic_metrics()
+    assert triad["bytes_read"] == 16.0
+    assert triad["bytes_written"] == 8.0
+    assert triad["flops"] == 2.0
+    # TRIAD reads twice what it writes — the paper highlights this ratio.
+    assert triad["bytes_read"] / triad["bytes_written"] == 2.0
+
+    # The FLOP-dense FEM kernels dominate the FLOPs/iter axis ("Cap" bars).
+    edge = make_kernel("Apps_EDGE3D", 32_000_000).analytic_metrics()
+    assert edge["flops"] > 100.0
+    assert edge["flops_per_byte"] > 1.0
+
+    # memset has no reads and no FLOPs.
+    memset = make_kernel("Algorithm_MEMSET", 32_000_000).analytic_metrics()
+    assert memset["bytes_read"] == 0.0
+    assert memset["flops"] == 0.0

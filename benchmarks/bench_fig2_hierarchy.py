@@ -1,0 +1,20 @@
+"""Fig. 2: the top-down (TMA) hierarchy."""
+
+from conftest import save_artifact
+
+from repro.analysis.topdown import TMA_HIERARCHY
+from repro.reporting import fig2
+
+
+def bench_fig2_tma_hierarchy(benchmark, artifact_dir):
+    text = benchmark(fig2)
+    save_artifact(artifact_dir, "fig2", text)
+    for category in ("Frontend Bound", "Bad Speculation", "Retiring", "Backend Bound"):
+        assert category in text
+    # Level-2 split of Backend Bound (the part the paper quantifies).
+    assert "Core Bound" in text and "Memory Bound" in text
+
+
+def test_fig2_backend_split_structure():
+    assert TMA_HIERARCHY["Backend Bound"] == ["Core Bound", "Memory Bound"]
+    assert "DRAM Bound" in TMA_HIERARCHY["Memory Bound"]

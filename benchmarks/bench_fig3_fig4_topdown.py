@@ -1,0 +1,58 @@
+"""Figs. 3 and 4: SPR-DDR / SPR-HBM top-down metrics across the suite.
+
+The shape check is the one Section III-A narrates: kernels that are
+memory bound on SPR-DDR become visibly *less* memory bound on SPR-HBM,
+while REDUCE_SUM / 2MM / ATAX / MATVEC_3D_STENCIL stay non-memory-bound
+on both.
+"""
+
+from conftest import save_artifact
+
+from repro.machines.registry import SPR_DDR, SPR_HBM
+from repro.reporting import fig3, fig4
+from repro.suite.registry import make_kernel
+
+PAPER = 32_000_000
+
+
+def _memory_bound(kernel_name: str, machine) -> float:
+    return make_kernel(kernel_name, PAPER).predict(machine).tma["memory_bound"]
+
+
+def bench_fig3_spr_ddr_topdown(benchmark, artifact_dir):
+    text = benchmark(fig3)
+    save_artifact(artifact_dir, "fig3", text)
+    assert len(text.splitlines()) == 2 + 76
+
+
+def bench_fig4_spr_hbm_topdown(benchmark, artifact_dir):
+    text = benchmark(fig4)
+    save_artifact(artifact_dir, "fig4", text)
+    assert len(text.splitlines()) == 2 + 76
+
+
+def test_hbm_relieves_memory_bound_kernels():
+    """Stream + SCAN + GESUMMV: high memory-bound on DDR, lower on HBM."""
+    for name in ("Stream_TRIAD", "Stream_ADD", "Algorithm_SCAN",
+                 "Polybench_GESUMMV", "Lcals_HYDRO_1D"):
+        ddr = _memory_bound(name, SPR_DDR)
+        hbm = _memory_bound(name, SPR_HBM)
+        assert ddr > 0.4, name
+        assert hbm < ddr, name
+
+
+def test_compute_bound_kernels_stay_low_on_both():
+    """Section III-A's named examples: REDUCE_SUM, 2MM, ATAX,
+    MATVEC_3D_STENCIL have low memory-bound metrics on both systems."""
+    for name in ("Algorithm_REDUCE_SUM", "Polybench_2MM", "Polybench_ATAX",
+                 "Apps_MATVEC_3D_STENCIL"):
+        assert _memory_bound(name, SPR_DDR) < 0.25, name
+        assert _memory_bound(name, SPR_HBM) < 0.25, name
+
+
+def test_scan_contrast_is_pronounced():
+    """'with Algorithm SCAN, higher memory bound metric on SPR-DDR ...
+    significantly lower on SPR-HBM'."""
+    ddr = _memory_bound("Algorithm_SCAN", SPR_DDR)
+    hbm = _memory_bound("Algorithm_SCAN", SPR_HBM)
+    assert ddr - hbm > 0.15

@@ -1,0 +1,87 @@
+"""Figs. 6-8: the Section IV clustering pipeline and its artifacts."""
+
+import numpy as np
+import pytest
+from conftest import save_artifact
+
+from repro.analysis import run_similarity_analysis
+from repro.analysis.parallel_coords import coordinates
+from repro.reporting import fig6, fig7, fig8
+
+#: Fig. 7's published per-cluster table (TMA means + speedups).
+PAPER_FIG7 = {
+    "mem": dict(tma=(0.0103, 0.0001, 0.0562, 0.0522, 0.8812),
+                speedups=(2.5972, 7.3578, 22.6483)),
+    "bal": dict(tma=(0.0452, 0.0380, 0.2402, 0.1488, 0.5279),
+                speedups=(1.4286, 4.7197, 13.9824)),
+    "ret": dict(tma=(0.1460, 0.0050, 0.7169, 0.1021, 0.0300),
+                speedups=(0.9559, 4.5510, 7.0543)),
+    "core": dict(tma=(0.0118, 0.0037, 0.4117, 0.5358, 0.0370),
+                 speedups=(0.8651, 3.3596, 6.2609)),
+}
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_similarity_analysis()
+
+
+def bench_fig6_dendrogram(benchmark, artifact_dir, result):
+    text = benchmark(fig6, result)
+    save_artifact(artifact_dir, "fig6", text)
+    assert "Ward" in text
+    assert "cut at 1.4" in text
+    assert "TRIAD" in text
+
+
+def bench_fig7_cluster_table(benchmark, artifact_dir, result):
+    text = benchmark(fig7, result)
+    save_artifact(artifact_dir, "fig7", text)
+    assert "Cluster" in text and "Speedup EPYC-MI250X" in text
+
+
+def bench_fig8_parallel_coordinates(benchmark, artifact_dir, result):
+    text = benchmark(fig8, result)
+    save_artifact(artifact_dir, "fig8", text)
+    assert "memory_bound" in text and "EPYC-MI250X" in text
+
+
+def test_fig6_full_similarity_pipeline_shape(result):
+    assert result.num_clusters == 4
+    assert len(result.kernel_names) == 61
+    assert result.vectors.shape == (61, 5)
+
+
+def test_fig7_values_vs_paper(result):
+    """Every paper cluster row has a model cluster within tolerance."""
+    from repro.analysis.topdown import TMA_COMPONENTS
+
+    for label, row in PAPER_FIG7.items():
+        best = min(
+            result.summaries,
+            key=lambda s: sum(
+                (s.tma_means[c] - row["tma"][j]) ** 2
+                for j, c in enumerate(TMA_COMPONENTS)
+            ),
+        )
+        tma_err = np.sqrt(sum(
+            (best.tma_means[c] - row["tma"][j]) ** 2
+            for j, c in enumerate(TMA_COMPONENTS)
+        ))
+        assert tma_err < 0.08, (label, best.tma_means)
+        for machine, paper_value in zip(
+            ("SPR-HBM", "P9-V100", "EPYC-MI250X"), row["speedups"]
+        ):
+            assert best.speedups[machine] == pytest.approx(
+                paper_value, rel=0.30
+            ), (label, machine)
+
+
+def test_fig8_axes_are_linked(result):
+    """Parallel coordinates: the memory-bound axis and the speedup axes
+    must rank the clusters identically (the red-line pattern)."""
+    coords = coordinates(result.summaries)
+    mem_rank = sorted(coords, key=lambda c: coords[c][4])  # memory_bound axis
+    for axis in (6, 7):  # P9-V100, EPYC-MI250X speedups
+        speed_rank = sorted(coords, key=lambda c: coords[c][axis])
+        assert speed_rank == mem_rank

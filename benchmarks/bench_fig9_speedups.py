@@ -1,0 +1,57 @@
+"""Fig. 9: memory-bound metric and speedups on the three HBM machines."""
+
+import pytest
+from conftest import save_artifact
+
+from repro.analysis import run_speedup_study
+from repro.reporting import fig9
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_speedup_study()
+
+
+def bench_fig9_speedup_panels(benchmark, artifact_dir):
+    text = benchmark(fig9)
+    save_artifact(artifact_dir, "fig9", text)
+    assert "panel 1" in text
+    assert text.count("Fig. 9 panel") == 4  # memory-bound + 3 speedup panels
+    assert "TRIAD" in text
+
+
+def test_triad_reference_lines(study):
+    """The yellow lines: TRIAD's speedups per machine (paper: the achieved
+    bandwidth ratios, ~2.4x / ~7.2x / ~21.8x)."""
+    assert study.triad_speedups["SPR-HBM"] == pytest.approx(2.39, rel=0.1)
+    assert study.triad_speedups["P9-V100"] == pytest.approx(7.15, rel=0.1)
+    assert study.triad_speedups["EPYC-MI250X"] == pytest.approx(21.8, rel=0.1)
+
+
+def test_edge3d_annotation(study):
+    """Apps_EDGE3D exceeds the 40x panel cap on EPYC-MI250X (118.6x)."""
+    assert study.record("Apps_EDGE3D").speedup("EPYC-MI250X") > 40.0
+
+
+def test_hbm_speedups_bounded_by_bandwidth_ratio(study):
+    """No kernel can beat the DDR->HBM achieved-bandwidth ratio by much."""
+    for record in study.records:
+        assert record.speedup("SPR-HBM") < 2.39 * 1.15, record.kernel
+
+
+def test_panel2_annotated_kernels_are_memory_bound(study):
+    """Kernels with SPR-HBM speedup > 1 are (at least somewhat) memory
+    bound — the paper's Section V-A finding."""
+    gainers = [
+        r for r in study.records
+        if r.speedup("SPR-HBM") > 1.1 and not r.kernel.startswith("Comm")
+    ]
+    assert len(gainers) >= 25
+    assert all(r.memory_bound_ddr > 0.05 for r in gainers)
+
+
+def test_comm_halo_is_the_outlier(study):
+    """Comm HALO kernels are dominated by MPI and do not track bandwidth."""
+    exchange = study.record("Comm_HALO_EXCHANGE")
+    assert exchange.speedup("SPR-HBM") < 1.3
+    assert exchange.speedup("EPYC-MI250X") < 2.0

@@ -1,0 +1,63 @@
+"""Real-execution wall-clock benchmarks of representative kernels.
+
+Unlike the model-space benches, these time the actual NumPy execution of
+one kernel per group through the RAJA-sim layer — the suite's "does it
+actually run fast" guard. Sizes are chosen so a round stays in the
+milliseconds.
+"""
+
+import pytest
+
+from repro.suite.registry import make_kernel
+from repro.suite.variants import get_variant
+
+RAJA_SEQ = get_variant("RAJA_Seq")
+BASE_SEQ = get_variant("Base_Seq")
+
+REPRESENTATIVES = [
+    ("Stream_TRIAD", 200_000),
+    ("Basic_DAXPY", 200_000),
+    ("Algorithm_SCAN", 200_000),
+    ("Lcals_HYDRO_1D", 200_000),
+    ("Apps_ENERGY", 50_000),
+    ("Polybench_GEMM", 40_000),
+    ("Comm_HALO_EXCHANGE", 30_000),
+]
+
+
+@pytest.mark.parametrize("name,size", REPRESENTATIVES, ids=[r[0] for r in REPRESENTATIVES])
+def bench_kernel_raja_seq(benchmark, name, size):
+    kernel = make_kernel(name, size)
+    kernel.ensure_setup()
+    policy = RAJA_SEQ.policy()
+
+    def run():
+        kernel.run_raja(policy)
+
+    benchmark(run)
+    assert kernel.checksum() == kernel.checksum()  # finite & reproducible
+
+
+@pytest.mark.parametrize("name,size", [("Stream_TRIAD", 200_000), ("Basic_DAXPY", 200_000)])
+def bench_kernel_base_seq(benchmark, name, size):
+    """Base-variant wall clock, for RAJA-vs-Base comparison in reports."""
+    kernel = make_kernel(name, size)
+    kernel.ensure_setup()
+    policy = BASE_SEQ.policy()
+
+    def run():
+        kernel.run_base(policy)
+
+    benchmark(run)
+
+
+def bench_gpu_style_dispatch_overhead(benchmark):
+    """The block-partitioned CUDA-style dispatch of the RAJA-sim layer."""
+    kernel = make_kernel("Stream_TRIAD", 200_000)
+    kernel.ensure_setup()
+    policy = get_variant("RAJA_CUDA").policy().with_block_size(1024)
+
+    def run():
+        kernel.run_raja(policy)
+
+    benchmark(run)

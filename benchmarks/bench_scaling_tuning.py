@@ -1,0 +1,71 @@
+"""Benches for the extension analyses: scalability and tuning sweeps."""
+
+import pytest
+from conftest import save_artifact
+
+from repro.analysis import (
+    render_curve,
+    render_tuning_table,
+    strong_scaling,
+    tune_kernel,
+    weak_scaling,
+)
+from repro.machines.registry import EPYC_MI250X, P9_V100, SPR_DDR
+from repro.suite.registry import get_kernel_class, make_kernel
+
+
+def bench_strong_scaling_sweep(benchmark, artifact_dir):
+    """Strong scaling of one kernel per bottleneck class on SPR-DDR."""
+
+    def sweep():
+        return [
+            strong_scaling(make_kernel(name, "32M"), SPR_DDR)
+            for name in ("Stream_TRIAD", "Algorithm_SCAN",
+                         "Basic_INIT_VIEW1D", "Basic_TRAP_INT")
+        ]
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_artifact(
+        artifact_dir, "scaling_strong", "\n\n".join(render_curve(c) for c in curves)
+    )
+    by_name = {c.kernel: c for c in curves}
+    # Bandwidth wall: TRIAD's full-node efficiency is visibly below the
+    # compute-bound kernel's.
+    assert by_name["Stream_TRIAD"].points[-1].efficiency < 0.7
+    assert by_name["Basic_TRAP_INT"].points[-1].efficiency > 0.95
+
+
+def bench_weak_scaling_sweep(benchmark, artifact_dir):
+    def sweep():
+        return [
+            weak_scaling(get_kernel_class(name), SPR_DDR)
+            for name in ("Stream_TRIAD", "Basic_TRAP_INT")
+        ]
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_artifact(
+        artifact_dir, "scaling_weak", "\n\n".join(render_curve(c) for c in curves)
+    )
+    by_name = {c.kernel: c for c in curves}
+    assert by_name["Basic_TRAP_INT"].points[-1].efficiency > 0.95
+    assert by_name["Stream_TRIAD"].points[-1].efficiency < 0.7
+
+
+def bench_tuning_sweep_both_gpus(benchmark, artifact_dir):
+    """Block-size tuning sweep for a kernel sample on both GPU machines."""
+    kernels = ("Stream_TRIAD", "Basic_DAXPY", "Basic_MAT_MAT_SHARED", "Apps_VOL3D")
+
+    def sweep():
+        results = []
+        for machine in (P9_V100, EPYC_MI250X):
+            for name in kernels:
+                results.append(tune_kernel(make_kernel(name, "32M"), machine))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "tuning_sweep", render_tuning_table(results))
+    # Tunings matter but mildly: every kernel within 2x across blocks.
+    assert all(1.0 <= r.worst_penalty <= 2.0 for r in results)
+    # The AMD wavefront (64) prefers larger blocks than the default.
+    amd = [r for r in results if r.machine == "EPYC-MI250X"]
+    assert all(r.best_block >= 256 for r in amd)

@@ -1,0 +1,52 @@
+"""Benches regenerating the paper's Tables I-IV."""
+
+from conftest import save_artifact
+
+from repro.reporting import table1, table2, table3, table4
+
+
+def bench_table1_kernel_inventory(benchmark, artifact_dir):
+    text = benchmark(table1)
+    save_artifact(artifact_dir, "table1", text)
+    lines = text.splitlines()
+    assert len(lines) == 3 + 76  # title + header + separator + 76 kernels
+    for name in ("TRIAD", "DAXPY", "HALO_EXCHANGE", "FLOYD_WARSHALL", "EDGE3D"):
+        assert name in text
+    # Complexity classes from Table I.
+    assert "n lg n" in text and "n^(3/2)" in text and "n^(2/3)" in text
+
+
+def bench_table2_systems(benchmark, artifact_dir):
+    text = benchmark(table2)
+    save_artifact(artifact_dir, "table2", text)
+    # Theoretical peaks transcribed from the paper.
+    for value in ("4.7", "31.2", "191.5", "3.3", "12.8"):
+        assert value in text
+    # The model-achieved percentages must be near the paper's:
+    # 18.0/15.5/22.4/7.0 (FLOPS) and 77.7/33.7/92.6/79.5 (bandwidth).
+    import re
+
+    rows = [line for line in text.splitlines() if line.startswith(("SPR", "P9", "EPYC"))]
+    assert len(rows) == 4
+
+
+def bench_table3_run_parameters(benchmark, artifact_dir):
+    text = benchmark(table3)
+    save_artifact(artifact_dir, "table3", text)
+    assert "112" in text  # CPU ranks
+    assert "RAJA_CUDA" in text and "RAJA_HIP" in text
+    assert "32000000" in text  # 32M per node
+    assert "4000000" in text  # MI250X per-rank share
+
+
+def bench_table4_ncu_metrics(benchmark, artifact_dir):
+    text = benchmark(table4)
+    save_artifact(artifact_dir, "table4", text)
+    for metric in (
+        "sm__sass_thread_inst_executed.sum",
+        "lts__t_sectors_op_atom.sum",
+        "dram__sectors_write.sum",
+        "time (gpu)",
+    ):
+        assert metric in text
+    assert text.count("L2 cache") == 4

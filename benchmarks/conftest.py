@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every table/figure bench regenerates its artifact through
+``pytest-benchmark`` (so the cost of the pipeline is tracked), asserts the
+reproduction-critical content, and writes the artifact text to
+``benchmarks/_artifacts/`` for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+ARTIFACT_DIR = Path(__file__).parent / "_artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+def save_artifact(directory: Path, name: str, text: str) -> None:
+    (directory / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: extend the suite and ride the whole pipeline.
+
+The paper's intro motivates RAJAPerf as a proxy for application code:
+port *your* kernel into the suite, and the toolchain answers "which
+bottleneck class is it in, and what should I expect from new hardware?".
+
+This example defines SPMV (sparse matrix-vector product in CSR form, a
+kernel the suite does not ship), verifies it across all variants, and
+then (a) predicts its TMA profile and cross-machine speedups, and (b)
+classifies it against the paper's four clusters.
+"""
+
+import numpy as np
+
+from repro.analysis import classify_kernel, run_similarity_analysis
+from repro.analysis.topdown import TMA_COMPONENTS
+from repro.machines import EPYC_MI250X, P9_V100, SPR_DDR, SPR_HBM
+from repro.rajasim import forall
+from repro.suite import Feature, Group, KernelBase
+from repro.suite.trait_presets import BALANCED, derive
+
+NNZ_PER_ROW = 27  # a 3-D stencil-like sparsity pattern
+
+
+# Note: a kernel class works standalone; decorate with
+# ``repro.suite.registry.register_kernel`` only if you want the executor /
+# CLI to pick it up by name (that also adds it to every suite-wide sweep,
+# including the similarity analysis).
+class CustomSpmv(KernelBase):
+    """SPMV: ``y[r] = sum_j vals[row_ptr[r]+j] * x[cols[row_ptr[r]+j]]``."""
+
+    NAME = "SPMV"
+    GROUP = Group.BASIC  # joins the Basic group for reporting purposes
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 6.0 * NNZ_PER_ROW
+
+    def __init__(self, problem_size=None, seed=4793):
+        super().__init__(problem_size, seed)
+        self.rows = max(1, self.problem_size // NNZ_PER_ROW)
+
+    def iterations(self):
+        return float(self.rows)
+
+    def setup(self):
+        rows, n = self.rows, self.rows * NNZ_PER_ROW
+        self.vals = self.rng.random(n)
+        self.cols = self.rng.integers(0, rows, size=n)
+        self.row_ptr = np.arange(0, n + 1, NNZ_PER_ROW)
+        self.x = self.rng.random(rows)
+        self.y = np.zeros(rows)
+
+    def bytes_read(self):
+        # values + column indices streamed; x gathered (partially cached).
+        return (8.0 + 4.0 + 4.0) * NNZ_PER_ROW * self.rows
+
+    def bytes_written(self):
+        return 8.0 * self.rows
+
+    def flops(self):
+        return 2.0 * NNZ_PER_ROW * self.rows
+
+    def traits(self):
+        return derive(
+            BALANCED,
+            streaming_eff=0.5,  # the x gather is irregular
+            simd_eff=0.4,
+            cache_resident=0.25,
+            cpu_compute_eff=0.1,
+            gpu_compute_eff=0.45,
+        )
+
+    def run_base(self, policy):
+        mat = self.vals.reshape(self.rows, NNZ_PER_ROW)
+        gathered = self.x[self.cols].reshape(self.rows, NNZ_PER_ROW)
+        np.sum(mat * gathered, axis=1, out=self.y)
+
+    def run_raja(self, policy):
+        vals, cols, x, y = self.vals, self.cols, self.x, self.y
+
+        def body(r):
+            acc = np.zeros(len(r))
+            for j in range(NNZ_PER_ROW):
+                idx = r * NNZ_PER_ROW + j
+                acc += vals[idx] * x[cols[idx]]
+            y[r] = acc
+
+        forall(policy, self.rows, body)
+
+    def checksum(self):
+        from repro.suite import checksum_array
+
+        return checksum_array(self.y)
+
+
+def main() -> None:
+    kernel = CustomSpmv(problem_size=27_000)
+    checksums = kernel.verify_variants()
+    print(f"{kernel.full_name}: {len(checksums)} variants verified "
+          f"(checksum {checksums['RAJA_Seq']:.6f})")
+    print(f"analytic metrics/row: {kernel.analytic_metrics()}")
+
+    big = CustomSpmv(problem_size="32M")
+    print("\nPredicted node-level behaviour at the paper's 32M size:")
+    tma = big.predict(SPR_DDR).tma
+    print("  SPR-DDR TMA:", {k: round(v, 3) for k, v in tma.items()})
+    t_ddr = big.predict(SPR_DDR).total_seconds
+    for machine in (SPR_HBM, P9_V100, EPYC_MI250X):
+        t = big.predict(machine).total_seconds
+        print(f"  speedup on {machine.shorthand:12s} {t_ddr / t:6.2f}x")
+
+    # Classify against the paper's clusters (Section IV's porting use case).
+    result = run_similarity_analysis()
+    vector = [tma[c] for c in TMA_COMPONENTS]
+    cluster, speedups, nearest = classify_kernel(vector, result)
+    print(f"\nSPMV lands in cluster {cluster} "
+          f"(most similar suite kernel: {nearest})")
+    print("Cluster-level expectation for machines you do NOT have yet:")
+    for machine, value in speedups.items():
+        print(f"  {machine:12s} ~{value:5.2f}x over SPR-DDR")
+    print(
+        "\nThat is the paper's workflow: measure TMA once on the machine "
+        "you own, and the cluster tells you what new hardware will buy you."
+    )
+
+
+if __name__ == "__main__":
+    main()

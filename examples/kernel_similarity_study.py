@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The paper's Section IV study, end to end.
+
+Clusters the suite's kernels by their SPR-DDR top-down (TMA) signatures
+with Ward agglomerative clustering at the paper's 1.4 threshold, then
+prints Fig. 6 (dendrogram), Fig. 7 (cluster table), and Fig. 8 (parallel
+coordinates) — and checks the paper's headline conclusion: the most
+memory-bound cluster gains the most on every higher-bandwidth machine.
+"""
+
+from repro.analysis import run_similarity_analysis
+from repro.reporting import fig6, fig7, fig8
+
+
+def main() -> None:
+    result = run_similarity_analysis()
+    print(f"{len(result.kernel_names)} kernels admitted, "
+          f"{result.num_clusters} clusters found at threshold "
+          f"{result.clustering.threshold}\n")
+
+    print(fig7(result))
+    print()
+    print(fig8(result))
+    print()
+
+    # The paper's conclusion, recomputed from the clustering:
+    mem_cluster = result.most_memory_bound_cluster()
+    summary = result.summaries[mem_cluster]
+    print(f"\nMost memory-bound cluster: {mem_cluster} "
+          f"(memory_bound = {summary.tma_means['memory_bound']:.2f})")
+    for machine, speedup in summary.speedups.items():
+        others = [
+            s.speedups[machine]
+            for s in result.summaries
+            if s.cluster_id != mem_cluster
+        ]
+        verdict = "highest" if speedup > max(others) else "NOT highest (!)"
+        print(f"  speedup on {machine:12s} = {speedup:6.2f}x  ({verdict})")
+
+    print("\nMembers of the memory-bound cluster:")
+    for name in summary.kernels:
+        print(f"  - {name}")
+
+    print()
+    print(fig6(result))
+
+
+if __name__ == "__main__":
+    main()

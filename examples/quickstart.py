@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: run kernels, verify variants, and profile with Caliper/Thicket.
+
+This walks the same path as the paper's tooling:
+
+1. instantiate a kernel and *really* run all of its variants (Base/RAJA x
+   Seq/OpenMP/CUDA/HIP/SYCL), verifying the RAJAPerf-style checksums;
+2. read its analytic metrics (Fig. 1's data);
+3. predict its node-level execution time and TMA profile on the paper's
+   four machines;
+4. run a small sweep through the suite executor, emitting one Caliper
+   profile per (machine, variant), and compose them with Thicket.
+"""
+
+from repro import SuiteExecutor, RunParams, Thicket, get_machine, make_kernel
+
+
+def main() -> None:
+    # --- 1. one kernel, all variants, checksum-verified ------------------
+    triad = make_kernel("Stream_TRIAD", problem_size=100_000)
+    checksums = triad.verify_variants()
+    print(f"{triad.full_name}: {len(checksums)} variants agree; "
+          f"checksum = {checksums['RAJA_Seq']:.6f}")
+
+    # --- 2. analytic metrics (platform-independent) ----------------------
+    print("\nAnalytic metrics per iteration (Fig. 1):")
+    for name, value in triad.analytic_metrics().items():
+        print(f"  {name:16s} = {value:.4g}")
+
+    # --- 3. model predictions on the paper's machines --------------------
+    print("\nPredicted node-level time for one pass at 32M elements:")
+    big = make_kernel("Stream_TRIAD", problem_size="32M")
+    for shorthand in ("SPR-DDR", "SPR-HBM", "P9-V100", "EPYC-MI250X"):
+        machine = get_machine(shorthand)
+        breakdown = big.predict(machine)
+        extra = ""
+        if breakdown.tma is not None:
+            extra = f"  memory-bound fraction = {breakdown.tma['memory_bound']:.2f}"
+        print(f"  {shorthand:12s} {breakdown.total_seconds * 1e6:10.1f} us{extra}")
+
+    # --- 4. a small suite run -> Caliper profiles -> Thicket -------------
+    params = RunParams(
+        problem_size="32M",
+        variants=("RAJA_Seq", "RAJA_CUDA", "RAJA_HIP"),
+        groups=(),  # whole suite
+        kernels=("Stream_TRIAD", "Basic_DAXPY", "Algorithm_SCAN", "Apps_VOL3D"),
+    )
+    result = SuiteExecutor(params).run_paper_configuration()
+    thicket = Thicket.from_caliperreader(result.profiles)
+    print(f"\n{thicket}")
+    regions, profiles, matrix = thicket.metric_matrix(
+        "Avg time/rank", region_filter=lambda s: "_" in s
+    )
+    print(f"{'Kernel':20s} " + " ".join(f"{p:>30s}" for p in profiles))
+    for i, region in enumerate(regions):
+        cells = " ".join(f"{v * 1e6:>28.1f}us" for v in matrix[i])
+        print(f"{region:20s} {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro: a reproduction of "RAJA Performance Suite: Performance
+Portability Analysis with Caliper and Thicket" (SC 2024).
+
+The package provides, in pure Python:
+
+* the RAJAPerf-style kernel suite (76 kernels, 7 groups, Base/RAJA
+  variants over a RAJA-like portability layer) — :mod:`repro.suite`,
+  :mod:`repro.kernels`, :mod:`repro.rajasim`;
+* Caliper/Adiak-style profiling (:mod:`repro.caliper`, :mod:`repro.adiak`)
+  and a pandas-free Thicket (:mod:`repro.thicket`);
+* calibrated analytic models of the paper's four machines and their
+  CPU/GPU counter simulators (:mod:`repro.machines`, :mod:`repro.perfmodel`,
+  :mod:`repro.cpusim`, :mod:`repro.gpusim`, :mod:`repro.mpisim`);
+* the paper's analyses — TMA, instruction roofline, Ward clustering,
+  cross-architecture speedups (:mod:`repro.analysis`) — and drivers that
+  regenerate every table and figure (:mod:`repro.reporting`).
+
+Quickstart::
+
+    from repro import make_kernel, get_machine
+
+    triad = make_kernel("Stream_TRIAD", problem_size="32M")
+    print(triad.analytic_metrics())          # Fig. 1 metrics
+    print(triad.predict(get_machine("SPR-DDR")).tma)  # TMA fractions
+
+    from repro.analysis import run_similarity_analysis
+    result = run_similarity_analysis()       # Section IV end to end
+"""
+
+from repro._version import __version__
+from repro.machines import get_machine, list_machines
+from repro.suite import (
+    Complexity,
+    Feature,
+    Group,
+    KernelBase,
+    RunParams,
+    SuiteExecutor,
+    Variant,
+    all_kernel_classes,
+    get_variant,
+    kernel_names,
+)
+from repro.thicket import Thicket
+
+
+def make_kernel(name: str, problem_size: object = None) -> KernelBase:
+    """Instantiate a kernel by name; ``problem_size`` accepts ``"32M"``."""
+    from repro.suite.registry import make_kernel as _make
+    from repro.util.units import parse_size
+
+    size = parse_size(problem_size) if problem_size is not None else None
+    return _make(name, problem_size=size)
+
+
+__all__ = [
+    "__version__",
+    "make_kernel",
+    "get_machine",
+    "list_machines",
+    "Group",
+    "Feature",
+    "Complexity",
+    "Variant",
+    "get_variant",
+    "KernelBase",
+    "kernel_names",
+    "all_kernel_classes",
+    "RunParams",
+    "SuiteExecutor",
+    "Thicket",
+]

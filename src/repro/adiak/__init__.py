@@ -1,0 +1,75 @@
+"""Adiak: per-run metadata annotation (LLNL's Adiak library surface).
+
+RAJAPerf uses Adiak to record run metadata — programming model, variant,
+tuning, problem size, machine — which Caliper folds into the profile's
+globals and Thicket surfaces as its metadata table. The Python surface
+mirrors ``adiak::init``, ``adiak::value``, ``adiak::collect_all``,
+``adiak::fini``.
+"""
+
+from __future__ import annotations
+
+import getpass
+import platform
+import sys
+import time
+from typing import Any
+
+_store: dict[str, Any] | None = None
+
+
+class AdiakError(RuntimeError):
+    """Raised when the Adiak API is used out of order."""
+
+
+def init() -> None:
+    """Start a metadata collection epoch (``adiak::init``)."""
+    global _store
+    _store = {}
+
+
+def value(name: str, val: Any) -> None:
+    """Record one name/value pair (``adiak::value``)."""
+    if _store is None:
+        raise AdiakError("adiak.value() before adiak.init()")
+    if not name:
+        raise ValueError("metadata name must be non-empty")
+    _store[name] = val
+
+
+def collect_all() -> None:
+    """Record the standard environment set (``adiak::collect_all``)."""
+    if _store is None:
+        raise AdiakError("adiak.collect_all() before adiak.init()")
+    _store.setdefault("user", _safe_user())
+    _store.setdefault("launchdate", int(time.time()))
+    _store.setdefault("executable", sys.argv[0] if sys.argv else "python")
+    _store.setdefault("platform", platform.platform())
+    _store.setdefault("python_version", platform.python_version())
+
+
+def get() -> dict[str, Any]:
+    """Snapshot of the currently collected metadata."""
+    if _store is None:
+        raise AdiakError("adiak.get() before adiak.init()")
+    return dict(_store)
+
+
+def fini() -> dict[str, Any]:
+    """Finish the epoch and return the collected metadata."""
+    global _store
+    if _store is None:
+        raise AdiakError("adiak.fini() before adiak.init()")
+    out, _store = dict(_store), None
+    return out
+
+
+def is_active() -> bool:
+    return _store is not None
+
+
+def _safe_user() -> str:
+    try:
+        return getpass.getuser()
+    except (KeyError, OSError):  # pragma: no cover - depends on environment
+        return "unknown"

@@ -1,0 +1,101 @@
+"""Analysis layer: TMA, instruction roofline, clustering, speedup studies.
+
+These are the paper's Sections III-V turned into library calls: everything
+operates on raw counters / model predictions, never on model internals.
+"""
+
+from repro.analysis.topdown import (
+    TMA_COMPONENTS,
+    TMA_HIERARCHY,
+    TopDown,
+    render_hierarchy,
+    topdown_from_counters,
+)
+from repro.analysis.roofline import (
+    LEVELS,
+    RooflinePoint,
+    level_bandwidth,
+    roofline_ceiling,
+    roofline_points,
+    transactions,
+)
+from repro.analysis.clustering import (
+    PAPER_THRESHOLD,
+    ClusterResult,
+    cluster_kernels,
+    fcluster_by_distance,
+    linkage,
+)
+from repro.analysis.dendrogram import render_dendrogram
+from repro.analysis.speedup import (
+    BASELINE,
+    TARGETS,
+    KernelPerformance,
+    SpeedupStudy,
+    run_speedup_study,
+)
+from repro.analysis.similarity import (
+    ClusterSummary,
+    SimilarityResult,
+    classify_kernel,
+    run_similarity_analysis,
+)
+from repro.analysis.parallel_coords import AXES, coordinates, render_parallel_coordinates
+from repro.analysis.tuning import (
+    DEFAULT_BLOCK_SIZES,
+    TuningResult,
+    render_tuning_table,
+    tune_from_thicket,
+    tune_kernel,
+)
+from repro.analysis.scaling import (
+    ScalingCurve,
+    ScalingPoint,
+    render_curve,
+    scaled_machine,
+    strong_scaling,
+    weak_scaling,
+)
+
+__all__ = [
+    "TMA_COMPONENTS",
+    "TMA_HIERARCHY",
+    "TopDown",
+    "render_hierarchy",
+    "topdown_from_counters",
+    "LEVELS",
+    "RooflinePoint",
+    "level_bandwidth",
+    "roofline_ceiling",
+    "roofline_points",
+    "transactions",
+    "PAPER_THRESHOLD",
+    "ClusterResult",
+    "cluster_kernels",
+    "fcluster_by_distance",
+    "linkage",
+    "render_dendrogram",
+    "BASELINE",
+    "TARGETS",
+    "KernelPerformance",
+    "SpeedupStudy",
+    "run_speedup_study",
+    "ClusterSummary",
+    "SimilarityResult",
+    "run_similarity_analysis",
+    "classify_kernel",
+    "AXES",
+    "coordinates",
+    "render_parallel_coordinates",
+    "ScalingCurve",
+    "ScalingPoint",
+    "scaled_machine",
+    "strong_scaling",
+    "weak_scaling",
+    "render_curve",
+    "DEFAULT_BLOCK_SIZES",
+    "TuningResult",
+    "tune_kernel",
+    "tune_from_thicket",
+    "render_tuning_table",
+]

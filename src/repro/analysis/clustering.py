@@ -1,0 +1,159 @@
+"""Agglomerative hierarchical clustering (Section IV).
+
+A from-scratch implementation of bottom-up agglomerative clustering with
+the Ward minimum-variance merge strategy over Euclidean distances — the
+configuration the paper uses with a distance threshold of 1.4 to find its
+four kernel clusters. The linkage matrix follows SciPy's format
+(``[left, right, distance, size]`` per merge) and tests cross-check
+against ``scipy.cluster.hierarchy``.
+
+``single``/``complete``/``average`` linkages are also provided for the
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The paper's Ward distance threshold producing four clusters.
+PAPER_THRESHOLD = 1.4
+
+_LINKAGES = ("ward", "single", "complete", "average")
+
+
+def linkage(points: np.ndarray, method: str = "ward") -> np.ndarray:
+    """Agglomerative linkage matrix in SciPy format.
+
+    ``points`` is (n, d). Returns (n-1, 4): merged cluster ids, merge
+    distance, merged size. New clusters get ids n, n+1, ...
+    """
+    if method not in _LINKAGES:
+        raise ValueError(f"unknown linkage {method!r}; have {_LINKAGES}")
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {pts.shape}")
+    n = len(pts)
+    if n < 2:
+        raise ValueError("need at least two points to cluster")
+
+    # Pairwise distances: Ward recursion runs on squared Euclidean.
+    diffs = pts[:, None, :] - pts[None, :, :]
+    dist2 = np.einsum("ijk,ijk->ij", diffs, diffs)
+    dist = dist2 if method == "ward" else np.sqrt(dist2)
+
+    active: dict[int, int] = {i: 1 for i in range(n)}  # cluster id -> size
+    # Distance store between active clusters, keyed by sorted id pair.
+    store: dict[tuple[int, int], float] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            store[(i, j)] = float(dist[i, j])
+
+    merges = np.zeros((n - 1, 4))
+    next_id = n
+    for step in range(n - 1):
+        (a, b), d_ab = min(store.items(), key=lambda kv: (kv[1], kv[0]))
+        size_a, size_b = active[a], active[b]
+        new_size = size_a + size_b
+        merge_dist = np.sqrt(d_ab) if method == "ward" else d_ab
+        merges[step] = (a, b, merge_dist, new_size)
+
+        del active[a], active[b]
+        # Update distances to every remaining cluster (Lance-Williams).
+        new_dists: dict[tuple[int, int], float] = {}
+        for c, size_c in active.items():
+            d_ac = store[_key(a, c)]
+            d_bc = store[_key(b, c)]
+            if method == "ward":
+                total = size_a + size_b + size_c
+                d_new = (
+                    (size_a + size_c) * d_ac
+                    + (size_b + size_c) * d_bc
+                    - size_c * d_ab
+                ) / total
+            elif method == "single":
+                d_new = min(d_ac, d_bc)
+            elif method == "complete":
+                d_new = max(d_ac, d_bc)
+            else:  # average
+                d_new = (size_a * d_ac + size_b * d_bc) / (size_a + size_b)
+            new_dists[_key(next_id, c)] = d_new
+        store = {
+            key: value
+            for key, value in store.items()
+            if a not in key and b not in key
+        }
+        store.update(new_dists)
+        active[next_id] = new_size
+        next_id += 1
+    return merges
+
+
+def _key(i: int, j: int) -> tuple[int, int]:
+    return (i, j) if i < j else (j, i)
+
+
+def fcluster_by_distance(merges: np.ndarray, threshold: float) -> np.ndarray:
+    """Flat cluster labels: cut the dendrogram at ``threshold``.
+
+    Matches ``scipy.cluster.hierarchy.fcluster(criterion='distance')`` up
+    to label permutation; labels here are 0-based and ordered by first
+    member appearance.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    n = len(merges) + 1
+    parent = list(range(2 * n - 1))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for step, (a, b, d, _size) in enumerate(merges):
+        if d <= threshold:
+            new = n + step
+            parent[find(int(a))] = new
+            parent[find(int(b))] = new
+    roots: dict[int, int] = {}
+    labels = np.zeros(n, dtype=int)
+    for i in range(n):
+        root = find(i)
+        if root not in roots:
+            roots[root] = len(roots)
+        labels[i] = roots[root]
+    return labels
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Clustering output: labels plus the full merge history."""
+
+    labels: np.ndarray
+    merges: np.ndarray
+    threshold: float
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    def members(self, cluster: int) -> np.ndarray:
+        return np.flatnonzero(self.labels == cluster)
+
+
+def cluster_kernels(
+    vectors: np.ndarray,
+    threshold: float = PAPER_THRESHOLD,
+    method: str = "ward",
+) -> ClusterResult:
+    """The paper's Section IV clustering: Ward over TMA vectors.
+
+    Note: the paper clusters raw TMA fractions whose pairwise Euclidean
+    distances are < 2, so a threshold of 1.4 operates on the *merge*
+    distance scale (Ward distances grow with cluster size).
+    """
+    merges = linkage(vectors, method=method)
+    labels = fcluster_by_distance(merges, threshold)
+    return ClusterResult(labels=labels, merges=merges, threshold=threshold)

@@ -1,0 +1,56 @@
+"""Text dendrogram rendering (Fig. 6)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def render_dendrogram(
+    merges: np.ndarray,
+    labels: Sequence[str],
+    threshold: float | None = None,
+    width: int = 60,
+) -> str:
+    """Render a linkage matrix as an indented text dendrogram.
+
+    Leaves print at their merge depth; each internal node prints its merge
+    distance. A ``threshold`` draws the paper's cut line: merges above it
+    are marked, so the flat clusters are visible as subtrees below the
+    marked nodes.
+    """
+    n = len(labels)
+    if len(merges) != n - 1:
+        raise ValueError(
+            f"{len(labels)} labels need {len(labels) - 1} merges, got {len(merges)}"
+        )
+    max_dist = float(merges[:, 2].max()) if len(merges) else 1.0
+
+    children: dict[int, tuple[int, int, float]] = {}
+    for step, (a, b, dist, _size) in enumerate(merges):
+        children[n + step] = (int(a), int(b), float(dist))
+
+    lines: list[str] = []
+
+    def walk(node: int, depth: int) -> None:
+        prefix = "  " * depth
+        if node < n:
+            lines.append(f"{prefix}+- {labels[node]}")
+            return
+        a, b, dist = children[node]
+        bar = int(round(dist / max_dist * 20))
+        cut = (
+            "  <-- above threshold"
+            if threshold is not None and dist > threshold
+            else ""
+        )
+        lines.append(f"{prefix}+-[d={dist:.3f} {'#' * bar}]{cut}")
+        walk(a, depth + 1)
+        walk(b, depth + 1)
+
+    walk(2 * n - 2, 0)
+    header = f"Agglomerative (Ward) dendrogram, {n} kernels"
+    if threshold is not None:
+        header += f", cut at {threshold}"
+    return header + "\n" + "\n".join(lines[:width * 100])

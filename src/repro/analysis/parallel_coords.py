@@ -1,0 +1,50 @@
+"""Parallel-coordinate data and rendering (Fig. 8).
+
+Fig. 8 links each cluster's average TMA metrics (five axes) with its
+average speedups on the three higher-bandwidth systems (three axes). The
+data lives in :class:`~repro.analysis.similarity.ClusterSummary`; this
+module lays it out as axes and renders a text version.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.similarity import ClusterSummary
+from repro.analysis.speedup import TARGETS
+from repro.analysis.topdown import TMA_COMPONENTS
+
+AXES: tuple[str, ...] = TMA_COMPONENTS + TARGETS
+
+
+def coordinates(summaries: Sequence[ClusterSummary]) -> dict[int, list[float]]:
+    """cluster id -> value per axis (TMA fractions then speedups)."""
+    out: dict[int, list[float]] = {}
+    for summary in summaries:
+        row = [summary.tma_means[c] for c in TMA_COMPONENTS]
+        row += [summary.speedups[m] for m in TARGETS]
+        out[summary.cluster_id] = row
+    return out
+
+
+def render_parallel_coordinates(
+    summaries: Sequence[ClusterSummary], width: int = 40
+) -> str:
+    """Text parallel-coordinate plot: one row per axis, one column marker
+    per cluster at its normalized position."""
+    coords = coordinates(summaries)
+    if not coords:
+        return "(no clusters)"
+    lines = ["Parallel coordinates (clusters: " + ", ".join(str(c) for c in coords) + ")"]
+    for axis_index, axis in enumerate(AXES):
+        values = {cid: row[axis_index] for cid, row in coords.items()}
+        lo, hi = min(values.values()), max(values.values())
+        span = hi - lo if hi > lo else 1.0
+        track = [" "] * (width + 1)
+        for cid, value in values.items():
+            pos = int(round((value - lo) / span * width))
+            track[pos] = str(cid % 10)
+        lines.append(
+            f"{axis:>16s} |{''.join(track)}|  min={lo:.4g} max={hi:.4g}"
+        )
+    return "\n".join(lines)

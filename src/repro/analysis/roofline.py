@@ -1,0 +1,115 @@
+"""Instruction Roofline Analysis for GPUs (Ding & Williams, PMBS'19).
+
+Converts NCU-style counters (Table IV) into the instruction-roofline
+coordinates of Fig. 5: performance in warp GIPS on the y-axis,
+instruction intensity (warp instructions per transaction) on the x-axis,
+one point per (kernel, cache level). The ceilings come from the machine's
+GPU spec: the peak warp instruction rate (horizontal roof) and per-level
+transaction bandwidths (diagonal roofs, GTXN/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.model import MachineModel
+
+LEVELS: tuple[str, ...] = ("L1", "L2", "HBM")
+
+_LEVEL_COUNTERS: dict[str, tuple[str, ...]] = {
+    "L1": (
+        "l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum",
+        "l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum",
+        "l1tex__t_sectors_pipe_lsu_mem_local_op_ld.sum",
+        "l1tex__t_requests_pipe_lsu_mem_local_op_st.sum",
+    ),
+    "L2": (
+        "lts__t_sectors_op_read.sum",
+        "lts__t_sectors_op_write.sum",
+        "lts__t_sectors_op_atom.sum",
+        "lts__t_sectors_op_red.sum",
+    ),
+    "HBM": ("dram__sectors_read.sum", "dram__sectors_write.sum"),
+}
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's coordinates at one cache level."""
+
+    kernel: str
+    level: str
+    warp_gips: float  # performance (10^9 warp instructions / s)
+    intensity: float  # warp instructions per transaction
+    gtxn_per_sec: float  # achieved transaction rate
+
+    def bound_by(self, machine: MachineModel) -> str:
+        """'compute' if the instruction roof limits, else 'memory'."""
+        gpu = machine.gpu
+        if gpu is None:
+            raise ValueError(f"{machine.shorthand} is not a GPU machine")
+        bw = level_bandwidth(machine, self.level)
+        # The roofline crossover: below the ridge intensity, bandwidth
+        # limits; above it the instruction roof does.
+        ridge = gpu.peak_warp_gips / bw
+        return "compute" if self.intensity >= ridge else "memory"
+
+
+def level_bandwidth(machine: MachineModel, level: str) -> float:
+    gpu = machine.gpu
+    if gpu is None:
+        raise ValueError(f"{machine.shorthand} is not a GPU machine")
+    if level == "L1":
+        return gpu.l1_gtxn_per_sec
+    if level == "L2":
+        return gpu.l2_gtxn_per_sec
+    if level == "HBM":
+        return gpu.dram_gtxn_per_sec
+    raise ValueError(f"unknown cache level {level!r}; have {LEVELS}")
+
+
+def transactions(counters: dict[str, float], level: str) -> float:
+    """Total transactions at one cache level from the NCU counter set."""
+    names = _LEVEL_COUNTERS.get(level)
+    if names is None:
+        raise ValueError(f"unknown cache level {level!r}; have {LEVELS}")
+    return float(sum(counters.get(name, 0.0) for name in names))
+
+
+def roofline_points(
+    kernel: str, counters: dict[str, float], machine: MachineModel
+) -> list[RooflinePoint]:
+    """Fig. 5 coordinates for one kernel (all three cache levels)."""
+    if machine.gpu is None:
+        raise ValueError(f"{machine.shorthand} is not a GPU machine")
+    time_s = counters.get("time (gpu)", 0.0)
+    if time_s <= 0:
+        raise ValueError("counters lack a positive 'time (gpu)'")
+    thread_inst = counters.get("sm__sass_thread_inst_executed.sum", 0.0)
+    warp_inst = thread_inst / machine.gpu.warp_size
+    gips = warp_inst / time_s / 1e9
+    points = []
+    for level in LEVELS:
+        txn = transactions(counters, level)
+        intensity = warp_inst / txn if txn > 0 else float("inf")
+        rate = txn / time_s / 1e9
+        points.append(
+            RooflinePoint(
+                kernel=kernel,
+                level=level,
+                warp_gips=gips,
+                intensity=intensity,
+                gtxn_per_sec=rate,
+            )
+        )
+    return points
+
+
+def roofline_ceiling(machine: MachineModel, level: str, intensity: float) -> float:
+    """Attainable warp GIPS at a given intensity (the roof of Fig. 5)."""
+    gpu = machine.gpu
+    if gpu is None:
+        raise ValueError(f"{machine.shorthand} is not a GPU machine")
+    if intensity < 0:
+        raise ValueError(f"negative intensity: {intensity}")
+    return min(gpu.peak_warp_gips, intensity * level_bandwidth(machine, level))

@@ -1,0 +1,128 @@
+"""Kernel scalability analysis (Section II-C's "kernel scalability with
+the increase in computational resources").
+
+The paper lists scalability as one of RAJAPerf's analysis axes. This
+module predicts strong- and weak-scaling behaviour by re-evaluating the
+CPU time model at reduced core counts (the machine model's resources
+scale linearly with cores: issue slots, cache bandwidth, and the DRAM
+share a socket's cores can draw).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.machines.model import MachineKind, MachineModel
+from repro.perfmodel.cpu_time import CpuTimeModel
+from repro.suite.kernel_base import KernelBase
+
+
+def scaled_machine(machine: MachineModel, cores: int) -> MachineModel:
+    """A copy of a CPU machine restricted to ``cores`` cores.
+
+    Compute resources scale with the core count; memory bandwidth
+    saturates at about half the socket's cores (the usual DRAM behaviour),
+    so bandwidth scales like ``min(1, 2 * cores / total)``.
+    """
+    if machine.kind is not MachineKind.CPU or machine.cpu is None:
+        raise ValueError(f"{machine.shorthand} is not a CPU machine")
+    total = machine.cpu.cores_per_node
+    if not 1 <= cores <= total:
+        raise ValueError(f"cores must be in [1, {total}], got {cores}")
+    fraction = cores / total
+    bw_fraction = min(1.0, 2.0 * fraction)
+    return replace(
+        machine,
+        peak_tflops_node=machine.peak_tflops_node * fraction,
+        peak_membw_tb_node=machine.peak_membw_tb_node * bw_fraction,
+        cpu=replace(machine.cpu, cores_per_node=cores),
+    )
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    cores: int
+    time_seconds: float
+    speedup: float  # vs the 1-core point
+    efficiency: float  # speedup / cores
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    kernel: str
+    machine: str
+    mode: str  # "strong" or "weak"
+    points: tuple[ScalingPoint, ...]
+
+    def saturation_cores(self, threshold: float = 0.5) -> int:
+        """First core count whose parallel efficiency drops below
+        ``threshold`` (the knee of the curve); the last point if none."""
+        for point in self.points:
+            if point.efficiency < threshold:
+                return point.cores
+        return self.points[-1].cores
+
+
+def strong_scaling(
+    kernel: KernelBase,
+    machine: MachineModel,
+    core_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 28, 56, 112),
+) -> ScalingCurve:
+    """Fixed problem size, growing cores."""
+    work = kernel.work_profile()
+    traits = kernel.effective_traits()
+    counts = tuple(c for c in core_counts if c <= machine.cpu.cores_per_node)
+    times = [
+        CpuTimeModel(scaled_machine(machine, cores)).predict(work, traits).total
+        for cores in counts
+    ]
+    base = times[0] * counts[0]
+    points = tuple(
+        ScalingPoint(
+            cores=cores,
+            time_seconds=t,
+            speedup=times[0] / t,
+            efficiency=(times[0] / t) / (cores / counts[0]),
+        )
+        for cores, t in zip(counts, times)
+    )
+    return ScalingCurve(kernel.full_name, machine.shorthand, "strong", points)
+
+
+def weak_scaling(
+    kernel_cls: type,
+    machine: MachineModel,
+    base_size: int = 285_714,  # the paper's per-rank CPU share
+    core_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 28, 56, 112),
+) -> ScalingCurve:
+    """Problem size grows with cores (fixed work per core)."""
+    counts = tuple(c for c in core_counts if c <= machine.cpu.cores_per_node)
+    times = []
+    for cores in counts:
+        kernel = kernel_cls(problem_size=base_size * cores)
+        model = CpuTimeModel(scaled_machine(machine, cores))
+        times.append(
+            model.predict(kernel.work_profile(), kernel.effective_traits()).total
+        )
+    points = tuple(
+        ScalingPoint(
+            cores=cores,
+            time_seconds=t,
+            speedup=times[0] / t * (cores / counts[0]),
+            efficiency=times[0] / t,
+        )
+        for cores, t in zip(counts, times)
+    )
+    name = kernel_cls(problem_size=base_size).full_name
+    return ScalingCurve(name, machine.shorthand, "weak", points)
+
+
+def render_curve(curve: ScalingCurve) -> str:
+    lines = [f"{curve.mode} scaling of {curve.kernel} on {curve.machine}"]
+    lines.append(f"{'cores':>6s} {'time':>12s} {'speedup':>9s} {'efficiency':>11s}")
+    for point in curve.points:
+        lines.append(
+            f"{point.cores:>6d} {point.time_seconds:>12.4g} "
+            f"{point.speedup:>9.2f} {point.efficiency:>11.2f}"
+        )
+    return "\n".join(lines)

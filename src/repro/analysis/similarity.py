@@ -1,0 +1,160 @@
+"""The Section IV kernel-similarity pipeline, end to end.
+
+1. Run the admitted kernels (O(n) complexity, comparable decomposition)
+   through the SPR-DDR model and collect their five-component TMA vectors
+   (Fig. 3's data).
+2. Agglomerative Ward clustering with the paper's 1.4 threshold (Fig. 6).
+3. Per-cluster summaries: average TMA metrics, average speedups on the
+   three HBM machines, and the per-group membership distribution (Fig. 7),
+   plus the parallel-coordinate rows of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.clustering import PAPER_THRESHOLD, ClusterResult, cluster_kernels
+from repro.analysis.speedup import TARGETS, SpeedupStudy, run_speedup_study
+from repro.analysis.topdown import TMA_COMPONENTS
+from repro.machines.registry import get_machine
+from repro.suite.groups import Group
+from repro.suite.registry import similarity_kernel_classes
+from repro.suite.run_params import PAPER_PROBLEM_SIZE
+
+
+@dataclass
+class ClusterSummary:
+    """One row of Fig. 7's lower table (+ Fig. 8's coordinates)."""
+
+    cluster_id: int
+    kernels: list[str]
+    tma_means: dict[str, float]
+    speedups: dict[str, float]
+
+    @property
+    def size(self) -> int:
+        return len(self.kernels)
+
+
+@dataclass
+class SimilarityResult:
+    """Everything Figs. 6-8 need."""
+
+    kernel_names: list[str]
+    groups: list[str]
+    vectors: np.ndarray  # (n, 5) TMA features, TMA_COMPONENTS order
+    clustering: ClusterResult
+    summaries: list[ClusterSummary]
+    study: SpeedupStudy
+    group_distribution: dict[str, dict[int, int]] = field(default_factory=dict)
+
+    @property
+    def num_clusters(self) -> int:
+        return self.clustering.num_clusters
+
+    def cluster_of(self, kernel: str) -> int:
+        return int(self.clustering.labels[self.kernel_names.index(kernel)])
+
+    def most_memory_bound_cluster(self) -> int:
+        return max(
+            range(self.num_clusters),
+            key=lambda c: self.summaries[c].tma_means["memory_bound"],
+        )
+
+
+def classify_kernel(
+    tma_vector: "np.ndarray | list[float]",
+    result: SimilarityResult,
+) -> tuple[int, dict[str, float], str]:
+    """Place a *new* kernel into the existing clusters — the paper's
+    porting-decision use case ("extrapolating performance for applications
+    with similar algorithmic characteristics to the kernels").
+
+    ``tma_vector`` is the kernel's five-component TMA signature in
+    :data:`~repro.analysis.topdown.TMA_COMPONENTS` order (e.g. measured on
+    the user's application with real TMA tooling). Returns the nearest
+    cluster id, that cluster's expected speedups per machine, and the name
+    of the most similar suite kernel.
+    """
+    vec = np.asarray(tma_vector, dtype=float)
+    if vec.shape != (5,):
+        raise ValueError(f"expected a 5-component TMA vector, got shape {vec.shape}")
+    if not 0.98 <= float(vec.sum()) <= 1.02:
+        raise ValueError(f"TMA fractions must sum to ~1, got {vec.sum():.3f}")
+    centroids = {
+        s.cluster_id: np.array([s.tma_means[c] for c in TMA_COMPONENTS])
+        for s in result.summaries
+    }
+    cluster = min(centroids, key=lambda c: float(np.linalg.norm(vec - centroids[c])))
+    distances = np.linalg.norm(result.vectors - vec[None, :], axis=1)
+    nearest = result.kernel_names[int(np.argmin(distances))]
+    return cluster, dict(result.summaries[cluster].speedups), nearest
+
+
+def run_similarity_analysis(
+    problem_size: int = PAPER_PROBLEM_SIZE,
+    threshold: float = PAPER_THRESHOLD,
+    method: str = "ward",
+) -> SimilarityResult:
+    """Execute the full Section IV pipeline on the model's predictions."""
+    classes = similarity_kernel_classes()
+    names: list[str] = []
+    groups: list[str] = []
+    vectors: list[np.ndarray] = []
+    baseline = get_machine("SPR-DDR")
+    for cls in classes:
+        kernel = cls(problem_size=problem_size)
+        tma = kernel.predict(baseline).tma
+        assert tma is not None
+        names.append(kernel.full_name)
+        groups.append(cls.GROUP.value)
+        vectors.append(np.array([tma[c] for c in TMA_COMPONENTS]))
+    matrix = np.vstack(vectors)
+
+    clustering = cluster_kernels(matrix, threshold=threshold, method=method)
+    study = run_speedup_study(problem_size=problem_size, kernel_classes=classes)
+
+    summaries: list[ClusterSummary] = []
+    for cid in range(clustering.num_clusters):
+        members = clustering.members(cid)
+        member_names = [names[i] for i in members]
+        tma_means = {
+            comp: float(matrix[members, j].mean())
+            for j, comp in enumerate(TMA_COMPONENTS)
+        }
+        speedups = {
+            machine: float(
+                np.mean([study.record(k).speedup(machine) for k in member_names])
+            )
+            for machine in TARGETS
+        }
+        summaries.append(
+            ClusterSummary(
+                cluster_id=cid,
+                kernels=member_names,
+                tma_means=tma_means,
+                speedups=speedups,
+            )
+        )
+
+    distribution: dict[str, dict[int, int]] = {}
+    for group in Group:
+        if group is Group.COMM:
+            continue
+        counts: dict[int, int] = {}
+        for name, label in zip(names, clustering.labels):
+            if groups[names.index(name)] == group.value:
+                counts[int(label)] = counts.get(int(label), 0) + 1
+        distribution[group.value] = counts
+
+    return SimilarityResult(
+        kernel_names=names,
+        groups=groups,
+        vectors=matrix,
+        clustering=clustering,
+        summaries=summaries,
+        study=study,
+        group_distribution=distribution,
+    )

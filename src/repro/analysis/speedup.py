@@ -1,0 +1,110 @@
+"""Cross-architecture speedup analysis (Section V, Figs. 9 and 10).
+
+Computes, for every kernel, the predicted node-level execution time on
+each machine (through the calibrated performance model), the speedups
+relative to the SPR-DDR baseline, the SPR-DDR memory-bound TMA metric
+(Fig. 9's left panel), the Stream TRIAD reference values (the yellow
+lines), and the achieved bandwidth/FLOPS coordinates of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machines.model import MachineModel
+from repro.machines.registry import MACHINES, get_machine
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import all_kernel_classes
+from repro.suite.run_params import PAPER_PROBLEM_SIZE
+
+BASELINE = "SPR-DDR"
+TARGETS = ("SPR-HBM", "P9-V100", "EPYC-MI250X")
+
+
+@dataclass
+class KernelPerformance:
+    """One kernel's cross-machine performance record."""
+
+    kernel: str
+    group: str
+    times: dict[str, float] = field(default_factory=dict)  # machine -> seconds
+    memory_bound_ddr: float = 0.0
+    flops: float = 0.0
+    bytes_total: float = 0.0
+
+    def speedup(self, machine: str) -> float:
+        return self.times[BASELINE] / self.times[machine]
+
+    def achieved_gflops(self, machine: str) -> float:
+        return self.flops / self.times[machine] / 1e9
+
+    def achieved_gbytes(self, machine: str) -> float:
+        return self.bytes_total / self.times[machine] / 1e9
+
+    @property
+    def is_flop_heavy(self) -> bool:
+        """Above Fig. 10's diagonal on SPR-DDR: more FLOPS than bytes."""
+        return self.achieved_gflops(BASELINE) > self.achieved_gbytes(BASELINE)
+
+
+@dataclass
+class SpeedupStudy:
+    """The full Section V dataset."""
+
+    records: list[KernelPerformance]
+    problem_size: int
+    triad_speedups: dict[str, float] = field(default_factory=dict)
+
+    def record(self, kernel: str) -> KernelPerformance:
+        for rec in self.records:
+            if rec.kernel == kernel:
+                return rec
+        raise KeyError(f"no record for kernel {kernel!r}")
+
+    def no_speedup_kernels(self, machine: str, threshold: float = 1.0) -> list[str]:
+        return [r.kernel for r in self.records if r.speedup(machine) <= threshold]
+
+    def flop_heavy_kernels(self) -> list[str]:
+        return [r.kernel for r in self.records if r.is_flop_heavy]
+
+    def memory_bound_kernels(self, cutoff: float = 0.05) -> list[str]:
+        return [r.kernel for r in self.records if r.memory_bound_ddr > cutoff]
+
+
+def _machine_time(kernel: KernelBase, machine: MachineModel) -> tuple[float, float]:
+    breakdown = kernel.predict(machine)
+    mem_frac = breakdown.tma["memory_bound"] if breakdown.tma else 0.0
+    return breakdown.total_seconds, mem_frac
+
+
+def run_speedup_study(
+    problem_size: int = PAPER_PROBLEM_SIZE,
+    kernel_classes: list[type[KernelBase]] | None = None,
+) -> SpeedupStudy:
+    """Predict every kernel on every machine at the paper's problem size."""
+    classes = kernel_classes if kernel_classes is not None else all_kernel_classes()
+    machines = [get_machine(name) for name in MACHINES]
+    records: list[KernelPerformance] = []
+    for cls in classes:
+        kernel = cls(problem_size=problem_size)
+        work = kernel.work_profile()
+        rec = KernelPerformance(
+            kernel=kernel.full_name,
+            group=cls.GROUP.value,
+            flops=work.flops,
+            bytes_total=work.bytes_total,
+        )
+        for machine in machines:
+            total, mem_frac = _machine_time(kernel, machine)
+            rec.times[machine.shorthand] = total
+            if machine.shorthand == BASELINE:
+                rec.memory_bound_ddr = mem_frac
+        records.append(rec)
+
+    study = SpeedupStudy(records=records, problem_size=problem_size)
+    try:
+        triad = study.record("Stream_TRIAD")
+        study.triad_speedups = {m: triad.speedup(m) for m in TARGETS}
+    except KeyError:
+        pass
+    return study

@@ -1,0 +1,102 @@
+"""Top-Down Microarchitecture Analysis (TMA) — Fig. 2's hierarchy.
+
+Computes the top-two-level TMA categories from raw pipeline-slot counters
+(as :mod:`repro.cpusim` writes into Caliper profiles), exactly as the
+method of Yasin (ISPASS'14) prescribes: each category's slots divided by
+total slots. The five-component vector (frontend, bad speculation,
+retiring, core bound, memory bound) is the feature vector of the paper's
+similarity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The paper's feature order for clustering (Section IV).
+TMA_COMPONENTS: tuple[str, ...] = (
+    "frontend_bound",
+    "bad_speculation",
+    "retiring",
+    "core_bound",
+    "memory_bound",
+)
+
+
+@dataclass(frozen=True)
+class TopDown:
+    """Top-two-level TMA fractions for one kernel on one machine."""
+
+    frontend_bound: float
+    bad_speculation: float
+    retiring: float
+    core_bound: float
+    memory_bound: float
+
+    def __post_init__(self) -> None:
+        total = (
+            self.frontend_bound
+            + self.bad_speculation
+            + self.retiring
+            + self.core_bound
+            + self.memory_bound
+        )
+        if not 0.99 <= total <= 1.01:
+            raise ValueError(f"TMA fractions must sum to 1, got {total}")
+
+    @property
+    def backend_bound(self) -> float:
+        """Level-1 Backend Bound = Core Bound + Memory Bound."""
+        return self.core_bound + self.memory_bound
+
+    def vector(self) -> np.ndarray:
+        """Feature vector in :data:`TMA_COMPONENTS` order."""
+        return np.array([getattr(self, c) for c in TMA_COMPONENTS])
+
+    def dominant(self) -> str:
+        return TMA_COMPONENTS[int(np.argmax(self.vector()))]
+
+
+def topdown_from_counters(counters: dict[str, float]) -> TopDown:
+    """Recover TMA fractions from raw slot counters.
+
+    ``counters`` uses the perf/PAPI names of
+    :data:`repro.cpusim.PAPI_COUNTER_NAMES`.
+    """
+    slots = counters.get("perf::slots", 0.0)
+    if slots <= 0:
+        raise ValueError("missing or non-positive 'perf::slots' counter")
+    frac = lambda name: counters.get(name, 0.0) / slots  # noqa: E731
+    return TopDown(
+        frontend_bound=frac("perf::topdown-fe-bound"),
+        bad_speculation=frac("perf::topdown-bad-spec"),
+        retiring=frac("perf::topdown-retiring"),
+        core_bound=frac("perf::topdown-be-bound:core"),
+        memory_bound=frac("perf::topdown-be-bound:memory"),
+    )
+
+
+#: Fig. 2's hierarchy: category -> sub-categories. Only the starred parts
+#: are quantified in this reproduction (the paper also uses only the top
+#: two levels).
+TMA_HIERARCHY: dict[str, list[str]] = {
+    "Frontend Bound": ["Fetch Latency", "Fetch Bandwidth"],
+    "Bad Speculation": ["Branch Mispredicts", "Machine Clears"],
+    "Retiring": ["Base", "Microcode Sequencer"],
+    "Backend Bound": ["Core Bound", "Memory Bound"],
+    "Core Bound": ["Divider", "Ports Utilization"],
+    "Memory Bound": ["L1 Bound", "L2 Bound", "L3 Bound", "DRAM Bound", "Store Bound"],
+}
+
+
+def render_hierarchy() -> str:
+    """Text rendering of Fig. 2's top-down tree."""
+    lines = ["Pipeline slots"]
+    for level1 in ("Frontend Bound", "Bad Speculation", "Retiring", "Backend Bound"):
+        lines.append(f"+- {level1}")
+        for level2 in TMA_HIERARCHY.get(level1, []):
+            lines.append(f"|  +- {level2}")
+            for level3 in TMA_HIERARCHY.get(level2, []):
+                lines.append(f"|  |  +- {level3}")
+    return "\n".join(lines)

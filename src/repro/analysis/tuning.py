@@ -1,0 +1,97 @@
+"""GPU block-size tuning analysis (RAJAPerf's 'tunings').
+
+RAJAPerf records one Caliper profile per tuning; Thicket composes them and
+the user asks "which block size is best for each kernel on this GPU?".
+This module answers that question either from the model directly or from
+a Thicket ensemble of tuned profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.model import MachineKind, MachineModel
+from repro.suite.kernel_base import KernelBase
+
+DEFAULT_BLOCK_SIZES: tuple[int, ...] = (64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Best tuning for one kernel on one machine."""
+
+    kernel: str
+    machine: str
+    times: dict[int, float]  # block size -> predicted seconds
+    best_block: int
+
+    @property
+    def worst_penalty(self) -> float:
+        """Slowdown of the worst tuning relative to the best."""
+        best = self.times[self.best_block]
+        return max(self.times.values()) / best
+
+
+def tune_kernel(
+    kernel: KernelBase,
+    machine: MachineModel,
+    block_sizes: tuple[int, ...] = DEFAULT_BLOCK_SIZES,
+) -> TuningResult:
+    """Predict per-tuning times and pick the fastest block size."""
+    if machine.kind is not MachineKind.GPU:
+        raise ValueError(f"{machine.shorthand} is not a GPU machine")
+    if not block_sizes:
+        raise ValueError("need at least one block size")
+    times = {
+        block: kernel.predict(machine, block_size=block).total_seconds
+        for block in block_sizes
+    }
+    best = min(times, key=times.get)
+    return TuningResult(
+        kernel=kernel.full_name,
+        machine=machine.shorthand,
+        times=times,
+        best_block=best,
+    )
+
+
+def tune_from_thicket(thicket, metric: str = "Avg time/rank") -> dict[str, int]:
+    """Best tuning per kernel from a composed multi-tuning ensemble.
+
+    Expects profiles whose metadata carries a ``tuning`` of the form
+    ``block_N`` (as the executor writes). Returns kernel -> best block.
+    """
+    by_tuning = thicket.groupby("tuning")
+    best: dict[str, tuple[float, int]] = {}
+    for tuning, sub in by_tuning.items():
+        block = int(str(tuning).rsplit("_", 1)[-1])
+        for profile in sub.profiles:
+            for kernel, value in sub.metric_for_profile(profile, metric).items():
+                if "_" not in kernel:
+                    continue  # skip group/root regions
+                current = best.get(kernel)
+                if current is None or value < current[0]:
+                    best[kernel] = (value, block)
+    return {kernel: block for kernel, (_, block) in best.items()}
+
+
+def render_tuning_table(results: list[TuningResult]) -> str:
+    """Text table of best tunings (one row per kernel)."""
+    from repro.util.tables import TextTable
+
+    if not results:
+        return "(no tuning results)"
+    blocks = sorted(results[0].times)
+    table = TextTable(
+        ["Kernel", "Machine"] + [f"block_{b}" for b in blocks] + ["Best", "Worst/Best"],
+        title="GPU block-size tuning sweep (predicted seconds)",
+    )
+    for result in results:
+        table.add_row(
+            result.kernel,
+            result.machine,
+            *[result.times[b] for b in blocks],
+            f"block_{result.best_block}",
+            f"{result.worst_penalty:.2f}x",
+        )
+    return table.render()

@@ -1,0 +1,45 @@
+"""A Python reimplementation of Caliper's annotation/profiling surface.
+
+Caliper (Boehme et al., SC'16) is a C library that RAJAPerf integrates by
+annotating kernels as regions and attaching the suite's analytic metrics
+to those regions; each run emits a ``.cali`` profile read by Thicket.
+This package reproduces that surface:
+
+* :class:`CaliperSession` — region stack with timers and per-region
+  metrics (:func:`annotate` is the ``CALI_MARK``-style entry point);
+* :class:`ConfigManager` — parses Caliper config strings like
+  ``"spot(output=run.cali)"``;
+* :mod:`repro.caliper.cali` — writes/reads the ``.cali``-style JSON
+  profile format consumed by :mod:`repro.thicket`.
+"""
+
+from repro.caliper.records import CaliProfile, RegionRecord
+from repro.caliper.annotation import (
+    CaliperSession,
+    annotate,
+    current_session,
+    region,
+    set_session,
+)
+from repro.caliper.configmgr import ConfigManager
+from repro.caliper.cali import read_cali, write_cali
+from repro.caliper.report import hot_regions, runtime_report
+from repro.caliper.trace import EventTrace, TraceEvent, TracingSession
+
+__all__ = [
+    "CaliProfile",
+    "RegionRecord",
+    "CaliperSession",
+    "annotate",
+    "region",
+    "current_session",
+    "set_session",
+    "ConfigManager",
+    "read_cali",
+    "write_cali",
+    "runtime_report",
+    "hot_regions",
+    "TracingSession",
+    "EventTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,132 @@
+"""Region annotation: the ``CALI_MARK_BEGIN/END`` surface.
+
+A :class:`CaliperSession` keeps the active region stack; entering a region
+starts a timer, leaving it accumulates inclusive time into the profile's
+region tree. Arbitrary metrics can be attached to the current region —
+RAJAPerf attaches its analytic metrics (bytes, FLOPs) this way, and the
+simulators attach their counter values.
+
+A module-level default session supports the common single-profile flow;
+multi-run experiments create one session per run.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from typing import Any
+
+from repro.caliper.records import CaliProfile, RegionRecord
+
+
+class CaliperSession:
+    """An active profiling session accumulating into a :class:`CaliProfile`."""
+
+    TIME_METRIC = "time (inclusive)"
+
+    def __init__(self, collect_time: bool = True) -> None:
+        self.profile = CaliProfile()
+        self.collect_time = collect_time
+        self._stack: list[RegionRecord] = []
+        self._starts: list[float] = []
+
+    # ------------------------------------------------------------ regions
+    @property
+    def current_path(self) -> tuple[str, ...]:
+        return self._stack[-1].path if self._stack else ()
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def begin_region(self, name: str) -> None:
+        if not name:
+            raise ValueError("region name must be non-empty")
+        if self._stack:
+            node = self._stack[-1].child(name)
+        else:
+            node = self.profile.root(name)
+        self._stack.append(node)
+        self._starts.append(time.perf_counter())
+
+    def end_region(self, name: str | None = None) -> None:
+        if not self._stack:
+            raise RuntimeError("end_region with no open region")
+        node = self._stack.pop()
+        start = self._starts.pop()
+        if name is not None and node.name != name:
+            raise RuntimeError(
+                f"mismatched region nesting: closing {name!r}, open is {node.name!r}"
+            )
+        if self.collect_time:
+            node.add_metric(self.TIME_METRIC, time.perf_counter() - start)
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[RegionRecord]:
+        self.begin_region(name)
+        try:
+            yield self._stack[-1]
+        finally:
+            self.end_region(name)
+
+    # ------------------------------------------------------------ metrics
+    def set_metric(self, name: str, value: float, accumulate: bool = True) -> None:
+        """Attach a metric to the innermost open region."""
+        if not self._stack:
+            raise RuntimeError("set_metric with no open region")
+        self._stack[-1].add_metric(name, float(value), accumulate=accumulate)
+
+    def set_global(self, name: str, value: Any) -> None:
+        """Attach run-global metadata (the Adiak integration point)."""
+        self.profile.globals[name] = value
+
+    def close(self) -> CaliProfile:
+        """Finish the session; all regions must be closed."""
+        if self._stack:
+            raise RuntimeError(
+                f"closing session with open regions: "
+                f"{[r.name for r in self._stack]}"
+            )
+        return self.profile
+
+
+# ------------------------------------------------------- default session
+_default_session = CaliperSession()
+
+
+def current_session() -> CaliperSession:
+    return _default_session
+
+
+def set_session(session: CaliperSession) -> CaliperSession:
+    """Replace the module-level default session; returns the old one."""
+    global _default_session
+    old = _default_session
+    _default_session = session
+    return old
+
+
+@contextmanager
+def region(name: str, session: CaliperSession | None = None) -> Iterator[RegionRecord]:
+    """Context manager annotating a region on the (default) session."""
+    sess = session if session is not None else _default_session
+    with sess.region(name) as node:
+        yield node
+
+
+def annotate(name: str | None = None) -> Callable:
+    """Decorator annotating a function as a Caliper region."""
+
+    def wrap(fn: Callable) -> Callable:
+        region_name = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def inner(*args: Any, **kwargs: Any) -> Any:
+            with _default_session.region(region_name):
+                return fn(*args, **kwargs)
+
+        return inner
+
+    return wrap

@@ -1,0 +1,77 @@
+"""``.cali`` profile serialization.
+
+Real Caliper writes a compact binary/text format; Thicket only needs the
+structure (region tree, metrics, globals), so we serialize that structure
+as JSON with a format marker and version. Round-trip fidelity is asserted
+by tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.caliper.records import CaliProfile, RegionRecord
+
+FORMAT_NAME = "cali-json"
+FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: RegionRecord) -> dict[str, Any]:
+    return {
+        "name": node.name,
+        "metrics": dict(node.metrics),
+        "children": [_node_to_dict(child) for child in node.children],
+    }
+
+
+def _node_from_dict(data: dict[str, Any], parent_path: tuple[str, ...]) -> RegionRecord:
+    path = parent_path + (data["name"],)
+    node = RegionRecord(name=data["name"], path=path, metrics=dict(data["metrics"]))
+    node.children = [_node_from_dict(c, path) for c in data.get("children", [])]
+    return node
+
+
+def write_cali(profile: CaliProfile, path: str | Path) -> Path:
+    """Serialize a profile to a ``.cali`` (JSON) file; returns the path."""
+    payload = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "globals": profile.globals,
+        "records": [_node_to_dict(root) for root in profile.roots],
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=1, default=_jsonable))
+    return out
+
+
+def read_cali(path: str | Path) -> CaliProfile:
+    """Load a profile written by :func:`write_cali`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != FORMAT_NAME:
+        raise ValueError(f"{path}: not a {FORMAT_NAME} file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported version {payload.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    profile = CaliProfile(globals=dict(payload.get("globals", {})))
+    profile.roots = [_node_from_dict(r, ()) for r in payload.get("records", [])]
+    return profile
+
+
+def _jsonable(value: Any) -> Any:
+    try:
+        import numpy as np
+
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.floating):
+            return float(value)
+        if isinstance(value, np.bool_):
+            return bool(value)
+    except ImportError:  # pragma: no cover
+        pass
+    raise TypeError(f"cannot serialize {type(value)} to .cali JSON")

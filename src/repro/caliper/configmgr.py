@@ -1,0 +1,115 @@
+"""Caliper ConfigManager: parse config strings like
+``"runtime-report,spot(output=run.cali,time.exclusive=true)"``.
+
+RAJAPerf users select Caliper behaviour with such strings; we reproduce the
+grammar (comma-separated configs, each with optional parenthesized
+key=value options) and expose the known configs as feature flags the
+executor consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+KNOWN_CONFIGS = {
+    "runtime-report": "print a per-region time report at session close",
+    "spot": "write a .cali profile for Thicket/Spot ingestion",
+    "topdown-counters": "collect the TMA top-down counter set (CPU runs)",
+    "ncu-metrics": "collect the Nsight-Compute roofline counter set (GPU runs)",
+    "event-trace": "record begin/end events (not used in the paper)",
+}
+
+
+@dataclass
+class ConfigEntry:
+    name: str
+    options: dict[str, str] = field(default_factory=dict)
+
+    def option_bool(self, key: str, default: bool = False) -> bool:
+        raw = self.options.get(key)
+        if raw is None:
+            return default
+        return raw.strip().lower() in ("1", "true", "yes", "on")
+
+
+class ConfigManager:
+    """Parses and validates a Caliper configuration string."""
+
+    def __init__(self, spec: str = "") -> None:
+        self.entries: list[ConfigEntry] = []
+        self._error: str | None = None
+        if spec.strip():
+            try:
+                self.entries = _parse(spec)
+            except ValueError as exc:
+                self._error = str(exc)
+        for entry in self.entries:
+            if entry.name not in KNOWN_CONFIGS:
+                self._error = (
+                    f"unknown config {entry.name!r}; known: {sorted(KNOWN_CONFIGS)}"
+                )
+                break
+
+    def error(self) -> str | None:
+        """Parse/validation error, or None (Caliper's ``mgr.error()``)."""
+        return self._error
+
+    def enabled(self, name: str) -> bool:
+        return self._error is None and any(e.name == name for e in self.entries)
+
+    def get(self, name: str) -> ConfigEntry | None:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        return None
+
+    def output_path(self, default: str = "run.cali") -> str:
+        spot = self.get("spot")
+        if spot is not None and "output" in spot.options:
+            return spot.options["output"]
+        return default
+
+
+def _parse(spec: str) -> list[ConfigEntry]:
+    """Split on top-level commas, honoring parentheses."""
+    entries: list[ConfigEntry] = []
+    depth = 0
+    token = []
+    parts: list[str] = []
+    for ch in spec:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced ')' in config spec {spec!r}")
+        if ch == "," and depth == 0:
+            parts.append("".join(token))
+            token = []
+        else:
+            token.append(ch)
+    if depth != 0:
+        raise ValueError(f"unbalanced '(' in config spec {spec!r}")
+    parts.append("".join(token))
+    for part in parts:
+        part = part.strip()
+        if not part:
+            continue
+        if "(" in part:
+            name, _, rest = part.partition("(")
+            if not rest.endswith(")"):
+                raise ValueError(f"malformed config entry {part!r}")
+            body = rest[:-1]
+            options: dict[str, str] = {}
+            for item in body.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                if "=" not in item:
+                    raise ValueError(f"malformed option {item!r} in {part!r}")
+                key, _, value = item.partition("=")
+                options[key.strip()] = value.strip()
+            entries.append(ConfigEntry(name.strip(), options))
+        else:
+            entries.append(ConfigEntry(part))
+    return entries

@@ -1,0 +1,92 @@
+"""Profile data structures: region records and whole-run profiles.
+
+A Caliper profile is a tree of annotated regions; each region carries a
+metric dictionary (times, analytic metrics, hardware counters). Profiles
+also carry run-global metadata (Adiak name/value pairs: variant, tuning,
+machine, problem size) which is what Thicket's metadata table is built
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class RegionRecord:
+    """One annotated region instance in the profile's call tree."""
+
+    name: str
+    path: tuple[str, ...]  # full path from the root, including `name`
+    metrics: dict[str, float] = field(default_factory=dict)
+    children: list["RegionRecord"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.path or self.path[-1] != self.name:
+            raise ValueError(
+                f"region path {self.path!r} must end with name {self.name!r}"
+            )
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+    def child(self, name: str) -> "RegionRecord":
+        """Find or create a direct child region."""
+        for node in self.children:
+            if node.name == name:
+                return node
+        node = RegionRecord(name=name, path=self.path + (name,))
+        self.children.append(node)
+        return node
+
+    def add_metric(self, name: str, value: float, accumulate: bool = True) -> None:
+        if accumulate and name in self.metrics:
+            self.metrics[name] += value
+        else:
+            self.metrics[name] = value
+
+    def walk(self):
+        """Depth-first iteration over this region and its descendants."""
+        yield self
+        for node in self.children:
+            yield from node.walk()
+
+
+@dataclass
+class CaliProfile:
+    """A whole-run profile: a region forest plus run-global metadata."""
+
+    globals: dict[str, Any] = field(default_factory=dict)
+    roots: list[RegionRecord] = field(default_factory=list)
+
+    def root(self, name: str) -> RegionRecord:
+        for node in self.roots:
+            if node.name == name:
+                return node
+        node = RegionRecord(name=name, path=(name,))
+        self.roots.append(node)
+        return node
+
+    def walk(self):
+        for node in self.roots:
+            yield from node.walk()
+
+    def find(self, path: tuple[str, ...]) -> RegionRecord | None:
+        """Locate a region by its full path."""
+        for node in self.walk():
+            if node.path == tuple(path):
+                return node
+        return None
+
+    def region_names(self) -> list[str]:
+        return [node.name for node in self.walk()]
+
+    def metric_names(self) -> list[str]:
+        names: list[str] = []
+        for node in self.walk():
+            for key in node.metrics:
+                if key not in names:
+                    names.append(key)
+        return names

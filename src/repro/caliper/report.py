@@ -1,0 +1,83 @@
+"""Caliper's ``runtime-report`` service: a per-region time table.
+
+Real Caliper prints an indented region tree with inclusive/exclusive
+times at program exit when ``runtime-report`` is enabled; this module
+renders the same view from a :class:`~repro.caliper.records.CaliProfile`.
+"""
+
+from __future__ import annotations
+
+from repro.caliper.records import CaliProfile, RegionRecord
+
+DEFAULT_METRIC = "time (inclusive)"
+
+
+def exclusive_times(profile: CaliProfile, metric: str = DEFAULT_METRIC) -> dict[tuple[str, ...], float]:
+    """Exclusive time per region path: inclusive minus children's inclusive."""
+    out: dict[tuple[str, ...], float] = {}
+    for node in profile.walk():
+        inclusive = node.metrics.get(metric, 0.0)
+        children = sum(child.metrics.get(metric, 0.0) for child in node.children)
+        out[node.path] = max(0.0, inclusive - children)
+    return out
+
+
+def runtime_report(
+    profile: CaliProfile,
+    metric: str = DEFAULT_METRIC,
+    min_fraction: float = 0.0,
+) -> str:
+    """Render the runtime-report table.
+
+    ``min_fraction`` hides regions below that share of the total (like
+    Caliper's output threshold).
+    """
+    if not 0.0 <= min_fraction < 1.0:
+        raise ValueError(f"min_fraction must be in [0, 1), got {min_fraction}")
+    exclusives = exclusive_times(profile, metric)
+    # Total = all exclusive time; robust when only leaf regions carry the
+    # metric (as the executor's profiles do).
+    total = sum(exclusives.values())
+    # Subtree totals make parents meaningful even when only leaves carry
+    # the metric.
+    subtotals: dict[tuple[str, ...], float] = {}
+
+    def subtotal(node: RegionRecord) -> float:
+        value = exclusives[node.path] + sum(subtotal(c) for c in node.children)
+        subtotals[node.path] = value
+        return value
+
+    for root in profile.roots:
+        subtotal(root)
+
+    lines = [
+        f"Path{' ' * 36}Incl. {metric:>18s}  Excl.{' ' * 13}%",
+    ]
+
+    def emit(node: RegionRecord, depth: int) -> None:
+        inclusive = subtotals[node.path]
+        if total > 0 and inclusive / total < min_fraction:
+            return
+        exclusive = exclusives[node.path]
+        share = 100.0 * inclusive / total if total > 0 else 0.0
+        label = "  " * depth + node.name
+        lines.append(
+            f"{label:<40s}{inclusive:>24.6g}{exclusive:>12.6g}{share:>12.2f}"
+        )
+        for child in node.children:
+            emit(child, depth + 1)
+
+    for root in profile.roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def hot_regions(
+    profile: CaliProfile, metric: str = DEFAULT_METRIC, top: int = 10
+) -> list[tuple[str, float]]:
+    """The ``top`` regions by exclusive time (name, seconds)."""
+    if top <= 0:
+        raise ValueError(f"top must be > 0, got {top}")
+    exclusives = exclusive_times(profile, metric)
+    ranked = sorted(exclusives.items(), key=lambda kv: kv[1], reverse=True)
+    return [("/".join(path), value) for path, value in ranked[:top]]

@@ -1,0 +1,83 @@
+"""Caliper's ``event-trace`` service: begin/end event recording.
+
+When ``event-trace`` is enabled in the ConfigManager, a tracing session
+records a timestamped event per region begin/end instead of only
+aggregated metrics — useful for ordering/latency questions the aggregate
+profile cannot answer (e.g. which rank's halo pack ran last).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.caliper.annotation import CaliperSession
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    timestamp: float
+    kind: str  # "begin" or "end"
+    path: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return self.path[-1]
+
+
+@dataclass
+class EventTrace:
+    """A recorded event stream."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def spans(self) -> list[tuple[tuple[str, ...], float]]:
+        """Matched (path, duration) pairs, in completion order."""
+        out: list[tuple[tuple[str, ...], float]] = []
+        stack: list[TraceEvent] = []
+        for event in self.events:
+            if event.kind == "begin":
+                stack.append(event)
+            else:
+                if not stack or stack[-1].path != event.path:
+                    raise ValueError(f"unmatched end event for {event.path}")
+                begin = stack.pop()
+                out.append((event.path, event.timestamp - begin.timestamp))
+        if stack:
+            raise ValueError(f"unclosed regions: {[e.path for e in stack]}")
+        return out
+
+    def render(self) -> str:
+        if not self.events:
+            return "(empty trace)"
+        t0 = self.events[0].timestamp
+        lines = []
+        for event in self.events:
+            indent = "  " * (len(event.path) - 1)
+            lines.append(
+                f"{(event.timestamp - t0) * 1e6:>12.1f}us {indent}"
+                f"{event.kind:>5s} {event.name}"
+            )
+        return "\n".join(lines)
+
+
+class TracingSession(CaliperSession):
+    """A CaliperSession that additionally records an event trace."""
+
+    def __init__(self, collect_time: bool = True) -> None:
+        super().__init__(collect_time=collect_time)
+        self.trace = EventTrace()
+
+    def begin_region(self, name: str) -> None:
+        super().begin_region(name)
+        self.trace.events.append(
+            TraceEvent(time.perf_counter(), "begin", self.current_path)
+        )
+
+    def end_region(self, name: str | None = None) -> None:
+        path = self.current_path
+        super().end_region(name)
+        self.trace.events.append(TraceEvent(time.perf_counter(), "end", path))

@@ -1,0 +1,5 @@
+"""Command-line interface (the ``rajaperf-sim`` executable)."""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["main", "build_parser"]

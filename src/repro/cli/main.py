@@ -1,0 +1,269 @@
+"""``rajaperf-sim``: RAJAPerf-style command line for the reproduction.
+
+Subcommands mirror how the paper's pipeline is driven:
+
+``run``
+    Run the suite (model predictions; optionally real NumPy execution)
+    and write one ``.cali`` profile per (machine, variant, tuning) —
+    RAJAPerf's run + Caliper integration.
+``analyze``
+    Read ``.cali`` profiles into Thicket and print the region tree or a
+    metric matrix — the Thicket EDA step.
+``experiment``
+    Regenerate a paper artifact by id (T1-T4, F1-F10) or everything.
+``cluster``
+    Run the Section IV similarity analysis and print Figs. 6-8.
+``scaling``
+    Predict strong/weak scaling of a kernel on a CPU machine.
+``export``
+    Write every figure's underlying data as plot-ready CSV files.
+``report``
+    Caliper-style runtime report of a ``.cali`` profile.
+``list``
+    Enumerate kernels, groups, variants, or machines (RAJAPerf's
+    ``--print-kernels`` etc.).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.machines.registry import MACHINES, list_machines
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.registry import all_kernel_classes
+from repro.suite.run_params import RunParams
+from repro.suite.variants import VARIANTS
+from repro.util.units import parse_size
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rajaperf-sim",
+        description="RAJA Performance Suite reproduction (SC'24 paper pipeline).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the suite and emit .cali profiles")
+    run.add_argument("--size", default="32M", help="problem size per node (e.g. 32M)")
+    run.add_argument("--reps", type=int, default=1, help="repetitions per kernel")
+    run.add_argument(
+        "--variants",
+        nargs="+",
+        default=["RAJA_Seq", "RAJA_CUDA", "RAJA_HIP"],
+        choices=sorted(VARIANTS),
+        metavar="VARIANT",
+    )
+    run.add_argument(
+        "--machines", nargs="+", default=list(MACHINES), choices=list(MACHINES),
+        metavar="MACHINE",
+    )
+    run.add_argument("--groups", nargs="+", default=[], metavar="GROUP",
+                     choices=[g.value for g in Group])
+    run.add_argument("--kernels", nargs="+", default=[], metavar="KERNEL")
+    run.add_argument("--features", nargs="+", default=[], metavar="FEATURE",
+                     choices=[f.value for f in Feature])
+    run.add_argument("--gpu-block-sizes", nargs="+", type=int, default=[256])
+    run.add_argument("--execute", action="store_true",
+                     help="really execute the NumPy kernels (capped size)")
+    run.add_argument("--trials", type=int, default=1,
+                     help="repeated measurements (applies the noise model)")
+    run.add_argument("--csv", action="store_true",
+                     help="also write RAJAPerf-style per-run CSV files")
+    run.add_argument("--output-dir", default=".", help="where to write .cali files")
+    run.add_argument("--paper", action="store_true",
+                     help="use exactly the paper's Table III configuration")
+
+    analyze = sub.add_parser("analyze", help="Thicket EDA over .cali profiles")
+    analyze.add_argument("files", nargs="+", help=".cali files to compose")
+    analyze.add_argument("--metric", default="Avg time/rank")
+    analyze.add_argument("--tree", action="store_true", help="print region trees")
+
+    exp = sub.add_parser("experiment", help="regenerate paper artifacts")
+    exp.add_argument("ids", nargs="*", default=[],
+                     help="experiment ids (T1..T4, F1..F10); empty = all")
+    exp.add_argument("--output-dir", default=None,
+                     help="also write artifacts as .txt files here")
+
+    cluster = sub.add_parser("cluster", help="Section IV similarity analysis")
+    cluster.add_argument("--threshold", type=float, default=1.4)
+    cluster.add_argument("--method", default="ward",
+                         choices=["ward", "single", "complete", "average"])
+    cluster.add_argument("--dendrogram", action="store_true")
+
+    scaling = sub.add_parser("scaling", help="strong/weak scaling prediction")
+    scaling.add_argument("kernel")
+    scaling.add_argument("--machine", default="SPR-DDR",
+                         choices=["SPR-DDR", "SPR-HBM"])
+    scaling.add_argument("--mode", default="strong", choices=["strong", "weak"])
+    scaling.add_argument("--size", default="32M")
+
+    export = sub.add_parser("export", help="write figure data as CSV")
+    export.add_argument("output_dir")
+
+    report = sub.add_parser("report", help="runtime report of a .cali profile")
+    report.add_argument("file")
+    report.add_argument("--metric", default="Avg time/rank")
+    report.add_argument("--top", type=int, default=0,
+                        help="also print the N hottest regions")
+
+    lst = sub.add_parser("list", help="enumerate kernels/variants/machines")
+    lst.add_argument("what", choices=["kernels", "groups", "variants", "machines"])
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.suite.executor import SuiteExecutor
+
+    params = RunParams(
+        problem_size=parse_size(args.size),
+        reps=args.reps,
+        variants=tuple(args.variants),
+        machines=tuple(args.machines),
+        groups=tuple(Group(g) for g in args.groups),
+        kernels=tuple(args.kernels),
+        features=tuple(Feature(f) for f in args.features),
+        gpu_block_sizes=tuple(args.gpu_block_sizes),
+        execute=args.execute,
+        trials=args.trials,
+        write_csv=args.csv,
+        output_dir=args.output_dir,
+    )
+    executor = SuiteExecutor(params)
+    if args.paper:
+        result = executor.run_paper_configuration(write_files=True)
+    else:
+        result = executor.run(write_files=True)
+    for path in result.cali_paths:
+        print(f"wrote {path}")
+    print(f"{len(result.profiles)} profiles, "
+          f"{len(executor.selected_kernels())} kernels each")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.thicket import Thicket
+
+    thicket = Thicket.from_caliperreader(args.files)
+    print(thicket)
+    if args.tree:
+        for profile in thicket.profiles:
+            print()
+            print(thicket.tree(metric=args.metric, profile=profile))
+        return 0
+    regions, profiles, matrix = thicket.metric_matrix(
+        args.metric, region_filter=lambda s: "_" in s
+    )
+    header = f"{'Kernel':28s} " + " ".join(f"{str(p):>26s}" for p in profiles)
+    print(header)
+    for i, region in enumerate(regions):
+        cells = " ".join(f"{v:>26.6g}" for v in matrix[i])
+        print(f"{region:28s} {cells}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.reporting import DESCRIPTIONS, run_all_experiments, run_experiment
+
+    if not args.ids:
+        results = run_all_experiments(output_dir=args.output_dir)
+        for key, text in results.items():
+            print(f"===== {key}: {DESCRIPTIONS[key]} =====")
+            print(text)
+            print()
+        return 0
+    for exp_id in args.ids:
+        print(run_experiment(exp_id))
+        print()
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.analysis import run_similarity_analysis
+    from repro.reporting import fig6, fig7, fig8
+
+    result = run_similarity_analysis(threshold=args.threshold, method=args.method)
+    print(f"{len(result.kernel_names)} kernels, {result.num_clusters} clusters "
+          f"({args.method} @ {args.threshold})\n")
+    print(fig7(result))
+    print()
+    print(fig8(result))
+    if args.dendrogram:
+        print()
+        print(fig6(result))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.analysis import render_curve, strong_scaling, weak_scaling
+    from repro.machines.registry import get_machine
+    from repro.suite.registry import get_kernel_class, make_kernel
+
+    machine = get_machine(args.machine)
+    if args.mode == "strong":
+        kernel = make_kernel(args.kernel, problem_size=parse_size(args.size))
+        curve = strong_scaling(kernel, machine)
+    else:
+        curve = weak_scaling(get_kernel_class(args.kernel), machine)
+    print(render_curve(curve))
+    print(f"parallel efficiency drops below 50% at {curve.saturation_cores()} cores")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.reporting import export_all
+
+    for path in export_all(args.output_dir):
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.caliper import hot_regions, read_cali, runtime_report
+
+    profile = read_cali(args.file)
+    print(runtime_report(profile, metric=args.metric))
+    if args.top:
+        print(f"\nTop {args.top} regions by exclusive {args.metric}:")
+        for name, value in hot_regions(profile, metric=args.metric, top=args.top):
+            print(f"  {value:>14.6g}  {name}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.what == "kernels":
+        for cls in all_kernel_classes():
+            print(f"{cls.class_full_name():30s} {cls.COMPLEXITY.value:8s} "
+                  f"{','.join(sorted(f.value for f in cls.FEATURES))}")
+    elif args.what == "groups":
+        for group in Group:
+            print(f"{group.value:12s} {group.description}")
+    elif args.what == "variants":
+        for name in sorted(VARIANTS):
+            print(name)
+    else:
+        for machine in list_machines():
+            print(machine)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "analyze": _cmd_analyze,
+        "experiment": _cmd_experiment,
+        "cluster": _cmd_cluster,
+        "scaling": _cmd_scaling,
+        "export": _cmd_export,
+        "report": _cmd_report,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

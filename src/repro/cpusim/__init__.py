@@ -1,0 +1,17 @@
+"""CPU pipeline-slot counter simulator.
+
+Real runs collect PAPI counters and derive the Top-Down (TMA) categories;
+here the time model produces the category *times* and this package
+re-encodes them as raw pipeline-slot counters with PAPI-style names. The
+analysis layer (:mod:`repro.analysis.topdown`) then recovers the TMA
+fractions from the raw counters exactly as it would from hardware, so the
+analysis code never sees model internals.
+"""
+
+from repro.cpusim.counters import (
+    PAPI_COUNTER_NAMES,
+    slot_counters,
+    counters_to_slots,
+)
+
+__all__ = ["PAPI_COUNTER_NAMES", "slot_counters", "counters_to_slots"]

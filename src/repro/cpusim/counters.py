@@ -1,0 +1,68 @@
+"""Pipeline-slot counters in the TMA formulation.
+
+Intel's TMA distributes issue slots (cycles x machine width) across four
+top-level categories; the level-2 split divides Backend Bound into Core
+and Memory Bound. The counter names follow the ``perf``/PAPI convention
+used on Sapphire Rapids.
+"""
+
+from __future__ import annotations
+
+from repro.machines.model import MachineKind, MachineModel
+from repro.perfmodel.cpu_time import CpuTimeBreakdown
+
+#: The raw counter set written into Caliper profiles for CPU runs.
+PAPI_COUNTER_NAMES: tuple[str, ...] = (
+    "perf::slots",
+    "perf::topdown-retiring",
+    "perf::topdown-fe-bound",
+    "perf::topdown-bad-spec",
+    "perf::topdown-be-bound",
+    "perf::topdown-be-bound:core",
+    "perf::topdown-be-bound:memory",
+    "perf::cycles",
+    "perf::instructions",
+)
+
+
+def slot_counters(
+    breakdown: CpuTimeBreakdown,
+    machine: MachineModel,
+    instructions: float,
+) -> dict[str, float]:
+    """Encode a time breakdown as raw pipeline-slot counters.
+
+    Slots are cycles times the pipeline width; each category receives
+    slots proportional to its share of execution time, which is exactly
+    the semantics TMA's counter formulas assume.
+    """
+    if machine.kind is not MachineKind.CPU or machine.cpu is None:
+        raise ValueError(f"{machine.shorthand} is not a CPU machine")
+    cpu = machine.cpu
+    total_time = breakdown.total
+    if total_time <= 0:
+        raise ValueError("cannot encode a zero-time breakdown")
+    cycles = total_time * cpu.frequency_ghz * 1e9 * cpu.cores_per_node
+    slots = cycles * cpu.issue_width
+    share = lambda t: slots * t / total_time  # noqa: E731 - local shorthand
+    core = share(breakdown.core_stall)
+    memory = share(breakdown.memory_stall + breakdown.mpi)
+    return {
+        "perf::slots": slots,
+        "perf::topdown-retiring": share(breakdown.retiring),
+        "perf::topdown-fe-bound": share(breakdown.frontend),
+        "perf::topdown-bad-spec": share(breakdown.bad_speculation),
+        "perf::topdown-be-bound": core + memory,
+        "perf::topdown-be-bound:core": core,
+        "perf::topdown-be-bound:memory": memory,
+        "perf::cycles": cycles,
+        "perf::instructions": instructions,
+    }
+
+
+def counters_to_slots(counters: dict[str, float]) -> float:
+    """Total slots from a raw counter dict (validates presence)."""
+    try:
+        return counters["perf::slots"]
+    except KeyError:
+        raise KeyError("counter dict lacks 'perf::slots'") from None

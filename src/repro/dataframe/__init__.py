@@ -1,0 +1,22 @@
+"""A small, pandas-free column-store dataframe.
+
+Thicket (the real tool) is built on pandas; this environment has no pandas,
+so :class:`Frame` provides the slice of dataframe functionality Thicket's
+EDA surface needs: labelled columns, row filtering, group-by with
+aggregation, joins, sorting, and CSV/JSON round-trips. Columns are NumPy
+arrays (numeric) or object arrays (strings), so vectorized operations stay
+vectorized per the HPC-Python guidance.
+"""
+
+from repro.dataframe.frame import Frame
+from repro.dataframe.groupby import GroupBy
+from repro.dataframe.io import frame_from_csv, frame_from_json, frame_to_csv, frame_to_json
+
+__all__ = [
+    "Frame",
+    "GroupBy",
+    "frame_from_csv",
+    "frame_from_json",
+    "frame_to_csv",
+    "frame_to_json",
+]

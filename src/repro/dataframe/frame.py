@@ -1,0 +1,274 @@
+"""The :class:`Frame` column-store.
+
+A ``Frame`` is an ordered mapping of column name -> 1-D NumPy array, all of
+equal length. It supports the operations Thicket needs (select, filter,
+group-by, join, sort, column arithmetic) without pulling in pandas.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+
+def _as_column(values: object, length_hint: int | None = None) -> np.ndarray:
+    """Coerce ``values`` to a 1-D column array (object dtype for strings)."""
+    if isinstance(values, np.ndarray):
+        arr = values
+    else:
+        seq = list(values) if not np.isscalar(values) else None
+        if seq is None:
+            if length_hint is None:
+                raise ValueError("scalar column requires a length hint")
+            arr = np.full(length_hint, values)
+        else:
+            has_str = any(isinstance(v, str) or v is None for v in seq)
+            arr = np.array(seq, dtype=object) if has_str else np.asarray(seq)
+    if arr.ndim != 1:
+        raise ValueError(f"columns must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind in "US":
+        arr = arr.astype(object)
+    return arr
+
+
+class Frame:
+    """An immutable-length, ordered collection of named columns."""
+
+    def __init__(self, data: Mapping[str, object] | None = None) -> None:
+        self._cols: dict[str, np.ndarray] = {}
+        self._nrows = 0
+        if data:
+            items = list(data.items())
+            first = _as_column(items[0][1])
+            self._nrows = len(first)
+            self._cols[str(items[0][0])] = first
+            for name, values in items[1:]:
+                col = _as_column(values, self._nrows)
+                if len(col) != self._nrows:
+                    raise ValueError(
+                        f"column {name!r} has length {len(col)}, expected {self._nrows}"
+                    )
+                self._cols[str(name)] = col
+
+    # ---------------------------------------------------------------- basic
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, Any]]) -> "Frame":
+        """Build a frame from an iterable of row dicts (union of keys)."""
+        rows = list(records)
+        if not rows:
+            return cls()
+        keys: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
+        data = {key: [row.get(key) for row in rows] for key in keys}
+        return cls(data)
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._cols)
+
+    @property
+    def nrows(self) -> int:
+        return self._nrows
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cols
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._cols[name]
+        except KeyError:
+            raise KeyError(f"no column {name!r}; have {self.columns}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._cols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        if self.columns != other.columns or self.nrows != other.nrows:
+            return False
+        return all(
+            np.array_equal(self._cols[c], other._cols[c]) for c in self.columns
+        )
+
+    def __repr__(self) -> str:
+        return f"Frame({self.nrows} rows x {len(self._cols)} cols: {self.columns})"
+
+    def copy(self) -> "Frame":
+        out = Frame()
+        out._nrows = self._nrows
+        out._cols = {name: col.copy() for name, col in self._cols.items()}
+        return out
+
+    # ------------------------------------------------------------- mutation
+    def with_column(self, name: str, values: object) -> "Frame":
+        """Return a new frame with ``name`` set (added or replaced)."""
+        col = _as_column(values, self._nrows)
+        if self._cols and len(col) != self._nrows:
+            raise ValueError(
+                f"column {name!r} has length {len(col)}, expected {self._nrows}"
+            )
+        out = self.copy()
+        if not out._cols:
+            out._nrows = len(col)
+        out._cols[str(name)] = col
+        return out
+
+    def drop(self, *names: str) -> "Frame":
+        missing = [n for n in names if n not in self._cols]
+        if missing:
+            raise KeyError(f"cannot drop missing columns {missing}")
+        out = Frame()
+        out._nrows = self._nrows
+        out._cols = {n: c.copy() for n, c in self._cols.items() if n not in names}
+        return out
+
+    def rename(self, mapping: Mapping[str, str]) -> "Frame":
+        out = Frame()
+        out._nrows = self._nrows
+        out._cols = {mapping.get(n, n): c.copy() for n, c in self._cols.items()}
+        if len(out._cols) != len(self._cols):
+            raise ValueError(f"rename produced duplicate column names: {mapping}")
+        return out
+
+    # ------------------------------------------------------------ selection
+    def select(self, names: Sequence[str]) -> "Frame":
+        out = Frame()
+        out._nrows = self._nrows
+        out._cols = {n: self[n].copy() for n in names}
+        return out
+
+    def take(self, indices: object) -> "Frame":
+        idx = np.asarray(indices)
+        out = Frame()
+        out._cols = {n: c[idx] for n, c in self._cols.items()}
+        out._nrows = len(idx) if idx.dtype != bool else int(idx.sum())
+        if out._cols:
+            out._nrows = len(next(iter(out._cols.values())))
+        return out
+
+    def filter(self, predicate: Callable[[Mapping[str, Any]], bool] | np.ndarray) -> "Frame":
+        """Keep rows where ``predicate`` holds.
+
+        ``predicate`` is either a boolean mask or a callable applied to each
+        row dict (the callable form matches Thicket's ``filter_metadata``).
+        """
+        if callable(predicate):
+            mask = np.fromiter(
+                (bool(predicate(row)) for row in self.iter_rows()),
+                dtype=bool,
+                count=self._nrows,
+            )
+        else:
+            mask = np.asarray(predicate, dtype=bool)
+            if len(mask) != self._nrows:
+                raise ValueError(
+                    f"mask length {len(mask)} != row count {self._nrows}"
+                )
+        return self.take(mask)
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        names = self.columns
+        for i in range(self._nrows):
+            yield {n: self._cols[n][i] for n in names}
+
+    def row(self, i: int) -> dict[str, Any]:
+        if not -self._nrows <= i < self._nrows:
+            raise IndexError(f"row {i} out of range for {self._nrows} rows")
+        return {n: c[i] for n, c in self._cols.items()}
+
+    def to_records(self) -> list[dict[str, Any]]:
+        return list(self.iter_rows())
+
+    # -------------------------------------------------------------- sorting
+    def sort_by(self, *names: str, descending: bool = False) -> "Frame":
+        """Stable lexicographic sort by the given columns (first is primary)."""
+        if not names:
+            raise ValueError("sort_by needs at least one column")
+        # np.lexsort uses the LAST key as primary, so reverse.
+        keys = []
+        for n in reversed(names):
+            col = self[n]
+            keys.append(col.astype(str) if col.dtype == object else col)
+        order = np.lexsort(keys)
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    # -------------------------------------------------------------- combine
+    def vstack(self, other: "Frame") -> "Frame":
+        """Concatenate rows; columns must match exactly (order-insensitive)."""
+        if set(self.columns) != set(other.columns):
+            raise ValueError(
+                f"column mismatch: {self.columns} vs {other.columns}"
+            )
+        if not self._cols:
+            return other.copy()
+        out = Frame()
+        out._cols = {
+            n: np.concatenate([self[n], other[n]]) for n in self.columns
+        }
+        out._nrows = self._nrows + other._nrows
+        return out
+
+    def join(self, other: "Frame", on: str, how: str = "inner", suffix: str = "_r") -> "Frame":
+        """Hash join on a single key column."""
+        if how not in ("inner", "left"):
+            raise ValueError(f"how must be 'inner' or 'left', got {how!r}")
+        right_index: dict[Any, list[int]] = {}
+        right_key = other[on]
+        for j in range(other.nrows):
+            right_index.setdefault(right_key[j], []).append(j)
+        left_rows: list[int] = []
+        right_rows: list[int] = []
+        for i in range(self._nrows):
+            matches = right_index.get(self[on][i], [])
+            if matches:
+                for j in matches:
+                    left_rows.append(i)
+                    right_rows.append(j)
+            elif how == "left":
+                left_rows.append(i)
+                right_rows.append(-1)
+        data: dict[str, object] = {}
+        li = np.asarray(left_rows, dtype=int)
+        for n in self.columns:
+            data[n] = self[n][li] if len(li) else self[n][:0]
+        missing = np.asarray(right_rows) < 0
+        ri = np.asarray([max(j, 0) for j in right_rows], dtype=int)
+        for n in other.columns:
+            if n == on:
+                continue
+            name = n if n not in data else n + suffix
+            col = other[n][ri] if len(ri) else other[n][:0]
+            if missing.any():
+                col = col.astype(object)
+                col[missing] = None
+            data[name] = col
+        out = Frame(data) if data else Frame()
+        return out
+
+    # ------------------------------------------------------------- groupby
+    def groupby(self, *names: str) -> "GroupBy":
+        from repro.dataframe.groupby import GroupBy
+
+        return GroupBy(self, names)
+
+    # ------------------------------------------------------------ numeric
+    def numeric_columns(self) -> list[str]:
+        return [n for n, c in self._cols.items() if c.dtype.kind in "ifub"]
+
+    def to_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Stack numeric columns into an (nrows, ncols) float matrix."""
+        names = list(names) if names is not None else self.numeric_columns()
+        if not names:
+            return np.empty((self._nrows, 0))
+        return np.column_stack([self[n].astype(float) for n in names])

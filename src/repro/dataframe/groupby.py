@@ -1,0 +1,108 @@
+"""Group-by machinery for :class:`repro.dataframe.Frame`.
+
+Thicket's workflow groups profile rows by metadata (variant, tuning,
+machine) and aggregates metrics across runs; ``GroupBy`` provides exactly
+that: iteration over groups and reduction with named aggregators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.dataframe.frame import Frame
+
+AGGREGATORS: dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda a: float(np.mean(a)),
+    "sum": lambda a: float(np.sum(a)),
+    "min": lambda a: float(np.min(a)),
+    "max": lambda a: float(np.max(a)),
+    "std": lambda a: float(np.std(a)),
+    "median": lambda a: float(np.median(a)),
+    "count": lambda a: float(len(a)),
+    "first": lambda a: a[0],
+    "last": lambda a: a[-1],
+}
+
+
+class GroupBy:
+    """Lazily-evaluated grouping of a frame by one or more key columns."""
+
+    def __init__(self, frame: Frame, keys: Sequence[str]) -> None:
+        if not keys:
+            raise ValueError("groupby needs at least one key column")
+        for key in keys:
+            if key not in frame:
+                raise KeyError(f"no column {key!r} to group by")
+        self.frame = frame
+        self.keys = list(keys)
+        self._groups: dict[tuple, list[int]] = {}
+        cols = [frame[k] for k in self.keys]
+        for i in range(frame.nrows):
+            key = tuple(c[i] for c in cols)
+            self._groups.setdefault(key, []).append(i)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[tuple[tuple, Frame]]:
+        """Yield (key-tuple, sub-frame) pairs in first-seen order."""
+        for key, rows in self._groups.items():
+            yield key, self.frame.take(np.asarray(rows, dtype=int))
+
+    def groups(self) -> dict[tuple, Frame]:
+        return dict(iter(self))
+
+    def get(self, *key_values: object) -> Frame:
+        key = tuple(key_values)
+        if key not in self._groups:
+            raise KeyError(f"no group {key!r}; have {list(self._groups)}")
+        return self.frame.take(np.asarray(self._groups[key], dtype=int))
+
+    def size(self) -> Frame:
+        """One row per group with a ``count`` column."""
+        records = []
+        for key, rows in self._groups.items():
+            rec = dict(zip(self.keys, key))
+            rec["count"] = len(rows)
+            records.append(rec)
+        return Frame.from_records(records)
+
+    def agg(self, spec: Mapping[str, str | Callable[[np.ndarray], Any]]) -> Frame:
+        """Aggregate columns: ``spec`` maps column -> aggregator (name or fn).
+
+        The result has one row per group, the key columns, and one column
+        per aggregated metric named ``<column>_<aggname>`` (or ``<column>``
+        when a callable is supplied).
+        """
+        resolved: list[tuple[str, str, Callable[[np.ndarray], Any]]] = []
+        for col, how in spec.items():
+            if col not in self.frame:
+                raise KeyError(f"no column {col!r} to aggregate")
+            if callable(how):
+                resolved.append((col, col, how))
+            else:
+                if how not in AGGREGATORS:
+                    raise ValueError(
+                        f"unknown aggregator {how!r}; have {list(AGGREGATORS)}"
+                    )
+                resolved.append((col, f"{col}_{how}", AGGREGATORS[how]))
+        records = []
+        for key, rows in self._groups.items():
+            idx = np.asarray(rows, dtype=int)
+            rec: dict[str, Any] = dict(zip(self.keys, key))
+            for col, out_name, fn in resolved:
+                rec[out_name] = fn(self.frame[col][idx])
+            records.append(rec)
+        return Frame.from_records(records)
+
+    def apply(self, fn: Callable[[Frame], Mapping[str, Any]]) -> Frame:
+        """Apply ``fn`` to each sub-frame; collect returned dicts as rows."""
+        records = []
+        for key, sub in self:
+            rec = dict(zip(self.keys, key))
+            rec.update(fn(sub))
+            records.append(rec)
+        return Frame.from_records(records)

@@ -1,0 +1,91 @@
+"""CSV and JSON round-trips for :class:`repro.dataframe.Frame`.
+
+Used by the benchmark harness to persist regenerated tables/figures and by
+Thicket to cache composed ensembles.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.dataframe.frame import Frame
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def frame_to_json(frame: Frame, path: str | Path | None = None) -> str:
+    """Serialize as ``{"columns": [...], "data": {col: [...]}}``."""
+    payload = {
+        "columns": frame.columns,
+        "data": {
+            name: [_jsonable(v) for v in frame[name].tolist()]
+            for name in frame.columns
+        },
+    }
+    text = json.dumps(payload, indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def frame_from_json(source: str | Path) -> Frame:
+    """Load a frame written by :func:`frame_to_json` (path or JSON text)."""
+    text = source
+    if isinstance(source, Path) or (
+        isinstance(source, str) and not source.lstrip().startswith("{")
+    ):
+        text = Path(source).read_text()
+    payload = json.loads(text)
+    return Frame({name: payload["data"][name] for name in payload["columns"]})
+
+
+def frame_to_csv(frame: Frame, path: str | Path | None = None) -> str:
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(frame.columns)
+    for row in frame.iter_rows():
+        writer.writerow([_jsonable(row[c]) for c in frame.columns])
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def _coerce(values: list[str]) -> list[object]:
+    """Best-effort typed parse of a CSV column (int, then float, else str)."""
+    for caster in (int, float):
+        try:
+            return [caster(v) for v in values]
+        except ValueError:
+            continue
+    return list(values)
+
+
+def frame_from_csv(source: str | Path) -> Frame:
+    """Load a frame from CSV text or a path, inferring column types."""
+    text = source
+    if isinstance(source, Path) or (
+        isinstance(source, str) and source and "\n" not in source
+    ):
+        text = Path(source).read_text()
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows:
+        return Frame()
+    header, body = rows[0], rows[1:]
+    columns: dict[str, object] = {}
+    for j, name in enumerate(header):
+        columns[name] = _coerce([row[j] for row in body])
+    return Frame(columns)

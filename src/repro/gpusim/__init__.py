@@ -1,0 +1,18 @@
+"""GPU counter simulator: Nsight-Compute-style metrics for the
+instruction-roofline analysis (Table IV of the paper).
+
+The time model produces execution time; this package produces the raw
+NCU counters (thread instructions, L1/L2/DRAM sectors) that Ding &
+Williams' instruction-roofline formulation consumes. Sector counts follow
+the 32-byte-sector memory system model, with access-pattern amplification
+derived from the kernel's traits.
+"""
+
+from repro.gpusim.device import Device
+from repro.gpusim.ncu import (
+    NCU_METRIC_TABLE,
+    NcuMetric,
+    ncu_counters,
+)
+
+__all__ = ["Device", "NCU_METRIC_TABLE", "NcuMetric", "ncu_counters"]

@@ -1,0 +1,101 @@
+"""Nsight-Compute counter generation (the paper's Table IV metric set).
+
+Counters are derived from the kernel's work profile and traits:
+
+* thread instructions are the profile's instruction total (non-predicated);
+* L1 transactions come from all global loads/stores in 32-byte sectors,
+  amplified when the access pattern is not perfectly coalesced
+  (``streaming_eff`` < 1 means more sectors per request);
+* L2 transactions are the L1 misses (a fixed L1 hit fraction plus the
+  kernel's cache residency);
+* DRAM transactions are the bytes that actually leave the cache hierarchy;
+* atomics surface as ``lts__t_sectors_op_atom/red``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.model import MachineModel
+from repro.perfmodel.traits import KernelTraits
+from repro.perfmodel.work import WorkProfile
+
+#: Baseline fraction of L1 transactions that hit in L1 for streaming code.
+L1_BASE_HIT = 0.25
+
+
+@dataclass(frozen=True)
+class NcuMetric:
+    """One row of Table IV."""
+
+    category: str  # "thread-based", "warp-based", "kernel-based"
+    name: str
+    description: str
+
+
+#: Table IV verbatim: the NCU metrics used for instruction roofline.
+NCU_METRIC_TABLE: tuple[NcuMetric, ...] = (
+    NcuMetric("thread-based", "sm__sass_thread_inst_executed.sum", "non-predicated"),
+    NcuMetric("warp-based", "l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum", "L1 cache transactions"),
+    NcuMetric("warp-based", "l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum", "L1 cache transactions"),
+    NcuMetric("warp-based", "l1tex__t_sectors_pipe_lsu_mem_local_op_ld.sum", "L1 cache transactions"),
+    NcuMetric("warp-based", "l1tex__t_requests_pipe_lsu_mem_local_op_st.sum", "L1 cache transactions"),
+    NcuMetric("warp-based", "lts__t_sectors_op_read.sum", "L2 cache"),
+    NcuMetric("warp-based", "lts__t_sectors_op_write.sum", "L2 cache"),
+    NcuMetric("warp-based", "lts__t_sectors_op_atom.sum", "L2 cache"),
+    NcuMetric("warp-based", "lts__t_sectors_op_red.sum", "L2 cache"),
+    NcuMetric("warp-based", "dram__sectors_read.sum", "HBM memory"),
+    NcuMetric("warp-based", "dram__sectors_write.sum", "HBM memory"),
+    NcuMetric("kernel-based", "time (gpu)", "execution time"),
+)
+
+
+def ncu_counters(
+    work: WorkProfile,
+    traits: KernelTraits,
+    machine: MachineModel,
+    gpu_time_seconds: float,
+) -> dict[str, float]:
+    """Synthesize the Table IV counter set for one kernel run.
+
+    ``work`` must be the *single-GPU* share of the node's work (NCU
+    profiles one device); callers with node-level totals divide by
+    ``machine.units_per_node`` first.
+    """
+    if machine.gpu is None:
+        raise ValueError(f"{machine.shorthand} is not a GPU machine")
+    if gpu_time_seconds <= 0:
+        raise ValueError(f"non-positive GPU time: {gpu_time_seconds}")
+    sector = float(machine.gpu.sector_bytes)
+
+    # Coalescing amplification: perfectly streaming code touches each
+    # sector once; poorly coalesced code re-fetches sectors (up to 4x for
+    # 8-byte elements scattered across 32-byte sectors).
+    amplification = 1.0 + 3.0 * (1.0 - traits.streaming_eff)
+
+    l1_ld = work.bytes_read * amplification / sector
+    l1_st = work.bytes_written * amplification / sector
+
+    l1_hit = min(0.95, L1_BASE_HIT + 0.5 * traits.gpu_cache_resident)
+    l2_read = l1_ld * (1.0 - l1_hit)
+    l2_write = l1_st * (1.0 - l1_hit)
+    l2_atom = work.atomics
+    l2_red = 0.25 * work.atomics  # reduction-flavored atomics
+
+    dram_read = work.bytes_read * (1.0 - traits.gpu_cache_resident) / sector
+    dram_write = work.bytes_written * (1.0 - traits.gpu_cache_resident) / sector
+
+    return {
+        "sm__sass_thread_inst_executed.sum": work.instructions,
+        "l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum": l1_ld,
+        "l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum": l1_st,
+        "l1tex__t_sectors_pipe_lsu_mem_local_op_ld.sum": 0.0,
+        "l1tex__t_requests_pipe_lsu_mem_local_op_st.sum": 0.0,
+        "lts__t_sectors_op_read.sum": l2_read,
+        "lts__t_sectors_op_write.sum": l2_write,
+        "lts__t_sectors_op_atom.sum": l2_atom,
+        "lts__t_sectors_op_red.sum": l2_red,
+        "dram__sectors_read.sum": dram_read,
+        "dram__sectors_write.sum": dram_write,
+        "time (gpu)": gpu_time_seconds,
+    }

@@ -1,0 +1,21 @@
+"""Algorithm group: parallel constructs and memory operations (Table I)."""
+
+from repro.kernels.algorithm.atomic import AlgorithmAtomic
+from repro.kernels.algorithm.histogram import AlgorithmHistogram
+from repro.kernels.algorithm.memcpy import AlgorithmMemcpy
+from repro.kernels.algorithm.memset import AlgorithmMemset
+from repro.kernels.algorithm.reduce_sum import AlgorithmReduceSum
+from repro.kernels.algorithm.scan import AlgorithmScan
+from repro.kernels.algorithm.sort import AlgorithmSort
+from repro.kernels.algorithm.sortpairs import AlgorithmSortPairs
+
+__all__ = [
+    "AlgorithmAtomic",
+    "AlgorithmHistogram",
+    "AlgorithmMemcpy",
+    "AlgorithmMemset",
+    "AlgorithmReduceSum",
+    "AlgorithmScan",
+    "AlgorithmSort",
+    "AlgorithmSortPairs",
+]

@@ -1,0 +1,72 @@
+"""Algorithm_ATOMIC: contended atomic accumulation into few locations.
+
+All iterations update a tiny set of shared counters, so the atomics
+genuinely contend (unlike DAXPY_ATOMIC's element-wise atomics). Core-bound
+on CPUs from the RMW serialization; slow on GPUs for the same reason.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import atomic_add, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import CORE, derive
+
+NUM_SLOTS = 4
+
+
+@register_kernel
+class AlgorithmAtomic(KernelBase):
+    NAME = "ATOMIC"
+    GROUP = Group.ALGORITHM
+    FEATURES = frozenset({Feature.FORALL, Feature.ATOMIC})
+    INSTR_PER_ITER = 60.0  # contended RMW retry loop
+
+    def setup(self) -> None:
+        self.counters = np.zeros(NUM_SLOTS)
+
+    def bytes_read(self) -> float:
+        return 8.0 * self.problem_size  # RMW read of the hot line
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 1.0 * self.problem_size
+
+    def atomics(self) -> float:
+        # Contention multiplier: each RMW retries under contention.
+        return 2.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(
+            CORE,
+            cpu_compute_eff=0.1,
+            simd_eff=0.1,
+            cache_resident=1.0,
+            gpu_cache_resident=0.95,
+        )
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.counters[:] = 0.0
+        slots = np.arange(self.problem_size) % NUM_SLOTS
+        atomic_add(self.counters, slots, 1.0)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        counters = self.counters
+        counters[:] = 0.0
+
+        def body(i: np.ndarray) -> None:
+            atomic_add(counters, i % NUM_SLOTS, 1.0)
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.counters, scale=1.0 / self.problem_size)

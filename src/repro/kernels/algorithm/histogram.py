@@ -1,0 +1,65 @@
+"""Algorithm_HISTOGRAM: bin counts with atomic increments.
+
+Bin contention depends on how the data is decomposed across ranks, which
+is why the similarity analysis excludes it (its cross-machine comparison
+is decomposition-dependent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import atomic_add, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import BALANCED, derive
+
+NUM_BINS = 100
+
+
+@register_kernel
+class AlgorithmHistogram(KernelBase):
+    NAME = "HISTOGRAM"
+    GROUP = Group.ALGORITHM
+    FEATURES = frozenset({Feature.FORALL, Feature.ATOMIC})
+    INSTR_PER_ITER = 8.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.data = self.rng.integers(0, NUM_BINS, size=n)
+        self.counts = np.zeros(NUM_BINS)
+
+    def bytes_read(self) -> float:
+        return 8.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size  # RMW writes to bins
+
+    def flops(self) -> float:
+        return 0.0
+
+    def atomics(self) -> float:
+        return 0.5 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(BALANCED, streaming_eff=0.7, simd_eff=0.25, cache_resident=0.4)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.counts[:] = np.bincount(self.data, minlength=NUM_BINS)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        data, counts = self.data, self.counts
+        counts[:] = 0.0
+
+        def body(i: np.ndarray) -> None:
+            atomic_add(counts, data[i], 1.0)
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.counts, scale=1.0 / self.problem_size)

@@ -1,0 +1,55 @@
+"""Algorithm_MEMCPY: bulk memory copy through the resource API."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import Resource, device_memcpy, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+
+@register_kernel
+class AlgorithmMemcpy(KernelBase):
+    NAME = "MEMCPY"
+    GROUP = Group.ALGORITHM
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 3.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.resource = Resource()
+        self.src = self.rng.random(n)
+        self.dst = np.zeros(n)
+
+    def bytes_read(self) -> float:
+        return 8.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 0.0
+
+    def traits(self) -> KernelTraits:
+        return derive(STREAMING, streaming_eff=1.0, simd_eff=0.95, frontend_factor=0.02)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        device_memcpy(self.dst, self.src, self.resource)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        src, dst = self.src, self.dst
+
+        def body(i: np.ndarray) -> None:
+            dst[i] = src[i]
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.dst)

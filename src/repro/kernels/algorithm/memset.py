@@ -1,0 +1,58 @@
+"""Algorithm_MEMSET: bulk memory fill through the resource API."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import Resource, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+
+@register_kernel
+class AlgorithmMemset(KernelBase):
+    NAME = "MEMSET"
+    GROUP = Group.ALGORITHM
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 2.0
+
+    VALUE = 0.5
+
+    def setup(self) -> None:
+        self.resource = Resource()
+        self.dst = np.zeros(self.problem_size)
+
+    def bytes_read(self) -> float:
+        return 0.0
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 0.0
+
+    def traits(self) -> KernelTraits:
+        # Write-only streams achieve slightly less than TRIAD's mixed
+        # read/write bandwidth (no read prefetch overlap).
+        return derive(STREAMING, streaming_eff=0.9, simd_eff=0.95, frontend_factor=0.02)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.dst.fill(self.VALUE)
+        self.resource.bytes_set += self.dst.nbytes
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        dst, value = self.dst, self.VALUE
+
+        def body(i: np.ndarray) -> None:
+            dst[i] = value
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.dst)

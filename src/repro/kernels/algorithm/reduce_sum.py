@@ -1,0 +1,60 @@
+"""Algorithm_REDUCE_SUM: sum-reduce an array.
+
+Section III-A singles this kernel out as *not* memory-bandwidth bound on
+either SPR system: at the paper's per-rank size the array is
+cache-resident and the reduction's dependency chain keeps the pipeline
+retiring instructions rather than waiting on DRAM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import ReduceSum, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import RETIRING, derive
+
+
+@register_kernel
+class AlgorithmReduceSum(KernelBase):
+    NAME = "REDUCE_SUM"
+    GROUP = Group.ALGORITHM
+    FEATURES = frozenset({Feature.FORALL, Feature.REDUCTION})
+    INSTR_PER_ITER = 5.0
+
+    def setup(self) -> None:
+        self.x = self.rng.random(self.problem_size)
+        self.total = 0.0
+
+    def bytes_read(self) -> float:
+        return 8.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 0.0
+
+    def flops(self) -> float:
+        return 1.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(RETIRING, simd_eff=0.35, frontend_factor=0.15, cache_resident=0.88)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.total = float(np.sum(self.x))
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        x = self.x
+        reducer = ReduceSum(0.0)
+
+        def body(i: np.ndarray) -> None:
+            reducer.combine(x[i])
+
+        forall(policy, self.problem_size, body)
+        self.total = float(reducer.get())
+
+    def checksum(self) -> float:
+        return self.total / self.problem_size

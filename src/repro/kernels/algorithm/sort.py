@@ -1,0 +1,72 @@
+"""Algorithm_SORT: sort an array (``RAJA::sort``).
+
+O(n lg n) work excludes it from the similarity analysis.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import raja_sort
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Complexity, Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import BALANCED, derive
+
+
+@register_kernel
+class AlgorithmSort(KernelBase):
+    NAME = "SORT"
+    GROUP = Group.ALGORITHM
+    COMPLEXITY = Complexity.N_LOG_N
+    FEATURES = frozenset({Feature.SORT})
+    INSTR_PER_ITER = 0.0  # instruction count declared via work_profile
+
+    def setup(self) -> None:
+        self.x = self.rng.random(self.problem_size)
+
+    def _passes(self) -> float:
+        n = max(self.problem_size, 2)
+        return math.log2(n)
+
+    def bytes_read(self) -> float:
+        return 8.0 * self.problem_size * self._passes()
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size * self._passes()
+
+    def flops(self) -> float:
+        return 0.0
+
+    def work_profile(self, reps: int = 1):
+        from dataclasses import replace
+
+        profile = super().work_profile(reps)
+        # ~8 instructions per element per merge pass.
+        return replace(
+            profile, instructions=8.0 * self.problem_size * self._passes() * reps
+        )
+
+    def traits(self) -> KernelTraits:
+        return derive(
+            BALANCED,
+            streaming_eff=0.6,
+            simd_eff=0.2,
+            branch_misp_per_iter=0.08,
+            cache_resident=0.3,
+        )
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.x.sort(kind="stable")
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        raja_sort(self.x)
+
+    def checksum(self) -> float:
+        return checksum_array(self.x)

@@ -1,0 +1,75 @@
+"""Algorithm_SORTPAIRS: key-value sort (``RAJA::sort_pairs``).
+
+O(n lg n) work excludes it from the similarity analysis.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import sort_pairs
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Complexity, Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import BALANCED, derive
+
+
+@register_kernel
+class AlgorithmSortPairs(KernelBase):
+    NAME = "SORTPAIRS"
+    GROUP = Group.ALGORITHM
+    COMPLEXITY = Complexity.N_LOG_N
+    FEATURES = frozenset({Feature.SORT})
+    INSTR_PER_ITER = 0.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.keys = self.rng.random(n)
+        self.values = self.rng.random(n)
+
+    def _passes(self) -> float:
+        n = max(self.problem_size, 2)
+        return math.log2(n)
+
+    def bytes_read(self) -> float:
+        return 16.0 * self.problem_size * self._passes()
+
+    def bytes_written(self) -> float:
+        return 16.0 * self.problem_size * self._passes()
+
+    def flops(self) -> float:
+        return 0.0
+
+    def work_profile(self, reps: int = 1):
+        from dataclasses import replace
+
+        profile = super().work_profile(reps)
+        return replace(
+            profile, instructions=12.0 * self.problem_size * self._passes() * reps
+        )
+
+    def traits(self) -> KernelTraits:
+        return derive(
+            BALANCED,
+            streaming_eff=0.55,
+            simd_eff=0.2,
+            branch_misp_per_iter=0.08,
+            cache_resident=0.3,
+        )
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        order = np.argsort(self.keys, kind="stable")
+        self.keys[:] = self.keys[order]
+        self.values[:] = self.values[order]
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        sort_pairs(self.keys, self.values)
+
+    def checksum(self) -> float:
+        return checksum_array(self.keys) + checksum_array(self.values)

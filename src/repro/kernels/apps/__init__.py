@@ -1,0 +1,35 @@
+"""Apps group: kernels from LLNL multiphysics applications (Table I)."""
+
+from repro.kernels.apps.convection3dpa import AppsConvection3dpa
+from repro.kernels.apps.del_dot_vec_2d import AppsDelDotVec2d
+from repro.kernels.apps.diffusion3dpa import AppsDiffusion3dpa
+from repro.kernels.apps.edge3d import AppsEdge3d
+from repro.kernels.apps.energy import AppsEnergy
+from repro.kernels.apps.fir import AppsFir
+from repro.kernels.apps.ltimes import AppsLtimes
+from repro.kernels.apps.ltimes_noview import AppsLtimesNoview
+from repro.kernels.apps.mass3dea import AppsMass3dea
+from repro.kernels.apps.mass3dpa import AppsMass3dpa
+from repro.kernels.apps.matvec_3d_stencil import AppsMatvec3dStencil
+from repro.kernels.apps.nodal_accumulation_3d import AppsNodalAccumulation3d
+from repro.kernels.apps.pressure import AppsPressure
+from repro.kernels.apps.vol3d import AppsVol3d
+from repro.kernels.apps.zonal_accumulation_3d import AppsZonalAccumulation3d
+
+__all__ = [
+    "AppsConvection3dpa",
+    "AppsDelDotVec2d",
+    "AppsDiffusion3dpa",
+    "AppsEdge3d",
+    "AppsEnergy",
+    "AppsFir",
+    "AppsLtimes",
+    "AppsLtimesNoview",
+    "AppsMass3dea",
+    "AppsMass3dpa",
+    "AppsMatvec3dStencil",
+    "AppsNodalAccumulation3d",
+    "AppsPressure",
+    "AppsVol3d",
+    "AppsZonalAccumulation3d",
+]

@@ -1,0 +1,51 @@
+"""Shared helpers for the MFEM-style partial-assembly element kernels.
+
+The *PA kernels (MASS3DPA, DIFFUSION3DPA, CONVECTION3DPA) operate on
+batches of hexahedral elements with a tensor-product basis: ``D1D`` dofs
+and ``Q1D`` quadrature points per dimension. ``B`` interpolates dof ->
+quadrature, ``G`` differentiates; sum-factorized contractions apply them
+one dimension at a time (that is what makes these kernels FLOP-dense).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def basis_matrices(d1d: int, q1d: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic interpolation (B) and gradient (G) basis matrices.
+
+    Real kernels use Gauss-Legendre values; well-conditioned fixed
+    matrices exercise the identical data flow.
+    """
+    # Deterministic but non-trivial: rows are smooth functions of columns.
+    q = np.linspace(0.0, 1.0, q1d)[:, None]
+    d = np.arange(d1d)[None, :]
+    b = np.cos(np.pi * q * (d + 0.5) / d1d) / d1d + 0.5 / d1d
+    g = -np.sin(np.pi * q * (d + 0.5) / d1d) * (np.pi * (d + 0.5) / d1d) / d1d
+    return b, g
+
+
+def interp_3d(b: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Sum-factorized interpolation: (E, D,D,D) -> (E, Q,Q,Q).
+
+    Applies ``b`` along each dimension in turn, exactly as the
+    sum-factorized GPU kernels stage through shared memory.
+    """
+    t1 = np.einsum("qi,eijk->eqjk", b, x)
+    t2 = np.einsum("rj,eqjk->eqrk", b, t1)
+    return np.einsum("sk,eqrk->eqrs", b, t2)
+
+
+def interp_t_3d(b: np.ndarray, xq: np.ndarray) -> np.ndarray:
+    """Transpose interpolation: (E, Q,Q,Q) -> (E, D,D,D)."""
+    t1 = np.einsum("qi,eqrs->eirs", b, xq)
+    t2 = np.einsum("rj,eirs->eijs", b, t1)
+    return np.einsum("sk,eijs->eijk", b, t2)
+
+
+def interp_flops(e: int, d1d: int, q1d: int) -> float:
+    """FLOPs of one sum-factorized interpolation over ``e`` elements."""
+    return 2.0 * e * (
+        q1d * d1d * d1d * d1d + q1d * q1d * d1d * d1d + q1d * q1d * q1d * d1d
+    )

@@ -1,0 +1,78 @@
+"""Structured 3-D box-mesh helpers shared by the Apps mesh kernels.
+
+RAJAPerf's Apps kernels operate on an ``ADomain``-style structured mesh:
+zones indexed (i,j,k) on an (nx,ny,nz) box, nodes on the (nx+1)^3 lattice,
+and each zone touching its 8 corner nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxMesh:
+    """An nx x ny x nz zone box with its node lattice."""
+
+    nx: int
+    ny: int
+    nz: int
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError(f"degenerate mesh {self.nx}x{self.ny}x{self.nz}")
+
+    @classmethod
+    def cube_for_zones(cls, zones: int) -> "BoxMesh":
+        edge = max(1, round(zones ** (1.0 / 3.0)))
+        return cls(edge, edge, edge)
+
+    @property
+    def num_zones(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def num_nodes(self) -> int:
+        return (self.nx + 1) * (self.ny + 1) * (self.nz + 1)
+
+    def zone_ids(self) -> np.ndarray:
+        return np.arange(self.num_zones, dtype=np.intp)
+
+    def zone_corner_nodes(self) -> np.ndarray:
+        """(num_zones, 8) node ids of each zone's corners.
+
+        Corner order follows the usual hexahedron convention:
+        (i,j,k), (i+1,j,k), (i+1,j+1,k), (i,j+1,k), then the k+1 plane.
+        """
+        nx, ny, nz = self.nx, self.ny, self.nz
+        npx, npy = nx + 1, ny + 1
+        k, j, i = np.meshgrid(
+            np.arange(nz), np.arange(ny), np.arange(nx), indexing="ij"
+        )
+        base = (i + npx * (j + npy * k)).ravel()
+        dx, dy, dz = 1, npx, npx * npy
+        offsets = np.array(
+            [0, dx, dx + dy, dy, dz, dx + dz, dx + dy + dz, dy + dz], dtype=np.intp
+        )
+        return base[:, None] + offsets[None, :]
+
+    def node_coordinates(self, jitter: float = 0.0, rng: np.random.Generator | None = None):
+        """x/y/z coordinate arrays over nodes, optionally jittered
+        (non-degenerate hex volumes for VOL3D)."""
+        npx, npy, npz = self.nx + 1, self.ny + 1, self.nz + 1
+        k, j, i = np.meshgrid(
+            np.arange(npz, dtype=np.float64),
+            np.arange(npy, dtype=np.float64),
+            np.arange(npx, dtype=np.float64),
+            indexing="ij",
+        )
+        x, y, z = i.ravel(), j.ravel(), k.ravel()
+        if jitter > 0.0:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            x = x + jitter * (rng.random(x.size) - 0.5)
+            y = y + jitter * (rng.random(y.size) - 0.5)
+            z = z + jitter * (rng.random(z.size) - 0.5)
+        return x, y, z

@@ -1,0 +1,118 @@
+"""Apps_ENERGY: hydrodynamics energy update (six sequential passes).
+
+Streaming updates with data-dependent selects, from LLNL multiphysics
+hydro packages. Firmly memory bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+
+@register_kernel
+class AppsEnergy(KernelBase):
+    NAME = "ENERGY"
+    GROUP = Group.APPS
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 30.0
+
+    RHO0, E_CUT, EMIN = 1.0, 1.0e-7, 1.0e-12
+    Q_CUT, U_CUT, P_CUT = 1.0e-7, 1.0e-7, 1.0e-7
+
+    def setup(self) -> None:
+        n = self.problem_size
+        r = self.rng.random
+        self.e_new = np.zeros(n)
+        self.e_old = r(n)
+        self.delvc = r(n) - 0.5
+        self.p_new = r(n)
+        self.p_old = r(n)
+        self.q_new = np.zeros(n)
+        self.q_old = r(n)
+        self.work = r(n) * 0.1
+        self.compHalfStep = r(n)
+        self.pHalfStep = r(n)
+        self.bvc = r(n)
+        self.pbvc = r(n)
+        self.ql_old = r(n) * 0.1
+        self.qq_old = r(n) * 0.1
+        self.vnewc = r(n) + 0.5
+
+    def bytes_read(self) -> float:
+        return 8.0 * 12.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * 3.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 22.0 * self.problem_size
+
+    def launches_per_rep(self) -> float:
+        return 6.0
+
+    def traits(self) -> KernelTraits:
+        return derive(
+            STREAMING,
+            streaming_eff=0.88,
+            simd_eff=0.75,
+            branch_misp_per_iter=0.005,
+        )
+
+    def _compute(self, i: object) -> None:
+        e_new, e_old, delvc = self.e_new, self.e_old, self.delvc
+        p_old, q_old, work = self.p_old, self.q_old, self.work
+        compHalfStep, pHalfStep = self.compHalfStep, self.pHalfStep
+        bvc, pbvc = self.bvc, self.pbvc
+        ql_old, qq_old = self.ql_old, self.qq_old
+        q_new, vnewc, p_new = self.q_new, self.vnewc, self.p_new
+
+        # Pass 1: half-step energy.
+        e_new[i] = e_old[i] - 0.5 * delvc[i] * (p_old[i] + q_old[i]) + 0.5 * work[i]
+        # Pass 2: artificial viscosity at the half step.
+        vhalf = 1.0 / (1.0 + compHalfStep[i])
+        ssc = np.maximum(
+            pbvc[i] * e_new[i] + vhalf * vhalf * bvc[i] * pHalfStep[i], 0.0
+        )
+        ssc = np.sqrt(np.maximum(ssc, 1.111e-36))
+        q_mid = ssc * ql_old[i] + qq_old[i]
+        q_new[i] = np.where(delvc[i] > 0.0, 0.0, q_mid)
+        # Pass 3: full-step energy.
+        e_new[i] = e_new[i] + 0.5 * delvc[i] * (
+            3.0 * (p_old[i] + q_old[i]) - 4.0 * (pHalfStep[i] + q_new[i])
+        )
+        # Pass 4: add work, clamp.
+        e_new[i] = e_new[i] + 0.5 * work[i]
+        e_new[i] = np.where(np.abs(e_new[i]) < self.E_CUT, 0.0, e_new[i])
+        e_new[i] = np.maximum(e_new[i], self.EMIN)
+        # Pass 5: pressure-consistent correction.
+        q_tilde = np.maximum(
+            pbvc[i] * e_new[i] + vnewc[i] * vnewc[i] * bvc[i] * p_new[i], 0.0
+        )
+        e_new[i] = e_new[i] - 0.0625 * (7.0 * (p_old[i] + q_old[i]) - q_tilde)
+        # Pass 6: final clamps.
+        e_new[i] = np.where(np.abs(e_new[i]) < self.E_CUT, 0.0, e_new[i])
+        e_new[i] = np.maximum(e_new[i], self.EMIN)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self._compute(slice(None))
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        compute = self._compute
+
+        def body(i: np.ndarray) -> None:
+            compute(i)
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.e_new) + checksum_array(self.q_new)

@@ -1,0 +1,81 @@
+"""Apps_NODAL_ACCUMULATION_3D: scatter zone values to their 8 corner nodes.
+
+The zone-to-node scatter requires atomics (neighboring zones share
+nodes). Mixed memory/compute profile (cluster 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.apps._mesh import BoxMesh
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import atomic_add, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import BALANCED, derive
+
+
+@register_kernel
+class AppsNodalAccumulation3d(KernelBase):
+    NAME = "NODAL_ACCUMUL_3D"
+    GROUP = Group.APPS
+    FEATURES = frozenset({Feature.FORALL, Feature.ATOMIC})
+    INSTR_PER_ITER = 30.0
+
+    def __init__(self, problem_size: int | None = None, seed: int = 4793) -> None:
+        super().__init__(problem_size, seed)
+        self.mesh = BoxMesh.cube_for_zones(self.problem_size)
+
+    def iterations(self) -> float:
+        return float(self.mesh.num_zones)
+
+    def setup(self) -> None:
+        self.vol = self.rng.random(self.mesh.num_zones)
+        self.node_vals = np.zeros(self.mesh.num_nodes)
+        self.corners = self.mesh.zone_corner_nodes()
+
+    def bytes_read(self) -> float:
+        return 8.0 * 3.0 * self.iterations()  # vol + RMW node reads (cached)
+
+    def bytes_written(self) -> float:
+        return 8.0 * 2.0 * self.iterations()
+
+    def flops(self) -> float:
+        return 9.0 * self.iterations()  # val/8 + 8 adds
+
+    def atomics(self) -> float:
+        return 0.5 * self.iterations()
+
+    def traits(self) -> KernelTraits:
+        return derive(
+            BALANCED,
+            streaming_eff=0.6,
+            simd_eff=0.35,
+            cache_resident=0.45,
+            cpu_compute_eff=0.12,
+        )
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.node_vals[:] = 0.0
+        contribution = 0.125 * self.vol
+        for corner in range(8):
+            np.add.at(self.node_vals, self.corners[:, corner], contribution)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        node_vals, corners, vol = self.node_vals, self.corners, self.vol
+        node_vals[:] = 0.0
+
+        def body(z: np.ndarray) -> None:
+            contribution = 0.125 * vol[z]
+            for corner in range(8):
+                atomic_add(node_vals, corners[z, corner], contribution)
+
+        forall(policy, self.mesh.num_zones, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.node_vals)

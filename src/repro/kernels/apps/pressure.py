@@ -1,0 +1,77 @@
+"""Apps_PRESSURE: equation-of-state pressure update (two passes)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+
+@register_kernel
+class AppsPressure(KernelBase):
+    NAME = "PRESSURE"
+    GROUP = Group.APPS
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 12.0
+
+    CLS = 0.3
+    P_CUT, PMIN = 1.0e-7, 1.0e-12
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.compression = self.rng.random(n) - 0.5
+        self.bvc = np.zeros(n)
+        self.p_new = np.zeros(n)
+        self.e_old = self.rng.random(n)
+        self.vnewc = self.rng.random(n) + 0.5
+
+    def bytes_read(self) -> float:
+        return 8.0 * 4.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * 2.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 6.0 * self.problem_size
+
+    def launches_per_rep(self) -> float:
+        return 2.0
+
+    def traits(self) -> KernelTraits:
+        return derive(
+            STREAMING,
+            streaming_eff=0.9,
+            simd_eff=0.8,
+            branch_misp_per_iter=0.004,
+        )
+
+    def _compute(self, i: object) -> None:
+        bvc, compression = self.bvc, self.compression
+        p_new, e_old, vnewc = self.p_new, self.e_old, self.vnewc
+        bvc[i] = self.CLS * (compression[i] + 1.0)
+        p_new[i] = bvc[i] * e_old[i]
+        p_new[i] = np.where(np.abs(p_new[i]) < self.P_CUT, 0.0, p_new[i])
+        p_new[i] = np.where(vnewc[i] >= 1.0, 0.0, p_new[i])
+        p_new[i] = np.maximum(p_new[i], self.PMIN)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self._compute(slice(None))
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        compute = self._compute
+
+        def body(i: np.ndarray) -> None:
+            compute(i)
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.p_new) + checksum_array(self.bvc)

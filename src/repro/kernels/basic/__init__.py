@@ -1,0 +1,43 @@
+"""Basic group: small kernels that stress compilers (Table I)."""
+
+from repro.kernels.basic.array_of_ptrs import BasicArrayOfPtrs
+from repro.kernels.basic.copy8 import BasicCopy8
+from repro.kernels.basic.daxpy import BasicDaxpy
+from repro.kernels.basic.daxpy_atomic import BasicDaxpyAtomic
+from repro.kernels.basic.if_quad import BasicIfQuad
+from repro.kernels.basic.indexlist import BasicIndexlist
+from repro.kernels.basic.indexlist_3loop import BasicIndexlist3Loop
+from repro.kernels.basic.init3 import BasicInit3
+from repro.kernels.basic.init_view1d import BasicInitView1d
+from repro.kernels.basic.init_view1d_offset import BasicInitView1dOffset
+from repro.kernels.basic.mat_mat_shared import BasicMatMatShared
+from repro.kernels.basic.muladdsub import BasicMuladdsub
+from repro.kernels.basic.multi_reduce import BasicMultiReduce
+from repro.kernels.basic.nested_init import BasicNestedInit
+from repro.kernels.basic.pi_atomic import BasicPiAtomic
+from repro.kernels.basic.pi_reduce import BasicPiReduce
+from repro.kernels.basic.reduce3_int import BasicReduce3Int
+from repro.kernels.basic.reduce_struct import BasicReduceStruct
+from repro.kernels.basic.trap_int import BasicTrapInt
+
+__all__ = [
+    "BasicArrayOfPtrs",
+    "BasicCopy8",
+    "BasicDaxpy",
+    "BasicDaxpyAtomic",
+    "BasicIfQuad",
+    "BasicIndexlist",
+    "BasicIndexlist3Loop",
+    "BasicInit3",
+    "BasicInitView1d",
+    "BasicInitView1dOffset",
+    "BasicMatMatShared",
+    "BasicMuladdsub",
+    "BasicMultiReduce",
+    "BasicNestedInit",
+    "BasicPiAtomic",
+    "BasicPiReduce",
+    "BasicReduce3Int",
+    "BasicReduceStruct",
+    "BasicTrapInt",
+]

@@ -1,0 +1,67 @@
+"""Basic_ARRAY_OF_PTRS: sum through an array of pointers.
+
+Each iteration dereferences a small array of pointers to gather its
+operands — the indirection pattern that appears when C++ objects hold
+raw pointers. The extra indirection costs address generation and defeats
+some vectorization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import BALANCED, derive
+
+NUM_PTRS = 4
+
+
+@register_kernel
+class BasicArrayOfPtrs(KernelBase):
+    NAME = "ARRAY_OF_PTRS"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 16.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.sources = [self.rng.random(n) for _ in range(NUM_PTRS)]
+        self.out = np.zeros(n)
+
+    def bytes_read(self) -> float:
+        return 8.0 * NUM_PTRS * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return float(NUM_PTRS - 1) * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(BALANCED, streaming_eff=0.7, simd_eff=0.4, cache_resident=0.2)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        np.copyto(self.out, self.sources[0])
+        for src in self.sources[1:]:
+            self.out += src
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        sources, out = self.sources, self.out
+
+        def body(i: np.ndarray) -> None:
+            acc = sources[0][i].copy()
+            for k in range(1, NUM_PTRS):
+                acc += sources[k][i]
+            out[i] = acc
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.out)

@@ -1,0 +1,63 @@
+"""Basic_COPY8: copy eight independent arrays in one loop.
+
+A wide streaming kernel: 8 loads + 8 stores per iteration, probing whether
+the memory system sustains many concurrent streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+NUM_ARRAYS = 8
+
+
+@register_kernel
+class BasicCopy8(KernelBase):
+    NAME = "COPY8"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 20.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.src = [self.rng.random(n) for _ in range(NUM_ARRAYS)]
+        self.dst = [np.zeros(n) for _ in range(NUM_ARRAYS)]
+
+    def bytes_read(self) -> float:
+        return 8.0 * NUM_ARRAYS * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * NUM_ARRAYS * self.problem_size
+
+    def flops(self) -> float:
+        return 0.0
+
+    def traits(self) -> KernelTraits:
+        # Eight concurrent streams slightly reduce achievable bandwidth.
+        return derive(STREAMING, streaming_eff=0.92, simd_eff=0.9)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        for src, dst in zip(self.src, self.dst):
+            np.copyto(dst, src)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        src, dst = self.src, self.dst
+
+        def body(i: np.ndarray) -> None:
+            for k in range(NUM_ARRAYS):
+                dst[k][i] = src[k][i]
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return float(sum(checksum_array(d) for d in self.dst))

@@ -1,0 +1,58 @@
+"""Basic_DAXPY: ``y[i] += a * x[i]``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+
+@register_kernel
+class BasicDaxpy(KernelBase):
+    NAME = "DAXPY"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL})
+    HAS_KOKKOS = True
+    INSTR_PER_ITER = 6.0
+
+    A = 2.5
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.x = self.rng.random(n)
+        self.y = self.rng.random(n)
+
+    def bytes_read(self) -> float:
+        # y is read-modify-write: x + y read, y written.
+        return 16.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 2.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(STREAMING, streaming_eff=1.0, simd_eff=0.95)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.y += self.A * self.x
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        x, y, a = self.x, self.y, self.A
+
+        def body(i: np.ndarray) -> None:
+            y[i] += a * x[i]
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.y)

@@ -1,0 +1,64 @@
+"""Basic_DAXPY_ATOMIC: DAXPY performed with atomic adds.
+
+Same arithmetic as DAXPY, but every update goes through ``atomicAdd``,
+exposing atomic-RMW cost on every backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import atomic_add, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import BALANCED, derive
+
+
+@register_kernel
+class BasicDaxpyAtomic(KernelBase):
+    NAME = "DAXPY_ATOMIC"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL, Feature.ATOMIC})
+    INSTR_PER_ITER = 9.0
+
+    A = 2.5
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.x = self.rng.random(n)
+        self.y = self.rng.random(n)
+
+    def bytes_read(self) -> float:
+        return 16.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 2.0 * self.problem_size
+
+    def atomics(self) -> float:
+        # Uncontended per-element atomics: a fraction serialize.
+        return 0.05 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(BALANCED, streaming_eff=0.85, simd_eff=0.4, cache_resident=0.1)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        np.add.at(self.y, np.arange(self.problem_size), self.A * self.x)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        x, y, a = self.x, self.y, self.A
+
+        def body(i: np.ndarray) -> None:
+            atomic_add(y, i, a * x[i])
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.y)

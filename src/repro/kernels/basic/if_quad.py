@@ -1,0 +1,81 @@
+"""Basic_IF_QUAD: branchy quadratic-root computation.
+
+Solves ``a x^2 + b x + c = 0`` per element, taking different paths on the
+discriminant's sign — a bad-speculation probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import BALANCED, derive
+
+
+@register_kernel
+class BasicIfQuad(KernelBase):
+    NAME = "IF_QUAD"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 18.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        # Coefficients chosen so ~half the discriminants are negative.
+        self.a = self.rng.random(n) + 0.1
+        self.b = self.rng.random(n) * 2.0 - 1.0
+        self.c = self.rng.random(n) * 0.5 - 0.25
+        self.x1 = np.zeros(n)
+        self.x2 = np.zeros(n)
+
+    def bytes_read(self) -> float:
+        return 24.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 16.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 11.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(
+            BALANCED,
+            streaming_eff=0.7,
+            simd_eff=0.45,
+            branch_misp_per_iter=0.02,
+            cache_resident=0.2,
+        )
+
+    def _compute(self, a, b, c, x1, x2) -> None:
+        disc = b * b - 4.0 * a * c
+        positive = disc >= 0.0
+        root = np.sqrt(np.where(positive, disc, 0.0))
+        denom = 0.5 / a
+        x1[...] = np.where(positive, (-b + root) * denom, 0.0)
+        x2[...] = np.where(positive, (-b - root) * denom, 0.0)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self._compute(self.a, self.b, self.c, self.x1, self.x2)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        a, b, c, x1, x2 = self.a, self.b, self.c, self.x1, self.x2
+
+        def body(i: np.ndarray) -> None:
+            disc = b[i] * b[i] - 4.0 * a[i] * c[i]
+            positive = disc >= 0.0
+            root = np.sqrt(np.where(positive, disc, 0.0))
+            denom = 0.5 / a[i]
+            x1[i] = np.where(positive, (-b[i] + root) * denom, 0.0)
+            x2[i] = np.where(positive, (-b[i] - root) * denom, 0.0)
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.x1) + checksum_array(self.x2)

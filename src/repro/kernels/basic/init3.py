@@ -1,0 +1,68 @@
+"""Basic_INIT3: ``out1[i] = out2[i] = out3[i] = -in1[i] - in2[i]``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+
+@register_kernel
+class BasicInit3(KernelBase):
+    NAME = "INIT3"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 8.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.in1 = self.rng.random(n)
+        self.in2 = self.rng.random(n)
+        self.out1 = np.zeros(n)
+        self.out2 = np.zeros(n)
+        self.out3 = np.zeros(n)
+
+    def bytes_read(self) -> float:
+        return 16.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 24.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 2.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(STREAMING, streaming_eff=0.95, simd_eff=0.9)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        np.add(self.in1, self.in2, out=self.out1)
+        np.negative(self.out1, out=self.out1)
+        np.copyto(self.out2, self.out1)
+        np.copyto(self.out3, self.out1)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        in1, in2 = self.in1, self.in2
+        out1, out2, out3 = self.out1, self.out2, self.out3
+
+        def body(i: np.ndarray) -> None:
+            value = -in1[i] - in2[i]
+            out1[i] = value
+            out2[i] = value
+            out3[i] = value
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return (
+            checksum_array(self.out1)
+            + checksum_array(self.out2)
+            + checksum_array(self.out3)
+        )

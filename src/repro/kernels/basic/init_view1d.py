@@ -1,0 +1,62 @@
+"""Basic_INIT_VIEW1D: ``view(i) = (i+1) * v`` through a RAJA View.
+
+A pure store stream whose per-rank working set fits in cache at the
+paper's problem size, making it retiring-bound on the CPUs — one of the
+four kernels Section V-B highlights as speeding up on the V100 without any
+memory constraint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import Layout, View, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import RETIRING, derive
+
+
+@register_kernel
+class BasicInitView1d(KernelBase):
+    NAME = "INIT_VIEW1D"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL, Feature.VIEW})
+    INSTR_PER_ITER = 4.0
+
+    V = 0.00000123
+
+    def setup(self) -> None:
+        self.a = np.zeros(self.problem_size)
+
+    def bytes_read(self) -> float:
+        return 0.0
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 1.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(RETIRING, simd_eff=0.25, frontend_factor=0.18, cache_resident=0.9)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        n = self.problem_size
+        np.multiply(np.arange(1, n + 1, dtype=np.float64), self.V, out=self.a)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        view = View(self.a, Layout((self.problem_size,)))
+        v = self.V
+
+        def body(i: np.ndarray) -> None:
+            view[i] = (i + 1) * v
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.a)

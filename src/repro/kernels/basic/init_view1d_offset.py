@@ -1,0 +1,66 @@
+"""Basic_INIT_VIEW1D_OFFSET: ``view(i) = i * v`` over an offset layout.
+
+Like INIT_VIEW1D but the View's index space starts at 1, exercising
+RAJA's offset-layout arithmetic; retiring-bound on CPUs at the paper's
+size (Section V-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import RETIRING, derive
+
+
+@register_kernel
+class BasicInitView1dOffset(KernelBase):
+    NAME = "INIT_VIEW1D_OFFSET"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL, Feature.VIEW})
+    INSTR_PER_ITER = 5.0
+
+    V = 0.00000123
+    OFFSET = 1
+
+    def setup(self) -> None:
+        self.a = np.zeros(self.problem_size)
+
+    def bytes_read(self) -> float:
+        return 0.0
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 1.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(RETIRING, simd_eff=0.25, frontend_factor=0.2, cache_resident=0.9)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        n = self.problem_size
+        np.multiply(
+            np.arange(self.OFFSET, n + self.OFFSET, dtype=np.float64),
+            self.V,
+            out=self.a,
+        )
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        a, v, offset = self.a, self.V, self.OFFSET
+
+        def body(i: np.ndarray) -> None:
+            # Offset layout: logical index i+OFFSET maps to slot i.
+            a[i] = (i + offset) * v
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.a)

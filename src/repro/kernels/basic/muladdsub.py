@@ -1,0 +1,67 @@
+"""Basic_MULADDSUB: three outputs per iteration (product, sum, difference)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import BALANCED, derive
+
+
+@register_kernel
+class BasicMuladdsub(KernelBase):
+    NAME = "MULADDSUB"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL})
+    HAS_KOKKOS = True
+    INSTR_PER_ITER = 10.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.in1 = self.rng.random(n)
+        self.in2 = self.rng.random(n)
+        self.out1 = np.zeros(n)
+        self.out2 = np.zeros(n)
+        self.out3 = np.zeros(n)
+
+    def bytes_read(self) -> float:
+        return 16.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 24.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 3.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(BALANCED, streaming_eff=0.8, simd_eff=0.6, cache_resident=0.15)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        np.multiply(self.in1, self.in2, out=self.out1)
+        np.add(self.in1, self.in2, out=self.out2)
+        np.subtract(self.in1, self.in2, out=self.out3)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        in1, in2 = self.in1, self.in2
+        out1, out2, out3 = self.out1, self.out2, self.out3
+
+        def body(i: np.ndarray) -> None:
+            out1[i] = in1[i] * in2[i]
+            out2[i] = in1[i] + in2[i]
+            out3[i] = in1[i] - in2[i]
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return (
+            checksum_array(self.out1)
+            + checksum_array(self.out2)
+            + checksum_array(self.out3)
+        )

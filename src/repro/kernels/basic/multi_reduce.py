@@ -1,0 +1,69 @@
+"""Basic_MULTI_REDUCE: sum data into a runtime-sized bank of bins.
+
+Exercises RAJA::MultiReduceSum; the binned accumulation's RMW traffic and
+combining work make it core-bound on CPUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import MultiReduceSum, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import CORE, derive
+
+NUM_BINS = 10
+
+
+@register_kernel
+class BasicMultiReduce(KernelBase):
+    NAME = "MULTI_REDUCE"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL, Feature.REDUCTION, Feature.ATOMIC})
+    INSTR_PER_ITER = 12.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.data = self.rng.random(n)
+        self.bins = self.rng.integers(0, NUM_BINS, size=n)
+        self.values = np.zeros(NUM_BINS)
+
+    def bytes_read(self) -> float:
+        # data + bin index per element, plus the RMW on the bin slot.
+        return (8.0 + 8.0) * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * NUM_BINS
+
+    def flops(self) -> float:
+        return 1.0 * self.problem_size
+
+    def atomics(self) -> float:
+        return 0.1 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(CORE, cpu_compute_eff=0.04, simd_eff=0.3, cache_resident=0.85)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.values[:] = np.bincount(
+            self.bins, weights=self.data, minlength=NUM_BINS
+        )
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        data, bins = self.data, self.bins
+        reducer = MultiReduceSum(NUM_BINS)
+
+        def body(i: np.ndarray) -> None:
+            reducer.combine(bins[i], data[i])
+
+        forall(policy, self.problem_size, body)
+        self.values[:] = reducer.get()
+
+    def checksum(self) -> float:
+        return checksum_array(self.values, scale=1.0)

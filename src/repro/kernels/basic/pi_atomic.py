@@ -1,0 +1,79 @@
+"""Basic_PI_ATOMIC: compute pi by quadrature with one shared atomic.
+
+Every iteration atomically adds its quadrature term to a single shared
+accumulator. The contention serializes on every backend: the paper calls
+out its "extremely high retiring bound" on CPUs and its refusal to speed
+up on either GPU (Sections V-B/V-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import atomic_add, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import RETIRING, derive
+
+
+@register_kernel
+class BasicPiAtomic(KernelBase):
+    NAME = "PI_ATOMIC"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL, Feature.ATOMIC})
+    INSTR_PER_ITER = 12.0
+
+    def setup(self) -> None:
+        self.dx = 1.0 / self.problem_size
+        self.pi = np.zeros(1)
+
+    def bytes_read(self) -> float:
+        return 8.0  # the single shared accumulator word
+
+    def bytes_written(self) -> float:
+        return 8.0
+
+    def flops(self) -> float:
+        return 6.0 * self.problem_size
+
+    def atomics(self) -> float:
+        return 1.0 * self.problem_size  # fully contended single location
+
+    def traits(self) -> KernelTraits:
+        # Scalar (atomics defeat vectorization), cache-resident (one word),
+        # and with every iteration's atomic serializing on GPUs.
+        return derive(
+            RETIRING,
+            simd_eff=0.05,
+            frontend_factor=0.12,
+            cache_resident=1.0,
+            gpu_serial_fraction=0.0,
+        )
+
+    def _terms(self, i: np.ndarray) -> np.ndarray:
+        x = (i.astype(np.float64) + 0.5) * self.dx
+        return self.dx / (1.0 + x * x)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.pi[0] = 0.0
+        terms = self._terms(np.arange(self.problem_size))
+        # The base variant still issues one atomic per element.
+        atomic_add(self.pi, np.zeros(self.problem_size, dtype=np.intp), terms)
+        self.pi[0] *= 4.0
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        pi, terms = self.pi, self._terms
+        pi[0] = 0.0
+
+        def body(i: np.ndarray) -> None:
+            atomic_add(pi, np.zeros(len(i), dtype=np.intp), terms(i))
+
+        forall(policy, self.problem_size, body)
+        pi[0] *= 4.0
+
+    def checksum(self) -> float:
+        return float(self.pi[0])

@@ -1,0 +1,64 @@
+"""Basic_PI_REDUCE: compute pi by quadrature with a sum reduction.
+
+The reduction formulation of PI_ATOMIC; the per-iteration divide chain
+makes it core (FP) bound on CPUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import ReduceSum, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import CORE, derive
+
+
+@register_kernel
+class BasicPiReduce(KernelBase):
+    NAME = "PI_REDUCE"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL, Feature.REDUCTION})
+    INSTR_PER_ITER = 10.0
+
+    def setup(self) -> None:
+        self.dx = 1.0 / self.problem_size
+        self.pi = 0.0
+
+    def bytes_read(self) -> float:
+        return 0.0
+
+    def bytes_written(self) -> float:
+        return 0.0
+
+    def flops(self) -> float:
+        # x = (i+0.5)*dx (2), x*x (1), 1+ (1), divide (~4 as FP work), sum (1).
+        return 9.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        # The divide's long latency dominates: low achieved FP efficiency.
+        return derive(CORE, cpu_compute_eff=0.03, simd_eff=0.5, cache_resident=1.0)
+
+    def _terms(self, i: np.ndarray) -> np.ndarray:
+        x = (i.astype(np.float64) + 0.5) * self.dx
+        return self.dx / (1.0 + x * x)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.pi = 4.0 * float(np.sum(self._terms(np.arange(self.problem_size))))
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        reducer = ReduceSum(0.0)
+        terms = self._terms
+
+        def body(i: np.ndarray) -> None:
+            reducer.combine(terms(i))
+
+        forall(policy, self.problem_size, body)
+        self.pi = 4.0 * float(reducer.get())
+
+    def checksum(self) -> float:
+        return self.pi

@@ -1,0 +1,69 @@
+"""Basic_REDUCE3_INT: simultaneous sum/min/max reduction of an int array."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import ReduceMax, ReduceMin, ReduceSum, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import CORE, derive
+
+
+@register_kernel
+class BasicReduce3Int(KernelBase):
+    NAME = "REDUCE3_INT"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL, Feature.REDUCTION})
+    HAS_KOKKOS = True
+    INSTR_PER_ITER = 8.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.vec = self.rng.integers(-100, 101, size=n)
+        self.vsum = 0
+        self.vmin = 0
+        self.vmax = 0
+
+    def bytes_read(self) -> float:
+        return 4.0 * self.problem_size  # int32-sized elements
+
+    def bytes_written(self) -> float:
+        return 0.0
+
+    def flops(self) -> float:
+        return 3.0 * self.problem_size  # counted as comparison/add ops
+
+    def traits(self) -> KernelTraits:
+        # Three dependent reduction chains per element: core bound when the
+        # int array sits in cache at the per-rank size.
+        return derive(CORE, cpu_compute_eff=0.05, simd_eff=0.55, cache_resident=0.9)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.vsum = int(np.sum(self.vec))
+        self.vmin = int(np.min(self.vec))
+        self.vmax = int(np.max(self.vec))
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        vec = self.vec
+        rsum = ReduceSum(0.0)
+        rmin = ReduceMin(float(np.iinfo(np.int64).max))
+        rmax = ReduceMax(float(np.iinfo(np.int64).min))
+
+        def body(i: np.ndarray) -> None:
+            values = vec[i]
+            rsum.combine(values)
+            rmin.combine(values)
+            rmax.combine(values)
+
+        forall(policy, self.problem_size, body)
+        self.vsum = int(rsum.get())
+        self.vmin = int(rmin.get())
+        self.vmax = int(rmax.get())
+
+    def checksum(self) -> float:
+        return float(self.vsum) + 2.0 * self.vmin + 3.0 * self.vmax

@@ -1,0 +1,87 @@
+"""Basic_REDUCE_STRUCT: centroid + bounds of a 2-D point set.
+
+Six simultaneous reductions (sum/min/max of x and y), the struct-of-
+reducers pattern from particle codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import ReduceMax, ReduceMin, ReduceSum, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import BALANCED, derive
+
+
+@register_kernel
+class BasicReduceStruct(KernelBase):
+    NAME = "REDUCE_STRUCT"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL, Feature.REDUCTION})
+    INSTR_PER_ITER = 14.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.x = self.rng.random(n)
+        self.y = self.rng.random(n)
+        self.result = np.zeros(6)
+
+    def bytes_read(self) -> float:
+        return 16.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 48.0  # the six scalars
+
+    def flops(self) -> float:
+        return 6.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(BALANCED, streaming_eff=0.75, simd_eff=0.5, cache_resident=0.25)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        x, y = self.x, self.y
+        self.result[:] = (
+            np.sum(x),
+            np.min(x),
+            np.max(x),
+            np.sum(y),
+            np.min(y),
+            np.max(y),
+        )
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        x, y = self.x, self.y
+        xsum, ysum = ReduceSum(0.0), ReduceSum(0.0)
+        xmin, ymin = ReduceMin(np.inf), ReduceMin(np.inf)
+        xmax, ymax = ReduceMax(-np.inf), ReduceMax(-np.inf)
+
+        def body(i: np.ndarray) -> None:
+            xv, yv = x[i], y[i]
+            xsum.combine(xv)
+            xmin.combine(xv)
+            xmax.combine(xv)
+            ysum.combine(yv)
+            ymin.combine(yv)
+            ymax.combine(yv)
+
+        forall(policy, self.problem_size, body)
+        self.result[:] = (
+            xsum.get(),
+            xmin.get(),
+            xmax.get(),
+            ysum.get(),
+            ymin.get(),
+            ymax.get(),
+        )
+
+    def checksum(self) -> float:
+        n = self.problem_size
+        weighted = self.result.copy()
+        weighted[0] /= n  # centroid components
+        weighted[3] /= n
+        return float(np.sum(weighted * np.arange(1, 7)))

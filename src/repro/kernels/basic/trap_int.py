@@ -1,0 +1,71 @@
+"""Basic_TRAP_INT: trapezoid-rule integration of a rational function.
+
+No array traffic at all — every iteration evaluates the integrand from
+its index. Pure FP work with a divide, so core-bound on CPUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import ReduceSum, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import CORE, derive
+
+
+@register_kernel
+class BasicTrapInt(KernelBase):
+    NAME = "TRAP_INT"
+    GROUP = Group.BASIC
+    FEATURES = frozenset({Feature.FORALL, Feature.REDUCTION})
+    INSTR_PER_ITER = 12.0
+
+    X0 = 0.1
+    XP = 0.5
+    Y = 2.0
+    YP = 4.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.h = (self.XP - self.X0) / n
+        self.sumx = 0.0
+
+    def bytes_read(self) -> float:
+        return 0.0
+
+    def bytes_written(self) -> float:
+        return 0.0
+
+    def flops(self) -> float:
+        return 10.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(CORE, cpu_compute_eff=0.035, simd_eff=0.5, cache_resident=1.0)
+
+    def _integrand(self, x: np.ndarray) -> np.ndarray:
+        denom = (x - self.Y) * (x - self.Y) + (x - self.YP) * (x - self.YP)
+        return 1.0 / np.sqrt(denom)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        i = np.arange(self.problem_size, dtype=np.float64)
+        x = self.X0 + (i + 0.5) * self.h
+        self.sumx = float(np.sum(self._integrand(x))) * self.h
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        reducer = ReduceSum(0.0)
+        integrand, x0, h = self._integrand, self.X0, self.h
+
+        def body(i: np.ndarray) -> None:
+            x = x0 + (i.astype(np.float64) + 0.5) * h
+            reducer.combine(integrand(x))
+
+        forall(policy, self.problem_size, body)
+        self.sumx = float(reducer.get()) * self.h
+
+    def checksum(self) -> float:
+        return self.sumx

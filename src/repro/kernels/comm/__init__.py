@@ -1,0 +1,17 @@
+"""Comm group: MPI halo packing/exchange patterns (Table I)."""
+
+from repro.kernels.comm.halo_kernels import (
+    CommHaloExchange,
+    CommHaloExchangeFused,
+    CommHaloPacking,
+    CommHaloPackingFused,
+    CommHaloSendrecv,
+)
+
+__all__ = [
+    "CommHaloExchange",
+    "CommHaloExchangeFused",
+    "CommHaloPacking",
+    "CommHaloPackingFused",
+    "CommHaloSendrecv",
+]

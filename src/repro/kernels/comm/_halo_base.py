@@ -1,0 +1,172 @@
+"""Shared machinery for the Comm (halo) kernels.
+
+Functional model: a ring of simulated ranks, each owning ``num_vars``
+variable arrays. Every exchange packs boundary elements into send
+buffers, moves them through :class:`~repro.mpisim.SimComm`, and unpacks
+into ghost slots. Analytic metrics scale with the 3-D halo surface of the
+paper's decomposition (O(n^(2/3)) per rank — Table I's Comm complexity),
+while the functional arrays are sized to the surface so tests execute
+quickly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpisim.comm import SimComm
+from repro.mpisim.halo import HaloGeometry
+from repro.perfmodel.traits import KernelTraits
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Complexity, Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.trait_presets import COMM, derive
+
+NUM_RANKS = 4
+NUM_VARS = 3
+
+
+class HaloKernelBase(KernelBase):
+    """Base for the five HALO kernels."""
+
+    GROUP = Group.COMM
+    COMPLEXITY = Complexity.N_2_3
+    FEATURES = frozenset({Feature.FORALL})
+
+    #: Subclasses flip these to select which phases run.
+    DO_PACK = True
+    DO_MPI = True
+    FUSED = False
+
+    def __init__(self, problem_size: int | None = None, seed: int = 4793) -> None:
+        super().__init__(problem_size, seed)
+        self.geometry = HaloGeometry(
+            local_elements=max(self.problem_size // NUM_RANKS, 8),
+            num_vars=NUM_VARS,
+        )
+        # Functional halo width per rank: boundary elements per side.
+        self.halo_elems = max(4, int(round(self.geometry.exchange_elements ** 0.5)))
+
+    # ------------------------------------------------- analytic metrics
+    def iterations(self) -> float:
+        return float(NUM_RANKS * self.geometry.exchange_elements * NUM_VARS)
+
+    def bytes_read(self) -> float:
+        passes = 2.0 if self.DO_PACK else 0.0  # pack reads + unpack reads
+        return 8.0 * passes * self.iterations()
+
+    def bytes_written(self) -> float:
+        passes = 2.0 if self.DO_PACK else 0.0
+        return 8.0 * passes * self.iterations()
+
+    def flops(self) -> float:
+        return 0.0
+
+    def mpi_messages(self) -> float:
+        if not self.DO_MPI:
+            return 0.0
+        return float(NUM_RANKS * self.geometry.messages)
+
+    def mpi_bytes(self) -> float:
+        if not self.DO_MPI:
+            return 0.0
+        return float(NUM_RANKS * self.geometry.exchange_bytes)
+
+    def launches_per_rep(self) -> float:
+        if not self.DO_PACK:
+            return 1.0
+        # One pack + one unpack launch per neighbor per variable, unless
+        # the workgroup-fused variant batches them into two launches.
+        if self.FUSED:
+            return 2.0
+        return 2.0 * self.geometry.neighbors * NUM_VARS
+
+    def traits(self) -> KernelTraits:
+        return derive(COMM, simd_eff=0.5)
+
+    # ---------------------------------------------------- functional run
+    def setup(self) -> None:
+        n_local = self.halo_elems * 4  # interior + two ghost fringes
+        self.comm = SimComm(NUM_RANKS)
+        self.vars = [
+            [
+                self.rng.random(n_local)
+                for _ in range(NUM_VARS)
+            ]
+            for _ in range(NUM_RANKS)
+        ]
+        self.send_buffers = [
+            np.zeros(2 * self.halo_elems * NUM_VARS) for _ in range(NUM_RANKS)
+        ]
+        self.recv_buffers = [
+            np.zeros(2 * self.halo_elems * NUM_VARS) for _ in range(NUM_RANKS)
+        ]
+
+    def _pack(self) -> None:
+        """Buffer layout: all low-boundary planes first, then all high."""
+        h = self.halo_elems
+        half = h * NUM_VARS
+        for rank in range(NUM_RANKS):
+            buf = self.send_buffers[rank]
+            for v, var in enumerate(self.vars[rank]):
+                buf[v * h : (v + 1) * h] = var[h : 2 * h]  # low boundary
+                buf[half + v * h : half + (v + 1) * h] = var[-2 * h : -h]
+
+    def _exchange(self) -> None:
+        """Ring exchange: the low boundary goes to the left neighbor's high
+        ghost; the high boundary goes to the right neighbor's low ghost."""
+        half = self.halo_elems * NUM_VARS
+        requests = []
+        for rank in range(NUM_RANKS):
+            left = (rank - 1) % NUM_RANKS
+            right = (rank + 1) % NUM_RANKS
+            self.comm.isend(rank, left, self.send_buffers[rank][:half], tag=0)
+            self.comm.isend(rank, right, self.send_buffers[rank][half:], tag=1)
+        for rank in range(NUM_RANKS):
+            left = (rank - 1) % NUM_RANKS
+            right = (rank + 1) % NUM_RANKS
+            # Low ghost <- left neighbor's high boundary (their tag-1 send).
+            req_low = self.comm.irecv(rank, left, self.recv_buffers[rank][:half], tag=1)
+            # High ghost <- right neighbor's low boundary (their tag-0 send).
+            req_high = self.comm.irecv(rank, right, self.recv_buffers[rank][half:], tag=0)
+            requests.append((rank, req_low))
+            requests.append((rank, req_high))
+        for rank, req in requests:
+            self.comm.wait(rank, req)
+
+    def _unpack(self) -> None:
+        h = self.halo_elems
+        half = h * NUM_VARS
+        for rank in range(NUM_RANKS):
+            buf = self.recv_buffers[rank]
+            for v, var in enumerate(self.vars[rank]):
+                var[:h] = buf[v * h : (v + 1) * h]  # low ghost
+                var[-h:] = buf[half + v * h : half + (v + 1) * h]
+
+    def _run(self) -> None:
+        if self.DO_PACK:
+            self._pack()
+        else:
+            self._pack()  # sendrecv still needs data in flight buffers
+        if self.DO_MPI:
+            self._exchange()
+        else:
+            # Packing-only kernels round-trip through local buffers.
+            for rank in range(NUM_RANKS):
+                self.recv_buffers[rank][:] = self.send_buffers[rank]
+        if self.DO_PACK:
+            self._unpack()
+
+    def run_base(self, policy) -> None:  # noqa: ANN001 - signature fixed by base
+        self._run()
+
+    def run_raja(self, policy) -> None:  # noqa: ANN001
+        self._run()
+
+    def checksum(self) -> float:
+        total = 0.0
+        for rank in range(NUM_RANKS):
+            for var in self.vars[rank]:
+                total += checksum_array(var)
+            total += checksum_array(self.recv_buffers[rank])
+        return total

@@ -1,0 +1,70 @@
+"""The five Comm HALO kernels (Table I).
+
+All five share the functional exchange machinery of
+:class:`~repro.kernels.comm._halo_base.HaloKernelBase` and differ in which
+phases they time and how pack/unpack work is fused:
+
+* HALO_PACKING — pack/unpack only, one launch per (neighbor, variable);
+* HALO_PACKING_FUSED — the same packing through a RAJA workgroup, batching
+  everything into two launches (the GPU-launch-overhead comparison);
+* HALO_SENDRECV — the MPI transfer only;
+* HALO_EXCHANGE — pack + MPI + unpack, unfused;
+* HALO_EXCH_FUSED — pack + MPI + unpack with fused launches.
+
+The paper treats these as outliers dominated by MPI time and excludes
+them from the similarity analysis; on MI250X the *packing* kernel is
+kernel-launch-overhead bound (Section V-C).
+"""
+
+from __future__ import annotations
+
+from repro.suite.features import Feature
+from repro.suite.registry import register_kernel
+from repro.kernels.comm._halo_base import HaloKernelBase
+
+
+@register_kernel
+class CommHaloPacking(HaloKernelBase):
+    NAME = "HALO_PACKING"
+    DO_PACK = True
+    DO_MPI = False
+    FUSED = False
+    INSTR_PER_ITER = 8.0
+
+
+@register_kernel
+class CommHaloPackingFused(HaloKernelBase):
+    NAME = "HALO_PACKING_FUSED"
+    DO_PACK = True
+    DO_MPI = False
+    FUSED = True
+    FEATURES = frozenset({Feature.FORALL, Feature.WORKGROUP})
+    INSTR_PER_ITER = 8.0
+
+
+@register_kernel
+class CommHaloSendrecv(HaloKernelBase):
+    NAME = "HALO_SENDRECV"
+    DO_PACK = False
+    DO_MPI = True
+    FUSED = False
+    INSTR_PER_ITER = 2.0
+
+
+@register_kernel
+class CommHaloExchange(HaloKernelBase):
+    NAME = "HALO_EXCHANGE"
+    DO_PACK = True
+    DO_MPI = True
+    FUSED = False
+    INSTR_PER_ITER = 8.0
+
+
+@register_kernel
+class CommHaloExchangeFused(HaloKernelBase):
+    NAME = "HALO_EXCH_FUSED"
+    DO_PACK = True
+    DO_MPI = True
+    FUSED = True
+    FEATURES = frozenset({Feature.FORALL, Feature.WORKGROUP})
+    INSTR_PER_ITER = 8.0

@@ -1,0 +1,27 @@
+"""LCALS group: Livermore Loops in C++ (Table I)."""
+
+from repro.kernels.lcals.diff_predict import LcalsDiffPredict
+from repro.kernels.lcals.eos import LcalsEos
+from repro.kernels.lcals.first_diff import LcalsFirstDiff
+from repro.kernels.lcals.first_min import LcalsFirstMin
+from repro.kernels.lcals.first_sum import LcalsFirstSum
+from repro.kernels.lcals.gen_lin_recur import LcalsGenLinRecur
+from repro.kernels.lcals.hydro_1d import LcalsHydro1d
+from repro.kernels.lcals.hydro_2d import LcalsHydro2d
+from repro.kernels.lcals.int_predict import LcalsIntPredict
+from repro.kernels.lcals.planckian import LcalsPlanckian
+from repro.kernels.lcals.tridiag_elim import LcalsTridiagElim
+
+__all__ = [
+    "LcalsDiffPredict",
+    "LcalsEos",
+    "LcalsFirstDiff",
+    "LcalsFirstMin",
+    "LcalsFirstSum",
+    "LcalsGenLinRecur",
+    "LcalsHydro1d",
+    "LcalsHydro2d",
+    "LcalsIntPredict",
+    "LcalsPlanckian",
+    "LcalsTridiagElim",
+]

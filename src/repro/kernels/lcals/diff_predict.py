@@ -1,0 +1,82 @@
+"""Lcals_DIFF_PREDICT: Livermore Loop 12-family difference predictors.
+
+Chained differences over a 10-plane prediction array: heavy streaming
+traffic with a short dependency chain per element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+PLANES = 10
+
+
+@register_kernel
+class LcalsDiffPredict(KernelBase):
+    NAME = "DIFF_PREDICT"
+    GROUP = Group.LCALS
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 40.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.px = self.rng.random((PLANES, n))
+        self.cx = self.rng.random(n)
+
+    def bytes_read(self) -> float:
+        return 8.0 * (PLANES + 1) * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * PLANES * self.problem_size
+
+    def flops(self) -> float:
+        return float(2 * PLANES - 1) * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(STREAMING, streaming_eff=0.9, simd_eff=0.85)
+
+    def _compute(self, i: object) -> None:
+        px, cx = self.px, self.cx
+        ar = cx[i]
+        br = ar - px[0][i]
+        px[0][i] = ar
+        cr = br - px[1][i]
+        px[1][i] = br
+        ar = cr - px[2][i]
+        px[2][i] = cr
+        br = ar - px[3][i]
+        px[3][i] = ar
+        cr = br - px[4][i]
+        px[4][i] = br
+        ar = cr - px[5][i]
+        px[5][i] = cr
+        br = ar - px[6][i]
+        px[6][i] = ar
+        cr = br - px[7][i]
+        px[7][i] = br
+        px[9][i] = cr - px[8][i]
+        px[8][i] = cr
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self._compute(slice(None))
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        compute = self._compute
+
+        def body(i: np.ndarray) -> None:
+            compute(i)
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return float(sum(checksum_array(self.px[k]) for k in range(PLANES)))

@@ -1,0 +1,74 @@
+"""Lcals_FIRST_MIN: Livermore Loop 24 — index of first minimum.
+
+A min-with-location reduction. Section V-B notes its TMA profile splits
+roughly half and half between retiring and frontend bound — the
+conditional update defeats vectorization and stresses fetch — yet it
+speeds up on the V100, which has parallelism to spare for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import ReduceMinLoc, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import RETIRING, derive
+
+
+@register_kernel
+class LcalsFirstMin(KernelBase):
+    NAME = "FIRST_MIN"
+    GROUP = Group.LCALS
+    FEATURES = frozenset({Feature.FORALL, Feature.REDUCTION})
+    INSTR_PER_ITER = 7.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.x = self.rng.random(n)
+        # Plant a unique minimum away from the ends.
+        self.x[n // 2] = -1.0
+        self.min_val = 0.0
+        self.min_loc = -1
+
+    def bytes_read(self) -> float:
+        return 8.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 0.0
+
+    def flops(self) -> float:
+        return 1.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        # Half retiring / half frontend (Section V-B).
+        return derive(
+            RETIRING,
+            simd_eff=0.12,
+            frontend_factor=0.85,
+            cache_resident=0.9,
+            branch_misp_per_iter=0.002,
+        )
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        loc = int(np.argmin(self.x))
+        self.min_val = float(self.x[loc])
+        self.min_loc = loc
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        x = self.x
+        reducer = ReduceMinLoc(np.inf)
+
+        def body(i: np.ndarray) -> None:
+            reducer.combine(x[i], i)
+
+        forall(policy, self.problem_size, body)
+        self.min_val = float(reducer.get())
+        self.min_loc = int(reducer.get_loc())
+
+    def checksum(self) -> float:
+        return self.min_val + float(self.min_loc) / self.problem_size

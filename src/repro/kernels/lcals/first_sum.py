@@ -1,0 +1,59 @@
+"""Lcals_FIRST_SUM: ``x[i] = y[i-1] + y[i]`` (Livermore first-sum fragment)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+
+@register_kernel
+class LcalsFirstSum(KernelBase):
+    NAME = "FIRST_SUM"
+    GROUP = Group.LCALS
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 5.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.x = np.zeros(n)
+        self.y = self.rng.random(n)
+
+    def iterations(self) -> float:
+        return float(self.problem_size - 1)
+
+    def bytes_read(self) -> float:
+        return 8.0 * self.iterations()
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.iterations()
+
+    def flops(self) -> float:
+        return 1.0 * self.iterations()
+
+    def traits(self) -> KernelTraits:
+        return derive(STREAMING, streaming_eff=0.98, simd_eff=0.95)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        np.add(self.y[:-1], self.y[1:], out=self.x[1:])
+        self.x[0] = self.y[0]
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        x, y = self.x, self.y
+        x[0] = y[0]
+
+        def body(i: np.ndarray) -> None:
+            x[i] = y[i - 1] + y[i]
+
+        forall(policy, (1, self.problem_size), body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.x)

@@ -1,0 +1,76 @@
+"""Lcals_INT_PREDICT: Livermore Loop 2-family integrate predictors.
+
+One output plane updated from ten prediction planes with a long FMA chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+PLANES = 13
+
+
+@register_kernel
+class LcalsIntPredict(KernelBase):
+    NAME = "INT_PREDICT"
+    GROUP = Group.LCALS
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 30.0
+
+    DM22, DM23, DM24, DM25 = 0.2, 0.3, 0.4, 0.5
+    DM26, DM27, DM28 = 0.6, 0.7, 0.8
+    C0 = 1.1
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.px = self.rng.random((PLANES, n))
+
+    def bytes_read(self) -> float:
+        return 8.0 * 8.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 17.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(STREAMING, streaming_eff=0.88, simd_eff=0.85, cpu_compute_eff=0.45)
+
+    def _compute(self, i: object) -> None:
+        px = self.px
+        px[0, i] = (
+            self.DM28 * px[12, i]
+            + self.DM27 * px[11, i]
+            + self.DM26 * px[10, i]
+            + self.DM25 * px[9, i]
+            + self.DM24 * px[8, i]
+            + self.DM23 * px[7, i]
+            + self.DM22 * px[6, i]
+            + self.C0 * (px[4, i] + px[5, i])
+            + px[2, i]
+        )
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self._compute(slice(None))
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        compute = self._compute
+
+        def body(i: np.ndarray) -> None:
+            compute(i)
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.px[0])

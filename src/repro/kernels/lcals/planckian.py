@@ -1,0 +1,72 @@
+"""Lcals_PLANCKIAN: Livermore Loop 22 — Planckian distribution.
+
+``y[i] = u[i] / v[i]; w[i] = x[i] / (exp(y[i]) - 1)``
+
+The transcendental gives it real compute alongside its streaming traffic,
+landing it in the paper's mixed (cluster 0) group rather than the pure
+bandwidth cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import BALANCED, derive
+
+
+@register_kernel
+class LcalsPlanckian(KernelBase):
+    NAME = "PLANCKIAN"
+    GROUP = Group.LCALS
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 28.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.x = self.rng.random(n)
+        self.u = self.rng.random(n)
+        self.v = self.rng.random(n) + 0.5
+        self.y = np.zeros(n)
+        self.w = np.zeros(n)
+
+    def bytes_read(self) -> float:
+        return 24.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 16.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 25.0 * self.problem_size  # exp counted as ~20 FLOPs
+
+    def traits(self) -> KernelTraits:
+        return derive(
+            BALANCED,
+            streaming_eff=0.8,
+            simd_eff=0.6,
+            cpu_compute_eff=0.12,
+            cache_resident=0.2,
+        )
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        np.divide(self.u, self.v, out=self.y)
+        np.divide(self.x, np.expm1(self.y), out=self.w)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        x, u, v, y, w = self.x, self.u, self.v, self.y, self.w
+
+        def body(i: np.ndarray) -> None:
+            y[i] = u[i] / v[i]
+            w[i] = x[i] / np.expm1(y[i])
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.w) + checksum_array(self.y)

@@ -1,0 +1,64 @@
+"""Lcals_TRIDIAG_ELIM: Livermore Loop 5 — tridiagonal elimination (below
+diagonal), in RAJAPerf's data-parallel formulation:
+
+``x[i] = z[i] * (y[i] - x[i-1])`` reading the *previous* input vector, so
+iterations are independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+
+@register_kernel
+class LcalsTridiagElim(KernelBase):
+    NAME = "TRIDIAG_ELIM"
+    GROUP = Group.LCALS
+    FEATURES = frozenset({Feature.FORALL})
+    INSTR_PER_ITER = 7.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.xout = np.zeros(n)
+        self.xin = self.rng.random(n)
+        self.y = self.rng.random(n)
+        self.z = self.rng.random(n)
+
+    def iterations(self) -> float:
+        return float(self.problem_size - 1)
+
+    def bytes_read(self) -> float:
+        return 24.0 * self.iterations()
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.iterations()
+
+    def flops(self) -> float:
+        return 2.0 * self.iterations()
+
+    def traits(self) -> KernelTraits:
+        return derive(STREAMING, streaming_eff=0.93, simd_eff=0.9)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        np.multiply(self.z[1:], self.y[1:] - self.xin[:-1], out=self.xout[1:])
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        xout, xin, y, z = self.xout, self.xin, self.y, self.z
+
+        def body(i: np.ndarray) -> None:
+            xout[i] = z[i] * (y[i] - xin[i - 1])
+
+        forall(policy, (1, self.problem_size), body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.xout)

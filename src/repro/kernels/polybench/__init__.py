@@ -1,0 +1,31 @@
+"""Polybench group: polyhedral-compiler benchmark kernels (Table I)."""
+
+from repro.kernels.polybench.adi import PolybenchAdi
+from repro.kernels.polybench.atax import PolybenchAtax
+from repro.kernels.polybench.fdtd_2d import PolybenchFdtd2d
+from repro.kernels.polybench.floyd_warshall import PolybenchFloydWarshall
+from repro.kernels.polybench.gemm import PolybenchGemm
+from repro.kernels.polybench.gemver import PolybenchGemver
+from repro.kernels.polybench.gesummv import PolybenchGesummv
+from repro.kernels.polybench.heat_3d import PolybenchHeat3d
+from repro.kernels.polybench.jacobi_1d import PolybenchJacobi1d
+from repro.kernels.polybench.jacobi_2d import PolybenchJacobi2d
+from repro.kernels.polybench.mvt import PolybenchMvt
+from repro.kernels.polybench.p2mm import Polybench2mm
+from repro.kernels.polybench.p3mm import Polybench3mm
+
+__all__ = [
+    "Polybench2mm",
+    "Polybench3mm",
+    "PolybenchAdi",
+    "PolybenchAtax",
+    "PolybenchFdtd2d",
+    "PolybenchFloydWarshall",
+    "PolybenchGemm",
+    "PolybenchGemver",
+    "PolybenchGesummv",
+    "PolybenchHeat3d",
+    "PolybenchJacobi1d",
+    "PolybenchJacobi2d",
+    "PolybenchMvt",
+]

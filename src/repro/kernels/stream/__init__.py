@@ -1,0 +1,13 @@
+"""Stream group: the McCalpin STREAM kernels (ADD, COPY, DOT, MUL, TRIAD).
+
+These are the pure memory-bandwidth probes; TRIAD is the paper's
+bandwidth anchor (Table II) and its reference line in Fig. 9.
+"""
+
+from repro.kernels.stream.add import StreamAdd
+from repro.kernels.stream.copy import StreamCopy
+from repro.kernels.stream.dot import StreamDot
+from repro.kernels.stream.mul import StreamMul
+from repro.kernels.stream.triad import StreamTriad
+
+__all__ = ["StreamAdd", "StreamCopy", "StreamDot", "StreamMul", "StreamTriad"]

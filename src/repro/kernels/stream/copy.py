@@ -1,0 +1,55 @@
+"""Stream_COPY: ``c[i] = a[i]``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+
+@register_kernel
+class StreamCopy(KernelBase):
+    NAME = "COPY"
+    GROUP = Group.STREAM
+    FEATURES = frozenset({Feature.FORALL})
+    HAS_KOKKOS = True
+    INSTR_PER_ITER = 4.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.a = self.rng.random(n)
+        self.c = np.zeros(n)
+
+    def bytes_read(self) -> float:
+        return 8.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 0.0
+
+    def traits(self) -> KernelTraits:
+        return derive(STREAMING, streaming_eff=1.0, simd_eff=0.95)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        np.copyto(self.c, self.a)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        a, c = self.a, self.c
+
+        def body(i: np.ndarray) -> None:
+            c[i] = a[i]
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.c)

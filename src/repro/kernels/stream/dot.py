@@ -1,0 +1,68 @@
+"""Stream_DOT: ``dot += a[i] * b[i]``.
+
+The one Stream kernel the paper's clustering places outside the pure
+memory-bound cluster: the reduction's combining work and lower SIMD
+efficiency give it a visible retiring/core component (cluster 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import ReduceSum, forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import BALANCED, derive
+
+
+@register_kernel
+class StreamDot(KernelBase):
+    NAME = "DOT"
+    GROUP = Group.STREAM
+    FEATURES = frozenset({Feature.FORALL, Feature.REDUCTION})
+    HAS_KOKKOS = True
+    INSTR_PER_ITER = 10.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.a = self.rng.random(n)
+        self.b = self.rng.random(n)
+        self.dot = 0.0
+
+    def bytes_read(self) -> float:
+        return 16.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 0.0
+
+    def flops(self) -> float:
+        return 2.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(
+            BALANCED,
+            streaming_eff=0.85,
+            simd_eff=0.45,
+            cache_resident=0.15,
+            frontend_factor=0.05,
+        )
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        self.dot = float(np.dot(self.a, self.b))
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        a, b = self.a, self.b
+        reducer = ReduceSum(0.0)
+
+        def body(i: np.ndarray) -> None:
+            reducer.combine(a[i] * b[i])
+
+        forall(policy, self.problem_size, body)
+        self.dot = float(reducer.get())
+
+    def checksum(self) -> float:
+        return self.dot / self.problem_size

@@ -1,0 +1,57 @@
+"""Stream_MUL: ``b[i] = q * c[i]``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+from repro.suite.trait_presets import STREAMING, derive
+
+
+@register_kernel
+class StreamMul(KernelBase):
+    NAME = "MUL"
+    GROUP = Group.STREAM
+    FEATURES = frozenset({Feature.FORALL})
+    HAS_KOKKOS = True
+    INSTR_PER_ITER = 4.0
+
+    Q = 1.5
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.b = np.zeros(n)
+        self.c = self.rng.random(n)
+
+    def bytes_read(self) -> float:
+        return 8.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 1.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return derive(STREAMING, streaming_eff=1.0, simd_eff=0.95)
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        np.multiply(self.c, self.Q, out=self.b)
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        b, c, q = self.b, self.c, self.Q
+
+        def body(i: np.ndarray) -> None:
+            b[i] = q * c[i]
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.b)

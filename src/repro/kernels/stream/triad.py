@@ -1,0 +1,65 @@
+"""Stream_TRIAD: ``a[i] = b[i] + q * c[i]``.
+
+The suite's memory-bandwidth anchor: Table II's achieved bandwidth is
+measured with this kernel, and Fig. 9 draws its value as the yellow
+reference line. Its traits are shared with the calibration module so the
+kernel and the model anchor agree by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel.calibration import triad_traits
+from repro.perfmodel.traits import KernelTraits
+from repro.rajasim import forall
+from repro.rajasim.policies import ExecPolicy
+from repro.suite.checksum import checksum_array
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import register_kernel
+
+
+@register_kernel
+class StreamTriad(KernelBase):
+    NAME = "TRIAD"
+    GROUP = Group.STREAM
+    FEATURES = frozenset({Feature.FORALL})
+    HAS_KOKKOS = True
+    INSTR_PER_ITER = 6.0
+
+    Q = 3.0
+
+    def setup(self) -> None:
+        n = self.problem_size
+        self.a = np.zeros(n)
+        self.b = self.rng.random(n)
+        self.c = self.rng.random(n)
+
+    def bytes_read(self) -> float:
+        return 16.0 * self.problem_size
+
+    def bytes_written(self) -> float:
+        return 8.0 * self.problem_size
+
+    def flops(self) -> float:
+        return 2.0 * self.problem_size
+
+    def traits(self) -> KernelTraits:
+        return triad_traits()
+
+    def run_base(self, policy: ExecPolicy) -> None:
+        np.multiply(self.c, self.Q, out=self.a)
+        self.a += self.b
+
+    def run_raja(self, policy: ExecPolicy) -> None:
+        a, b, c, q = self.a, self.b, self.c, self.Q
+
+        def body(i: np.ndarray) -> None:
+            a[i] = b[i] + q * c[i]
+
+        forall(policy, self.problem_size, body)
+
+    def checksum(self) -> float:
+        return checksum_array(self.a)

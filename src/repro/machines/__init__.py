@@ -1,0 +1,35 @@
+"""Machine models for the four systems of Table II.
+
+Each :class:`MachineModel` carries the theoretical peaks and *achieved*
+rates the paper reports (Basic MAT_MAT_SHARED for FLOPS, Stream TRIAD for
+memory bandwidth), plus microarchitectural parameters consumed by the CPU
+and GPU simulators. Substitution note: the paper measured real hardware;
+we encode those published numbers as calibration anchors for the analytic
+performance model.
+"""
+
+from repro.machines.model import CpuSpec, GpuSpec, MachineKind, MachineModel, MpiSpec
+from repro.machines.registry import (
+    EPYC_MI250X,
+    MACHINES,
+    P9_V100,
+    SPR_DDR,
+    SPR_HBM,
+    get_machine,
+    list_machines,
+)
+
+__all__ = [
+    "MachineModel",
+    "MachineKind",
+    "CpuSpec",
+    "GpuSpec",
+    "MpiSpec",
+    "SPR_DDR",
+    "SPR_HBM",
+    "P9_V100",
+    "EPYC_MI250X",
+    "MACHINES",
+    "get_machine",
+    "list_machines",
+]

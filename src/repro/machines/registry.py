@@ -1,0 +1,133 @@
+"""The four experimental systems of Table II.
+
+Numbers are transcribed from the paper:
+
+======  ============= ===================== ========= ===== ===== ======= =====
+Short   System        Architecture          Units     TF/u  TF/n  MAT%    TRIAD%
+======  ============= ===================== ========= ===== ===== ======= =====
+SPR-DDR Poodle (DDR)  Intel Sapphire Rapids 2 sockets  2.3   4.7  18.0    77.7
+SPR-HBM Poodle (HBM)  Intel Sapphire Rapids 2 sockets  2.3   4.7  15.5    33.7
+P9-V100 Sierra        NVIDIA V100           4 GPUs     7.8  31.2  22.4    92.6
+EPYC-…  Tioga         AMD MI250X            8 GCDs    24.0 191.5   7.0    79.5
+======  ============= ===================== ========= ===== ===== ======= =====
+
+Memory bandwidth (TB/s): SPR-DDR 0.3/0.6, SPR-HBM 1.6/3.3, P9-V100 0.9/3.6,
+EPYC-MI250X 1.6/12.8 (unit/node). GPU roofline ceilings for the V100 follow
+Ding & Williams' instruction-roofline parameters; MI250X ceilings are
+scaled from its bandwidth and issue rate.
+"""
+
+from __future__ import annotations
+
+from repro.machines.model import CpuSpec, GpuSpec, MachineKind, MachineModel, MpiSpec
+
+SPR_DDR = MachineModel(
+    shorthand="SPR-DDR",
+    system_name="Poodle (DDR)",
+    architecture="Intel Sapphire Rapids",
+    kind=MachineKind.CPU,
+    units_per_node=2,
+    unit_description="socket",
+    peak_tflops_unit=2.3,
+    peak_tflops_node=4.7,
+    peak_membw_tb_unit=0.3,
+    peak_membw_tb_node=0.6,
+    matmat_pct_of_peak=18.0,
+    triad_pct_of_peak=77.7,
+    default_variant="RAJA_Seq",
+    cpu=CpuSpec(cores_per_node=112, frequency_ghz=2.0),
+    mpi=MpiSpec(latency_us=0.6, bandwidth_gb_per_sec=40.0, ranks_per_node=112),
+)
+
+SPR_HBM = MachineModel(
+    shorthand="SPR-HBM",
+    system_name="Poodle (HBM)",
+    architecture="Intel Sapphire Rapids",
+    kind=MachineKind.CPU,
+    units_per_node=2,
+    unit_description="socket",
+    peak_tflops_unit=2.3,
+    peak_tflops_node=4.7,
+    peak_membw_tb_unit=1.6,
+    peak_membw_tb_node=3.3,
+    matmat_pct_of_peak=15.5,
+    triad_pct_of_peak=33.7,
+    default_variant="RAJA_Seq",
+    # The HBM-equipped Xeon Max SKU clocks slightly lower, which is why the
+    # paper's retiring-bound cluster shows a ~0.96x "speedup" on SPR-HBM.
+    cpu=CpuSpec(cores_per_node=112, frequency_ghz=1.9),
+    mpi=MpiSpec(latency_us=0.6, bandwidth_gb_per_sec=40.0, ranks_per_node=112),
+)
+
+P9_V100 = MachineModel(
+    shorthand="P9-V100",
+    system_name="Sierra",
+    architecture="NVIDIA V100",
+    kind=MachineKind.GPU,
+    units_per_node=4,
+    unit_description="GPU",
+    peak_tflops_unit=7.8,
+    peak_tflops_node=31.2,
+    peak_membw_tb_unit=0.9,
+    peak_membw_tb_node=3.6,
+    matmat_pct_of_peak=22.4,
+    triad_pct_of_peak=92.6,
+    default_variant="RAJA_CUDA",
+    gpu=GpuSpec(
+        sm_count=80,
+        peak_warp_gips=489.6,
+        l1_gtxn_per_sec=437.5,
+        l2_gtxn_per_sec=93.6,
+        dram_gtxn_per_sec=25.9,
+        kernel_launch_overhead_us=2.0,
+        sustained_tips_node=14.0,
+        flop_derate=0.5,
+    ),
+    mpi=MpiSpec(latency_us=1.5, bandwidth_gb_per_sec=25.0, ranks_per_node=4),
+)
+
+EPYC_MI250X = MachineModel(
+    shorthand="EPYC-MI250X",
+    system_name="Tioga",
+    architecture="AMD MI250X",
+    kind=MachineKind.GPU,
+    units_per_node=8,
+    unit_description="GCD",
+    peak_tflops_unit=24.0,
+    peak_tflops_node=191.5,
+    peak_membw_tb_unit=1.6,
+    peak_membw_tb_node=12.8,
+    matmat_pct_of_peak=7.0,
+    triad_pct_of_peak=79.5,
+    default_variant="RAJA_HIP",
+    gpu=GpuSpec(
+        sm_count=110,  # CUs per GCD
+        warp_size=64,  # AMD wavefront
+        peak_warp_gips=780.0,
+        l1_gtxn_per_sec=560.0,
+        l2_gtxn_per_sec=130.0,
+        dram_gtxn_per_sec=50.0,
+        kernel_launch_overhead_us=2.5,
+        sustained_tips_node=21.5,
+        flop_derate=0.088,
+    ),
+    mpi=MpiSpec(latency_us=1.8, bandwidth_gb_per_sec=36.0, ranks_per_node=8),
+)
+
+MACHINES: dict[str, MachineModel] = {
+    m.shorthand: m for m in (SPR_DDR, SPR_HBM, P9_V100, EPYC_MI250X)
+}
+
+
+def get_machine(shorthand: str) -> MachineModel:
+    """Look up a machine by its Table II shorthand (case-insensitive)."""
+    key = shorthand.strip()
+    for name, machine in MACHINES.items():
+        if name.lower() == key.lower():
+            return machine
+    raise KeyError(f"unknown machine {shorthand!r}; have {list(MACHINES)}")
+
+
+def list_machines() -> list[MachineModel]:
+    """All modeled machines in Table II order."""
+    return list(MACHINES.values())

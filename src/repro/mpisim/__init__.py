@@ -1,0 +1,23 @@
+"""Simulated MPI: decomposition and halo-exchange communication.
+
+The paper runs RAJAPerf under MPI (Table III: 112 ranks on the CPU nodes,
+one rank per GPU/GCD on the GPU nodes) and its Comm group exercises halo
+packing/exchange patterns. This package provides (a) the problem-size
+decomposition used everywhere, (b) a functional in-process communicator so
+the Comm kernels actually move bytes between simulated ranks, and (c) the
+analytic communication-cost model (latency + bandwidth) the timing model
+charges.
+"""
+
+from repro.mpisim.decomposition import Decomposition3D, decompose_linear
+from repro.mpisim.comm import SimComm, SimRequest
+from repro.mpisim.halo import HaloGeometry, halo_surface_elements
+
+__all__ = [
+    "Decomposition3D",
+    "decompose_linear",
+    "SimComm",
+    "SimRequest",
+    "HaloGeometry",
+    "halo_surface_elements",
+]

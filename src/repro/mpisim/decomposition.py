@@ -1,0 +1,95 @@
+"""Problem decomposition across MPI ranks.
+
+Section IV of the paper notes that decomposing a fixed 32M node-level
+problem across 112 CPU ranks vs 4/8 GPU ranks gives *incomparable* work
+for kernels with non-O(n) complexity — the reason 12+ kernels are excluded
+from the similarity analysis. These helpers make that arithmetic explicit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.suite.features import Complexity
+
+
+def decompose_linear(total: int, ranks: int) -> list[int]:
+    """Split ``total`` elements across ``ranks`` as evenly as possible."""
+    if ranks <= 0:
+        raise ValueError(f"ranks must be > 0, got {ranks}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    base, rem = divmod(total, ranks)
+    return [base + (1 if r < rem else 0) for r in range(ranks)]
+
+
+@dataclass(frozen=True)
+class Decomposition3D:
+    """A 3-D block decomposition of an n-element cubic domain."""
+
+    total_elements: int
+    ranks: int
+
+    def __post_init__(self) -> None:
+        if self.ranks <= 0:
+            raise ValueError(f"ranks must be > 0, got {self.ranks}")
+        if self.total_elements <= 0:
+            raise ValueError(f"total_elements must be > 0, got {self.total_elements}")
+
+    @property
+    def elements_per_rank(self) -> int:
+        return self.total_elements // self.ranks
+
+    @property
+    def local_edge(self) -> float:
+        """Edge length of one rank's cubic subdomain."""
+        return self.elements_per_rank ** (1.0 / 3.0)
+
+    @property
+    def surface_elements_per_rank(self) -> float:
+        """Elements on one rank's halo surface (six faces)."""
+        return 6.0 * self.local_edge**2
+
+    def grid_dims(self) -> tuple[int, int, int]:
+        """A near-cubic rank grid (like ``MPI_Dims_create``)."""
+        dims = [1, 1, 1]
+        n = self.ranks
+        for prime in _prime_factors(n):
+            dims[dims.index(min(dims))] *= prime
+        dims.sort(reverse=True)
+        return (dims[0], dims[1], dims[2])
+
+
+def _prime_factors(n: int) -> list[int]:
+    out: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return sorted(out, reverse=True)
+
+
+def work_ratio(complexity: Complexity, total: int, ranks_a: int, ranks_b: int) -> float:
+    """Ratio of total work under two decompositions of the same problem.
+
+    For O(n) kernels this is 1.0 regardless of rank counts; for anything
+    else it deviates — the quantitative form of the paper's exclusion rule.
+    """
+    per_a = total / ranks_a
+    per_b = total / ranks_b
+    work_a = ranks_a * complexity.operations(per_a)
+    work_b = ranks_b * complexity.operations(per_b)
+    if work_b == 0:
+        raise ValueError("degenerate decomposition with zero work")
+    return work_a / work_b
+
+
+def is_comparable(complexity: Complexity, ranks_a: int, ranks_b: int, tol: float = 1e-9) -> bool:
+    """Whether the decomposition gives comparable work across machines."""
+    ratio = work_ratio(complexity, 32_000_000, ranks_a, ranks_b)
+    return math.isclose(ratio, 1.0, rel_tol=tol)

@@ -1,0 +1,42 @@
+"""First-order analytic performance model.
+
+The paper measures real hardware; this package substitutes a calibrated
+analytic model. Each kernel contributes a :class:`WorkProfile` (its
+platform-independent analytic metrics: iterations, bytes read/written,
+FLOPs, instruction estimate, atomics, launches, MPI traffic) and a
+:class:`KernelTraits` vector (execution-efficiency characteristics:
+streaming quality, SIMD friendliness, compute efficiency relative to the
+dense-matmul anchor, GPU serialization, cache residency). The CPU and GPU
+time models combine these with a :class:`~repro.machines.MachineModel`
+to produce an execution-time breakdown whose components map one-to-one
+onto the paper's analyses:
+
+* CPU breakdown components = the five top-level TMA categories
+  (retiring / frontend / bad-speculation / core-bound / memory-bound);
+* GPU breakdown components feed the instruction-roofline counters.
+
+The model is anchored to Table II: Stream TRIAD defines the achievable
+bandwidth (``streaming_eff = 1``) and Basic MAT_MAT_SHARED carries each
+machine's measured fraction-of-peak FLOP rate; calibration tests assert
+the model reproduces those anchors within a few percent.
+"""
+
+from repro.perfmodel.work import WorkProfile
+from repro.perfmodel.traits import KernelTraits
+from repro.perfmodel.cpu_time import CpuTimeBreakdown, CpuTimeModel
+from repro.perfmodel.gpu_time import GpuTimeBreakdown, GpuTimeModel
+from repro.perfmodel.timing import TimeBreakdown, predict_time
+from repro.perfmodel.calibration import calibration_report, calibration_errors
+
+__all__ = [
+    "WorkProfile",
+    "KernelTraits",
+    "CpuTimeModel",
+    "CpuTimeBreakdown",
+    "GpuTimeModel",
+    "GpuTimeBreakdown",
+    "TimeBreakdown",
+    "predict_time",
+    "calibration_report",
+    "calibration_errors",
+]

@@ -1,0 +1,159 @@
+"""Calibration of the analytic model against Table II's anchors.
+
+The model is anchored so that Stream TRIAD reproduces each machine's
+achieved memory bandwidth and Basic MAT_MAT_SHARED reproduces its achieved
+FLOP rate. These functions *measure the residual*: they push synthetic
+TRIAD/MAT_MAT work profiles through the full timing model (which adds
+retirement, frontend, launch, and overlap effects on top of the raw
+roofline terms) and report the achieved-rate error versus the anchors.
+Tests assert the residual stays within a few percent.
+
+The anchor traits defined here are also the traits the real TRIAD and
+MAT_MAT_SHARED kernels carry, so kernel-space results and the calibration
+agree by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.model import MachineModel
+from repro.machines.registry import list_machines
+from repro.perfmodel.timing import predict_time
+from repro.perfmodel.traits import KernelTraits
+from repro.perfmodel.work import WorkProfile
+
+# Calibration problem size: 10x the paper's 32M node size so per-launch
+# overhead amortizes, isolating the steady-state rates the Table II
+# percentages describe.
+_ANCHOR_N = 320_000_000
+
+
+def triad_work(n: int = _ANCHOR_N) -> WorkProfile:
+    """Stream TRIAD: a[i] = b[i] + q*c[i] — 16 B read, 8 B written, 2 FLOPs."""
+    return WorkProfile(
+        iterations=n,
+        bytes_read=16.0 * n,
+        bytes_written=8.0 * n,
+        flops=2.0 * n,
+        instructions=6.0 * n,
+    )
+
+
+def triad_traits() -> KernelTraits:
+    """TRIAD defines ``streaming_eff = 1``: the bandwidth anchor."""
+    return KernelTraits(
+        streaming_eff=1.0,
+        cpu_compute_eff=0.5,
+        gpu_compute_eff=0.6,
+        simd_eff=0.95,
+        frontend_factor=0.02,
+    )
+
+
+def matmat_work(n: int = _ANCHOR_N) -> WorkProfile:
+    """Basic MAT_MAT_SHARED at problem size n (n = N_mat^2 matrix elements).
+
+    FLOPs = 2 * N^3 = 2 * n^{3/2}. The blocked algorithm keeps tiles in
+    shared memory / cache, so DRAM traffic is ~the three matrices once, and
+    FMA-dense code retires far fewer instructions than FLOPs.
+    """
+    n_mat = int(round(n**0.5))
+    flops = 2.0 * float(n_mat) ** 3
+    return WorkProfile(
+        iterations=n,
+        bytes_read=2.0 * 8.0 * n,
+        bytes_written=8.0 * n,
+        flops=flops,
+        instructions=0.3 * flops,
+    )
+
+
+def matmat_traits() -> KernelTraits:
+    """MAT_MAT_SHARED carries Table II's measured fraction per machine.
+
+    CPU efficiencies are relative to theoretical peak scaled by the SKU
+    clock (SPR-HBM runs at 1.9 GHz vs the 2.0 GHz nominal); GPU
+    efficiencies are relative to ``peak x flop_derate``.
+    """
+    return KernelTraits(
+        streaming_eff=0.8,
+        cpu_compute_eff=0.18,
+        gpu_compute_eff=0.5,
+        cpu_eff_overrides={"SPR-DDR": 0.18, "SPR-HBM": 0.155 / (1.9 / 2.0)},
+        gpu_eff_overrides={"P9-V100": 0.224 / 0.5, "EPYC-MI250X": 0.07 / 0.088},
+        simd_eff=1.0,
+        cache_resident=0.9,
+        gpu_cache_resident=0.5,
+        frontend_factor=0.02,
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    machine: str
+    metric: str  # "bandwidth" or "flops"
+    expected: float  # anchor rate from Table II (units/s)
+    modeled: float
+    relative_error: float
+
+
+def _achieved_rate(
+    work: WorkProfile,
+    traits: KernelTraits,
+    machine: MachineModel,
+    numerator: float,
+) -> float:
+    # Base variant, matching how the paper measured the anchors.
+    breakdown = predict_time(work, traits, machine, is_raja=False)
+    return numerator / breakdown.total_seconds
+
+
+def calibration_errors(machines: list[MachineModel] | None = None) -> list[CalibrationPoint]:
+    """Model-vs-anchor residuals for TRIAD bandwidth and MAT_MAT FLOPs."""
+    points: list[CalibrationPoint] = []
+    for machine in machines if machines is not None else list_machines():
+        tw, tt = triad_work(), triad_traits()
+        modeled_bw = _achieved_rate(tw, tt, machine, tw.bytes_total)
+        expected_bw = machine.achieved_bytes_per_sec
+        points.append(
+            CalibrationPoint(
+                machine=machine.shorthand,
+                metric="bandwidth",
+                expected=expected_bw,
+                modeled=modeled_bw,
+                relative_error=abs(modeled_bw - expected_bw) / expected_bw,
+            )
+        )
+        mw, mt = matmat_work(), matmat_traits()
+        modeled_fl = _achieved_rate(mw, mt, machine, mw.flops)
+        expected_fl = machine.achieved_flops_per_sec
+        points.append(
+            CalibrationPoint(
+                machine=machine.shorthand,
+                metric="flops",
+                expected=expected_fl,
+                modeled=modeled_fl,
+                relative_error=abs(modeled_fl - expected_fl) / expected_fl,
+            )
+        )
+    return points
+
+
+def calibration_report() -> str:
+    """Human-readable calibration table (used by the Table II bench)."""
+    from repro.util.tables import TextTable
+
+    table = TextTable(
+        ["Machine", "Metric", "Anchor (T/s)", "Model (T/s)", "Rel. error"],
+        title="Performance-model calibration vs Table II anchors",
+    )
+    for point in calibration_errors():
+        table.add_row(
+            point.machine,
+            point.metric,
+            point.expected / 1e12,
+            point.modeled / 1e12,
+            f"{point.relative_error * 100:.2f}%",
+        )
+    return table.render()

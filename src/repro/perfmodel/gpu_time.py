@@ -1,0 +1,159 @@
+"""GPU execution-time model.
+
+A node-level roofline-with-overheads account: parallel time is the max of
+the memory-traffic time, the FP time (anchored to the machine's achieved
+MAT_MAT_SHARED rate), and the instruction-issue time (anchored to the
+machine's sustained thread-instruction rate). On top of that:
+
+* serialization — the fraction of work that cannot parallelize on a GPU
+  (loop-carried dependences like Polybench_ADI's sweeps) runs at a single
+  stream's scalar rate;
+* launch overhead — per kernel launch; this is what makes the fused vs
+  non-fused HALO packing variants differ and what the paper calls
+  "kernel launch overhead bound";
+* atomics — serialized RMW throughput, the reason Basic_PI_ATOMIC never
+  speeds up on either GPU;
+* MPI time for the Comm group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.model import MachineKind, MachineModel
+from repro.perfmodel.traits import KernelTraits
+from repro.perfmodel.work import WorkProfile
+
+# Scalar rate (instr/s) of a single serialized GPU execution stream.
+GPU_SERIAL_RATE = 2.0e9
+
+
+@dataclass(frozen=True)
+class GpuTimeBreakdown:
+    """GPU time components (seconds)."""
+
+    memory: float
+    compute: float
+    instruction: float
+    serial: float
+    launch: float
+    atomic: float
+    mpi: float = 0.0
+
+    @property
+    def parallel(self) -> float:
+        """The rooflined parallel phase: max of the three streams."""
+        return max(self.memory, self.compute, self.instruction)
+
+    @property
+    def total(self) -> float:
+        return self.parallel + self.serial + self.launch + self.atomic + self.mpi
+
+    @property
+    def bound(self) -> str:
+        """Which resource bounds the parallel phase."""
+        best = max(
+            ("memory", self.memory),
+            ("compute", self.compute),
+            ("instruction", self.instruction),
+            key=lambda kv: kv[1],
+        )
+        return best[0]
+
+
+class GpuTimeModel:
+    """Predicts node-level GPU execution time for one kernel pass."""
+
+    def __init__(self, machine: MachineModel) -> None:
+        if machine.kind is not MachineKind.GPU or machine.gpu is None:
+            raise ValueError(f"{machine.shorthand} is not a GPU machine")
+        self.machine = machine
+        self.gpu = machine.gpu
+
+    # ------------------------------------------------------------- rates
+    def memory_rate(self, traits: KernelTraits) -> float:
+        return self.machine.achieved_bytes_per_sec * traits.streaming_eff
+
+    def flop_rate(self, traits: KernelTraits) -> float:
+        """Achievable FP rate: peak x machine derate x kernel efficiency.
+
+        ``flop_derate`` is the machine-level fraction of peak a well-tuned
+        vector kernel sustains (low on MI250X per Table II); the kernel's
+        ``gpu_compute_eff`` is relative to that and may exceed 1.0 for
+        kernels whose FP mix beats the typical case (Apps_EDGE3D).
+        """
+        return (
+            self.machine.peak_flops_per_sec
+            * self.gpu.flop_derate
+            * traits.gpu_eff_for(self.machine.shorthand)
+        )
+
+    def instruction_rate(self) -> float:
+        return self.gpu.sustained_tips_node * 1e12
+
+    def occupancy_factor(self, block_size: int | None) -> float:
+        """Throughput derate for a thread-block tuning.
+
+        RAJAPerf's GPU 'tunings' sweep block sizes; very small blocks leave
+        warp-scheduler slots idle (low occupancy), very large blocks limit
+        the blocks-in-flight needed to hide latency. The default 256 is the
+        sweet spot; the derate is mild, matching the suite's observation
+        that most kernels are within ~20% across tunings.
+        """
+        if block_size is None:
+            return 1.0
+        if block_size <= 0:
+            raise ValueError(f"block_size must be > 0, got {block_size}")
+        device = float(self.gpu.warp_size * 8)  # blocks below 8 warps under-fill
+        if block_size < device:
+            # Occupancy loss grows slower than linearly (latency is still
+            # partially hidden by other blocks in flight).
+            return max(0.55, (block_size / device) ** 0.5)
+        if block_size > 512:
+            return 0.9
+        return 1.0
+
+    # ------------------------------------------------------------ timing
+    def predict(
+        self,
+        work: WorkProfile,
+        traits: KernelTraits,
+        block_size: int | None = None,
+    ) -> GpuTimeBreakdown:
+        gpu = self.gpu
+        occupancy = self.occupancy_factor(block_size)
+
+        dram_bytes = work.bytes_total * (1.0 - traits.gpu_cache_resident)
+        t_mem = dram_bytes / (self.memory_rate(traits) * occupancy)
+        t_flop = (
+            work.flops / (self.flop_rate(traits) * occupancy) if work.flops else 0.0
+        )
+        t_instr = work.instructions / (self.instruction_rate() * occupancy)
+
+        t_serial = (
+            traits.gpu_serial_fraction * work.instructions / GPU_SERIAL_RATE
+        )
+        t_launch = work.launches * gpu.kernel_launch_overhead_us * 1e-6
+        t_atomic = work.atomics / (
+            gpu.atomic_throughput_gops * 1e9 * self.machine.units_per_node
+        )
+        t_mpi = self._mpi_time(work)
+
+        return GpuTimeBreakdown(
+            memory=t_mem,
+            compute=t_flop,
+            instruction=t_instr,
+            serial=t_serial,
+            launch=t_launch,
+            atomic=t_atomic,
+            mpi=t_mpi,
+        )
+
+    def _mpi_time(self, work: WorkProfile) -> float:
+        if work.mpi_messages == 0 and work.mpi_bytes == 0:
+            return 0.0
+        mpi = self.machine.mpi
+        return (
+            work.mpi_messages * mpi.latency_us * 1e-6
+            + work.mpi_bytes / (mpi.bandwidth_gb_per_sec * 1e9)
+        )

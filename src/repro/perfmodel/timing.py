@@ -1,0 +1,109 @@
+"""Unified timing facade over the CPU and GPU models.
+
+``predict_time`` hides the machine-kind dispatch and the Base-vs-RAJA
+abstraction overhead, returning a :class:`TimeBreakdown` that carries the
+total, the per-component dict, and (for CPU machines) the TMA fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machines.model import MachineKind, MachineModel
+from repro.perfmodel.cpu_time import CpuTimeBreakdown, CpuTimeModel
+from repro.perfmodel.gpu_time import GpuTimeBreakdown, GpuTimeModel
+from repro.perfmodel.traits import KernelTraits
+from repro.perfmodel.work import WorkProfile
+
+# Multiplicative abstraction overhead of a RAJA variant over its Base
+# counterpart. RAJA's lambdas/templates mostly compile away; a small
+# residual remains, larger on GPU backends where the launch path is
+# wrapped. The ablation bench sweeps these.
+RAJA_OVERHEAD_CPU = 1.02
+RAJA_OVERHEAD_GPU = 1.05
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Machine-agnostic timing result."""
+
+    machine: str
+    total_seconds: float
+    components: dict[str, float] = field(default_factory=dict)
+    tma: dict[str, float] | None = None
+    gpu_bound: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.total_seconds <= 0:
+            raise ValueError(f"non-positive predicted time: {self.total_seconds}")
+
+
+def _raja_factor(machine: MachineModel, is_raja: bool) -> float:
+    if not is_raja:
+        return 1.0
+    return RAJA_OVERHEAD_GPU if machine.kind is MachineKind.GPU else RAJA_OVERHEAD_CPU
+
+
+def predict_time(
+    work: WorkProfile,
+    traits: KernelTraits,
+    machine: MachineModel,
+    is_raja: bool = True,
+    block_size: int | None = None,
+    omp_regions: float = 0.0,
+) -> TimeBreakdown:
+    """Predict node-level execution time of one kernel pass on ``machine``.
+
+    ``block_size`` applies the GPU tuning's occupancy derate (ignored on
+    CPU machines); ``omp_regions`` charges OpenMP fork/join overhead per
+    parallel region (used for the OpenMP variants).
+    """
+    factor = _raja_factor(machine, is_raja)
+    if machine.kind is MachineKind.CPU:
+        bd: CpuTimeBreakdown = CpuTimeModel(machine).predict(
+            work, traits, omp_regions=omp_regions
+        )
+        components = {
+            "retiring": bd.retiring * factor,
+            "frontend": bd.frontend * factor,
+            "bad_speculation": bd.bad_speculation * factor,
+            "core_stall": bd.core_stall * factor,
+            "memory_stall": bd.memory_stall * factor,
+            "mpi": bd.mpi,
+        }
+        total = sum(components.values())
+        return TimeBreakdown(
+            machine=machine.shorthand,
+            total_seconds=total if total > 0 else 1e-12,
+            components=components,
+            tma=bd.tma(),
+        )
+    gbd: GpuTimeBreakdown = GpuTimeModel(machine).predict(
+        work, traits, block_size=block_size
+    )
+    components = {
+        "memory": gbd.memory * factor,
+        "compute": gbd.compute * factor,
+        "instruction": gbd.instruction * factor,
+        "serial": gbd.serial * factor,
+        "launch": gbd.launch,
+        "atomic": gbd.atomic * factor,
+        "mpi": gbd.mpi,
+    }
+    # GPU total: the parallel phase is the max of the three streams, the
+    # overhead terms add on top.
+    parallel = max(components["memory"], components["compute"], components["instruction"])
+    total = (
+        parallel
+        + components["serial"]
+        + components["launch"]
+        + components["atomic"]
+        + components["mpi"]
+    )
+    return TimeBreakdown(
+        machine=machine.shorthand,
+        total_seconds=total if total > 0 else 1e-12,
+        components=components,
+        tma=None,
+        gpu_bound=gbd.bound,
+    )

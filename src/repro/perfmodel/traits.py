@@ -1,0 +1,82 @@
+"""Kernel trait vectors: execution-efficiency characteristics.
+
+Traits capture *how* a kernel executes, complementing the WorkProfile's
+*how much*. They are dimensionless efficiency/intensity coefficients:
+
+``streaming_eff``
+    Achievable fraction of Stream-TRIAD bandwidth for this kernel's access
+    pattern (1.0 = perfectly streaming; strided/indirect patterns lower).
+``cpu_compute_eff``
+    Achievable fraction of the node's *theoretical peak* FLOP rate on CPUs.
+    The dense-matmul kernel carries Table II's measured fraction (0.18 on
+    SPR-DDR) as its trait value.
+``gpu_compute_eff``
+    Achievable fraction of the machine's derated GPU FLOP rate
+    (``peak x GpuSpec.flop_derate``). May exceed 1.0 for kernels whose FP
+    mix beats the typical case (the paper's Apps_EDGE3D reaches 84 TFLOPS
+    on MI250X where dense matmul reaches 13.3).
+``simd_eff``
+    Fraction of the CPU SIMD width the compiler exploits (drives the
+    retirement rate; LCALS kernels exist precisely to probe this).
+``branch_misp_per_iter``
+    Expected branch mispredictions per iteration (drives Bad Speculation).
+``frontend_factor``
+    Fraction of retirement time additionally stalled on instruction fetch
+    (large lambdas/inlining failures/deep loop nests raise it).
+``cache_resident`` / ``gpu_cache_resident``
+    Fraction of declared byte traffic served from cache rather than DRAM
+    at the paper's per-rank problem sizes.
+``gpu_serial_fraction``
+    Fraction of the work that serializes on a GPU (loop-carried
+    dependencies, e.g. Polybench_ADI's sweeps).
+``gpu_eff_overrides`` / ``cpu_eff_overrides``
+    Optional per-machine-shorthand overrides of the compute efficiencies
+    (used e.g. by MAT_MAT_SHARED, which carries Table II's measured
+    fraction for each machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class KernelTraits:
+    streaming_eff: float = 1.0
+    cpu_compute_eff: float = 0.35
+    gpu_compute_eff: float = 0.6
+    simd_eff: float = 0.8
+    branch_misp_per_iter: float = 0.0
+    frontend_factor: float = 0.05
+    cache_resident: float = 0.0
+    gpu_cache_resident: float = 0.0
+    gpu_serial_fraction: float = 0.0
+    gpu_eff_overrides: dict[str, float] = field(default_factory=dict)
+    cpu_eff_overrides: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, lo, hi in [
+            ("streaming_eff", 1e-6, 1.0),
+            ("simd_eff", 0.0, 1.0),
+            ("cache_resident", 0.0, 1.0),
+            ("gpu_cache_resident", 0.0, 1.0),
+            ("gpu_serial_fraction", 0.0, 1.0),
+        ]:
+            value = getattr(self, name)
+            if not lo <= value <= hi:
+                raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+        for name in ("cpu_compute_eff", "gpu_compute_eff"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+        if self.branch_misp_per_iter < 0:
+            raise ValueError("branch_misp_per_iter must be >= 0")
+        if self.frontend_factor < 0:
+            raise ValueError("frontend_factor must be >= 0")
+
+    def gpu_eff_for(self, machine_shorthand: str) -> float:
+        """The GPU compute efficiency, honoring per-machine overrides."""
+        return self.gpu_eff_overrides.get(machine_shorthand, self.gpu_compute_eff)
+
+    def cpu_eff_for(self, machine_shorthand: str) -> float:
+        """The CPU compute efficiency, honoring per-machine overrides."""
+        return self.cpu_eff_overrides.get(machine_shorthand, self.cpu_compute_eff)

@@ -1,0 +1,84 @@
+"""The :class:`WorkProfile`: one run's platform-independent work totals.
+
+These are RAJAPerf's *analytic metrics* (Section II-B of the paper): bytes
+read, bytes written, and FLOPs, extended with the totals the simulators
+need (iteration count, instruction estimate, atomic operations, kernel
+launches, MPI traffic). All values are node-level totals for one pass over
+the kernel at a given problem size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Node-level work totals for one repetition of a kernel."""
+
+    iterations: float
+    bytes_read: float
+    bytes_written: float
+    flops: float
+    instructions: float = 0.0
+    atomics: float = 0.0
+    launches: float = 1.0
+    mpi_messages: float = 0.0
+    mpi_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("iterations", self.iterations, allow_zero=True)
+        check_positive("bytes_read", self.bytes_read, allow_zero=True)
+        check_positive("bytes_written", self.bytes_written, allow_zero=True)
+        check_positive("flops", self.flops, allow_zero=True)
+        check_positive("instructions", self.instructions, allow_zero=True)
+        check_positive("atomics", self.atomics, allow_zero=True)
+        check_positive("launches", self.launches, allow_zero=True)
+        check_positive("mpi_messages", self.mpi_messages, allow_zero=True)
+        check_positive("mpi_bytes", self.mpi_bytes, allow_zero=True)
+        if self.instructions == 0.0 and self.iterations > 0:
+            # Fallback instruction estimate: a scalar iteration retires its
+            # FLOPs plus ~2 ops (address generation + loop control) per
+            # memory word touched.
+            words = (self.bytes_read + self.bytes_written) / 8.0
+            object.__setattr__(
+                self, "instructions", self.flops + 2.0 * words + 2.0 * self.iterations
+            )
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def flops_per_byte(self) -> float:
+        """Arithmetic intensity — the derived metric of Fig. 1."""
+        total = self.bytes_total
+        return self.flops / total if total > 0 else 0.0
+
+    def scaled(self, factor: float) -> "WorkProfile":
+        """Scale all extensive quantities (e.g. for multiple repetitions)."""
+        check_positive("factor", factor, allow_zero=True)
+        return replace(
+            self,
+            iterations=self.iterations * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+            flops=self.flops * factor,
+            instructions=self.instructions * factor,
+            atomics=self.atomics * factor,
+            launches=self.launches * factor,
+            mpi_messages=self.mpi_messages * factor,
+            mpi_bytes=self.mpi_bytes * factor,
+        )
+
+    def per_iteration(self) -> dict[str, float]:
+        """Fig. 1's view: analytic metrics normalized by problem size."""
+        denom = self.iterations if self.iterations > 0 else 1.0
+        return {
+            "bytes_read": self.bytes_read / denom,
+            "bytes_written": self.bytes_written / denom,
+            "flops": self.flops / denom,
+            "flops_per_byte": self.flops_per_byte,
+        }

@@ -1,0 +1,24 @@
+"""Atomic update operations (``RAJA::atomicAdd`` and friends).
+
+The vectorized equivalents use NumPy's unbuffered ``ufunc.at`` so repeated
+indices accumulate correctly — the semantic content of atomicity in a
+data-parallel loop. The simulators separately charge the *cost* of atomic
+contention via the kernel trait vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def atomic_add(target: np.ndarray, indices: object, values: object) -> None:
+    """``target[indices] += values`` with correct duplicate-index handling."""
+    np.add.at(target, np.asarray(indices, dtype=np.intp), values)
+
+
+def atomic_min(target: np.ndarray, indices: object, values: object) -> None:
+    np.minimum.at(target, np.asarray(indices, dtype=np.intp), values)
+
+
+def atomic_max(target: np.ndarray, indices: object, values: object) -> None:
+    np.maximum.at(target, np.asarray(indices, dtype=np.intp), values)

@@ -1,0 +1,99 @@
+"""``forall``: the core RAJA dispatch primitive.
+
+A kernel body is a callable taking a NumPy index array and performing
+vectorized work over those indices (reads/writes through captured arrays
+or :class:`~repro.rajasim.views.View` objects). ``forall`` partitions the
+iteration space according to the policy and invokes the body once per
+partition:
+
+* sequential / SIMD — one partition covering the whole range (the NumPy
+  vectorized execution *is* the SIMD model);
+* OpenMP — round-robin chunks per simulated thread;
+* GPU backends (CUDA/HIP/SYCL/OMPTarget) — thread blocks of
+  ``policy.block_size`` contiguous indices, mirroring a grid launch.
+
+Because bodies receive index *arrays*, results are bit-identical across
+policies for data-parallel bodies (floating-point reductions are combined
+in deterministic partition order).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from repro.rajasim.policies import Backend, ExecPolicy
+
+IndexBody = Callable[[np.ndarray], None]
+
+
+def _normalize_segment(segment: object) -> np.ndarray:
+    """Accept an int (range size), a (begin, end) tuple, range, or array."""
+    if isinstance(segment, (int, np.integer)):
+        if segment < 0:
+            raise ValueError(f"negative iteration count: {segment}")
+        return np.arange(int(segment), dtype=np.intp)
+    if isinstance(segment, tuple) and len(segment) == 2:
+        begin, end = segment
+        if end < begin:
+            raise ValueError(f"empty-reversed segment ({begin}, {end})")
+        return np.arange(int(begin), int(end), dtype=np.intp)
+    if isinstance(segment, range):
+        return np.arange(segment.start, segment.stop, segment.step, dtype=np.intp)
+    arr = np.asarray(segment)
+    if arr.ndim != 1:
+        raise ValueError(f"index segments must be 1-D, got shape {arr.shape}")
+    return arr.astype(np.intp, copy=False)
+
+
+def iter_partitions(policy: ExecPolicy, indices: np.ndarray) -> Iterator[np.ndarray]:
+    """Yield the index partitions the policy would hand to workers."""
+    n = len(indices)
+    if n == 0:
+        return
+    if policy.backend in (Backend.SEQUENTIAL, Backend.SIMD):
+        yield indices
+        return
+    if policy.backend is Backend.OPENMP:
+        # Static schedule: contiguous chunks of ~n/num_threads, mirroring
+        # `#pragma omp parallel for schedule(static)`.
+        nchunks = min(policy.num_threads, n)
+        for part in np.array_split(indices, nchunks):
+            if len(part):
+                yield part
+        return
+    # GPU-style: fixed-size thread blocks.
+    block = policy.block_size
+    for start in range(0, n, block):
+        yield indices[start : start + block]
+
+
+def forall(policy: ExecPolicy, segment: object, body: IndexBody) -> int:
+    """Run ``body`` over ``segment`` under ``policy``; return launch count.
+
+    The return value is the number of partitions (GPU blocks / CPU chunks)
+    — the simulators use it to attribute launch and scheduling overheads.
+    """
+    indices = _normalize_segment(segment)
+    launches = 0
+    for part in iter_partitions(policy, indices):
+        body(part)
+        launches += 1
+    return launches
+
+
+def forall_chunks(
+    policy: ExecPolicy, segment: object, body: Callable[[np.ndarray, int], None]
+) -> int:
+    """Like :func:`forall` but passes the partition ordinal to the body.
+
+    Needed by kernels that keep per-thread/per-block state, e.g. partial
+    reductions written to a block-indexed scratch array.
+    """
+    indices = _normalize_segment(segment)
+    launches = 0
+    for ordinal, part in enumerate(iter_partitions(policy, indices)):
+        body(part, ordinal)
+        launches += 1
+    return launches

@@ -1,0 +1,56 @@
+"""Nested-loop dispatch (``RAJA::kernel`` equivalent).
+
+``kernel_2d``/``kernel_3d`` execute a body over the cross product of index
+ranges. The body receives one index array per dimension (already
+broadcast), so NumPy fancy indexing through :class:`~repro.rajasim.views.View`
+objects does the multi-dimensional work in vectorized form. Partitioning
+follows the *outermost* range, matching RAJA's common
+``kernel<For<0, ...>>`` structure where outer iterations map to
+threads/blocks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.rajasim.forall import _normalize_segment, iter_partitions
+from repro.rajasim.policies import ExecPolicy
+
+
+def kernel_2d(
+    policy: ExecPolicy,
+    segments: tuple[object, object],
+    body: Callable[[np.ndarray, np.ndarray], None],
+) -> int:
+    """Run ``body(i, j)`` over ``segments[0] x segments[1]``."""
+    outer = _normalize_segment(segments[0])
+    inner = _normalize_segment(segments[1])
+    launches = 0
+    for part in iter_partitions(policy, outer):
+        ii = np.repeat(part, len(inner))
+        jj = np.tile(inner, len(part))
+        body(ii, jj)
+        launches += 1
+    return launches
+
+
+def kernel_3d(
+    policy: ExecPolicy,
+    segments: tuple[object, object, object],
+    body: Callable[[np.ndarray, np.ndarray, np.ndarray], None],
+) -> int:
+    """Run ``body(i, j, k)`` over the 3-D cross product of segments."""
+    outer = _normalize_segment(segments[0])
+    mid = _normalize_segment(segments[1])
+    inner = _normalize_segment(segments[2])
+    n_mid, n_inner = len(mid), len(inner)
+    launches = 0
+    for part in iter_partitions(policy, outer):
+        ii = np.repeat(part, n_mid * n_inner)
+        jj = np.tile(np.repeat(mid, n_inner), len(part))
+        kk = np.tile(inner, len(part) * n_mid)
+        body(ii, jj, kk)
+        launches += 1
+    return launches

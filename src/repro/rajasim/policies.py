@@ -1,0 +1,88 @@
+"""Execution policies: how a ``forall`` maps onto a backend.
+
+A policy names a *backend* (the programming model it models) plus the
+parameters that matter for execution structure: chunk size for CPU
+threading, block size for GPU grids. RAJAPerf tunes GPU block sizes per
+kernel ("tunings"); the same knob appears here as ``block_size``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class Backend(enum.Enum):
+    """The programming-model backend a policy dispatches to."""
+
+    SEQUENTIAL = "Seq"
+    SIMD = "SIMD"
+    OPENMP = "OpenMP"
+    OPENMP_TARGET = "OMPTarget"
+    CUDA = "CUDA"
+    HIP = "HIP"
+    SYCL = "SYCL"
+
+    @property
+    def is_gpu(self) -> bool:
+        return self in (
+            Backend.OPENMP_TARGET,
+            Backend.CUDA,
+            Backend.HIP,
+            Backend.SYCL,
+        )
+
+
+@dataclass(frozen=True)
+class ExecPolicy:
+    """An execution policy: backend + decomposition parameters.
+
+    ``block_size`` is the GPU thread-block (or SYCL work-group) size;
+    ``chunk_size`` is the CPU loop chunk handed to each simulated thread;
+    ``num_threads`` the simulated OpenMP thread count.
+    """
+
+    backend: Backend
+    block_size: int = 256
+    chunk_size: int = 4096
+    num_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be > 0, got {self.block_size}")
+        if self.chunk_size <= 0:
+            raise ValueError(f"chunk_size must be > 0, got {self.chunk_size}")
+        if self.num_threads <= 0:
+            raise ValueError(f"num_threads must be > 0, got {self.num_threads}")
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.backend.is_gpu
+
+    def with_block_size(self, block_size: int) -> "ExecPolicy":
+        """Return a tuned copy of this policy (RAJAPerf's GPU 'tunings')."""
+        return replace(self, block_size=block_size)
+
+    def tuning_name(self) -> str:
+        """RAJAPerf-style tuning label, e.g. ``block_256`` or ``default``."""
+        return f"block_{self.block_size}" if self.is_gpu else "default"
+
+
+# Canonical policies. GPU block size 256 matches RAJAPerf's default tuning.
+seq_exec = ExecPolicy(Backend.SEQUENTIAL)
+simd_exec = ExecPolicy(Backend.SIMD)
+omp_parallel_for_exec = ExecPolicy(Backend.OPENMP, num_threads=56)
+omp_target_exec = ExecPolicy(Backend.OPENMP_TARGET, block_size=256)
+cuda_exec = ExecPolicy(Backend.CUDA, block_size=256)
+hip_exec = ExecPolicy(Backend.HIP, block_size=256)
+sycl_exec = ExecPolicy(Backend.SYCL, block_size=256)
+
+POLICY_BY_BACKEND: dict[Backend, ExecPolicy] = {
+    Backend.SEQUENTIAL: seq_exec,
+    Backend.SIMD: simd_exec,
+    Backend.OPENMP: omp_parallel_for_exec,
+    Backend.OPENMP_TARGET: omp_target_exec,
+    Backend.CUDA: cuda_exec,
+    Backend.HIP: hip_exec,
+    Backend.SYCL: sycl_exec,
+}

@@ -1,0 +1,129 @@
+"""RAJA-style reducer objects.
+
+RAJA kernels declare reducers (``RAJA::ReduceSum`` etc.) that accumulate a
+value across loop iterations and are read after the loop. The Python
+equivalents here accept vectorized contributions (an array per ``forall``
+partition) and combine partials in deterministic partition order, which
+mirrors how the GPU backends combine per-block partials.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _Reducer:
+    """Base class: holds the running value and the combine rule."""
+
+    def __init__(self, initial: float) -> None:
+        self._initial = initial
+        self._value = initial
+
+    def reset(self, initial: float | None = None) -> None:
+        if initial is not None:
+            self._initial = initial
+        self._value = self._initial
+
+    def get(self) -> float:
+        return self._value
+
+    def combine(self, values: object) -> None:
+        raise NotImplementedError
+
+
+class ReduceSum(_Reducer):
+    """Sum reduction; ``combine`` adds the (partition-local) sum."""
+
+    def combine(self, values: object) -> None:
+        arr = np.asarray(values)
+        self._value = self._value + (arr.sum() if arr.ndim else arr)
+
+    def __iadd__(self, values: object) -> "ReduceSum":
+        self.combine(values)
+        return self
+
+
+class ReduceMin(_Reducer):
+    def combine(self, values: object) -> None:
+        arr = np.asarray(values)
+        candidate = arr.min() if arr.ndim else arr
+        if candidate < self._value:
+            self._value = candidate
+
+
+class ReduceMax(_Reducer):
+    def combine(self, values: object) -> None:
+        arr = np.asarray(values)
+        candidate = arr.max() if arr.ndim else arr
+        if candidate > self._value:
+            self._value = candidate
+
+
+class _LocReducer:
+    """Min/max-with-location reductions (``RAJA::ReduceMinLoc``)."""
+
+    def __init__(self, initial: float, initial_loc: int = -1) -> None:
+        self._value = initial
+        self._loc = initial_loc
+
+    def get(self) -> float:
+        return self._value
+
+    def get_loc(self) -> int:
+        return self._loc
+
+
+class ReduceMinLoc(_LocReducer):
+    def combine(self, values: object, locations: object) -> None:
+        arr = np.asarray(values)
+        locs = np.asarray(locations)
+        if arr.shape != locs.shape:
+            raise ValueError("values and locations must have the same shape")
+        if arr.size == 0:
+            return
+        i = int(np.argmin(arr))
+        if arr.flat[i] < self._value:
+            self._value = arr.flat[i]
+            self._loc = int(locs.flat[i])
+
+
+class ReduceMaxLoc(_LocReducer):
+    def combine(self, values: object, locations: object) -> None:
+        arr = np.asarray(values)
+        locs = np.asarray(locations)
+        if arr.shape != locs.shape:
+            raise ValueError("values and locations must have the same shape")
+        if arr.size == 0:
+            return
+        i = int(np.argmax(arr))
+        if arr.flat[i] > self._value:
+            self._value = arr.flat[i]
+            self._loc = int(locs.flat[i])
+
+
+class MultiReduceSum:
+    """A runtime-sized bank of sum reducers (``RAJA::MultiReduceSum``).
+
+    Used by MULTI_REDUCE and HISTOGRAM: each iteration contributes to one
+    of ``num_bins`` accumulators selected by a bin index.
+    """
+
+    def __init__(self, num_bins: int, initial: float = 0.0) -> None:
+        if num_bins <= 0:
+            raise ValueError(f"num_bins must be > 0, got {num_bins}")
+        self.num_bins = num_bins
+        self._values = np.full(num_bins, float(initial))
+
+    def combine(self, bins: object, values: object) -> None:
+        bins_arr = np.asarray(bins, dtype=np.intp)
+        vals_arr = np.asarray(values, dtype=float)
+        if bins_arr.shape != vals_arr.shape:
+            raise ValueError("bins and values must have the same shape")
+        if np.any((bins_arr < 0) | (bins_arr >= self.num_bins)):
+            raise IndexError("bin index out of range")
+        np.add.at(self._values, bins_arr, vals_arr)
+
+    def get(self, bin_index: int | None = None) -> object:
+        if bin_index is None:
+            return self._values.copy()
+        return float(self._values[bin_index])

@@ -1,0 +1,62 @@
+"""Execution resources and memory operations.
+
+Models RAJA's ``camp::resources``: a *Host* or *Device* resource against
+which allocations, ``memcpy``, and ``memset`` are issued. The Algorithm
+group's MEMCPY/MEMSET kernels go through these entry points so their byte
+traffic is attributable like any other kernel's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Resource:
+    """An execution resource (host CPU or a simulated device).
+
+    Tracks cumulative allocation and transfer byte counts so tests can
+    assert that kernels move exactly the bytes their analytic formulas
+    declare.
+    """
+
+    name: str = "host"
+    is_device: bool = False
+    bytes_allocated: int = 0
+    bytes_copied: int = 0
+    bytes_set: int = 0
+    allocations: list[int] = field(default_factory=list)
+
+    def allocate(self, count: int, dtype: object = np.float64) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"negative allocation: {count}")
+        arr = np.empty(count, dtype=dtype)
+        self.bytes_allocated += arr.nbytes
+        self.allocations.append(arr.nbytes)
+        return arr
+
+    def memcpy(self, dst: np.ndarray, src: np.ndarray) -> None:
+        device_memcpy(dst, src, self)
+
+    def memset(self, dst: np.ndarray, value: int) -> None:
+        device_memset(dst, value, self)
+
+
+def device_memcpy(dst: np.ndarray, src: np.ndarray, resource: Resource | None = None) -> None:
+    """Copy ``src`` into ``dst`` (same length), counting bytes on the resource."""
+    if dst.shape != src.shape:
+        raise ValueError(f"memcpy shape mismatch: {dst.shape} vs {src.shape}")
+    np.copyto(dst, src)
+    if resource is not None:
+        resource.bytes_copied += dst.nbytes
+
+
+def device_memset(dst: np.ndarray, value: int, resource: Resource | None = None) -> None:
+    """Byte-fill ``dst`` with ``value`` (0-255), like ``memset``."""
+    if not 0 <= int(value) <= 255:
+        raise ValueError(f"memset value must be a byte (0-255), got {value}")
+    dst.view(np.uint8)[:] = np.uint8(value)
+    if resource is not None:
+        resource.bytes_set += dst.nbytes

@@ -1,0 +1,46 @@
+"""Scan (prefix-sum) operations, RAJA-style."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def inclusive_scan(values: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Inclusive prefix sum: ``out[i] = sum(values[:i+1])``."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError("scan input must be 1-D")
+    if out is None:
+        return np.cumsum(arr)
+    np.cumsum(arr, out=out)
+    return out
+
+
+def exclusive_scan(
+    values: np.ndarray, out: np.ndarray | None = None, identity: float = 0
+) -> np.ndarray:
+    """Exclusive prefix sum: ``out[0] = identity, out[i] = out[i-1] + v[i-1]``."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError("scan input must be 1-D")
+    if out is None:
+        out = np.empty_like(arr)
+    if len(arr):
+        np.cumsum(arr[:-1], out=out[1:])
+        out[1:] += identity
+        out[0] = identity
+    return out
+
+
+def exclusive_scan_inplace(values: np.ndarray, identity: float = 0) -> np.ndarray:
+    """In-place exclusive scan (used by INDEXLIST-style stream compaction)."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError("scan input must be 1-D")
+    if len(arr) == 0:
+        return arr
+    total_shift = arr[:-1].copy()
+    arr[0] = identity
+    np.cumsum(total_shift, out=arr[1:])
+    arr[1:] += identity
+    return arr

@@ -1,0 +1,30 @@
+"""Sort operations, RAJA-style (``RAJA::sort`` / ``RAJA::sort_pairs``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sort(values: np.ndarray) -> np.ndarray:
+    """In-place ascending sort; returns the (same) array for chaining."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError("sort input must be 1-D")
+    arr.sort(kind="stable")
+    return arr
+
+
+def sort_pairs(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """In-place stable key-value sort by key (``RAJA::sort_pairs``)."""
+    karr = np.asarray(keys)
+    varr = np.asarray(values)
+    if karr.shape != varr.shape:
+        raise ValueError(
+            f"keys and values must match: {karr.shape} vs {varr.shape}"
+        )
+    if karr.ndim != 1:
+        raise ValueError("sort_pairs input must be 1-D")
+    order = np.argsort(karr, kind="stable")
+    karr[:] = karr[order]
+    varr[:] = varr[order]
+    return karr, varr

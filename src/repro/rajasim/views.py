@@ -1,0 +1,95 @@
+"""RAJA-style Views and Layouts.
+
+A :class:`View` wraps a flat data array with a :class:`Layout` mapping
+multi-dimensional indices to flat offsets, exactly like ``RAJA::View`` over
+``RAJA::Layout``. Kernels such as LTIMES use permuted layouts; the suite's
+LTIMES vs LTIMES_NOVIEW pair measures the abstraction cost of going
+through a View, so the View implementation here does real index
+arithmetic rather than delegating to NumPy reshaping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class Layout:
+    """Maps an N-dimensional index tuple to a flat offset.
+
+    ``perm`` orders dimensions from slowest- to fastest-varying; the default
+    is C order (identity permutation).
+    """
+
+    def __init__(self, shape: Sequence[int], perm: Sequence[int] | None = None) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in self.shape):
+            raise ValueError(f"negative extent in shape {self.shape}")
+        ndim = len(self.shape)
+        if perm is None:
+            perm = tuple(range(ndim))
+        self.perm = tuple(int(p) for p in perm)
+        if sorted(self.perm) != list(range(ndim)):
+            raise ValueError(f"perm {self.perm} is not a permutation of 0..{ndim - 1}")
+        # Strides: the last dim in `perm` is stride-1.
+        strides = [0] * ndim
+        acc = 1
+        for dim in reversed(self.perm):
+            strides[dim] = acc
+            acc *= self.shape[dim] if self.shape[dim] else 1
+        self.strides = tuple(strides)
+        self.size = int(np.prod(self.shape)) if self.shape else 1
+
+    def __call__(self, *index: object) -> object:
+        """Flat offset(s) for the given per-dimension indices (scalars or arrays)."""
+        if len(index) != len(self.shape):
+            raise ValueError(
+                f"layout has {len(self.shape)} dims, got {len(index)} indices"
+            )
+        flat: object = 0
+        for idx, stride in zip(index, self.strides):
+            flat = flat + np.asarray(idx) * stride
+        return flat
+
+    def __repr__(self) -> str:
+        return f"Layout(shape={self.shape}, perm={self.perm})"
+
+
+def make_permuted_layout(shape: Sequence[int], perm: Sequence[int]) -> Layout:
+    """RAJA's ``make_permuted_layout`` equivalent."""
+    return Layout(shape, perm)
+
+
+class View:
+    """A multi-dimensional view over a flat array through a :class:`Layout`."""
+
+    def __init__(self, data: np.ndarray, layout: Layout | Sequence[int]) -> None:
+        if not isinstance(layout, Layout):
+            layout = Layout(layout)
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise ValueError("View data must be a flat (1-D) array")
+        if len(data) < layout.size:
+            raise ValueError(
+                f"data has {len(data)} elements, layout needs {layout.size}"
+            )
+        self.data = data
+        self.layout = layout
+
+    def __getitem__(self, index: object) -> np.ndarray:
+        if not isinstance(index, tuple):
+            index = (index,)
+        return self.data[self.layout(*index)]
+
+    def __setitem__(self, index: object, value: object) -> None:
+        if not isinstance(index, tuple):
+            index = (index,)
+        self.data[self.layout(*index)] = value
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.layout.shape
+
+    def __repr__(self) -> str:
+        return f"View(shape={self.layout.shape}, perm={self.layout.perm})"

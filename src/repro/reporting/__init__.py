@@ -1,0 +1,58 @@
+"""Reporting: regenerate every table and figure of the paper."""
+
+from repro.reporting.experiments import (
+    DESCRIPTIONS,
+    EXPERIMENTS,
+    run_all_experiments,
+    run_experiment,
+)
+from repro.reporting.figures import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+)
+from repro.reporting.tables import table1, table2, table3, table4
+from repro.reporting.export import (
+    clusters_frame,
+    export_all,
+    fig1_frame,
+    parallel_coords_frame,
+    roofline_frame,
+    speedup_frame,
+    topdown_frame,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "DESCRIPTIONS",
+    "run_experiment",
+    "run_all_experiments",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "export_all",
+    "fig1_frame",
+    "topdown_frame",
+    "roofline_frame",
+    "clusters_frame",
+    "parallel_coords_frame",
+    "speedup_frame",
+]

@@ -1,0 +1,140 @@
+"""Plot-ready CSV export of every figure's data.
+
+The paper's figures are plots; :mod:`repro.reporting.figures` renders text
+versions, and this module exports the underlying series as CSV files (via
+the column-store dataframe) so downstream users can re-plot with their
+own tooling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.parallel_coords import AXES, coordinates
+from repro.analysis.roofline import LEVELS, roofline_points
+from repro.analysis.similarity import SimilarityResult, run_similarity_analysis
+from repro.analysis.speedup import BASELINE, TARGETS, run_speedup_study
+from repro.analysis.topdown import TMA_COMPONENTS
+from repro.dataframe import Frame, frame_to_csv
+from repro.gpusim.ncu import ncu_counters
+from repro.machines.registry import get_machine, list_machines
+from repro.perfmodel.cpu_time import CpuTimeModel
+from repro.suite.registry import all_kernel_classes
+from repro.suite.run_params import PAPER_PROBLEM_SIZE
+
+
+def fig1_frame(problem_size: int = PAPER_PROBLEM_SIZE) -> Frame:
+    records = []
+    for cls in all_kernel_classes():
+        kernel = cls(problem_size=problem_size)
+        rec = {"kernel": kernel.full_name, "group": cls.GROUP.value}
+        rec.update(kernel.analytic_metrics())
+        records.append(rec)
+    return Frame.from_records(records)
+
+
+def topdown_frame(machine_name: str, problem_size: int = PAPER_PROBLEM_SIZE) -> Frame:
+    """Figs. 3/4 data: per-kernel TMA fractions on a CPU machine."""
+    machine = get_machine(machine_name)
+    model = CpuTimeModel(machine)
+    records = []
+    for cls in all_kernel_classes():
+        kernel = cls(problem_size=problem_size)
+        breakdown = model.predict(kernel.work_profile(), kernel.effective_traits())
+        rec = {"kernel": kernel.full_name, "group": cls.GROUP.value}
+        rec.update(breakdown.tma())
+        records.append(rec)
+    return Frame.from_records(records)
+
+
+def roofline_frame(machine_name: str = "P9-V100", problem_size: int = PAPER_PROBLEM_SIZE) -> Frame:
+    """Fig. 5 data: (kernel, level, intensity, warp GIPS, bound)."""
+    machine = get_machine(machine_name)
+    records = []
+    for cls in all_kernel_classes():
+        kernel = cls(problem_size=problem_size)
+        work = kernel.work_profile().scaled(1.0 / machine.units_per_node)
+        time_s = kernel.predict(machine).total_seconds
+        counters = ncu_counters(work, kernel.effective_traits(), machine, time_s)
+        for point in roofline_points(kernel.full_name, counters, machine):
+            records.append(
+                {
+                    "kernel": point.kernel,
+                    "level": point.level,
+                    "intensity": point.intensity,
+                    "warp_gips": point.warp_gips,
+                    "gtxn_per_sec": point.gtxn_per_sec,
+                    "bound": point.bound_by(machine),
+                }
+            )
+    return Frame.from_records(records)
+
+
+def clusters_frame(result: SimilarityResult | None = None) -> Frame:
+    """Figs. 6/7 data: per-kernel cluster labels and TMA features."""
+    res = result if result is not None else run_similarity_analysis()
+    records = []
+    for i, name in enumerate(res.kernel_names):
+        rec = {
+            "kernel": name,
+            "group": res.groups[i],
+            "cluster": int(res.clustering.labels[i]),
+        }
+        rec.update(dict(zip(TMA_COMPONENTS, res.vectors[i])))
+        records.append(rec)
+    return Frame.from_records(records)
+
+
+def parallel_coords_frame(result: SimilarityResult | None = None) -> Frame:
+    """Fig. 8 data: one row per cluster, one column per axis."""
+    res = result if result is not None else run_similarity_analysis()
+    coords = coordinates(res.summaries)
+    records = []
+    for cluster_id, row in coords.items():
+        rec = {"cluster": cluster_id}
+        rec.update(dict(zip(AXES, row)))
+        records.append(rec)
+    return Frame.from_records(records)
+
+
+def speedup_frame(problem_size: int = PAPER_PROBLEM_SIZE) -> Frame:
+    """Figs. 9/10 data: times, speedups, achieved rates per machine."""
+    study = run_speedup_study(problem_size=problem_size)
+    records = []
+    for record in study.records:
+        rec = {
+            "kernel": record.kernel,
+            "group": record.group,
+            "memory_bound_ddr": record.memory_bound_ddr,
+            "flop_heavy": int(record.is_flop_heavy),
+        }
+        for machine in (BASELINE,) + TARGETS:
+            rec[f"time_{machine}"] = record.times[machine]
+            rec[f"gflops_{machine}"] = record.achieved_gflops(machine)
+            rec[f"gbs_{machine}"] = record.achieved_gbytes(machine)
+            if machine != BASELINE:
+                rec[f"speedup_{machine}"] = record.speedup(machine)
+        records.append(rec)
+    return Frame.from_records(records)
+
+
+def export_all(output_dir: str | Path) -> list[Path]:
+    """Write every figure's CSV into ``output_dir``; returns the paths."""
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    result = run_similarity_analysis()
+    frames = {
+        "fig1_analytic_metrics": fig1_frame(),
+        "fig3_topdown_spr_ddr": topdown_frame("SPR-DDR"),
+        "fig4_topdown_spr_hbm": topdown_frame("SPR-HBM"),
+        "fig5_roofline_p9_v100": roofline_frame("P9-V100"),
+        "fig6_fig7_clusters": clusters_frame(result),
+        "fig8_parallel_coordinates": parallel_coords_frame(result),
+        "fig9_fig10_speedups": speedup_frame(),
+    }
+    paths = []
+    for name, frame in frames.items():
+        path = out / f"{name}.csv"
+        frame_to_csv(frame, path)
+        paths.append(path)
+    return paths

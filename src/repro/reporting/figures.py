@@ -1,0 +1,187 @@
+"""Regenerate the paper's figures (1-10) as text artifacts.
+
+Each ``figN`` function runs the corresponding pipeline and renders the
+same rows/series the paper plots. The benchmarks call these; examples and
+the CLI expose them to users.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.dendrogram import render_dendrogram
+from repro.analysis.parallel_coords import render_parallel_coordinates
+from repro.analysis.roofline import LEVELS, roofline_ceiling, roofline_points
+from repro.analysis.similarity import SimilarityResult, run_similarity_analysis
+from repro.analysis.speedup import BASELINE, TARGETS, run_speedup_study
+from repro.analysis.topdown import TMA_COMPONENTS, render_hierarchy, topdown_from_counters
+from repro.cpusim.counters import slot_counters
+from repro.gpusim.ncu import ncu_counters
+from repro.machines.registry import get_machine
+from repro.perfmodel.cpu_time import CpuTimeModel
+from repro.suite.registry import all_kernel_classes
+from repro.suite.run_params import PAPER_PROBLEM_SIZE
+from repro.util.tables import TextTable, render_barchart
+
+
+def fig1(problem_size: int = PAPER_PROBLEM_SIZE) -> str:
+    """Fig. 1: analytic metrics per kernel iteration."""
+    table = TextTable(
+        ["Kernel", "Bytes read/iter", "Bytes written/iter", "FLOPs/iter", "FLOPs/byte"],
+        title="Fig. 1: analytic metrics normalized by problem size",
+    )
+    for cls in all_kernel_classes():
+        kernel = cls(problem_size=problem_size)
+        metrics = kernel.analytic_metrics()
+        table.add_row(
+            kernel.full_name,
+            metrics["bytes_read"],
+            metrics["bytes_written"],
+            metrics["flops"],
+            metrics["flops_per_byte"],
+        )
+    return table.render()
+
+
+def fig2() -> str:
+    """Fig. 2: the top-down (TMA) hierarchy."""
+    return "Fig. 2: Top-down hierarchical bottleneck method\n" + render_hierarchy()
+
+
+def _topdown_figure(machine_name: str, problem_size: int, title: str) -> str:
+    machine = get_machine(machine_name)
+    model = CpuTimeModel(machine)
+    lines = [title]
+    header = f"{'Kernel':28s} " + " ".join(f"{c:>16s}" for c in TMA_COMPONENTS)
+    lines.append(header)
+    for cls in all_kernel_classes():
+        kernel = cls(problem_size=problem_size)
+        work = kernel.work_profile()
+        breakdown = model.predict(work, kernel.effective_traits())
+        counters = slot_counters(breakdown, machine, work.instructions)
+        tma = topdown_from_counters(counters)
+        values = " ".join(f"{getattr(tma, c):>16.4f}" for c in TMA_COMPONENTS)
+        lines.append(f"{kernel.full_name:28s} {values}")
+    return "\n".join(lines)
+
+
+def fig3(problem_size: int = PAPER_PROBLEM_SIZE) -> str:
+    """Fig. 3: SPR-DDR top-down metrics across the suite."""
+    return _topdown_figure("SPR-DDR", problem_size, "Fig. 3: SPR-DDR top-down metrics")
+
+
+def fig4(problem_size: int = PAPER_PROBLEM_SIZE) -> str:
+    """Fig. 4: SPR-HBM top-down metrics across the suite."""
+    return _topdown_figure("SPR-HBM", problem_size, "Fig. 4: SPR-HBM top-down metrics")
+
+
+def fig5(problem_size: int = PAPER_PROBLEM_SIZE, machine_name: str = "P9-V100") -> str:
+    """Fig. 5: instruction roofline on the P9-V100 (L1, L2, HBM)."""
+    machine = get_machine(machine_name)
+    lines = [
+        f"Fig. 5: instruction roofline, {machine.shorthand} "
+        f"(peak {machine.gpu.peak_warp_gips:.1f} warp GIPS; "
+        f"L1/L2/HBM = {machine.gpu.l1_gtxn_per_sec}/"
+        f"{machine.gpu.l2_gtxn_per_sec}/{machine.gpu.dram_gtxn_per_sec} GTXN/s)"
+    ]
+    header = (
+        f"{'Kernel':28s} {'GIPS':>9s} "
+        + " ".join(f"{lv + ' int.':>10s} {lv + ' bound':>9s}" for lv in LEVELS)
+    )
+    lines.append(header)
+    for cls in all_kernel_classes():
+        kernel = cls(problem_size=problem_size)
+        # Per-GPU share: NCU profiles one device.
+        work = kernel.work_profile().scaled(1.0 / machine.units_per_node)
+        time_s = kernel.predict(machine).total_seconds
+        counters = ncu_counters(work, kernel.effective_traits(), machine, time_s)
+        points = roofline_points(kernel.full_name, counters, machine)
+        cells = []
+        for point in points:
+            intensity = point.intensity if np.isfinite(point.intensity) else float("inf")
+            cells.append(f"{intensity:>10.3g} {point.bound_by(machine):>9s}")
+        lines.append(f"{kernel.full_name:28s} {points[0].warp_gips:>9.3g} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def fig6(result: SimilarityResult | None = None) -> str:
+    """Fig. 6: dendrogram of agglomerative clustering on SPR-DDR data."""
+    res = result if result is not None else run_similarity_analysis()
+    short = [n.split("_", 1)[1][:20] for n in res.kernel_names]
+    return (
+        "Fig. 6: "
+        + render_dendrogram(res.clustering.merges, short, threshold=res.clustering.threshold)
+    )
+
+
+def fig7(result: SimilarityResult | None = None) -> str:
+    """Fig. 7: per-cluster group distribution, TMA means, and speedups."""
+    res = result if result is not None else run_similarity_analysis()
+    dist = TextTable(
+        ["Group", "Total"] + [f"Cluster {c}" for c in range(res.num_clusters)],
+        title="Fig. 7 (top): kernels per group per cluster",
+    )
+    for group, counts in res.group_distribution.items():
+        total = sum(counts.values())
+        dist.add_row(group, total, *[counts.get(c, 0) for c in range(res.num_clusters)])
+    summary = TextTable(
+        ["Cluster", "n"] + list(TMA_COMPONENTS) + [f"Speedup {m}" for m in TARGETS],
+        title="Fig. 7 (bottom): per-cluster TMA means and speedups over SPR-DDR",
+    )
+    for s in res.summaries:
+        summary.add_row(
+            s.cluster_id,
+            s.size,
+            *[s.tma_means[c] for c in TMA_COMPONENTS],
+            *[s.speedups[m] for m in TARGETS],
+        )
+    return dist.render() + "\n\n" + summary.render()
+
+
+def fig8(result: SimilarityResult | None = None) -> str:
+    """Fig. 8: parallel-coordinate plot of cluster TMA means + speedups."""
+    res = result if result is not None else run_similarity_analysis()
+    return "Fig. 8: " + render_parallel_coordinates(res.summaries)
+
+
+def fig9(problem_size: int = PAPER_PROBLEM_SIZE) -> str:
+    """Fig. 9: SPR-DDR memory-bound metric and speedups on the three
+    higher-bandwidth systems (TRIAD reference = yellow line)."""
+    study = run_speedup_study(problem_size=problem_size)
+    names = [r.kernel for r in study.records]
+    parts = [
+        "Fig. 9 panel 1: Memory-bound TMA fraction on SPR-DDR",
+        render_barchart(names, [r.memory_bound_ddr for r in study.records], max_value=1.0),
+    ]
+    for machine in TARGETS:
+        triad = study.triad_speedups.get(machine)
+        parts.append(
+            f"\nFig. 9 panel: speedup on {machine} vs {BASELINE} "
+            f"(| marks 1x; TRIAD = {triad:.2f}x)"
+        )
+        values = [r.speedup(machine) for r in study.records]
+        cap = min(max(values), 40.0)
+        parts.append(
+            render_barchart(names, values, max_value=cap, reference=1.0, unit="x")
+        )
+    return "\n".join(parts)
+
+
+def fig10(problem_size: int = PAPER_PROBLEM_SIZE) -> str:
+    """Fig. 10: achieved memory bandwidth vs FLOPS on all four systems."""
+    study = run_speedup_study(problem_size=problem_size)
+    parts = ["Fig. 10: achieved GB/s vs GFLOPS per kernel per machine"]
+    for machine in (BASELINE,) + TARGETS:
+        table = TextTable(
+            ["Kernel", "GB/s", "GFLOPS", "Above diagonal (FLOP-heavy)"],
+            title=f"Fig. 10 {machine}",
+        )
+        for record in study.records:
+            gbs = record.achieved_gbytes(machine)
+            gflops = record.achieved_gflops(machine)
+            table.add_row(record.kernel, gbs, gflops, "yes" if gflops > gbs else "")
+        parts.append(table.render())
+    flop_heavy = study.flop_heavy_kernels()
+    parts.append(f"\nFLOP-heavy kernels on {BASELINE} ({len(flop_heavy)}):")
+    parts.extend(f"  - {name}" for name in flop_heavy)
+    return "\n".join(parts)

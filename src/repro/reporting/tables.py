@@ -1,0 +1,113 @@
+"""Regenerate the paper's tables (I-IV) as text artifacts."""
+
+from __future__ import annotations
+
+from repro.gpusim.ncu import NCU_METRIC_TABLE
+from repro.machines.registry import list_machines
+from repro.perfmodel.calibration import calibration_errors
+from repro.suite.registry import all_kernel_classes
+from repro.suite.run_params import TABLE3
+from repro.suite.variants import VariantKind
+from repro.util.tables import TextTable
+
+
+def table1() -> str:
+    """Table I: kernel inventory — groups, variants, features, complexity."""
+    from repro.rajasim.policies import Backend
+
+    backends = [b for b in Backend if b is not Backend.SIMD]
+    columns = ["Kernel", "Group"] + [b.value for b in backends] + [
+        "Kokkos",
+        "Features",
+        "Complexity",
+    ]
+    table = TextTable(columns, title="Table I: RAJAPerf kernels (B+R = Base and RAJA variants)")
+    for cls in all_kernel_classes():
+        kernel = cls(1)
+        variants = kernel.variants()
+        row: list[object] = [cls.NAME, cls.GROUP.value]
+        for backend in backends:
+            kinds = {
+                v.kind
+                for v in variants
+                if v.backend is backend and v.kind is not VariantKind.KOKKOS
+            }
+            cell = ""
+            if VariantKind.BASE in kinds:
+                cell += "B"
+            if VariantKind.RAJA in kinds:
+                cell += "R"
+            row.append(cell)
+        row.append("K" if cls.HAS_KOKKOS else "")
+        row.append(",".join(sorted(f.value for f in cls.FEATURES)))
+        row.append(cls.COMPLEXITY.value)
+        table.add_row(*row)
+    return table.render()
+
+
+def table2() -> str:
+    """Table II: systems with peak and model-achieved FLOPS/bandwidth."""
+    table = TextTable(
+        [
+            "Shorthand",
+            "System",
+            "Architecture",
+            "Units/node",
+            "TFLOPS unit",
+            "TFLOPS node",
+            "MAT_MAT (model)",
+            "% exp",
+            "BW TB/s unit",
+            "BW TB/s node",
+            "TRIAD (model)",
+            "% exp",
+        ],
+        title="Table II: systems; achieved rates recomputed through the model",
+    )
+    errors = {(p.machine, p.metric): p for p in calibration_errors()}
+    for m in list_machines():
+        flops_point = errors[(m.shorthand, "flops")]
+        bw_point = errors[(m.shorthand, "bandwidth")]
+        table.add_row(
+            m.shorthand,
+            m.system_name,
+            m.architecture,
+            f"{m.units_per_node} {m.unit_description}s",
+            m.peak_tflops_unit,
+            m.peak_tflops_node,
+            flops_point.modeled / 1e12,
+            100.0 * flops_point.modeled / m.peak_flops_per_sec,
+            m.peak_membw_tb_unit,
+            m.peak_membw_tb_node,
+            bw_point.modeled / 1e12,
+            100.0 * bw_point.modeled / m.peak_bytes_per_sec,
+        )
+    return table.render()
+
+
+def table3() -> str:
+    """Table III: per-machine run parameters (variant, ranks, size)."""
+    table = TextTable(
+        ["Machine", "Variant", "MPI ranks", "Size/node", "Size/rank"],
+        title="Table III: RAJAPerf parameters (32M elements per node)",
+    )
+    for config in TABLE3.values():
+        table.add_row(
+            config.machine,
+            config.variant,
+            config.mpi_ranks,
+            config.problem_size_per_node,
+            config.problem_size_per_rank,
+        )
+    return table.render()
+
+
+def table4() -> str:
+    """Table IV: NCU metrics used for the instruction roofline."""
+    table = TextTable(
+        ["Category", "Metric", "Description"],
+        title="Table IV: Nsight-Compute metrics for instruction roofline",
+    )
+    for metric in NCU_METRIC_TABLE:
+        table.add_row(metric.category, metric.name, metric.description)
+    return table.render()

@@ -1,0 +1,37 @@
+"""RAJAPerf-style checksums.
+
+Every kernel variant must compute the same answer; RAJAPerf verifies this
+with a position-weighted checksum over the kernel's output arrays. The
+weighting catches permutation errors a plain sum would miss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Relative tolerance for cross-variant checksum agreement. Variants
+#: reassociate floating-point reductions, so exact equality is too strict.
+CHECKSUM_RTOL = 1e-10
+
+
+def checksum_array(data: np.ndarray, scale: float | None = None) -> float:
+    """Position-weighted checksum: ``sum((i+1) * data[i]) * scale``.
+
+    ``scale`` defaults to ``1/len(data)`` to keep magnitudes comparable
+    across problem sizes (RAJAPerf's convention).
+    """
+    arr = np.asarray(data, dtype=np.float64).ravel()
+    if arr.size == 0:
+        return 0.0
+    if scale is None:
+        scale = 1.0 / arr.size
+    weights = np.arange(1, arr.size + 1, dtype=np.float64)
+    return float(np.dot(weights, arr) * scale)
+
+
+def checksums_match(a: float, b: float, rtol: float = CHECKSUM_RTOL) -> bool:
+    """True when two variant checksums agree within tolerance."""
+    if a == b:
+        return True
+    denom = max(abs(a), abs(b), 1e-300)
+    return abs(a - b) / denom <= rtol

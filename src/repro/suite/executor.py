@@ -1,0 +1,229 @@
+"""The suite executor: runs kernels and emits Caliper profiles.
+
+Mirrors the paper's data-collection pipeline: one RAJAPerf run = one
+(machine, variant, tuning) combination = one Caliper profile whose region
+tree is ``group -> kernel`` and whose region metrics are
+
+* the predicted node-level execution time from the performance model
+  (the substitute for measured wall time on the paper's machines);
+* the analytic metrics (bytes read/written, FLOPs, FLOPs/byte);
+* on CPU machines, the PAPI-style top-down slot counters;
+* on GPU machines, the NCU-style roofline counters;
+* when real execution is enabled, the actual NumPy wall time and
+  checksum at a capped problem size.
+
+Adiak-style run metadata (variant, tuning, machine, problem size, ranks)
+lands in the profile globals, which Thicket later surfaces as its
+metadata table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import adiak
+from repro.caliper.annotation import CaliperSession
+from repro.caliper.cali import write_cali
+from repro.caliper.records import CaliProfile
+from repro.cpusim.counters import slot_counters
+from repro.gpusim.ncu import ncu_counters
+from repro.machines.model import MachineKind, MachineModel
+from repro.machines.registry import get_machine
+from repro.perfmodel.cpu_time import CpuTimeModel
+from repro.suite.kernel_base import KernelBase
+from repro.suite.registry import all_kernel_classes
+from repro.suite.run_params import TABLE3, RunParams
+from repro.suite.variants import Variant, get_variant
+
+
+@dataclass
+class RunResult:
+    """Executor output: profiles plus any written .cali paths."""
+
+    profiles: list[CaliProfile]
+    cali_paths: list[Path]
+
+
+def _variant_compatible(variant: Variant, machine: MachineModel) -> bool:
+    """Whether a variant's backend runs on a machine kind.
+
+    CPU machines run Seq/OpenMP variants; GPU machines run the offload
+    backends (CUDA on V100, HIP on MI250X, plus OMPTarget/SYCL on either).
+    """
+    if machine.kind is MachineKind.CPU:
+        return variant.backend.value in ("Seq", "OpenMP")
+    allowed = {"OMPTarget", "SYCL"}
+    if machine.architecture.startswith("NVIDIA"):
+        allowed.add("CUDA")
+    if machine.architecture.startswith("AMD"):
+        allowed.add("HIP")
+    return variant.backend.value in allowed
+
+
+class SuiteExecutor:
+    """Runs a configured sweep and produces one profile per run."""
+
+    def __init__(self, params: RunParams) -> None:
+        self.params = params
+
+    def selected_kernels(self) -> list[type[KernelBase]]:
+        return [cls for cls in all_kernel_classes() if self.params.selects(cls)]
+
+    # ----------------------------------------------------------- execution
+    def run(self, write_files: bool = False) -> RunResult:
+        profiles: list[CaliProfile] = []
+        paths: list[Path] = []
+        for machine_name in self.params.machines:
+            machine = get_machine(machine_name)
+            for variant_name in self.params.variants:
+                variant = get_variant(variant_name)
+                if not _variant_compatible(variant, machine):
+                    continue
+                tunings = self.params.gpu_block_sizes if variant.is_gpu else (0,)
+                for block in tunings:
+                    for trial in range(self.params.trials):
+                        profile = self._run_one(machine, variant, block, trial)
+                        profiles.append(profile)
+                        if write_files:
+                            tuning = f"block_{block}" if block else "default"
+                            trial_tag = (
+                                f"_trial{trial}" if self.params.trials > 1 else ""
+                            )
+                            fname = (
+                                f"rajaperf_{machine.shorthand}_{variant.name}"
+                                f"_{tuning}{trial_tag}.cali"
+                            )
+                            paths.append(
+                                write_cali(
+                                    profile, Path(self.params.output_dir) / fname
+                                )
+                            )
+                        self._maybe_write_csv(profile, machine, variant, block, trial)
+        return RunResult(profiles=profiles, cali_paths=paths)
+
+    def run_paper_configuration(self, write_files: bool = False) -> RunResult:
+        """Run exactly Table III: the paper's per-machine variant choices."""
+        profiles: list[CaliProfile] = []
+        paths: list[Path] = []
+        for config in TABLE3.values():
+            machine = get_machine(config.machine)
+            variant = get_variant(config.variant)
+            for trial in range(self.params.trials):
+                profile = self._run_one(
+                    machine, variant, 256 if variant.is_gpu else 0, trial
+                )
+                profiles.append(profile)
+                if write_files:
+                    trial_tag = f"_trial{trial}" if self.params.trials > 1 else ""
+                    fname = f"rajaperf_{machine.shorthand}_{variant.name}{trial_tag}.cali"
+                    paths.append(
+                        write_cali(profile, Path(self.params.output_dir) / fname)
+                    )
+        return RunResult(profiles=profiles, cali_paths=paths)
+
+    def _maybe_write_csv(self, profile, machine, variant, block, trial) -> None:
+        """RAJAPerf-style per-run CSV: one row per kernel, one column per
+        metric ("Various text-based files can be generated for each run
+        for processing with common plotting and other tools")."""
+        if not self.params.write_csv:
+            return
+        from repro.dataframe import Frame, frame_to_csv
+
+        records = []
+        for node in profile.walk():
+            if node.depth == 3:  # RAJAPerf / group / kernel
+                rec = {"kernel": node.name}
+                rec.update(node.metrics)
+                records.append(rec)
+        tuning = f"block_{block}" if block else "default"
+        trial_tag = f"_trial{trial}" if self.params.trials > 1 else ""
+        path = Path(self.params.output_dir) / (
+            f"rajaperf_{machine.shorthand}_{variant.name}_{tuning}{trial_tag}.csv"
+        )
+        frame_to_csv(Frame.from_records(records), path)
+
+    # --------------------------------------------------------- single run
+    def _run_one(
+        self, machine: MachineModel, variant: Variant, block: int, trial: int = 0
+    ) -> CaliProfile:
+        params = self.params
+        session = CaliperSession(collect_time=False)
+
+        adiak.init()
+        adiak.value("variant", variant.name)
+        adiak.value("tuning", f"block_{block}" if block else "default")
+        adiak.value("trial", trial)
+        adiak.value("machine", machine.shorthand)
+        adiak.value("architecture", machine.architecture)
+        adiak.value("problem_size", params.problem_size)
+        adiak.value("reps", params.reps)
+        adiak.value("mpi_ranks", machine.mpi.ranks_per_node)
+        adiak.value("programming_model", variant.backend.value)
+        for key, val in adiak.fini().items():
+            session.set_global(key, val)
+
+        with session.region("RAJAPerf"):
+            for cls in self.selected_kernels():
+                if not any(v.name == variant.name for v in cls(1).variants()):
+                    continue
+                kernel = cls(problem_size=params.problem_size)
+                with session.region(cls.GROUP.value):
+                    with session.region(kernel.full_name):
+                        self._record_kernel(
+                            session, kernel, machine, variant, block, trial
+                        )
+        return session.close()
+
+    def _record_kernel(
+        self,
+        session: CaliperSession,
+        kernel: KernelBase,
+        machine: MachineModel,
+        variant: Variant,
+        block: int,
+        trial: int = 0,
+    ) -> None:
+        from repro.perfmodel.noise import noisy_time
+
+        params = self.params
+        work = kernel.work_profile(reps=params.reps)
+        traits = kernel.effective_traits()
+        breakdown = kernel.predict(machine, variant, block_size=block or None)
+        total = breakdown.total_seconds * params.reps
+        if params.trials > 1:
+            total = noisy_time(
+                total, kernel.full_name, machine.shorthand, trial, params.noise_sigma
+            )
+
+        session.set_metric("Avg time/rank", total, accumulate=False)
+        for name, value in work.per_iteration().items():
+            session.set_metric(name, value, accumulate=False)
+        session.set_metric("iterations", work.iterations, accumulate=False)
+        session.set_metric("reps", float(params.reps), accumulate=False)
+
+        if machine.kind is MachineKind.CPU:
+            cpu_breakdown = CpuTimeModel(machine).predict(work, traits)
+            for name, value in slot_counters(
+                cpu_breakdown, machine, work.instructions
+            ).items():
+                session.set_metric(name, value, accumulate=False)
+        else:
+            # NCU profiles a single device: scale the node totals down to
+            # one GPU's share (time is the same — ranks run concurrently).
+            per_gpu = work.scaled(1.0 / machine.units_per_node)
+            for name, value in ncu_counters(per_gpu, traits, machine, total).items():
+                session.set_metric(name, value, accumulate=False)
+
+        if params.execute:
+            exec_kernel = type(kernel)(problem_size=params.execution_size)
+            start = time.perf_counter()
+            policy = variant.policy()
+            if variant.is_gpu and block:
+                policy = policy.with_block_size(block)
+            checksum = exec_kernel.run_variant(variant, policy)
+            session.set_metric(
+                "wall time (executed)", time.perf_counter() - start, accumulate=False
+            )
+            session.set_metric("checksum", checksum, accumulate=False)

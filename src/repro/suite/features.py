@@ -1,0 +1,55 @@
+"""Kernel feature annotations and computational-complexity classes.
+
+Table I annotates each kernel with the RAJA features it exercises (sorts,
+scans, reductions, atomics, views) and its computational complexity
+relative to problem size. Complexity drives the Section IV exclusion rule:
+kernels whose work does not scale linearly with the per-process problem
+size are excluded from the similarity analysis because the MPI
+decomposition gives them incomparable work across machines.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class Feature(enum.Enum):
+    """RAJA features a kernel exercises (Table I columns)."""
+
+    FORALL = "Forall"
+    KERNEL = "Kernel"  # nested-loop RAJA::kernel dispatch
+    SORT = "Sorts"
+    SCAN = "Scans"
+    REDUCTION = "Reducts"
+    ATOMIC = "Atomics"
+    VIEW = "Views"
+    WORKGROUP = "Workgroup"  # fused work items (Comm *_FUSED kernels)
+    LAUNCH = "Launch"  # RAJA::launch team/thread model
+
+
+class Complexity(enum.Enum):
+    """Operation count as a function of stored problem size n (Table I)."""
+
+    N = "n"
+    N_LOG_N = "n lg n"
+    N_3_2 = "n^(3/2)"  # e.g. matrix multiply relative to matrix storage
+    N_2_3 = "n^(2/3)"  # surface work, e.g. halo exchange
+
+    def operations(self, n: float) -> float:
+        """Evaluate the complexity function at problem size ``n``."""
+        if n < 0:
+            raise ValueError(f"negative problem size: {n}")
+        if self is Complexity.N:
+            return n
+        if self is Complexity.N_LOG_N:
+            return n * math.log2(n) if n > 1 else n
+        if self is Complexity.N_3_2:
+            return n**1.5
+        return n ** (2.0 / 3.0)
+
+    @property
+    def is_linear(self) -> bool:
+        """True when the kernel's work scales linearly with problem size —
+        the admission criterion of the Section IV similarity analysis."""
+        return self is Complexity.N

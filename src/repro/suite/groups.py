@@ -1,0 +1,49 @@
+"""The seven RAJAPerf kernel groups (Section II-A of the paper)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Group(enum.Enum):
+    """A group: kernels from one origin suite or computational pattern."""
+
+    ALGORITHM = "Algorithm"
+    APPS = "Apps"
+    BASIC = "Basic"
+    COMM = "Comm"
+    LCALS = "Lcals"
+    POLYBENCH = "Polybench"
+    STREAM = "Stream"
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    Group.ALGORITHM: (
+        "Parallel constructs: atomics, scans, reductions, sorts, and memory "
+        "operations like memcpy and memset."
+    ),
+    Group.APPS: (
+        "Kernels derived from operations in LLNL multiphysics application codes."
+    ),
+    Group.BASIC: (
+        "Small, simple kernels that often present optimization challenges "
+        "for compilers."
+    ),
+    Group.COMM: (
+        "Communication buffer packing/unpacking patterns from distributed "
+        "memory applications using MPI."
+    ),
+    Group.LCALS: (
+        "Livermore Compiler Analysis Loop Suite: Livermore Loops translated "
+        "to C++ to study template/lambda optimization."
+    ),
+    Group.POLYBENCH: (
+        "A subset of the Polybench suite used to study polyhedral compiler "
+        "optimization."
+    ),
+    Group.STREAM: "Streaming kernels from the McCalpin STREAM benchmark.",
+}

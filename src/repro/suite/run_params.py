@@ -1,0 +1,97 @@
+"""Run parameters, including the paper's Table III configuration.
+
+``RunParams`` mirrors RAJAPerf's command-line surface: problem size (with
+``32M``-style suffixes), repetitions, kernel/group/feature filters, variant
+selection, and GPU block-size tunings. ``TABLE3`` records exactly the
+per-machine configurations the paper ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machines.registry import MACHINES
+from repro.suite.features import Feature
+from repro.suite.groups import Group
+from repro.util.units import parse_size
+
+
+@dataclass(frozen=True)
+class MachineRunConfig:
+    """One row of Table III: how the suite is run on one machine."""
+
+    machine: str
+    variant: str
+    mpi_ranks: int
+    problem_size_per_node: int
+
+    @property
+    def problem_size_per_rank(self) -> int:
+        return self.problem_size_per_node // self.mpi_ranks
+
+
+#: Table III: 32M elements per node on every system.
+PAPER_PROBLEM_SIZE = parse_size("32M")
+
+TABLE3: dict[str, MachineRunConfig] = {
+    "SPR-DDR": MachineRunConfig("SPR-DDR", "RAJA_Seq", 112, PAPER_PROBLEM_SIZE),
+    "SPR-HBM": MachineRunConfig("SPR-HBM", "RAJA_Seq", 112, PAPER_PROBLEM_SIZE),
+    "P9-V100": MachineRunConfig("P9-V100", "RAJA_CUDA", 4, PAPER_PROBLEM_SIZE),
+    "EPYC-MI250X": MachineRunConfig("EPYC-MI250X", "RAJA_HIP", 8, PAPER_PROBLEM_SIZE),
+}
+
+
+@dataclass
+class RunParams:
+    """Suite-wide run configuration (RAJAPerf CLI equivalent)."""
+
+    problem_size: int = PAPER_PROBLEM_SIZE
+    reps: int = 1
+    variants: tuple[str, ...] = ("Base_Seq", "RAJA_Seq")
+    machines: tuple[str, ...] = tuple(MACHINES)
+    groups: tuple[Group, ...] = ()
+    kernels: tuple[str, ...] = ()
+    features: tuple[Feature, ...] = ()
+    gpu_block_sizes: tuple[int, ...] = (256,)
+    execute: bool = False  # actually run the NumPy kernels (vs model-only)
+    execution_size_cap: int = 200_000  # cap real execution sizes
+    trials: int = 1  # repeated measurements (noise model applied when > 1)
+    noise_sigma: float = 0.02  # run-to-run coefficient of variation
+    write_csv: bool = False  # also emit RAJAPerf-style per-run CSV files
+    output_dir: str = "."
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.problem_size = parse_size(self.problem_size)
+        if self.reps <= 0:
+            raise ValueError(f"reps must be > 0, got {self.reps}")
+        unknown = [m for m in self.machines if m not in MACHINES]
+        if unknown:
+            raise ValueError(f"unknown machines {unknown}; have {list(MACHINES)}")
+        bad_blocks = [b for b in self.gpu_block_sizes if b <= 0 or b & (b - 1)]
+        if bad_blocks:
+            raise ValueError(f"GPU block sizes must be powers of two: {bad_blocks}")
+        if self.trials <= 0:
+            raise ValueError(f"trials must be > 0, got {self.trials}")
+        if self.noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be >= 0, got {self.noise_sigma}")
+
+    def selects(self, kernel_cls: type) -> bool:
+        """Whether the filter settings select ``kernel_cls``."""
+        if self.groups and kernel_cls.GROUP not in self.groups:
+            return False
+        if self.kernels:
+            names = {k.lower() for k in self.kernels}
+            if (
+                kernel_cls.class_full_name().lower() not in names
+                and kernel_cls.NAME.lower() not in names
+            ):
+                return False
+        if self.features and not (set(self.features) & set(kernel_cls.FEATURES)):
+            return False
+        return True
+
+    @property
+    def execution_size(self) -> int:
+        """Problem size for real NumPy execution (capped for wall-clock)."""
+        return min(self.problem_size, self.execution_size_cap)

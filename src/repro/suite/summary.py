@@ -1,0 +1,48 @@
+"""Programmatic suite summaries (Table I as data, not text).
+
+``suite_inventory`` returns the kernel inventory as a
+:class:`~repro.dataframe.Frame` for users who want to slice it; the text
+Table I (`repro.reporting.tables.table1`) renders the same information.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe import Frame
+from repro.suite.registry import all_kernel_classes
+from repro.suite.run_params import PAPER_PROBLEM_SIZE
+
+
+def suite_inventory(problem_size: int = PAPER_PROBLEM_SIZE) -> Frame:
+    """One row per kernel: identity, variant counts, analytic metrics."""
+    records = []
+    for cls in all_kernel_classes():
+        kernel = cls(problem_size=problem_size)
+        metrics = kernel.analytic_metrics()
+        records.append(
+            {
+                "kernel": kernel.full_name,
+                "name": cls.NAME,
+                "group": cls.GROUP.value,
+                "complexity": cls.COMPLEXITY.value,
+                "features": ",".join(sorted(f.value for f in cls.FEATURES)),
+                "num_variants": len(kernel.variants()),
+                "has_kokkos": int(cls.HAS_KOKKOS),
+                "bytes_read_per_iter": metrics["bytes_read"],
+                "bytes_written_per_iter": metrics["bytes_written"],
+                "flops_per_iter": metrics["flops"],
+                "flops_per_byte": metrics["flops_per_byte"],
+            }
+        )
+    return Frame.from_records(records)
+
+
+def group_summary(problem_size: int = PAPER_PROBLEM_SIZE) -> Frame:
+    """Per-group rollup: kernel counts and mean arithmetic intensity."""
+    inventory = suite_inventory(problem_size)
+    return inventory.groupby("group").agg(
+        {
+            "kernel": "count",
+            "flops_per_byte": "mean",
+            "num_variants": "mean",
+        }
+    )

@@ -1,0 +1,161 @@
+"""Traced arrays: measure actual element traffic and FLOPs.
+
+RAJAPerf's analytic metrics are *declared* formulas; this module provides
+an instrumented array wrapper that *counts* element reads, writes, and
+floating-point operations as a kernel executes, so tests can validate the
+declared formulas against observed behaviour (the paper's metrics are
+analytic too — this is our added validation layer).
+
+``TracedArray`` wraps a NumPy array: indexing reads/writes are tallied
+into a shared :class:`TraceCounters`, and arithmetic involving traced
+operands counts elementwise FLOPs. Only the operations the kernels use
+are instrumented; anything else falls through to NumPy untraced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TraceCounters:
+    """Shared tally of observed traffic."""
+
+    elements_read: int = 0
+    elements_written: int = 0
+    flops: int = 0
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def bytes_read(self) -> int:
+        return 8 * self.elements_read
+
+    @property
+    def bytes_written(self) -> int:
+        return 8 * self.elements_written
+
+    def reset(self) -> None:
+        self.elements_read = 0
+        self.elements_written = 0
+        self.flops = 0
+        self.events.clear()
+
+
+def _count_of(index_result: np.ndarray | float) -> int:
+    if isinstance(index_result, np.ndarray):
+        return int(index_result.size)
+    return 1
+
+
+class TracedValue:
+    """An intermediate value carrying the trace context through arithmetic."""
+
+    __array_priority__ = 100  # win binops against plain ndarrays
+
+    def __init__(self, data: np.ndarray | float, counters: TraceCounters) -> None:
+        self.data = data
+        self.counters = counters
+
+    def _coerce(self, other: object) -> np.ndarray | float:
+        if isinstance(other, (TracedValue, TracedArray)):
+            return other.data
+        return other  # type: ignore[return-value]
+
+    def _binop(self, other: object, op: str) -> "TracedValue":
+        rhs = self._coerce(other)
+        result = getattr(np, op)(self.data, rhs)
+        self.counters.flops += _count_of(result)
+        return TracedValue(result, self.counters)
+
+    def __add__(self, other: object) -> "TracedValue":
+        return self._binop(other, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "TracedValue":
+        return self._binop(other, "subtract")
+
+    def __rsub__(self, other: object) -> "TracedValue":
+        rhs = self._coerce(other)
+        result = np.subtract(rhs, self.data)
+        self.counters.flops += _count_of(result)
+        return TracedValue(result, self.counters)
+
+    def __mul__(self, other: object) -> "TracedValue":
+        return self._binop(other, "multiply")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> "TracedValue":
+        return self._binop(other, "divide")
+
+    def __rtruediv__(self, other: object) -> "TracedValue":
+        rhs = self._coerce(other)
+        result = np.divide(rhs, self.data)
+        self.counters.flops += _count_of(result)
+        return TracedValue(result, self.counters)
+
+    def __neg__(self) -> "TracedValue":
+        return TracedValue(np.negative(self.data), self.counters)
+
+    def sum(self) -> "TracedValue":
+        n = _count_of(self.data)
+        self.counters.flops += max(0, n - 1)
+        return TracedValue(np.sum(self.data), self.counters)
+
+    def __float__(self) -> float:
+        return float(self.data)
+
+    def __repr__(self) -> str:
+        return f"TracedValue({self.data!r})"
+
+
+class TracedArray:
+    """A NumPy array whose element reads/writes are counted."""
+
+    __array_priority__ = 100
+
+    def __init__(self, data: np.ndarray, counters: TraceCounters | None = None) -> None:
+        self.data = np.asarray(data)
+        self.counters = counters if counters is not None else TraceCounters()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __getitem__(self, index: object) -> TracedValue:
+        result = self.data[index]
+        self.counters.elements_read += _count_of(result)
+        return TracedValue(result, self.counters)
+
+    def __setitem__(self, index: object, value: object) -> None:
+        raw = value.data if isinstance(value, (TracedValue, TracedArray)) else value
+        self.data[index] = raw
+        written = self.data[index]
+        self.counters.elements_written += _count_of(written)
+
+    def plain(self) -> np.ndarray:
+        """The underlying untraced array."""
+        return self.data
+
+    # Arithmetic on whole arrays (reads every element once).
+    def _as_value(self) -> TracedValue:
+        self.counters.elements_read += self.data.size
+        return TracedValue(self.data, self.counters)
+
+    def __add__(self, other: object) -> TracedValue:
+        return self._as_value() + other
+
+    def __mul__(self, other: object) -> TracedValue:
+        return self._as_value() * other
+
+    def __sub__(self, other: object) -> TracedValue:
+        return self._as_value() - other
+
+    def __repr__(self) -> str:
+        return f"TracedArray(shape={self.data.shape})"

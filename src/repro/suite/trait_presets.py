@@ -1,0 +1,82 @@
+"""Trait presets for the four execution archetypes the paper's clustering
+discovers (Section IV), plus the Comm archetype.
+
+Individual kernels start from the preset matching their dominant bottleneck
+and override specific fields. The presets are calibrated so that the
+SPR-DDR TMA vectors of the full suite cluster into the paper's four
+groups with the paper's per-cluster averages (Fig. 7):
+
+========  ========  ======  ========  ======  ======
+cluster   frontend  badspec retiring  core    memory
+========  ========  ======  ========  ======  ======
+0 (bal.)  0.045     0.038   0.240     0.149   0.528
+1 (ret.)  0.146     0.005   0.717     0.102   0.030
+2 (mem.)  0.010     0.000   0.056     0.052   0.881
+3 (core)  0.012     0.004   0.412     0.536   0.037
+========  ========  ======  ========  ======  ======
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.perfmodel.traits import KernelTraits
+
+#: Cluster 2 archetype: streaming, DRAM-bandwidth-bound (Stream, LCALS).
+STREAMING = KernelTraits(
+    streaming_eff=0.95,
+    cpu_compute_eff=0.40,
+    gpu_compute_eff=0.60,
+    simd_eff=0.90,
+    frontend_factor=0.03,
+    cache_resident=0.0,
+    gpu_cache_resident=0.0,
+)
+
+#: Cluster 0 archetype: memory bound but with real compute (many Apps).
+BALANCED = KernelTraits(
+    streaming_eff=0.60,
+    cpu_compute_eff=0.15,
+    gpu_compute_eff=0.60,
+    simd_eff=0.50,
+    frontend_factor=0.08,
+    cache_resident=0.35,
+    gpu_cache_resident=0.0,
+)
+
+#: Cluster 1 archetype: retiring/frontend bound, cache-resident working set.
+RETIRING = KernelTraits(
+    streaming_eff=0.80,
+    cpu_compute_eff=0.30,
+    gpu_compute_eff=0.60,
+    simd_eff=0.25,
+    frontend_factor=0.20,
+    cache_resident=0.92,
+    gpu_cache_resident=0.0,
+)
+
+#: Cluster 3 archetype: core (FP/dependency) bound, cache-resident.
+CORE = KernelTraits(
+    streaming_eff=0.80,
+    cpu_compute_eff=0.06,
+    gpu_compute_eff=0.60,
+    simd_eff=0.60,
+    frontend_factor=0.03,
+    cache_resident=0.90,
+    gpu_cache_resident=0.3,
+)
+
+#: Comm archetype: MPI-dominated halo patterns.
+COMM = KernelTraits(
+    streaming_eff=0.70,
+    cpu_compute_eff=0.20,
+    gpu_compute_eff=0.40,
+    simd_eff=0.60,
+    frontend_factor=0.06,
+    cache_resident=0.2,
+)
+
+
+def derive(preset: KernelTraits, **overrides: object) -> KernelTraits:
+    """A copy of ``preset`` with specific fields overridden."""
+    return replace(preset, **overrides)

@@ -1,0 +1,116 @@
+"""Kernel variants: (implementation kind, programming-model backend).
+
+RAJAPerf provides at least two variants per programming model: a *Base*
+variant written directly in that model, and a *RAJA* variant written
+against the portability layer. Some kernels also ship Kokkos variants
+(maintained by the Kokkos team; like the paper, we enumerate but do not
+analyze them).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.rajasim.policies import (
+    Backend,
+    ExecPolicy,
+    POLICY_BY_BACKEND,
+)
+
+
+class VariantKind(enum.Enum):
+    BASE = "Base"
+    LAMBDA = "Lambda"
+    RAJA = "RAJA"
+    KOKKOS = "Kokkos"
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One (kind, backend) implementation of a kernel."""
+
+    kind: VariantKind
+    backend: Backend
+
+    @property
+    def name(self) -> str:
+        """RAJAPerf-style variant name, e.g. ``RAJA_CUDA`` or ``Base_Seq``."""
+        if self.kind is VariantKind.KOKKOS:
+            return "Kokkos_Lambda"
+        return f"{self.kind.value}_{self.backend.value}"
+
+    @property
+    def is_raja(self) -> bool:
+        return self.kind is VariantKind.RAJA
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.backend.is_gpu
+
+    def policy(self) -> ExecPolicy:
+        """Default execution policy for this variant's backend."""
+        return POLICY_BY_BACKEND[self.backend]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _make_variants() -> dict[str, Variant]:
+    variants = {}
+    for backend in Backend:
+        if backend is Backend.SIMD:
+            continue  # SIMD is a policy refinement, not a RAJAPerf variant
+        for kind in (VariantKind.BASE, VariantKind.RAJA):
+            v = Variant(kind, backend)
+            variants[v.name] = v
+    kokkos = Variant(VariantKind.KOKKOS, Backend.SEQUENTIAL)
+    variants["Kokkos_Lambda"] = kokkos
+    return variants
+
+
+#: All defined variants, keyed by RAJAPerf-style name.
+VARIANTS: dict[str, Variant] = _make_variants()
+
+BASE_SEQ = VARIANTS["Base_Seq"]
+RAJA_SEQ = VARIANTS["RAJA_Seq"]
+BASE_OPENMP = VARIANTS["Base_OpenMP"]
+RAJA_OPENMP = VARIANTS["RAJA_OpenMP"]
+BASE_CUDA = VARIANTS["Base_CUDA"]
+RAJA_CUDA = VARIANTS["RAJA_CUDA"]
+BASE_HIP = VARIANTS["Base_HIP"]
+RAJA_HIP = VARIANTS["RAJA_HIP"]
+BASE_SYCL = VARIANTS["Base_SYCL"]
+RAJA_SYCL = VARIANTS["RAJA_SYCL"]
+
+
+def get_variant(name: str) -> Variant:
+    """Look up a variant by RAJAPerf-style name (e.g. ``"RAJA_HIP"``)."""
+    try:
+        return VARIANTS[name]
+    except KeyError:
+        raise KeyError(f"unknown variant {name!r}; have {sorted(VARIANTS)}") from None
+
+
+#: The standard full set of backends a portable kernel supports.
+ALL_BACKENDS: tuple[Backend, ...] = (
+    Backend.SEQUENTIAL,
+    Backend.OPENMP,
+    Backend.OPENMP_TARGET,
+    Backend.CUDA,
+    Backend.HIP,
+    Backend.SYCL,
+)
+
+
+def variants_for_backends(
+    backends: tuple[Backend, ...] = ALL_BACKENDS, kokkos: bool = False
+) -> tuple[Variant, ...]:
+    """Base+RAJA variant pair for each backend (Table I's 'BR' cells)."""
+    out = []
+    for backend in backends:
+        out.append(Variant(VariantKind.BASE, backend))
+        out.append(Variant(VariantKind.RAJA, backend))
+    if kokkos:
+        out.append(VARIANTS["Kokkos_Lambda"])
+    return tuple(out)

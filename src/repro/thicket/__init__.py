@@ -1,0 +1,12 @@
+"""Thicket: EDA for multi-run performance experiments (pandas-free port).
+
+The real Thicket (LLNL) composes many Caliper profiles into a single
+queryable object; the paper reads RAJAPerf's ``.cali`` files into Thicket,
+groups by variant/tuning in the metadata, and runs the Section IV/V
+analyses on the composed metrics. This package reproduces that surface on
+the local column store.
+"""
+
+from repro.thicket.thicket import Thicket
+
+__all__ = ["Thicket"]

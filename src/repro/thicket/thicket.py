@@ -1,0 +1,315 @@
+"""The Thicket class: exploratory data analysis over many profiles.
+
+Mirrors LLNL Thicket's composition model (Brink et al., HPDC'23):
+
+* a **performance dataframe** with one row per (profile, region) carrying
+  every collected metric;
+* a **metadata table** with one row per profile (the Adiak globals:
+  variant, tuning, machine, problem size);
+* an **aggregated statsframe** summarizing metrics across profiles.
+
+Implemented on :class:`repro.dataframe.Frame` (no pandas in this
+environment).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.caliper.cali import read_cali
+from repro.caliper.records import CaliProfile
+from repro.dataframe import Frame
+
+PATH_SEP = "/"
+
+
+class Thicket:
+    """An ensemble of Caliper profiles with composition and EDA methods."""
+
+    def __init__(self, dataframe: Frame, metadata: Frame) -> None:
+        for col in ("profile", "name", "path", "depth"):
+            if col not in dataframe:
+                raise ValueError(f"dataframe lacks required column {col!r}")
+        if "profile" not in metadata:
+            raise ValueError("metadata lacks required column 'profile'")
+        self.dataframe = dataframe
+        self.metadata = metadata
+        self.statsframe: Frame | None = None
+
+    # -------------------------------------------------------- construction
+    @classmethod
+    def from_caliperreader(
+        cls, sources: Iterable[CaliProfile | str | Path] | CaliProfile | str | Path
+    ) -> "Thicket":
+        """Build a Thicket from profiles or ``.cali`` file paths."""
+        if isinstance(sources, (CaliProfile, str, Path)):
+            sources = [sources]
+        profiles: list[CaliProfile] = []
+        for src in sources:
+            profiles.append(src if isinstance(src, CaliProfile) else read_cali(src))
+        if not profiles:
+            raise ValueError("no profiles given")
+
+        data_records: list[dict[str, Any]] = []
+        meta_records: list[dict[str, Any]] = []
+        for idx, profile in enumerate(profiles):
+            profile_id = _profile_id(profile, idx)
+            meta = {"profile": profile_id}
+            meta.update(profile.globals)
+            meta_records.append(meta)
+            for node in profile.walk():
+                rec: dict[str, Any] = {
+                    "profile": profile_id,
+                    "name": node.name,
+                    "path": PATH_SEP.join(node.path),
+                    "depth": node.depth,
+                }
+                rec.update(node.metrics)
+                data_records.append(rec)
+        frame = Frame.from_records(data_records)
+        # Missing metrics (regions that lack a counter) become NaN.
+        for col in frame.columns:
+            if col in ("profile", "name", "path"):
+                continue
+            arr = frame[col]
+            if arr.dtype == object:
+                coerced = np.array(
+                    [np.nan if v is None else v for v in arr], dtype=object
+                )
+                try:
+                    frame = frame.with_column(col, coerced.astype(float))
+                except (TypeError, ValueError):
+                    frame = frame.with_column(col, coerced)
+        return cls(frame, Frame.from_records(meta_records))
+
+    @classmethod
+    def concat_thickets(cls, thickets: Sequence["Thicket"]) -> "Thicket":
+        """Compose several thickets into one ensemble (Thicket.concat)."""
+        if not thickets:
+            raise ValueError("nothing to concatenate")
+        df = thickets[0].dataframe
+        md = thickets[0].metadata
+        for other in thickets[1:]:
+            df = _outer_vstack(df, other.dataframe)
+            md = _outer_vstack(md, other.metadata)
+        return cls(df, md)
+
+    # ------------------------------------------------------------ queries
+    @property
+    def profiles(self) -> list[Any]:
+        return list(dict.fromkeys(self.metadata["profile"].tolist()))
+
+    def metric_columns(self) -> list[str]:
+        skip = {"profile", "name", "path", "depth"}
+        return [c for c in self.dataframe.columns if c not in skip]
+
+    def filter_metadata(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Thicket":
+        """Keep profiles whose metadata row satisfies ``predicate``."""
+        keep_md = self.metadata.filter(predicate)
+        keep_ids = set(keep_md["profile"].tolist())
+        keep_df = self.dataframe.filter(
+            np.fromiter(
+                (p in keep_ids for p in self.dataframe["profile"]),
+                dtype=bool,
+                count=self.dataframe.nrows,
+            )
+        )
+        return Thicket(keep_df, keep_md)
+
+    def filter_regions(self, predicate: Callable[[str], bool]) -> "Thicket":
+        """Keep dataframe rows whose region name satisfies ``predicate``."""
+        mask = np.fromiter(
+            (bool(predicate(str(n))) for n in self.dataframe["name"]),
+            dtype=bool,
+            count=self.dataframe.nrows,
+        )
+        return Thicket(self.dataframe.take(mask), self.metadata)
+
+    def query(self, pattern: str) -> "Thicket":
+        """Keep dataframe rows whose region *path* matches a glob pattern.
+
+        Thicket's query language addresses call-tree paths; here a path is
+        the ``/``-joined region names, matched with ``fnmatch`` semantics:
+        ``thicket.query("RAJAPerf/*/Stream_*")`` selects the Stream kernels
+        regardless of group nesting.
+        """
+        import fnmatch
+
+        mask = np.fromiter(
+            (fnmatch.fnmatch(str(p), pattern) for p in self.dataframe["path"]),
+            dtype=bool,
+            count=self.dataframe.nrows,
+        )
+        return Thicket(self.dataframe.take(mask), self.metadata)
+
+    def metadata_query(self, **equals: Any) -> "Thicket":
+        """Keep profiles whose metadata matches all given key=value pairs."""
+        unknown = [k for k in equals if k not in self.metadata]
+        if unknown:
+            raise KeyError(f"no metadata columns {unknown}; have {self.metadata.columns}")
+        return self.filter_metadata(
+            lambda md: all(md.get(k) == v for k, v in equals.items())
+        )
+
+    def groupby(self, key: str) -> dict[Any, "Thicket"]:
+        """Split the ensemble by a metadata column (Thicket.groupby)."""
+        if key not in self.metadata:
+            raise KeyError(f"no metadata column {key!r}")
+        out: dict[Any, Thicket] = {}
+        for value, sub_md in self.metadata.groupby(key):
+            ids = set(sub_md["profile"].tolist())
+            sub_df = self.dataframe.filter(
+                np.fromiter(
+                    (p in ids for p in self.dataframe["profile"]),
+                    dtype=bool,
+                    count=self.dataframe.nrows,
+                )
+            )
+            out[value[0]] = Thicket(sub_df, sub_md)
+        return out
+
+    def metric_for_profile(self, profile: Any, metric: str) -> dict[str, float]:
+        """region name -> metric value for one profile."""
+        sub = self.dataframe.filter(
+            np.fromiter(
+                (p == profile for p in self.dataframe["profile"]),
+                dtype=bool,
+                count=self.dataframe.nrows,
+            )
+        )
+        return {
+            str(name): float(value)
+            for name, value in zip(sub["name"], sub[metric])
+            if value == value  # skip NaN
+        }
+
+    def metric_matrix(
+        self, metric: str, region_filter: Callable[[str], bool] | None = None
+    ) -> tuple[list[str], list[Any], np.ndarray]:
+        """(region names, profile ids, matrix) for one metric.
+
+        Rows are regions, columns profiles; missing entries are NaN.
+        """
+        if metric not in self.dataframe:
+            raise KeyError(f"no metric {metric!r}; have {self.metric_columns()}")
+        regions: list[str] = []
+        for name in self.dataframe["name"]:
+            s = str(name)
+            if region_filter is not None and not region_filter(s):
+                continue
+            if s not in regions:
+                regions.append(s)
+        profs = self.profiles
+        matrix = np.full((len(regions), len(profs)), np.nan)
+        region_idx = {r: i for i, r in enumerate(regions)}
+        prof_idx = {p: j for j, p in enumerate(profs)}
+        values = self.dataframe[metric]
+        for row in range(self.dataframe.nrows):
+            name = str(self.dataframe["name"][row])
+            if name not in region_idx:
+                continue
+            prof = self.dataframe["profile"][row]
+            value = values[row]
+            if value == value:
+                matrix[region_idx[name], prof_idx[prof]] = float(value)
+        return regions, profs, matrix
+
+    # ---------------------------------------------------------- statistics
+    def aggregate_stats(
+        self, metrics: Sequence[str] | None = None, aggs: Sequence[str] = ("mean", "min", "max", "std")
+    ) -> Frame:
+        """Per-region statistics across all profiles -> the statsframe.
+
+        Aggregators are NumPy reduction names plus percentile shorthands
+        (``"p50"``, ``"p95"``, ...), matching Thicket's stats module.
+        """
+        metrics = list(metrics) if metrics is not None else self.metric_columns()
+        numeric = [
+            m for m in metrics if m in self.dataframe and self.dataframe[m].dtype != object
+        ]
+        records = []
+        for (name,), sub in self.dataframe.groupby("name"):
+            rec: dict[str, Any] = {"name": name}
+            for m in numeric:
+                col = sub[m]
+                col = col[~np.isnan(col.astype(float))]
+                if len(col) == 0:
+                    continue
+                for agg in aggs:
+                    rec[f"{m}_{agg}"] = _aggregate(col, agg)
+            records.append(rec)
+        self.statsframe = Frame.from_records(records)
+        return self.statsframe
+
+    def tree(self, metric: str | None = None, profile: Any | None = None) -> str:
+        """Render the region tree of one profile (Thicket.tree())."""
+        prof = profile if profile is not None else self.profiles[0]
+        lines: list[str] = [f"profile: {prof}"]
+        sub_rows = [
+            row
+            for row in self.dataframe.iter_rows()
+            if row["profile"] == prof
+        ]
+        sub_rows.sort(key=lambda r: str(r["path"]))
+        for row in sub_rows:
+            indent = "  " * (int(row["depth"]) - 1)
+            suffix = ""
+            if metric is not None and row.get(metric) == row.get(metric):
+                suffix = f"  [{metric}={row[metric]:.6g}]"
+            lines.append(f"{indent}{row['name']}{suffix}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Thicket({len(self.profiles)} profiles, "
+            f"{self.dataframe.nrows} rows, {len(self.metric_columns())} metrics)"
+        )
+
+
+def _aggregate(values: np.ndarray, agg: str) -> float:
+    """One aggregation: a NumPy reduction name or a pNN percentile."""
+    if agg.startswith("p") and agg[1:].isdigit():
+        q = int(agg[1:])
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {agg}")
+        return float(np.percentile(values, q))
+    fn = getattr(np, agg, None)
+    if fn is None:
+        raise ValueError(f"unknown aggregator {agg!r}")
+    return float(fn(values))
+
+
+def _profile_id(profile: CaliProfile, index: int) -> str:
+    g = profile.globals
+    parts = [str(g.get("machine", "?")), str(g.get("variant", "?"))]
+    tuning = g.get("tuning")
+    if tuning and tuning != "default":
+        parts.append(str(tuning))
+    trial = g.get("trial")
+    if trial not in (None, 0):
+        parts.append(f"trial{trial}")
+    base = "/".join(parts)
+    return base if base != "?/?" else f"profile-{index}"
+
+
+def _outer_vstack(a: Frame, b: Frame) -> Frame:
+    """vstack with an outer join on columns (missing cells become NaN/None)."""
+    all_cols = list(dict.fromkeys(list(a.columns) + list(b.columns)))
+
+    def pad(frame: Frame) -> Frame:
+        out = frame
+        for col in all_cols:
+            if col not in out:
+                template = a[col] if col in a else b[col]
+                if template.dtype == object:
+                    filler = np.array([None] * out.nrows, dtype=object)
+                else:
+                    filler = np.full(out.nrows, np.nan)
+                out = out.with_column(col, filler)
+        return out.select(all_cols)
+
+    return pad(a).vstack(pad(b))

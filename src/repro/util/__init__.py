@@ -1,0 +1,49 @@
+"""Shared utilities: unit handling, text tables, validation helpers.
+
+These are deliberately dependency-light; every other subpackage may import
+from here, but :mod:`repro.util` imports nothing from the rest of the
+package.
+"""
+
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    KILO,
+    MEGA,
+    GIGA,
+    TERA,
+    format_bytes,
+    format_count,
+    format_rate,
+    format_seconds,
+    parse_size,
+)
+from repro.util.tables import TextTable, render_barchart
+from repro.util.validation import (
+    check_positive,
+    check_in,
+    check_probability_vector,
+    check_same_length,
+)
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "TERA",
+    "format_bytes",
+    "format_count",
+    "format_rate",
+    "format_seconds",
+    "parse_size",
+    "TextTable",
+    "render_barchart",
+    "check_positive",
+    "check_in",
+    "check_probability_vector",
+    "check_same_length",
+]

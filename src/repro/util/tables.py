@@ -1,0 +1,107 @@
+"""Plain-text rendering of tables and bar charts.
+
+The paper's tables and figures are regenerated as text artifacts (no
+matplotlib in this environment); ``TextTable`` renders aligned ASCII tables
+and ``render_barchart`` renders horizontal bar charts such as the top-down
+metric stacks of Figs. 3/4 and the speedup panels of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class TextTable:
+    """Accumulate rows and render an aligned, pipe-delimited text table."""
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self._rows: list[list[str]] = []
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append([_format_cell(v) for v in values])
+
+    def add_rows(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        out = [",".join(_csv_escape(c) for c in self.columns)]
+        for row in self._rows:
+            out.append(",".join(_csv_escape(c) for c in row))
+        return "\n".join(out)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if value is None:
+        return ""
+    return str(value)
+
+
+def _csv_escape(cell: str) -> str:
+    if any(ch in cell for ch in ',"\n'):
+        return '"' + cell.replace('"', '""') + '"'
+    return cell
+
+
+def render_barchart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    max_value: float | None = None,
+    unit: str = "",
+    marker: str = "#",
+    reference: float | None = None,
+) -> str:
+    """Render a horizontal bar chart.
+
+    ``reference`` draws a ``|`` at the given value on each bar's axis — used
+    for the 1x speedup line and the Stream TRIAD line in Fig. 9.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        return "(empty chart)"
+    vmax = max_value if max_value is not None else max(max(values), 1e-300)
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = []
+    for lab, val in zip(labels, values):
+        n = int(round(min(max(val, 0.0), vmax) / vmax * width))
+        bar = list(marker * n + " " * (width - n))
+        capped = "+" if val > vmax else ""
+        if reference is not None and 0 <= reference <= vmax:
+            ref_pos = min(int(round(reference / vmax * width)), width - 1)
+            bar[ref_pos] = "|"
+        lines.append(
+            f"{str(lab).ljust(label_w)} [{''.join(bar)}] {val:.4g}{capped}{unit}"
+        )
+    return "\n".join(lines)

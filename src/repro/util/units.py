@@ -1,0 +1,107 @@
+"""Unit constants, formatting, and parsing for sizes, counts, and rates.
+
+The performance suite reports quantities spanning ~12 orders of magnitude
+(bytes per iteration up to node-level TFLOPS); these helpers keep the
+formatting consistent across tables, figures, and the CLI.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Binary (memory capacity) units.
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+
+# Decimal (rate / count) units.
+KILO = 10**3
+MEGA = 10**6
+GIGA = 10**9
+TERA = 10**12
+PETA = 10**15
+
+_DECIMAL_STEPS = [
+    (PETA, "P"),
+    (TERA, "T"),
+    (GIGA, "G"),
+    (MEGA, "M"),
+    (KILO, "K"),
+]
+
+_BINARY_STEPS = [
+    (TIB, "TiB"),
+    (GIB, "GiB"),
+    (MIB, "MiB"),
+    (KIB, "KiB"),
+]
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>[0-9]*\.?[0-9]+)\s*(?P<suffix>[kKmMgGtT]?)(?:i?[bB])?\s*$"
+)
+
+_SUFFIX_MULTIPLIER = {
+    "": 1,
+    "k": KILO,
+    "m": MEGA,
+    "g": GIGA,
+    "t": TERA,
+}
+
+
+def format_count(value: float, digits: int = 3) -> str:
+    """Format a raw count with a decimal magnitude suffix (K/M/G/T/P)."""
+    if value == 0:
+        return "0"
+    sign = "-" if value < 0 else ""
+    mag = abs(float(value))
+    for step, suffix in _DECIMAL_STEPS:
+        if mag >= step:
+            return f"{sign}{mag / step:.{digits}g}{suffix}"
+    return f"{sign}{mag:.{digits}g}"
+
+
+def format_bytes(value: float, digits: int = 3) -> str:
+    """Format a byte count using binary units (KiB/MiB/GiB/TiB)."""
+    sign = "-" if value < 0 else ""
+    mag = abs(float(value))
+    for step, suffix in _BINARY_STEPS:
+        if mag >= step:
+            return f"{sign}{mag / step:.{digits}g} {suffix}"
+    return f"{sign}{mag:.{digits}g} B"
+
+
+def format_rate(value: float, unit: str = "B/s", digits: int = 3) -> str:
+    """Format a rate (e.g. bytes/s or FLOP/s) with decimal suffixes."""
+    return f"{format_count(value, digits)}{unit}"
+
+
+def format_seconds(value: float, digits: int = 3) -> str:
+    """Format a duration, scaling to ns/us/ms/s."""
+    if value < 0:
+        raise ValueError(f"negative duration: {value}")
+    if value == 0:
+        return "0 s"
+    for scale, suffix in [(1.0, "s"), (1e-3, "ms"), (1e-6, "us"), (1e-9, "ns")]:
+        if value >= scale:
+            return f"{value / scale:.{digits}g} {suffix}"
+    return f"{value:.{digits}g} s"
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a problem-size string like ``"32M"``, ``"1.5G"``, or ``"4096"``.
+
+    Mirrors RAJAPerf's ``--size`` argument handling: suffixes are decimal
+    (``32M`` means 32,000,000 elements).
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse size {text!r}")
+    value = float(match.group("num"))
+    mult = _SUFFIX_MULTIPLIER[match.group("suffix").lower()]
+    return int(round(value * mult))

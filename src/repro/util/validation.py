@@ -1,0 +1,44 @@
+"""Small argument-validation helpers used across the package."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, allow_zero: bool = False) -> float:
+    """Raise ``ValueError`` unless ``value`` is positive (or >= 0)."""
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_in(name: str, value: object, allowed: Sequence[object]) -> object:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {list(allowed)}, got {value!r}")
+    return value
+
+
+def check_same_length(**named_sequences: Sequence[object]) -> int:
+    """Raise ``ValueError`` unless all sequences share one length; return it."""
+    lengths = {name: len(seq) for name, seq in named_sequences.items()}
+    unique = set(lengths.values())
+    if len(unique) > 1:
+        raise ValueError(f"length mismatch: {lengths}")
+    return unique.pop() if unique else 0
+
+
+def check_probability_vector(name: str, values: Sequence[float], tol: float = 1e-6) -> np.ndarray:
+    """Validate that ``values`` are non-negative and sum to ~1 (a TMA split)."""
+    arr = np.asarray(values, dtype=float)
+    if np.any(arr < -tol):
+        raise ValueError(f"{name} has negative entries: {arr}")
+    total = float(arr.sum())
+    if abs(total - 1.0) > tol:
+        raise ValueError(f"{name} must sum to 1 (got {total})")
+    return np.clip(arr, 0.0, None)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines.registry import EPYC_MI250X, P9_V100, SPR_DDR, SPR_HBM
+from repro.suite.registry import all_kernel_classes, load_all_kernels
+
+#: Problem size for tests that really execute kernels.
+SMALL = 2_000
+#: Problem size for model-space tests (no execution).
+PAPER = 32_000_000
+
+
+@pytest.fixture(scope="session")
+def kernel_classes():
+    load_all_kernels()
+    return all_kernel_classes()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=["SPR-DDR", "SPR-HBM", "P9-V100", "EPYC-MI250X"])
+def machine(request):
+    return {
+        "SPR-DDR": SPR_DDR,
+        "SPR-HBM": SPR_HBM,
+        "P9-V100": P9_V100,
+        "EPYC-MI250X": EPYC_MI250X,
+    }[request.param]
+
+
+@pytest.fixture(params=["SPR-DDR", "SPR-HBM"])
+def cpu_machine(request):
+    return {"SPR-DDR": SPR_DDR, "SPR-HBM": SPR_HBM}[request.param]
+
+
+@pytest.fixture(params=["P9-V100", "EPYC-MI250X"])
+def gpu_machine(request):
+    return {"P9-V100": P9_V100, "EPYC-MI250X": EPYC_MI250X}[request.param]
+
+
+def kernel_ids(classes) -> list[str]:
+    return [cls.class_full_name() for cls in classes]

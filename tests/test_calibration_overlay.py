@@ -1,0 +1,43 @@
+"""Consistency of the fitted trait overlay (perfmodel.calibrated)."""
+
+import pytest
+
+from repro.perfmodel.calibrated import TRAIT_CALIBRATION
+from repro.perfmodel.traits import KernelTraits
+from repro.suite.registry import get_kernel_class, similarity_kernel_classes
+
+
+def test_overlay_covers_exactly_the_clustered_set_plus_edge3d():
+    expected = {cls.class_full_name() for cls in similarity_kernel_classes()}
+    expected -= {"Stream_TRIAD"}  # the bandwidth anchor is never overlaid
+    expected |= {"Apps_EDGE3D"}  # fitted for its Fig. 9/10 numbers
+    assert set(TRAIT_CALIBRATION) == expected
+
+
+def test_overlay_fields_are_valid_trait_fields():
+    valid = set(KernelTraits.__dataclass_fields__)
+    for kernel, overlay in TRAIT_CALIBRATION.items():
+        assert set(overlay) <= valid, kernel
+
+
+def test_overlaid_traits_construct_cleanly():
+    """Every overlay must produce a valid KernelTraits when applied."""
+    for name in TRAIT_CALIBRATION:
+        kernel = get_kernel_class(name)(problem_size=1000)
+        traits = kernel.effective_traits()
+        assert 0 < traits.streaming_eff <= 1.0
+        assert traits.cpu_compute_eff > 0
+
+
+def test_anchor_kernels_not_overlaid():
+    assert "Stream_TRIAD" not in TRAIT_CALIBRATION
+    assert "Basic_MAT_MAT_SHARED" not in TRAIT_CALIBRATION
+
+
+def test_overlay_preserves_hand_written_gpu_overrides():
+    """The fit merges (not replaces) per-machine GPU overrides: EDGE3D's
+    pinned MI250X efficiency must survive the overlay."""
+    kernel = get_kernel_class("Apps_EDGE3D")(problem_size=1000)
+    hand = kernel.traits().gpu_eff_overrides["EPYC-MI250X"]
+    effective = kernel.effective_traits().gpu_eff_overrides["EPYC-MI250X"]
+    assert effective == pytest.approx(hand)

@@ -1,0 +1,191 @@
+"""Caliper annotation/profiles/ConfigManager and Adiak metadata."""
+
+import pytest
+
+from repro import adiak
+from repro.caliper import (
+    CaliperSession,
+    ConfigManager,
+    annotate,
+    read_cali,
+    region,
+    set_session,
+    write_cali,
+)
+from repro.caliper.records import CaliProfile, RegionRecord
+
+
+class TestRegions:
+    def test_nesting_builds_tree(self):
+        session = CaliperSession(collect_time=False)
+        with session.region("RAJAPerf"):
+            with session.region("Stream"):
+                with session.region("Stream_TRIAD"):
+                    session.set_metric("flops", 2.0)
+        profile = session.close()
+        node = profile.find(("RAJAPerf", "Stream", "Stream_TRIAD"))
+        assert node is not None and node.metrics["flops"] == 2.0
+
+    def test_time_collected(self):
+        session = CaliperSession()
+        with session.region("work"):
+            sum(range(1000))
+        profile = session.close()
+        assert profile.roots[0].metrics[CaliperSession.TIME_METRIC] > 0
+
+    def test_metric_accumulates_on_reentry(self):
+        session = CaliperSession(collect_time=False)
+        for _ in range(3):
+            with session.region("k"):
+                session.set_metric("count", 1.0)
+        assert session.close().roots[0].metrics["count"] == 3.0
+
+    def test_mismatched_end_raises(self):
+        session = CaliperSession()
+        session.begin_region("a")
+        with pytest.raises(RuntimeError):
+            session.end_region("b")
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            CaliperSession().end_region()
+
+    def test_close_with_open_region_raises(self):
+        session = CaliperSession()
+        session.begin_region("open")
+        with pytest.raises(RuntimeError):
+            session.close()
+
+    def test_metric_outside_region_raises(self):
+        with pytest.raises(RuntimeError):
+            CaliperSession().set_metric("x", 1.0)
+
+    def test_empty_region_name_rejected(self):
+        with pytest.raises(ValueError):
+            CaliperSession().begin_region("")
+
+    def test_decorator_uses_default_session(self):
+        session = CaliperSession(collect_time=False)
+        old = set_session(session)
+        try:
+            @annotate("decorated")
+            def work():
+                return 42
+
+            assert work() == 42
+            with region("ctx"):
+                pass
+        finally:
+            set_session(old)
+        profile = session.close()
+        assert {r.name for r in profile.roots} == {"decorated", "ctx"}
+
+
+class TestRecords:
+    def test_path_invariant(self):
+        with pytest.raises(ValueError):
+            RegionRecord(name="a", path=("b",))
+
+    def test_child_idempotent(self):
+        node = RegionRecord(name="a", path=("a",))
+        c1 = node.child("b")
+        c2 = node.child("b")
+        assert c1 is c2 and len(node.children) == 1
+
+    def test_walk_depth_first(self):
+        profile = CaliProfile()
+        root = profile.root("r")
+        root.child("x").child("y")
+        root.child("z")
+        names = [n.name for n in profile.walk()]
+        assert names == ["r", "x", "y", "z"]
+
+
+class TestCaliIO:
+    def _profile(self):
+        session = CaliperSession(collect_time=False)
+        session.set_global("variant", "RAJA_CUDA")
+        session.set_global("problem_size", 32_000_000)
+        with session.region("RAJAPerf"):
+            with session.region("Stream_TRIAD"):
+                session.set_metric("Avg time/rank", 1.5e-3)
+        return session.close()
+
+    def test_roundtrip(self, tmp_path):
+        profile = self._profile()
+        path = write_cali(profile, tmp_path / "run.cali")
+        loaded = read_cali(path)
+        assert loaded.globals == profile.globals
+        node = loaded.find(("RAJAPerf", "Stream_TRIAD"))
+        assert node.metrics["Avg time/rank"] == pytest.approx(1.5e-3)
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.cali"
+        path.write_text('{"format": "not-cali"}')
+        with pytest.raises(ValueError):
+            read_cali(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.cali"
+        path.write_text('{"format": "cali-json", "version": 999}')
+        with pytest.raises(ValueError):
+            read_cali(path)
+
+
+class TestConfigManager:
+    def test_simple_config(self):
+        mgr = ConfigManager("runtime-report")
+        assert mgr.error() is None and mgr.enabled("runtime-report")
+
+    def test_options_parsed(self):
+        mgr = ConfigManager("spot(output=x.cali,time.exclusive=true)")
+        entry = mgr.get("spot")
+        assert entry.options["output"] == "x.cali"
+        assert entry.option_bool("time.exclusive") is True
+        assert mgr.output_path() == "x.cali"
+
+    def test_multiple_configs(self):
+        mgr = ConfigManager("runtime-report,spot(output=a.cali)")
+        assert mgr.enabled("runtime-report") and mgr.enabled("spot")
+
+    def test_unknown_config_reports_error(self):
+        mgr = ConfigManager("frobnicator")
+        assert mgr.error() is not None
+        assert not mgr.enabled("frobnicator")
+
+    def test_unbalanced_parens(self):
+        assert ConfigManager("spot(output=x").error() is not None
+        assert ConfigManager("spot)x(").error() is not None
+
+    def test_malformed_option(self):
+        assert ConfigManager("spot(nonsense)").error() is not None
+
+    def test_empty_spec_ok(self):
+        assert ConfigManager("").error() is None
+
+
+class TestAdiak:
+    def test_lifecycle(self):
+        adiak.init()
+        adiak.value("variant", "RAJA_Seq")
+        adiak.collect_all()
+        meta = adiak.fini()
+        assert meta["variant"] == "RAJA_Seq"
+        assert "user" in meta and "launchdate" in meta
+        assert not adiak.is_active()
+
+    def test_use_before_init_raises(self):
+        if adiak.is_active():
+            adiak.fini()
+        with pytest.raises(adiak.AdiakError):
+            adiak.value("x", 1)
+        with pytest.raises(adiak.AdiakError):
+            adiak.fini()
+
+    def test_empty_name_rejected(self):
+        adiak.init()
+        try:
+            with pytest.raises(ValueError):
+                adiak.value("", 1)
+        finally:
+            adiak.fini()

@@ -1,0 +1,36 @@
+"""classify_kernel: the porting-decision API."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import classify_kernel, run_similarity_analysis
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_similarity_analysis()
+
+
+def test_suite_kernels_classify_into_their_own_cluster(result):
+    """Feeding a member's own vector back must recover its cluster and
+    itself as the nearest kernel."""
+    for index in (0, 10, 30, 60):
+        name = result.kernel_names[index]
+        cluster, speedups, nearest = classify_kernel(result.vectors[index], result)
+        assert nearest == name
+        assert cluster == result.cluster_of(name)
+        assert set(speedups) == {"SPR-HBM", "P9-V100", "EPYC-MI250X"}
+
+
+def test_archetype_vectors_hit_expected_clusters(result):
+    mem_cluster = result.most_memory_bound_cluster()
+    cluster, speedups, _ = classify_kernel([0.01, 0.0, 0.06, 0.05, 0.88], result)
+    assert cluster == mem_cluster
+    assert speedups["EPYC-MI250X"] > 15
+
+
+def test_validation(result):
+    with pytest.raises(ValueError):
+        classify_kernel([0.5, 0.5], result)
+    with pytest.raises(ValueError):
+        classify_kernel([0.9, 0.9, 0.9, 0.9, 0.9], result)

@@ -1,0 +1,57 @@
+"""CLI: the cluster / scaling / export / report subcommands."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+def test_cluster_command(capsys):
+    assert main(["cluster"]) == 0
+    out = capsys.readouterr().out
+    assert "4 clusters" in out
+    assert "Fig. 7" in out and "Fig. 8" in out
+
+
+def test_cluster_with_dendrogram(capsys):
+    assert main(["cluster", "--dendrogram"]) == 0
+    assert "Ward" in capsys.readouterr().out
+
+
+def test_cluster_other_linkage(capsys):
+    assert main(["cluster", "--method", "complete", "--threshold", "0.8"]) == 0
+    assert "complete @ 0.8" in capsys.readouterr().out
+
+
+def test_scaling_strong(capsys):
+    assert main(["scaling", "Stream_TRIAD"]) == 0
+    out = capsys.readouterr().out
+    assert "strong scaling of Stream_TRIAD" in out
+    assert "112" in out
+
+
+def test_scaling_weak(capsys):
+    assert main(["scaling", "Basic_TRAP_INT", "--mode", "weak"]) == 0
+    assert "weak scaling" in capsys.readouterr().out
+
+
+def test_scaling_unknown_kernel():
+    with pytest.raises(KeyError):
+        main(["scaling", "Stream_NONSENSE"])
+
+
+def test_export_command(tmp_path, capsys):
+    assert main(["export", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("wrote") == 7
+    assert (tmp_path / "fig9_fig10_speedups.csv").exists()
+
+
+def test_report_command(tmp_path, capsys):
+    main(["run", "--machines", "SPR-DDR", "--variants", "RAJA_Seq",
+          "--kernels", "Stream_TRIAD", "Basic_DAXPY",
+          "--output-dir", str(tmp_path)])
+    capsys.readouterr()
+    cali = next(tmp_path.glob("*.cali"))
+    assert main(["report", str(cali), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "RAJAPerf" in out and "Top 3 regions" in out

@@ -1,0 +1,114 @@
+"""From-scratch agglomerative clustering vs SciPy ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.cluster.hierarchy import fcluster as scipy_fcluster
+from scipy.cluster.hierarchy import linkage as scipy_linkage
+
+from repro.analysis.clustering import (
+    ClusterResult,
+    cluster_kernels,
+    fcluster_by_distance,
+    linkage,
+)
+
+
+def canonical(labels) -> list[int]:
+    """Relabel cluster ids by first appearance for partition comparison."""
+    mapping: dict = {}
+    out = []
+    for label in labels:
+        mapping.setdefault(label, len(mapping))
+        out.append(mapping[label])
+    return out
+
+
+points_strategy = st.integers(0, 10_000).map(
+    lambda seed: np.random.default_rng(seed).random(
+        (int(np.random.default_rng(seed + 1).integers(3, 40)), 5)
+    )
+)
+
+
+class TestLinkage:
+    @pytest.mark.parametrize("method", ["ward", "single", "complete", "average"])
+    def test_matches_scipy(self, method):
+        rng = np.random.default_rng(7)
+        points = rng.random((25, 5))
+        ours = linkage(points, method)
+        theirs = scipy_linkage(points, method=method)
+        np.testing.assert_allclose(ours[:, 2], theirs[:, 2], rtol=1e-10)
+        np.testing.assert_allclose(ours[:, 3], theirs[:, 3])
+
+    @given(points_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_ward_matches_scipy_property(self, points):
+        ours = linkage(points, "ward")
+        theirs = scipy_linkage(points, method="ward")
+        np.testing.assert_allclose(ours[:, 2], theirs[:, 2], rtol=1e-8, atol=1e-12)
+
+    def test_merge_distances_monotone_for_ward(self):
+        rng = np.random.default_rng(3)
+        merges = linkage(rng.random((30, 4)), "ward")
+        assert np.all(np.diff(merges[:, 2]) >= -1e-12)
+
+    def test_final_merge_contains_everything(self):
+        rng = np.random.default_rng(5)
+        merges = linkage(rng.random((12, 3)), "ward")
+        assert merges[-1, 3] == 12
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            linkage(np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            linkage(np.zeros(5))
+        with pytest.raises(ValueError):
+            linkage(np.zeros((5, 2)), method="median")
+
+
+class TestFcluster:
+    @given(points_strategy, st.floats(0.1, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_matches_scipy(self, points, threshold):
+        merges = linkage(points, "ward")
+        ours = fcluster_by_distance(merges, threshold)
+        theirs = scipy_fcluster(
+            scipy_linkage(points, method="ward"), threshold, criterion="distance"
+        )
+        assert canonical(ours) == canonical(theirs)
+
+    def test_tiny_threshold_gives_singletons(self):
+        rng = np.random.default_rng(11)
+        points = rng.random((10, 3)) * 100
+        merges = linkage(points, "ward")
+        labels = fcluster_by_distance(merges, 1e-9)
+        assert len(set(labels)) == 10
+
+    def test_huge_threshold_gives_one_cluster(self):
+        rng = np.random.default_rng(11)
+        merges = linkage(rng.random((10, 3)), "ward")
+        labels = fcluster_by_distance(merges, 1e9)
+        assert len(set(labels)) == 1
+
+    def test_threshold_must_be_positive(self):
+        merges = linkage(np.random.default_rng(0).random((5, 2)))
+        with pytest.raises(ValueError):
+            fcluster_by_distance(merges, 0.0)
+
+
+class TestClusterKernels:
+    def test_separated_blobs_found(self):
+        rng = np.random.default_rng(0)
+        blobs = np.vstack(
+            [rng.normal(loc, 0.02, size=(10, 5)) for loc in (0.0, 1.0, 2.0)]
+        )
+        result = cluster_kernels(blobs, threshold=1.0)
+        assert isinstance(result, ClusterResult)
+        assert result.num_clusters == 3
+        # Blob membership must be contiguous per construction.
+        for cluster in range(3):
+            members = result.members(cluster)
+            assert len(members) == 10
+            assert members.max() - members.min() == 9

@@ -1,0 +1,154 @@
+"""The column-store dataframe (repro.dataframe.Frame)."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Frame
+
+
+@pytest.fixture
+def frame():
+    return Frame(
+        {
+            "kernel": ["TRIAD", "DAXPY", "SCAN", "DOT"],
+            "group": ["Stream", "Basic", "Algorithm", "Stream"],
+            "time": [1.0, 2.0, 3.0, 4.0],
+        }
+    )
+
+
+class TestConstruction:
+    def test_columns_and_len(self, frame):
+        assert frame.columns == ["kernel", "group", "time"]
+        assert len(frame) == 4
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Frame({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_scalar_broadcast(self):
+        f = Frame({"a": [1, 2, 3], "b": 7})
+        assert list(f["b"]) == [7, 7, 7]
+
+    def test_from_records_union_of_keys(self):
+        f = Frame.from_records([{"a": 1}, {"a": 2, "b": "x"}])
+        assert f.columns == ["a", "b"]
+        assert f["b"][0] is None
+
+    def test_strings_become_object_dtype(self, frame):
+        assert frame["kernel"].dtype == object
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(ValueError):
+            Frame({"a": np.zeros((2, 2))})
+
+    def test_empty_frame(self):
+        f = Frame()
+        assert len(f) == 0 and f.columns == []
+
+
+class TestSelection:
+    def test_getitem_missing(self, frame):
+        with pytest.raises(KeyError):
+            frame["nope"]
+
+    def test_select_subset(self, frame):
+        sub = frame.select(["time", "kernel"])
+        assert sub.columns == ["time", "kernel"]
+
+    def test_take_indices(self, frame):
+        sub = frame.take([2, 0])
+        assert list(sub["kernel"]) == ["SCAN", "TRIAD"]
+
+    def test_filter_mask(self, frame):
+        sub = frame.filter(frame["time"] > 2.0)
+        assert len(sub) == 2
+
+    def test_filter_callable(self, frame):
+        sub = frame.filter(lambda row: row["group"] == "Stream")
+        assert list(sub["kernel"]) == ["TRIAD", "DOT"]
+
+    def test_filter_bad_mask_length(self, frame):
+        with pytest.raises(ValueError):
+            frame.filter(np.array([True]))
+
+    def test_row_access(self, frame):
+        assert frame.row(1)["kernel"] == "DAXPY"
+        with pytest.raises(IndexError):
+            frame.row(99)
+
+
+class TestMutation:
+    def test_with_column_adds(self, frame):
+        f2 = frame.with_column("flops", [1, 2, 3, 4])
+        assert "flops" in f2 and "flops" not in frame
+
+    def test_with_column_replaces(self, frame):
+        f2 = frame.with_column("time", [9.0, 9.0, 9.0, 9.0])
+        assert f2["time"][0] == 9.0 and frame["time"][0] == 1.0
+
+    def test_with_column_length_checked(self, frame):
+        with pytest.raises(ValueError):
+            frame.with_column("bad", [1, 2])
+
+    def test_drop(self, frame):
+        f2 = frame.drop("group")
+        assert f2.columns == ["kernel", "time"]
+        with pytest.raises(KeyError):
+            frame.drop("nope")
+
+    def test_rename(self, frame):
+        f2 = frame.rename({"time": "seconds"})
+        assert "seconds" in f2 and "time" not in f2
+
+    def test_rename_collision_rejected(self, frame):
+        with pytest.raises(ValueError):
+            frame.rename({"time": "group"})
+
+
+class TestSortJoinStack:
+    def test_sort_by_numeric(self, frame):
+        out = frame.sort_by("time", descending=True)
+        assert list(out["time"]) == [4.0, 3.0, 2.0, 1.0]
+
+    def test_sort_by_two_keys_stable(self, frame):
+        out = frame.sort_by("group", "kernel")
+        assert list(out["group"]) == ["Algorithm", "Basic", "Stream", "Stream"]
+        assert list(out["kernel"])[2:] == ["DOT", "TRIAD"]
+
+    def test_vstack(self, frame):
+        both = frame.vstack(frame)
+        assert len(both) == 8
+
+    def test_vstack_column_mismatch(self, frame):
+        with pytest.raises(ValueError):
+            frame.vstack(Frame({"other": [1]}))
+
+    def test_inner_join(self, frame):
+        meta = Frame({"group": ["Stream", "Basic"], "origin": ["McCalpin", "LLNL"]})
+        joined = frame.join(meta, on="group")
+        assert len(joined) == 3
+        assert set(joined["origin"]) == {"McCalpin", "LLNL"}
+
+    def test_left_join_fills_none(self, frame):
+        meta = Frame({"group": ["Stream"], "origin": ["McCalpin"]})
+        joined = frame.join(meta, on="group", how="left")
+        assert len(joined) == 4
+        assert sum(v is None for v in joined["origin"]) == 2
+
+    def test_join_bad_how(self, frame):
+        with pytest.raises(ValueError):
+            frame.join(frame, on="group", how="outer")
+
+
+class TestNumeric:
+    def test_numeric_columns(self, frame):
+        assert frame.numeric_columns() == ["time"]
+
+    def test_to_matrix(self, frame):
+        mat = frame.to_matrix(["time"])
+        assert mat.shape == (4, 1)
+
+    def test_equality(self, frame):
+        assert frame == frame.copy()
+        assert frame != frame.drop("time")

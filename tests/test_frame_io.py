@@ -1,0 +1,55 @@
+"""Frame CSV/JSON serialization round trips."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Frame, frame_from_csv, frame_from_json, frame_to_csv, frame_to_json
+
+
+@pytest.fixture
+def frame():
+    return Frame(
+        {
+            "name": ["a", "b,c", 'quote"d'],
+            "count": [1, 2, 3],
+            "value": [0.5, -1.25, 3.0],
+        }
+    )
+
+
+def test_json_roundtrip(frame, tmp_path):
+    path = tmp_path / "f.json"
+    frame_to_json(frame, path)
+    loaded = frame_from_json(path)
+    assert loaded == frame
+
+
+def test_json_text_roundtrip(frame):
+    assert frame_from_json(frame_to_json(frame)) == frame
+
+
+def test_json_numpy_scalars_serializable(tmp_path):
+    f = Frame({"x": np.array([np.int64(1), np.int64(2)])})
+    text = frame_to_json(f)
+    assert '"x"' in text
+
+
+def test_csv_roundtrip(frame, tmp_path):
+    path = tmp_path / "f.csv"
+    frame_to_csv(frame, path)
+    loaded = frame_from_csv(path)
+    assert loaded.columns == frame.columns
+    assert list(loaded["name"]) == list(frame["name"])
+    assert list(loaded["count"]) == [1, 2, 3]
+    np.testing.assert_allclose(loaded["value"], frame["value"])
+
+
+def test_csv_type_inference_int_vs_float(tmp_path):
+    text = "a,b\n1,1.5\n2,2.5\n"
+    loaded = frame_from_csv(text)
+    assert loaded["a"].dtype.kind == "i"
+    assert loaded["b"].dtype.kind == "f"
+
+
+def test_csv_empty(tmp_path):
+    assert len(frame_from_csv("")) == 0

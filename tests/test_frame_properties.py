@@ -1,0 +1,76 @@
+"""Property-based tests for the dataframe (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import Frame, frame_from_csv, frame_from_json, frame_to_csv, frame_to_json
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")), min_size=1, max_size=8
+)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+@st.composite
+def frames(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    return Frame(
+        {
+            "key": draw(st.lists(names, min_size=n, max_size=n)),
+            "x": np.asarray(draw(st.lists(floats, min_size=n, max_size=n)), dtype=float),
+            "i": np.asarray(
+                draw(st.lists(st.integers(-1000, 1000), min_size=n, max_size=n)),
+                dtype=np.int64,
+            ),
+        }
+    )
+
+
+@given(frames())
+@settings(max_examples=40, deadline=None)
+def test_json_roundtrip_identity(frame):
+    assert frame_from_json(frame_to_json(frame)) == frame
+
+
+@given(frames())
+@settings(max_examples=40, deadline=None)
+def test_csv_roundtrip_preserves_numeric(frame):
+    loaded = frame_from_csv(frame_to_csv(frame))
+    np.testing.assert_allclose(loaded["x"].astype(float), frame["x"], rtol=1e-6)
+    assert list(loaded["i"]) == list(frame["i"])
+
+
+@given(frames())
+@settings(max_examples=40, deadline=None)
+def test_sort_is_permutation_and_ordered(frame):
+    out = frame.sort_by("i")
+    assert sorted(out["i"]) == sorted(frame["i"])
+    assert all(a <= b for a, b in zip(out["i"], out["i"][1:]))
+
+
+@given(frames())
+@settings(max_examples=40, deadline=None)
+def test_groupby_sizes_partition_rows(frame):
+    sizes = frame.groupby("key").size()
+    assert int(np.sum(sizes["count"])) == len(frame)
+
+
+@given(frames(), frames())
+@settings(max_examples=30, deadline=None)
+def test_inner_join_row_count_formula(left, right):
+    """|A join B| = sum over keys of countA(k) * countB(k)."""
+    joined = left.join(right.rename({"x": "x2", "i": "i2"}), on="key")
+    from collections import Counter
+
+    ca = Counter(left["key"])
+    cb = Counter(right["key"])
+    expected = sum(ca[k] * cb.get(k, 0) for k in ca)
+    assert len(joined) == expected
+
+
+@given(frames())
+@settings(max_examples=40, deadline=None)
+def test_filter_take_consistency(frame):
+    mask = frame["i"] >= 0
+    assert len(frame.filter(mask)) == int(mask.sum())

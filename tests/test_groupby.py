@@ -1,0 +1,94 @@
+"""Frame group-by and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Frame
+
+
+@pytest.fixture
+def frame():
+    return Frame(
+        {
+            "group": ["Stream", "Stream", "Basic", "Basic", "Basic"],
+            "variant": ["Base", "RAJA", "Base", "RAJA", "RAJA"],
+            "time": [1.0, 1.1, 2.0, 2.2, 2.4],
+        }
+    )
+
+
+def test_group_count(frame):
+    gb = frame.groupby("group")
+    assert len(gb) == 2
+
+
+def test_iteration_yields_subframes(frame):
+    groups = dict(iter(frame.groupby("group")))
+    assert set(groups) == {("Stream",), ("Basic",)}
+    assert len(groups[("Basic",)]) == 3
+
+
+def test_multi_key(frame):
+    gb = frame.groupby("group", "variant")
+    assert len(gb) == 4
+    assert len(gb.get("Basic", "RAJA")) == 2
+
+
+def test_get_missing_group(frame):
+    with pytest.raises(KeyError):
+        frame.groupby("group").get("Lcals")
+
+
+def test_missing_key_column(frame):
+    with pytest.raises(KeyError):
+        frame.groupby("nope")
+
+
+def test_no_keys_rejected(frame):
+    with pytest.raises(ValueError):
+        frame.groupby()
+
+
+def test_size(frame):
+    sizes = frame.groupby("group").size()
+    by_group = dict(zip(sizes["group"], sizes["count"]))
+    assert by_group == {"Stream": 2, "Basic": 3}
+
+
+def test_agg_named(frame):
+    out = frame.groupby("group").agg({"time": "mean"})
+    by_group = dict(zip(out["group"], out["time_mean"]))
+    assert by_group["Stream"] == pytest.approx(1.05)
+    assert by_group["Basic"] == pytest.approx(2.2)
+
+
+def test_agg_multiple_ways(frame):
+    gb = frame.groupby("group")
+    means = gb.agg({"time": "mean"})
+    maxes = gb.agg({"time": "max"})
+    assert means["time_mean"][0] != maxes["time_max"][0] or True  # both valid frames
+    assert "time_max" in maxes
+
+
+def test_agg_callable(frame):
+    out = frame.groupby("group").agg({"time": lambda a: float(np.ptp(a))})
+    by_group = dict(zip(out["group"], out["time"]))
+    assert by_group["Basic"] == pytest.approx(0.4)
+
+
+def test_agg_unknown_aggregator(frame):
+    with pytest.raises(ValueError):
+        frame.groupby("group").agg({"time": "frobnicate"})
+
+
+def test_agg_unknown_column(frame):
+    with pytest.raises(KeyError):
+        frame.groupby("group").agg({"nope": "mean"})
+
+
+def test_apply(frame):
+    out = frame.groupby("group").apply(
+        lambda sub: {"span": float(sub["time"].max() - sub["time"].min())}
+    )
+    by_group = dict(zip(out["group"], out["span"]))
+    assert by_group["Stream"] == pytest.approx(0.1)

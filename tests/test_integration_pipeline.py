@@ -1,0 +1,105 @@
+"""End-to-end integration: the paper's full data path.
+
+run suite -> .cali files on disk -> Thicket -> TMA / roofline analysis,
+asserting that what the analysis recovers from *profile counters* matches
+what the model predicted — i.e., the toolchain is lossless.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.roofline import roofline_points
+from repro.analysis.topdown import TMA_COMPONENTS, topdown_from_counters
+from repro.machines.registry import get_machine
+from repro.suite import Group, RunParams, SuiteExecutor
+from repro.suite.registry import make_kernel
+from repro.thicket import Thicket
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cali")
+    params = RunParams(
+        problem_size="32M",
+        variants=("RAJA_Seq", "RAJA_CUDA", "RAJA_HIP"),
+        groups=(Group.STREAM, Group.BASIC),
+        output_dir=str(out),
+    )
+    result = SuiteExecutor(params).run_paper_configuration(write_files=True)
+    thicket = Thicket.from_caliperreader(result.cali_paths)
+    return result, thicket
+
+
+def test_files_round_trip_through_thicket(pipeline):
+    result, thicket = pipeline
+    assert len(thicket.profiles) == 4
+    regions, _, matrix = thicket.metric_matrix(
+        "Avg time/rank", region_filter=lambda s: "_" in s
+    )
+    assert len(regions) == 24  # 5 Stream + 19 Basic kernels
+    assert np.isfinite(matrix).all()
+
+
+def test_tma_from_profile_counters_matches_model(pipeline):
+    _, thicket = pipeline
+    ddr = thicket.filter_metadata(lambda md: md["machine"] == "SPR-DDR")
+    profile = ddr.profiles[0]
+    for kernel_name in ("Stream_TRIAD", "Basic_DAXPY", "Basic_TRAP_INT"):
+        counters = {
+            metric: ddr.metric_for_profile(profile, metric).get(kernel_name)
+            for metric in ddr.metric_columns()
+            if metric.startswith("perf::")
+        }
+        recovered = topdown_from_counters(counters)
+        predicted = make_kernel(kernel_name, 32_000_000).predict(
+            get_machine("SPR-DDR")
+        ).tma
+        for component in TMA_COMPONENTS:
+            assert getattr(recovered, component) == pytest.approx(
+                predicted[component], abs=1e-9
+            ), (kernel_name, component)
+
+
+def test_roofline_from_profile_counters(pipeline):
+    _, thicket = pipeline
+    gpu = thicket.filter_metadata(lambda md: md["machine"] == "P9-V100")
+    profile = gpu.profiles[0]
+    machine = get_machine("P9-V100")
+    counters = {
+        metric: gpu.metric_for_profile(profile, metric).get("Stream_TRIAD")
+        for metric in gpu.metric_columns()
+    }
+    counters = {k: v for k, v in counters.items() if v is not None}
+    points = roofline_points("Stream_TRIAD", counters, machine)
+    assert len(points) == 3
+    # TRIAD on the HBM level must classify as memory bound.
+    hbm_point = next(p for p in points if p.level == "HBM")
+    assert hbm_point.bound_by(machine) == "memory"
+    # And its points must lie below the roofline ceiling.
+    from repro.analysis.roofline import roofline_ceiling
+
+    for point in points:
+        assert point.warp_gips <= roofline_ceiling(
+            machine, point.level, point.intensity
+        ) * 1.05
+
+
+def test_hbm_speedup_visible_in_thicket(pipeline):
+    """The Thicket user view of Fig. 9: DDR/HBM time ratio for TRIAD."""
+    _, thicket = pipeline
+    by_machine = thicket.groupby("machine")
+    t_ddr = by_machine["SPR-DDR"].metric_for_profile(
+        by_machine["SPR-DDR"].profiles[0], "Avg time/rank"
+    )["Stream_TRIAD"]
+    t_hbm = by_machine["SPR-HBM"].metric_for_profile(
+        by_machine["SPR-HBM"].profiles[0], "Avg time/rank"
+    )["Stream_TRIAD"]
+    assert t_ddr / t_hbm == pytest.approx(2.39, rel=0.15)
+
+
+def test_stats_across_machines(pipeline):
+    _, thicket = pipeline
+    stats = thicket.aggregate_stats(["Avg time/rank"], aggs=("min", "max"))
+    row = next(r for r in stats.iter_rows() if r["name"] == "Stream_TRIAD")
+    # Fastest machine (MI250X) is >10x the slowest (SPR-DDR) for TRIAD.
+    assert row["Avg time/rank_max"] / row["Avg time/rank_min"] > 10

@@ -1,0 +1,100 @@
+"""Property-based tests over the kernel suite (hypothesis).
+
+Random problem sizes and variant pairs: checksums must always agree, and
+O(n) kernels' analytic metrics must scale linearly with problem size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.suite.registry import all_kernel_classes, similarity_kernel_classes
+from repro.suite.variants import get_variant
+
+# A spread of kernels across groups and implementation styles.
+SAMPLED = [
+    "Stream_TRIAD",
+    "Stream_DOT",
+    "Basic_DAXPY",
+    "Basic_INDEXLIST_3LOOP",
+    "Basic_NESTED_INIT",
+    "Algorithm_SCAN",
+    "Algorithm_SORTPAIRS",
+    "Lcals_GEN_LIN_RECUR",
+    "Lcals_HYDRO_2D",
+    "Apps_VOL3D",
+    "Apps_LTIMES",
+    "Polybench_ATAX",
+    "Polybench_JACOBI_2D",
+    "Comm_HALO_EXCHANGE",
+]
+
+VARIANT_PAIRS = [
+    ("Base_Seq", "RAJA_Seq"),
+    ("Base_Seq", "RAJA_CUDA"),
+    ("RAJA_OpenMP", "RAJA_HIP"),
+]
+
+
+@pytest.mark.parametrize("name", SAMPLED)
+@given(size=st.integers(min_value=600, max_value=6000), pair=st.sampled_from(VARIANT_PAIRS))
+@settings(max_examples=6, deadline=None)
+def test_variants_agree_at_random_sizes(name, size, pair):
+    from repro.suite.registry import make_kernel
+    from repro.suite.checksum import checksums_match
+
+    kernel = make_kernel(name, problem_size=size)
+    v1, v2 = get_variant(pair[0]), get_variant(pair[1])
+    if not (kernel.supports(v1) and kernel.supports(v2)):
+        return
+    c1 = kernel.run_variant(v1)
+    c2 = kernel.run_variant(v2)
+    assert checksums_match(c1, c2), (name, size, pair)
+
+
+@pytest.mark.parametrize(
+    "cls", similarity_kernel_classes(), ids=lambda c: c.class_full_name()
+)
+def test_linear_kernels_metrics_scale_linearly(cls):
+    """For O(n) kernels, bytes and FLOPs per iteration are size-invariant
+    (within the granularity of derived mesh dimensions)."""
+    small = cls(problem_size=200_000)
+    large = cls(problem_size=3_200_000)
+    m_small = small.analytic_metrics()
+    m_large = large.analytic_metrics()
+    for key in ("bytes_read", "bytes_written", "flops"):
+        a, b = m_small[key], m_large[key]
+        if max(abs(a), abs(b)) < 1.0:
+            # Sub-linear terms (a scalar accumulator, a fixed bin array,
+            # an O(sqrt(n)) output vector) legitimately vanish per
+            # iteration as n grows.
+            continue
+        denom = max(abs(a), abs(b))
+        assert abs(a - b) / denom < 0.25, (cls.class_full_name(), key, a, b)
+
+
+@given(st.integers(1000, 100_000))
+@settings(max_examples=20, deadline=None)
+def test_iterations_close_to_problem_size_for_linear_kernels(n):
+    """O(n) kernels iterate ~problem_size times (mesh rounding aside)."""
+    for cls in (c for c in all_kernel_classes() if c.COMPLEXITY.is_linear):
+        kernel = cls(problem_size=n)
+        ratio = kernel.iterations() / n
+        assert 0.2 < ratio <= 1.2, cls.class_full_name()
+
+
+@pytest.mark.parametrize("name", SAMPLED)
+def test_seed_controls_data(name):
+    from repro.suite.registry import get_kernel_class
+
+    cls = get_kernel_class(name)
+    a = cls(problem_size=1000, seed=1)
+    b = cls(problem_size=1000, seed=2)
+    variant = get_variant("Base_Seq")
+    ca, cb = a.run_variant(variant), b.run_variant(variant)
+    # Different seeds -> different data -> (almost surely) different sums,
+    # except for kernels whose outputs are data-independent.
+    data_independent = {"Basic_NESTED_INIT"}
+    if name not in data_independent:
+        assert ca != cb, name

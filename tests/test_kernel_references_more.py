@@ -1,0 +1,233 @@
+"""More independent-reference checks for kernels not covered in
+test_kernels_specific, plus the nested-loop dispatch primitives."""
+
+import numpy as np
+import pytest
+
+from repro.rajasim import cuda_exec, kernel_2d, kernel_3d, omp_parallel_for_exec, seq_exec
+from repro.suite.registry import make_kernel
+from repro.suite.variants import get_variant
+
+RAJA_SEQ = get_variant("RAJA_Seq")
+CUDA = get_variant("RAJA_CUDA")
+
+
+class TestNestedDispatch:
+    @pytest.mark.parametrize("policy", [seq_exec, omp_parallel_for_exec, cuda_exec],
+                             ids=["seq", "omp", "cuda"])
+    def test_kernel_2d_covers_cross_product(self, policy):
+        out = np.zeros((7, 11))
+
+        def body(i, j):
+            out[i, j] += i * 100 + j
+
+        kernel_2d(policy, (7, 11), body)
+        ii, jj = np.meshgrid(np.arange(7), np.arange(11), indexing="ij")
+        np.testing.assert_array_equal(out, ii * 100 + jj)
+
+    @pytest.mark.parametrize("policy", [seq_exec, cuda_exec], ids=["seq", "cuda"])
+    def test_kernel_3d_covers_cross_product(self, policy):
+        out = np.zeros((4, 5, 6))
+
+        def body(i, j, k):
+            out[i, j, k] += 1.0
+
+        kernel_3d(policy, (4, 5, 6), body)
+        np.testing.assert_array_equal(out, 1.0)
+
+    def test_kernel_2d_with_offset_segments(self):
+        out = np.zeros((5, 5))
+        kernel_2d(seq_exec, ((1, 4), (2, 5)), lambda i, j: out.__setitem__((i, j), 1.0))
+        assert out[1:4, 2:5].sum() == 9.0 and out.sum() == 9.0
+
+
+class TestLcalsReferences:
+    def test_eos_formula(self):
+        k = make_kernel("Lcals_EOS", 400)
+        k.run_variant(RAJA_SEQ)
+        i = np.arange(400)
+        u, y, z = k.u, k.y, k.z
+        q, r, t = k.Q, k.R, k.T
+        expected = (
+            u[i]
+            + r * (z[i] + r * y[i])
+            + t * (u[i + 3] + r * (u[i + 2] + r * u[i + 1])
+                   + t * (u[i + 6] + q * (u[i + 5] + q * u[i + 4])))
+        )
+        np.testing.assert_allclose(k.x, expected)
+
+    def test_hydro_1d_formula(self):
+        k = make_kernel("Lcals_HYDRO_1D", 300)
+        k.run_variant(CUDA)
+        i = np.arange(300)
+        expected = k.Q + k.y * (k.R * k.z[i + 10] + k.T * k.z[i + 11])
+        np.testing.assert_allclose(k.x, expected)
+
+    def test_tridiag_elim_formula(self):
+        k = make_kernel("Lcals_TRIDIAG_ELIM", 300)
+        k.run_variant(RAJA_SEQ)
+        i = np.arange(1, 300)
+        np.testing.assert_allclose(
+            k.xout[1:], k.z[1:] * (k.y[1:] - k.xin[:-1])
+        )
+
+    def test_int_predict_formula(self):
+        k = make_kernel("Lcals_INT_PREDICT", 200)
+        k.ensure_setup()
+        px0 = k.px.copy()
+        k.run_raja(RAJA_SEQ.policy())
+        expected = (
+            k.DM28 * px0[12] + k.DM27 * px0[11] + k.DM26 * px0[10]
+            + k.DM25 * px0[9] + k.DM24 * px0[8] + k.DM23 * px0[7]
+            + k.DM22 * px0[6] + k.C0 * (px0[4] + px0[5]) + px0[2]
+        )
+        np.testing.assert_allclose(k.px[0], expected)
+
+    def test_gen_lin_recur_reference(self):
+        k = make_kernel("Lcals_GEN_LIN_RECUR", 250)
+        k.ensure_setup()
+        sa, sb = k.sa.copy(), k.sb.copy()
+        stb5 = k.stb5.copy()
+        # Scalar reference.
+        b5 = np.zeros(250)
+        for kk in range(250):
+            b5[kk] = sa[kk] + stb5[kk] * sb[kk]
+            stb5[kk] = b5[kk] - stb5[kk]
+        for i in range(1, 251):
+            kk = 250 - i
+            b5[kk] = sa[kk] + stb5[kk] * sb[kk]
+            stb5[kk] = b5[kk] - stb5[kk]
+        k.run_raja(RAJA_SEQ.policy())
+        np.testing.assert_allclose(k.b5, b5)
+        np.testing.assert_allclose(k.stb5, stb5)
+
+
+class TestAppsReferences:
+    def test_energy_passes_are_deterministic_and_clamped(self):
+        k = make_kernel("Apps_ENERGY", 500)
+        k.run_variant(CUDA)
+        assert np.all(k.e_new >= k.EMIN)
+        assert np.all((k.q_new == 0.0) | (k.delvc <= 0.0))
+
+    def test_pressure_clamps(self):
+        k = make_kernel("Apps_PRESSURE", 500)
+        k.run_variant(RAJA_SEQ)
+        assert np.all(k.p_new >= k.PMIN)
+        assert np.all(k.p_new[k.vnewc >= 1.0] == k.PMIN)
+
+    def test_del_dot_vec_uniform_field_has_zero_divergence(self):
+        # A constant velocity field has zero divergence on any mesh.
+        k = make_kernel("Apps_DEL_DOT_VEC_2D", 400)
+        k.ensure_setup()
+        k.xdot[:] = 3.0
+        k.ydot[:] = -2.0
+        k.run_base(get_variant("Base_Seq").policy())
+        np.testing.assert_allclose(k.div, 0.0, atol=1e-10)
+
+    def test_edge3d_operator_is_positive_semidefinite(self):
+        # y = C^T diag(det J) C x with det J > 0 => <x, y> >= 0.
+        k = make_kernel("Apps_EDGE3D", 600)
+        k.ensure_setup()
+        x0 = k.x.copy()
+        k.run_base(get_variant("Base_Seq").policy())
+        assert float(np.sum(x0 * k.y)) >= 0.0
+
+    def test_mass3dea_matrices_symmetric(self):
+        k = make_kernel("Apps_MASS3DEA", 256)
+        k.run_variant(RAJA_SEQ)
+        np.testing.assert_allclose(k.m, np.swapaxes(k.m, 1, 2), rtol=1e-12)
+
+    def test_diffusion3dpa_operator_positive(self):
+        k = make_kernel("Apps_DIFFUSION3DPA", 512)
+        k.ensure_setup()
+        x0 = k.x.copy()
+        k.run_base(get_variant("Base_Seq").policy())
+        # Dominant-diagonal coefficient: the quadratic form stays positive.
+        assert float(np.sum(x0 * k.y)) > 0.0
+
+
+class TestPolybenchReferences:
+    def test_heat_3d_matches_two_explicit_sweeps(self):
+        k = make_kernel("Polybench_HEAT_3D", 512)  # 8^3
+        k.ensure_setup()
+        a = k.a.copy()
+        b = k.b.copy()
+
+        def sweep(dst, src):
+            out = dst.copy()
+            c = slice(1, -1)
+            out[c, c, c] = (
+                0.125 * (src[2:, c, c] - 2 * src[c, c, c] + src[:-2, c, c])
+                + 0.125 * (src[c, 2:, c] - 2 * src[c, c, c] + src[c, :-2, c])
+                + 0.125 * (src[c, c, 2:] - 2 * src[c, c, c] + src[c, c, :-2])
+                + src[c, c, c]
+            )
+            return out
+
+        b_ref = sweep(b, a)
+        a_ref = sweep(a, b_ref)
+        k.run_raja(CUDA.policy())
+        np.testing.assert_allclose(k.a, a_ref, rtol=1e-12)
+
+    def test_fdtd_2d_field_update_consistency(self):
+        k = make_kernel("Polybench_FDTD_2D", 400)
+        k.ensure_setup()
+        ey0 = k.ey.copy()
+        hz0 = k.hz.copy()
+        k.run_raja(CUDA.policy())
+        # ey interior rows followed the hz difference.
+        np.testing.assert_allclose(
+            k.ey[1:, :] + 0.5 * (hz0[1:, :] - hz0[:-1, :]), ey0[1:, :], rtol=1e-10
+        )
+
+    def test_adi_boundaries(self):
+        k = make_kernel("Polybench_ADI", 400)
+        k.run_variant(RAJA_SEQ)
+        np.testing.assert_allclose(k.v[0, :], 1.0)
+        np.testing.assert_allclose(k.v[-1, :], 1.0)
+        np.testing.assert_allclose(k.u[:, 0], 1.0)
+        np.testing.assert_allclose(k.u[:, -1], 1.0)
+
+    def test_gesummv_matches_numpy(self):
+        k = make_kernel("Polybench_GESUMMV", 1600)
+        k.ensure_setup()
+        a, b, x = k.a.copy(), k.b.copy(), k.x.copy()
+        k.run_raja(CUDA.policy())
+        np.testing.assert_allclose(
+            k.y, k.ALPHA * (a @ x) + k.BETA * (b @ x), rtol=1e-12
+        )
+
+    def test_gemver_matches_numpy(self):
+        k = make_kernel("Polybench_GEMVER", 900)
+        k.ensure_setup()
+        a0 = k.a.copy()
+        u1, v1, u2, v2, y, z = k.u1, k.v1, k.u2, k.v2, k.y, k.z
+        k.run_raja(CUDA.policy())
+        a_ref = a0 + np.outer(u1, v1) + np.outer(u2, v2)
+        x_ref = k.BETA * (a_ref.T @ y) + z
+        w_ref = k.ALPHA * (a_ref @ x_ref)
+        np.testing.assert_allclose(k.w, w_ref, rtol=1e-10)
+
+    def test_mvt_matches_numpy(self):
+        k = make_kernel("Polybench_MVT", 900)
+        k.ensure_setup()
+        a, y1, y2 = k.a.copy(), k.y1.copy(), k.y2.copy()
+        k.run_raja(CUDA.policy())
+        np.testing.assert_allclose(k.x1, a @ y1, rtol=1e-10)
+        np.testing.assert_allclose(k.x2, a.T @ y2, rtol=1e-10)
+
+    def test_2mm_matches_numpy(self):
+        k = make_kernel("Polybench_2MM", 1600)
+        k.ensure_setup()
+        a, b, c, d0 = k.a.copy(), k.b.copy(), k.c.copy(), k.d.copy()
+        k.run_raja(CUDA.policy())
+        np.testing.assert_allclose(
+            k.d, k.BETA * d0 + k.ALPHA * (a @ b) @ c, rtol=1e-10
+        )
+
+    def test_3mm_matches_numpy(self):
+        k = make_kernel("Polybench_3MM", 1600)
+        k.ensure_setup()
+        a, b, c, d = k.a.copy(), k.b.copy(), k.c.copy(), k.d.copy()
+        k.run_raja(CUDA.policy())
+        np.testing.assert_allclose(k.g, (a @ b) @ (c @ d), rtol=1e-10)

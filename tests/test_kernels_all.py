@@ -1,0 +1,126 @@
+"""Suite-wide kernel invariants, parametrized over all 76 kernels.
+
+These are the RAJAPerf-style guarantees: every variant of every kernel
+computes the same answer; every kernel declares positive, finite analytic
+metrics; the model produces positive times and valid TMA vectors on every
+machine.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machines.registry import list_machines
+from repro.suite.registry import all_kernel_classes
+from repro.suite.variants import get_variant
+
+ALL = all_kernel_classes()
+IDS = [cls.class_full_name() for cls in ALL]
+
+SMALL = 2_000
+
+
+@pytest.mark.parametrize("cls", ALL, ids=IDS)
+class TestEveryKernel:
+    def test_all_variants_agree(self, cls):
+        kernel = cls(problem_size=SMALL)
+        checksums = kernel.verify_variants()
+        assert len(checksums) >= 2
+        assert all(math.isfinite(v) for v in checksums.values())
+
+    def test_analytic_metrics_finite(self, cls):
+        kernel = cls(problem_size=SMALL)
+        metrics = kernel.analytic_metrics()
+        for name, value in metrics.items():
+            assert math.isfinite(value), name
+            assert value >= 0.0, name
+
+    def test_work_profile_scales_with_reps(self, cls):
+        kernel = cls(problem_size=SMALL)
+        one = kernel.work_profile(reps=1)
+        five = kernel.work_profile(reps=5)
+        assert five.bytes_total == pytest.approx(5 * one.bytes_total)
+        assert five.flops == pytest.approx(5 * one.flops)
+        assert five.launches == pytest.approx(5 * one.launches)
+
+    def test_predictions_positive_everywhere(self, cls):
+        kernel = cls(problem_size=32_000_000)
+        for machine in list_machines():
+            breakdown = kernel.predict(machine)
+            assert breakdown.total_seconds > 0
+            if breakdown.tma is not None:
+                assert sum(breakdown.tma.values()) == pytest.approx(1.0)
+                assert all(v >= 0 for v in breakdown.tma.values())
+
+    def test_effective_traits_valid(self, cls):
+        kernel = cls(problem_size=SMALL)
+        traits = kernel.effective_traits()
+        assert 0 < traits.streaming_eff <= 1.0
+        assert 0 <= traits.cache_resident <= 1.0
+        assert traits.cpu_compute_eff > 0
+
+    def test_determinism_across_instances(self, cls):
+        a = cls(problem_size=SMALL)
+        b = cls(problem_size=SMALL)
+        variant = get_variant("RAJA_Seq")
+        assert a.run_variant(variant) == b.run_variant(variant)
+
+    def test_checksum_changes_with_size(self, cls):
+        # A different problem size must not silently produce the identical
+        # computation (guards against size being ignored).
+        a = cls(problem_size=SMALL)
+        b = cls(problem_size=SMALL + 512)
+        variant = get_variant("Base_Seq")
+        ca, cb = a.run_variant(variant), b.run_variant(variant)
+        assert not (ca == cb and a.work_profile() == b.work_profile())
+
+    def test_gpu_variant_respects_block_size(self, cls):
+        kernel = cls(problem_size=SMALL)
+        variant = get_variant("RAJA_CUDA")
+        if not kernel.supports(variant):
+            pytest.skip("no CUDA variant")
+        small_block = kernel.run_variant(variant, variant.policy().with_block_size(64))
+        big_block = kernel.run_variant(variant, variant.policy().with_block_size(1024))
+        from repro.suite.checksum import checksums_match
+
+        assert checksums_match(small_block, big_block)
+
+
+def test_suite_has_76_kernels():
+    assert len(ALL) == 76
+
+
+def test_group_sizes_match_table1():
+    from collections import Counter
+
+    counts = Counter(cls.GROUP.value for cls in ALL)
+    assert counts == {
+        "Algorithm": 8,
+        "Apps": 15,
+        "Basic": 19,
+        "Comm": 5,
+        "Lcals": 11,
+        "Polybench": 13,
+        "Stream": 5,
+    }
+
+
+def test_nonlinear_complexity_kernels():
+    nonlinear = {
+        cls.class_full_name() for cls in ALL if not cls.COMPLEXITY.is_linear
+    }
+    assert nonlinear == {
+        "Algorithm_SORT",
+        "Algorithm_SORTPAIRS",
+        "Basic_MAT_MAT_SHARED",
+        "Polybench_2MM",
+        "Polybench_3MM",
+        "Polybench_FLOYD_WARSHALL",
+        "Polybench_GEMM",
+        "Comm_HALO_EXCHANGE",
+        "Comm_HALO_EXCH_FUSED",
+        "Comm_HALO_PACKING",
+        "Comm_HALO_PACKING_FUSED",
+        "Comm_HALO_SENDRECV",
+    }

@@ -1,0 +1,260 @@
+"""Targeted numerical correctness for representative kernels.
+
+Each test checks the kernel's *computation* against an independent
+reference (closed form or NumPy/SciPy), not just cross-variant agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.suite.registry import make_kernel
+from repro.suite.variants import get_variant
+
+SEQ = get_variant("Base_Seq")
+RAJA_SEQ = get_variant("RAJA_Seq")
+CUDA = get_variant("RAJA_CUDA")
+
+
+def run(kernel, variant=RAJA_SEQ):
+    kernel.run_variant(variant)
+    return kernel
+
+
+class TestStream:
+    def test_triad_formula(self):
+        k = run(make_kernel("Stream_TRIAD", 500))
+        np.testing.assert_allclose(k.a, k.b + k.Q * k.c)
+
+    def test_dot_matches_numpy(self):
+        k = run(make_kernel("Stream_DOT", 500))
+        assert k.dot == pytest.approx(float(np.dot(k.a, k.b)))
+
+
+class TestBasic:
+    def test_daxpy_formula(self):
+        k = make_kernel("Basic_DAXPY", 300)
+        k.ensure_setup()
+        y0 = k.y.copy()
+        k.run_raja(RAJA_SEQ.policy())
+        np.testing.assert_allclose(k.y, y0 + k.A * k.x)
+
+    def test_if_quad_roots_solve_equation(self):
+        k = run(make_kernel("Basic_IF_QUAD", 400))
+        disc = k.b * k.b - 4.0 * k.a * k.c
+        sel = disc >= 0
+        residual = k.a[sel] * k.x1[sel] ** 2 + k.b[sel] * k.x1[sel] + k.c[sel]
+        np.testing.assert_allclose(residual, 0.0, atol=1e-9)
+        assert np.all(k.x1[~sel] == 0.0)
+
+    def test_indexlist_finds_negatives(self):
+        k = run(make_kernel("Basic_INDEXLIST", 500))
+        expected = np.flatnonzero(k.x < 0.0)
+        np.testing.assert_array_equal(k.indices[: k.count], expected)
+
+    def test_indexlist_3loop_matches_indexlist(self):
+        k1 = run(make_kernel("Basic_INDEXLIST", 500))
+        k3 = run(make_kernel("Basic_INDEXLIST_3LOOP", 500))
+        assert k1.count == k3.count
+
+    def test_pi_atomic_approximates_pi(self):
+        k = run(make_kernel("Basic_PI_ATOMIC", 100_000))
+        assert float(k.pi[0]) == pytest.approx(np.pi, abs=1e-8)
+
+    def test_pi_reduce_approximates_pi(self):
+        k = run(make_kernel("Basic_PI_REDUCE", 100_000))
+        assert k.pi == pytest.approx(np.pi, abs=1e-8)
+
+    def test_trap_int_matches_quadrature(self):
+        from scipy.integrate import quad
+
+        k = run(make_kernel("Basic_TRAP_INT", 50_000))
+        expected, _ = quad(
+            lambda x: 1.0 / np.sqrt((x - k.Y) ** 2 + (x - k.YP) ** 2), k.X0, k.XP
+        )
+        assert k.sumx == pytest.approx(expected, rel=1e-6)
+
+    def test_reduce3_int_matches_numpy(self):
+        k = run(make_kernel("Basic_REDUCE3_INT", 800))
+        assert k.vsum == int(np.sum(k.vec))
+        assert k.vmin == int(np.min(k.vec))
+        assert k.vmax == int(np.max(k.vec))
+
+    def test_mat_mat_shared_matches_numpy(self):
+        k = make_kernel("Basic_MAT_MAT_SHARED", 10_000)  # 100x100
+        k.ensure_setup()
+        a, b = k.a.copy(), k.b.copy()
+        k.run_raja(CUDA.policy())
+        np.testing.assert_allclose(k.c, a @ b, rtol=1e-12)
+
+    def test_multi_reduce_matches_bincount(self):
+        k = run(make_kernel("Basic_MULTI_REDUCE", 1000))
+        expected = np.bincount(k.bins, weights=k.data, minlength=10)
+        np.testing.assert_allclose(k.values, expected)
+
+
+class TestAlgorithm:
+    def test_scan_matches_cumsum(self):
+        k = run(make_kernel("Algorithm_SCAN", 700), CUDA)
+        expected = np.concatenate(([0.0], np.cumsum(k.x)[:-1]))
+        np.testing.assert_allclose(k.y, expected, rtol=1e-12)
+
+    def test_sort_produces_sorted_permutation(self):
+        k = make_kernel("Algorithm_SORT", 600)
+        k.ensure_setup()
+        original = np.sort(k.x.copy())
+        k.run_raja(RAJA_SEQ.policy())
+        np.testing.assert_array_equal(k.x, original)
+
+    def test_sortpairs_values_follow_keys(self):
+        k = make_kernel("Algorithm_SORTPAIRS", 400)
+        k.ensure_setup()
+        mapping = dict(zip(k.keys.copy(), k.values.copy()))
+        k.run_raja(RAJA_SEQ.policy())
+        assert np.all(np.diff(k.keys) >= 0)
+        for key, value in zip(k.keys[:20], k.values[:20]):
+            assert mapping[key] == value
+
+    def test_histogram_counts(self):
+        k = run(make_kernel("Algorithm_HISTOGRAM", 2000))
+        np.testing.assert_array_equal(
+            k.counts, np.bincount(k.data, minlength=100).astype(float)
+        )
+
+    def test_memcpy_copies(self):
+        k = run(make_kernel("Algorithm_MEMCPY", 500))
+        np.testing.assert_array_equal(k.dst, k.src)
+
+
+class TestLcals:
+    def test_first_min_location(self):
+        k = run(make_kernel("Lcals_FIRST_MIN", 1000))
+        assert k.min_loc == 500  # planted minimum
+        assert k.min_val == -1.0
+
+    def test_first_diff(self):
+        k = run(make_kernel("Lcals_FIRST_DIFF", 600))
+        np.testing.assert_allclose(k.x, np.diff(k.y[: 601]))
+
+    def test_planckian_formula(self):
+        k = run(make_kernel("Lcals_PLANCKIAN", 300))
+        np.testing.assert_allclose(k.w, k.x / np.expm1(k.u / k.v))
+
+
+class TestApps:
+    def test_fir_matches_convolution(self):
+        from repro.kernels.apps.fir import COEFFS, TAPS
+
+        k = run(make_kernel("Apps_FIR", 500))
+        expected = np.convolve(k.signal, COEFFS[::-1], mode="valid")[: k.problem_size]
+        np.testing.assert_allclose(k.out, expected, rtol=1e-10)
+
+    def test_vol3d_unit_cubes(self):
+        # On an unjittered lattice every hex volume is exactly 1.
+        k = make_kernel("Apps_VOL3D", 1000)
+        k.ensure_setup()
+        k.x, k.y, k.z = k.mesh.node_coordinates(jitter=0.0)
+        k.run_base(SEQ.policy())
+        np.testing.assert_allclose(k.vol, 1.0, rtol=1e-12)
+
+    def test_matvec_3d_matches_dense(self):
+        k = run(make_kernel("Apps_MATVEC_3D_STENCIL", 343), CUDA)  # 7^3
+        # Independent re-computation, zone by zone.
+        for row in (0, len(k.interior) // 2, len(k.interior) - 1):
+            zone = k.interior[row]
+            expected = sum(
+                k.matrix[s, zone] * k.x[zone + off]
+                for s, off in enumerate(k.offsets)
+            )
+            assert k.b[zone] == pytest.approx(expected)
+
+    def test_zonal_accumulation_mean_property(self):
+        k = run(make_kernel("Apps_ZONAL_ACCUMUL_3D", 512))
+        # Each zone value is the mean of 8 node values in [0, 1).
+        assert np.all(k.zone_vals >= 0.0) and np.all(k.zone_vals < 1.0)
+
+    def test_nodal_accumulation_conserves_mass(self):
+        k = run(make_kernel("Apps_NODAL_ACCUMUL_3D", 512))
+        assert float(k.node_vals.sum()) == pytest.approx(float(k.vol.sum()))
+
+    def test_ltimes_matches_einsum(self):
+        from repro.kernels.apps.ltimes import NUM_D, NUM_G, NUM_M
+
+        k = run(make_kernel("Apps_LTIMES", 1200), CUDA)
+        ell = k.ell.reshape(NUM_M, NUM_D)
+        psi = k.psi.reshape(NUM_D, NUM_G, k.num_z)
+        expected = np.einsum("md,dgz->mgz", ell, psi).ravel()
+        np.testing.assert_allclose(k.phi, expected, rtol=1e-10)
+
+    def test_mass3dpa_symmetric_positive(self):
+        # The mass operator with positive quadrature data keeps <x, Mx> > 0.
+        k = make_kernel("Apps_MASS3DPA", 512)
+        k.ensure_setup()
+        x0 = k.x.copy()
+        k.run_base(SEQ.policy())
+        assert float(np.sum(x0 * k.y)) > 0.0
+
+
+class TestPolybench:
+    def test_gemm_matches_numpy(self):
+        k = make_kernel("Polybench_GEMM", 2500)  # 50x50
+        k.ensure_setup()
+        a, b, c0 = k.a.copy(), k.b.copy(), k.c.copy()
+        k.run_raja(CUDA.policy())
+        np.testing.assert_allclose(k.c, k.ALPHA * (a @ b) + k.BETA * c0, rtol=1e-12)
+
+    def test_atax_matches_numpy(self):
+        k = make_kernel("Polybench_ATAX", 1600)
+        k.ensure_setup()
+        a, x = k.a.copy(), k.x.copy()
+        k.run_raja(CUDA.policy())
+        np.testing.assert_allclose(k.y, a.T @ (a @ x), rtol=1e-10)
+
+    def test_floyd_warshall_matches_networkx(self):
+        import networkx as nx
+
+        k = make_kernel("Polybench_FLOYD_WARSHALL", 144)  # 12x12
+        k.ensure_setup()
+        graph = nx.from_numpy_array(k.paths.copy(), create_using=nx.DiGraph)
+        expected = nx.floyd_warshall_numpy(graph)
+        k.run_raja(CUDA.policy())
+        np.testing.assert_allclose(k.paths, expected, rtol=1e-12)
+
+    def test_jacobi_1d_reference(self):
+        k = make_kernel("Polybench_JACOBI_1D", 50)
+        k.ensure_setup()
+        a0 = k.a.copy()
+        b_ref, a_ref = k.b.copy(), a0.copy()
+        b_ref[1:-1] = (a_ref[:-2] + a_ref[1:-1] + a_ref[2:]) / 3.0
+        a_ref[1:-1] = (b_ref[:-2] + b_ref[1:-1] + b_ref[2:]) / 3.0
+        k.run_raja(CUDA.policy())
+        np.testing.assert_allclose(k.a, a_ref, rtol=1e-12)
+
+
+class TestComm:
+    def test_halo_exchange_moves_neighbor_data(self):
+        k = make_kernel("Comm_HALO_EXCHANGE", 4096)
+        k.ensure_setup()
+        h = k.halo_elems
+        # Rank 1's low boundary must land in its left neighbor's high ghost.
+        boundary = k.vars[1][0][h : 2 * h].copy()
+        k.run_raja(RAJA_SEQ.policy())
+        np.testing.assert_array_equal(k.vars[0][0][-h:], boundary)
+
+    def test_halo_packing_round_trips_locally(self):
+        k = make_kernel("Comm_HALO_PACKING", 4096)
+        k.ensure_setup()
+        h = k.halo_elems
+        boundary = k.vars[0][0][h : 2 * h].copy()
+        k.run_raja(RAJA_SEQ.policy())
+        # Without MPI the pack/unpack round trip writes the rank's own data.
+        np.testing.assert_array_equal(k.vars[0][0][:h], boundary)
+
+    def test_fused_and_unfused_agree(self):
+        fused = make_kernel("Comm_HALO_EXCH_FUSED", 4096)
+        plain = make_kernel("Comm_HALO_EXCHANGE", 4096)
+        assert fused.run_variant(RAJA_SEQ) == plain.run_variant(RAJA_SEQ)
+
+    def test_fused_launches_fewer_kernels(self):
+        fused = make_kernel("Comm_HALO_PACKING_FUSED", 4096)
+        plain = make_kernel("Comm_HALO_PACKING", 4096)
+        assert fused.launches_per_rep() < plain.launches_per_rep()

@@ -1,0 +1,210 @@
+"""Machine models and the analytic performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import (
+    EPYC_MI250X,
+    P9_V100,
+    SPR_DDR,
+    SPR_HBM,
+    MachineKind,
+    get_machine,
+    list_machines,
+)
+from repro.perfmodel import (
+    CpuTimeModel,
+    GpuTimeModel,
+    KernelTraits,
+    WorkProfile,
+    calibration_errors,
+    predict_time,
+)
+from repro.perfmodel.calibration import matmat_traits, triad_traits, triad_work
+
+
+class TestMachineRegistry:
+    def test_four_machines(self):
+        assert len(list_machines()) == 4
+
+    def test_lookup_case_insensitive(self):
+        assert get_machine("spr-ddr") is SPR_DDR
+        with pytest.raises(KeyError):
+            get_machine("Cray-1")
+
+    def test_table2_peaks(self):
+        assert SPR_DDR.peak_tflops_node == pytest.approx(4.7)
+        assert P9_V100.peak_tflops_node == pytest.approx(31.2)
+        assert EPYC_MI250X.peak_tflops_node == pytest.approx(191.5)
+        assert SPR_HBM.peak_membw_tb_node == pytest.approx(3.3)
+
+    def test_achieved_rates_derive_from_percentages(self):
+        # Table II: SPR-DDR TRIAD at 77.7% of 0.6 TB/s.
+        assert SPR_DDR.achieved_membw_tb_node == pytest.approx(0.6 * 0.777)
+        assert EPYC_MI250X.achieved_tflops_node == pytest.approx(191.5 * 0.07)
+
+    def test_kinds_and_specs(self):
+        assert SPR_DDR.kind is MachineKind.CPU and SPR_DDR.cpu is not None
+        assert P9_V100.kind is MachineKind.GPU and P9_V100.gpu is not None
+
+    def test_machine_balance(self):
+        # The MI250X has the highest FLOPS-to-bandwidth ratio.
+        balances = {m.shorthand: m.machine_balance_flops_per_byte for m in list_machines()}
+        assert max(balances, key=balances.get) == "EPYC-MI250X"
+
+    def test_table3_ranks(self):
+        assert SPR_DDR.mpi.ranks_per_node == 112
+        assert P9_V100.mpi.ranks_per_node == 4
+        assert EPYC_MI250X.mpi.ranks_per_node == 8
+
+
+class TestWorkProfile:
+    def test_instruction_heuristic(self):
+        work = WorkProfile(iterations=10, bytes_read=80, bytes_written=0, flops=20)
+        # flops + 2/word + 2/iter = 20 + 20 + 20.
+        assert work.instructions == pytest.approx(60.0)
+
+    def test_explicit_instructions_kept(self):
+        work = WorkProfile(1, 8, 8, 1, instructions=5)
+        assert work.instructions == 5
+
+    def test_flops_per_byte(self):
+        work = WorkProfile(1, 8, 8, 4)
+        assert work.flops_per_byte == pytest.approx(0.25)
+
+    def test_scaled(self):
+        work = WorkProfile(10, 80, 40, 20, launches=2)
+        big = work.scaled(3)
+        assert big.iterations == 30 and big.launches == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            WorkProfile(-1, 0, 0, 0)
+
+
+class TestTraits:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            KernelTraits(streaming_eff=1.5)
+        with pytest.raises(ValueError):
+            KernelTraits(cache_resident=-0.1)
+        with pytest.raises(ValueError):
+            KernelTraits(cpu_compute_eff=0.0)
+
+    def test_per_machine_overrides(self):
+        traits = KernelTraits(gpu_compute_eff=0.5, gpu_eff_overrides={"P9-V100": 0.9})
+        assert traits.gpu_eff_for("P9-V100") == 0.9
+        assert traits.gpu_eff_for("EPYC-MI250X") == 0.5
+
+
+class TestCalibration:
+    def test_anchor_residuals_small(self):
+        for point in calibration_errors():
+            assert point.relative_error < 0.05, (point.machine, point.metric)
+
+    def test_triad_runs_at_achieved_bandwidth(self, machine):
+        work, traits = triad_work(), triad_traits()
+        breakdown = predict_time(work, traits, machine, is_raja=False)
+        achieved = work.bytes_total / breakdown.total_seconds
+        assert achieved == pytest.approx(machine.achieved_bytes_per_sec, rel=0.05)
+
+    def test_matmat_traits_fraction_of_peak(self):
+        traits = matmat_traits()
+        assert traits.cpu_eff_for("SPR-DDR") == pytest.approx(0.18)
+
+
+class TestCpuTimeModel:
+    def test_rejects_gpu_machine(self):
+        with pytest.raises(ValueError):
+            CpuTimeModel(P9_V100)
+
+    def test_tma_fractions_sum_to_one(self, cpu_machine):
+        work = WorkProfile(1000, 16000, 8000, 2000)
+        breakdown = CpuTimeModel(cpu_machine).predict(work, KernelTraits())
+        assert sum(breakdown.tma().values()) == pytest.approx(1.0)
+
+    def test_memory_monotonic_in_bytes(self, cpu_machine):
+        model = CpuTimeModel(cpu_machine)
+        traits = KernelTraits()
+        t1 = model.predict(WorkProfile(1000, 8000, 0, 0), traits).total
+        t2 = model.predict(WorkProfile(1000, 80000, 0, 0), traits).total
+        assert t2 > t1
+
+    def test_cache_residency_reduces_memory_time(self, cpu_machine):
+        model = CpuTimeModel(cpu_machine)
+        work = WorkProfile(10000, 1e6, 1e6, 0)
+        hot = model.predict(work, KernelTraits(cache_resident=0.9)).memory_stall
+        cold = model.predict(work, KernelTraits(cache_resident=0.0)).memory_stall
+        assert hot < cold
+
+    def test_mpi_time_charged(self, cpu_machine):
+        work = WorkProfile(100, 800, 800, 0, mpi_messages=10, mpi_bytes=1e6)
+        breakdown = CpuTimeModel(cpu_machine).predict(work, KernelTraits())
+        assert breakdown.mpi > 0
+        assert breakdown.tma()["memory_bound"] > 0
+
+    @given(st.floats(0.1, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_total_time_positive(self, streaming, cache):
+        traits = KernelTraits(streaming_eff=streaming, cache_resident=cache)
+        work = WorkProfile(1000, 16000, 8000, 2000)
+        assert CpuTimeModel(SPR_DDR).predict(work, traits).total > 0
+
+
+class TestGpuTimeModel:
+    def test_rejects_cpu_machine(self):
+        with pytest.raises(ValueError):
+            GpuTimeModel(SPR_DDR)
+
+    def test_roofline_max_semantics(self, gpu_machine):
+        model = GpuTimeModel(gpu_machine)
+        work = WorkProfile(1000, 1.6e7, 8e6, 2e3)
+        breakdown = model.predict(work, KernelTraits())
+        assert breakdown.parallel == max(
+            breakdown.memory, breakdown.compute, breakdown.instruction
+        )
+        assert breakdown.bound in ("memory", "compute", "instruction")
+
+    def test_launch_overhead_additive(self, gpu_machine):
+        model = GpuTimeModel(gpu_machine)
+        traits = KernelTraits()
+        one = model.predict(WorkProfile(10, 80, 80, 10, launches=1), traits)
+        many = model.predict(WorkProfile(10, 80, 80, 10, launches=100), traits)
+        assert many.total > one.total
+
+    def test_serial_fraction_slows(self, gpu_machine):
+        model = GpuTimeModel(gpu_machine)
+        work = WorkProfile(1e6, 8e6, 8e6, 1e6, instructions=1e7)
+        fast = model.predict(work, KernelTraits(gpu_serial_fraction=0.0)).total
+        slow = model.predict(work, KernelTraits(gpu_serial_fraction=0.5)).total
+        assert slow > fast
+
+    def test_hbm_machine_faster_for_streaming(self):
+        work = triad_work()
+        traits = triad_traits()
+        t_ddr = predict_time(work, traits, SPR_DDR).total_seconds
+        t_hbm = predict_time(work, traits, SPR_HBM).total_seconds
+        t_mi = predict_time(work, traits, EPYC_MI250X).total_seconds
+        assert t_ddr > t_hbm > t_mi
+
+
+class TestPredictTimeFacade:
+    def test_cpu_has_tma_gpu_does_not(self):
+        work = WorkProfile(1000, 16000, 8000, 2000)
+        cpu = predict_time(work, KernelTraits(), SPR_DDR)
+        gpu = predict_time(work, KernelTraits(), P9_V100)
+        assert cpu.tma is not None and gpu.tma is None
+        assert gpu.gpu_bound is not None
+
+    def test_raja_overhead_applies(self, machine):
+        work = WorkProfile(1000, 16000, 8000, 2000)
+        base = predict_time(work, KernelTraits(), machine, is_raja=False)
+        raja = predict_time(work, KernelTraits(), machine, is_raja=True)
+        assert raja.total_seconds > base.total_seconds
+
+    def test_components_sum_consistent_cpu(self):
+        work = WorkProfile(1000, 16000, 8000, 2000)
+        result = predict_time(work, KernelTraits(), SPR_DDR)
+        assert sum(result.components.values()) == pytest.approx(result.total_seconds)

@@ -1,0 +1,132 @@
+"""Property-based tests of the performance model (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.machines.registry import EPYC_MI250X, P9_V100, SPR_DDR, SPR_HBM
+from repro.perfmodel import CpuTimeModel, GpuTimeModel, KernelTraits, WorkProfile
+from repro.perfmodel.timing import predict_time
+
+MACHINES = (SPR_DDR, SPR_HBM, P9_V100, EPYC_MI250X)
+
+works = st.builds(
+    WorkProfile,
+    iterations=st.floats(1, 1e8),
+    bytes_read=st.floats(0, 1e10),
+    bytes_written=st.floats(0, 1e10),
+    flops=st.floats(0, 1e11),
+)
+
+traits_strategy = st.builds(
+    KernelTraits,
+    streaming_eff=st.floats(0.05, 1.0),
+    cpu_compute_eff=st.floats(0.01, 1.0),
+    gpu_compute_eff=st.floats(0.01, 2.0),
+    simd_eff=st.floats(0.0, 1.0),
+    frontend_factor=st.floats(0.0, 1.0),
+    cache_resident=st.floats(0.0, 1.0),
+    gpu_cache_resident=st.floats(0.0, 1.0),
+    gpu_serial_fraction=st.floats(0.0, 0.5),
+)
+
+
+@given(works, traits_strategy, st.sampled_from(range(4)))
+@settings(max_examples=80, deadline=None)
+def test_predicted_time_positive_and_finite(work, traits, machine_index):
+    result = predict_time(work, traits, MACHINES[machine_index])
+    assert np.isfinite(result.total_seconds)
+    assert result.total_seconds > 0
+
+
+@given(works, traits_strategy)
+@settings(max_examples=60, deadline=None)
+def test_cpu_tma_is_a_distribution(work, traits):
+    tma = CpuTimeModel(SPR_DDR).predict(work, traits).tma()
+    values = np.array(list(tma.values()))
+    assert np.all(values >= -1e-12)
+    assert values.sum() == pytest.approx(1.0)
+
+
+@given(works, traits_strategy, st.floats(1.1, 10.0))
+@settings(max_examples=60, deadline=None)
+def test_cpu_time_monotone_in_bytes(work, traits, factor):
+    assume(work.bytes_total > 0)
+    from dataclasses import replace
+
+    bigger = replace(
+        work,
+        bytes_read=work.bytes_read * factor,
+        bytes_written=work.bytes_written * factor,
+        instructions=work.instructions,
+    )
+    model = CpuTimeModel(SPR_DDR)
+    assert model.predict(bigger, traits).total >= model.predict(work, traits).total - 1e-15
+
+
+@given(works, traits_strategy, st.floats(1.1, 10.0))
+@settings(max_examples=60, deadline=None)
+def test_gpu_time_monotone_in_flops(work, traits, factor):
+    assume(work.flops > 0)
+    from dataclasses import replace
+
+    bigger = replace(work, flops=work.flops * factor, instructions=work.instructions)
+    model = GpuTimeModel(P9_V100)
+    assert model.predict(bigger, traits).total >= model.predict(work, traits).total - 1e-15
+
+
+@given(works, traits_strategy)
+@settings(max_examples=60, deadline=None)
+def test_streaming_efficiency_never_helps_to_lower(work, traits):
+    """Lower streaming efficiency can only slow a kernel down."""
+    assume(work.bytes_total > 0)
+    from dataclasses import replace
+
+    slow_traits = replace(traits, streaming_eff=traits.streaming_eff / 2)
+    for machine in MACHINES:
+        fast = predict_time(work, traits, machine).total_seconds
+        slow = predict_time(work, slow_traits, machine).total_seconds
+        assert slow >= fast - 1e-15
+
+
+@given(works, traits_strategy)
+@settings(max_examples=60, deadline=None)
+def test_scaled_work_scales_linear_components(work, traits):
+    """Doubling all work at most doubles the time (some components
+    overlap) and never less than the original time."""
+    double = work.scaled(2.0)
+    for machine in (SPR_DDR, P9_V100):
+        t1 = predict_time(work, traits, machine).total_seconds
+        t2 = predict_time(double, traits, machine).total_seconds
+        assert t1 - 1e-15 <= t2 <= 2.0 * t1 * (1 + 1e-9)
+
+
+@given(works, traits_strategy)
+@settings(max_examples=60, deadline=None)
+def test_gpu_occupancy_derate_bounded(work, traits):
+    """Tunings spread by at most ~2x: the occupancy derate is mild (the
+    suite's observation that most kernels sit within ~20% across block
+    sizes, with pathological tunings capped at ~2x)."""
+    model = GpuTimeModel(EPYC_MI250X)
+    times = [
+        model.predict(work, traits, block_size=block).total
+        for block in (32, 64, 128, 256, 512, 1024)
+    ]
+    assert max(times) <= 2.0 * min(times) * (1 + 1e-9)
+
+
+@given(works)
+@settings(max_examples=60, deadline=None)
+def test_work_profile_per_iteration_consistency(work):
+    per_iter = work.per_iteration()
+    assert per_iter["bytes_read"] * work.iterations == pytest.approx(
+        work.bytes_read, rel=1e-12, abs=1e-9
+    )
+
+
+@given(st.floats(1, 1e9), st.floats(0, 1e9), st.floats(0, 1e9))
+@settings(max_examples=60, deadline=None)
+def test_instruction_heuristic_positive(iters, bytes_read, flops):
+    work = WorkProfile(iters, bytes_read, 0.0, flops)
+    assert work.instructions >= 2.0 * iters  # at least loop control

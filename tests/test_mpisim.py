@@ -1,0 +1,154 @@
+"""Simulated MPI: decomposition, halo geometry, and the communicator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim import (
+    Decomposition3D,
+    HaloGeometry,
+    SimComm,
+    decompose_linear,
+    halo_surface_elements,
+)
+from repro.mpisim.decomposition import is_comparable, work_ratio
+from repro.suite.features import Complexity
+
+
+class TestLinearDecomposition:
+    def test_even_split(self):
+        assert decompose_linear(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread(self):
+        parts = decompose_linear(10, 3)
+        assert sum(parts) == 10 and max(parts) - min(parts) <= 1
+
+    @given(st.integers(0, 10**7), st.integers(1, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_conservation_property(self, total, ranks):
+        parts = decompose_linear(total, ranks)
+        assert sum(parts) == total and len(parts) == ranks
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            decompose_linear(10, 0)
+        with pytest.raises(ValueError):
+            decompose_linear(-1, 2)
+
+
+class TestDecomposition3D:
+    def test_per_rank_size(self):
+        d = Decomposition3D(32_000_000, 8)
+        assert d.elements_per_rank == 4_000_000
+
+    def test_grid_dims_product(self):
+        for ranks in (4, 8, 112):
+            dims = Decomposition3D(32_000_000, ranks).grid_dims()
+            assert dims[0] * dims[1] * dims[2] == ranks
+
+    def test_surface_scaling(self):
+        small = Decomposition3D(32_000_000, 112).surface_elements_per_rank
+        large = Decomposition3D(32_000_000, 4).surface_elements_per_rank
+        assert large > small  # bigger subdomain, bigger surface
+
+
+class TestExclusionRule:
+    """The Section IV admission criterion, quantitatively."""
+
+    def test_linear_work_is_comparable(self):
+        assert is_comparable(Complexity.N, 112, 8)
+
+    def test_matmul_work_is_not(self):
+        assert not is_comparable(Complexity.N_3_2, 112, 8)
+        # 112 small matmuls do LESS total work than 8 big ones.
+        assert work_ratio(Complexity.N_3_2, 32_000_000, 112, 8) < 1.0
+
+    def test_halo_work_is_not(self):
+        assert not is_comparable(Complexity.N_2_3, 112, 8)
+        # More ranks = more total surface.
+        assert work_ratio(Complexity.N_2_3, 32_000_000, 112, 8) > 1.0
+
+
+class TestHaloGeometry:
+    def test_component_counts(self):
+        geom = HaloGeometry(local_elements=27_000, halo_width=1, num_vars=3)
+        assert geom.edge == 30
+        assert geom.neighbors == 26
+        assert geom.exchange_elements == 6 * 900 + 12 * 30 + 8
+
+    def test_bytes_scale_with_vars(self):
+        one = HaloGeometry(27_000, num_vars=1).exchange_bytes
+        three = HaloGeometry(27_000, num_vars=3).exchange_bytes
+        assert three == 3 * one
+
+    def test_surface_scaling_two_thirds(self):
+        # Doubling n should scale node surface by ~2^(2/3) at fixed ranks.
+        s1 = halo_surface_elements(32_000_000, 8)
+        s2 = halo_surface_elements(64_000_000, 8)
+        assert s2 / s1 == pytest.approx(2 ** (2 / 3), rel=1e-6)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HaloGeometry(0)
+        with pytest.raises(ValueError):
+            halo_surface_elements(100, 0)
+
+
+class TestSimComm:
+    def test_send_recv_roundtrip(self):
+        comm = SimComm(2)
+        payload = np.arange(5.0)
+        buf = np.zeros(5)
+        comm.isend(0, 1, payload)
+        req = comm.irecv(1, 0, buf)
+        comm.wait(1, req)
+        np.testing.assert_array_equal(buf, payload)
+
+    def test_send_copies_eagerly(self):
+        comm = SimComm(2)
+        payload = np.ones(3)
+        comm.isend(0, 1, payload)
+        payload[:] = 99.0  # mutate after send
+        buf = np.zeros(3)
+        comm.wait(1, comm.irecv(1, 0, buf))
+        np.testing.assert_array_equal(buf, np.ones(3))
+
+    def test_tag_matching(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, np.array([1.0]), tag=7)
+        comm.isend(0, 1, np.array([2.0]), tag=9)
+        buf9, buf7 = np.zeros(1), np.zeros(1)
+        comm.wait(1, comm.irecv(1, 0, buf9, tag=9))
+        comm.wait(1, comm.irecv(1, 0, buf7, tag=7))
+        assert buf9[0] == 2.0 and buf7[0] == 1.0
+
+    def test_deadlock_detected(self):
+        comm = SimComm(2)
+        req = comm.irecv(0, 1, np.zeros(1))
+        with pytest.raises(RuntimeError, match="deadlock"):
+            comm.wait(0, req)
+
+    def test_shape_mismatch_rejected(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, np.zeros(3))
+        with pytest.raises(ValueError):
+            comm.wait(1, comm.irecv(1, 0, np.zeros(4)))
+
+    def test_traffic_accounting(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, np.zeros(10))
+        assert comm.bytes_sent == 80 and comm.messages_sent == 1
+
+    def test_allreduce(self):
+        comm = SimComm(4)
+        assert comm.allreduce_sum([1.0, 2.0, 3.0, 4.0]) == 10.0
+        with pytest.raises(ValueError):
+            comm.allreduce_sum([1.0])
+
+    def test_rank_bounds(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.isend(0, 5, np.zeros(1))
+        with pytest.raises(ValueError):
+            SimComm(0)

@@ -1,0 +1,109 @@
+"""OpenMP-variant overhead, Thicket percentile stats, and random-session
+properties for Caliper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caliper import CaliperSession
+from repro.machines.registry import SPR_DDR
+from repro.suite.registry import make_kernel
+from repro.suite.variants import get_variant
+from repro.thicket import Thicket
+
+
+class TestOpenMPOverhead:
+    def test_openmp_variant_slower_than_seq(self):
+        kernel = make_kernel("Stream_TRIAD", 32_000_000)
+        seq = kernel.predict(SPR_DDR, get_variant("RAJA_Seq")).total_seconds
+        omp = kernel.predict(SPR_DDR, get_variant("RAJA_OpenMP")).total_seconds
+        assert omp > seq
+
+    def test_overhead_scales_with_parallel_regions(self):
+        multi = make_kernel("Apps_ENERGY", 32_000_000)  # 6 regions/rep
+        single = make_kernel("Stream_TRIAD", 32_000_000)
+        seq_v, omp_v = get_variant("RAJA_Seq"), get_variant("RAJA_OpenMP")
+        delta_multi = (
+            multi.predict(SPR_DDR, omp_v).total_seconds
+            - multi.predict(SPR_DDR, seq_v).total_seconds
+        )
+        delta_single = (
+            single.predict(SPR_DDR, omp_v).total_seconds
+            - single.predict(SPR_DDR, seq_v).total_seconds
+        )
+        assert delta_multi > delta_single
+
+    def test_no_openmp_overhead_on_gpu_variants(self):
+        from repro.machines.registry import P9_V100
+
+        kernel = make_kernel("Stream_TRIAD", 32_000_000)
+        a = kernel.predict(P9_V100, get_variant("RAJA_CUDA")).total_seconds
+        b = kernel.predict(P9_V100).total_seconds
+        assert a == pytest.approx(b)
+
+
+class TestPercentileStats:
+    def _thicket(self):
+        profiles = []
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+            session = CaliperSession(collect_time=False)
+            session.set_global("machine", f"m{value}")
+            session.set_global("variant", "v")
+            with session.region("K"):
+                session.set_metric("t", value)
+            profiles.append(session.close())
+        return Thicket.from_caliperreader(profiles)
+
+    def test_median_and_p95(self):
+        stats = self._thicket().aggregate_stats(["t"], aggs=("p50", "p95", "mean"))
+        row = stats.row(0)
+        assert row["t_p50"] == pytest.approx(3.0)
+        assert row["t_p95"] > 50.0  # dominated by the outlier
+        assert row["t_mean"] == pytest.approx(22.0)
+
+    def test_unknown_aggregator_rejected(self):
+        with pytest.raises(ValueError):
+            self._thicket().aggregate_stats(["t"], aggs=("frobnicate",))
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            self._thicket().aggregate_stats(["t"], aggs=("p999",))
+
+
+class TestSessionProperties:
+    @given(st.lists(st.sampled_from(["push", "pop"]), min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_random_nesting_never_corrupts(self, ops):
+        """Any sequence of pushes/pops either errors cleanly or yields a
+        well-formed profile whose region count equals the pushes."""
+        session = CaliperSession(collect_time=False)
+        depth = 0
+        pushes = 0
+        for op in ops:
+            if op == "push":
+                session.begin_region(f"r{pushes}")
+                depth += 1
+                pushes += 1
+            else:
+                if depth == 0:
+                    with pytest.raises(RuntimeError):
+                        session.end_region()
+                else:
+                    session.end_region()
+                    depth -= 1
+        # Close out and validate.
+        for _ in range(depth):
+            session.end_region()
+        profile = session.close()
+        assert len(list(profile.walk())) == pushes
+
+    @given(st.lists(st.floats(0.0, 1e3), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_metric_accumulation_is_a_sum(self, values):
+        session = CaliperSession(collect_time=False)
+        for value in values:
+            with session.region("k"):
+                session.set_metric("m", value)
+        total = session.close().roots[0].metrics["m"]
+        assert total == pytest.approx(sum(values))

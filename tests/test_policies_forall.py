@@ -1,0 +1,114 @@
+"""Execution policies and the forall dispatch primitive."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rajasim import (
+    Backend,
+    cuda_exec,
+    forall,
+    forall_chunks,
+    hip_exec,
+    omp_parallel_for_exec,
+    seq_exec,
+    simd_exec,
+    sycl_exec,
+)
+from repro.rajasim.forall import _normalize_segment, iter_partitions
+from repro.rajasim.policies import ExecPolicy
+
+ALL_POLICIES = [seq_exec, simd_exec, omp_parallel_for_exec, cuda_exec, hip_exec, sycl_exec]
+
+
+class TestPolicies:
+    def test_gpu_flag(self):
+        assert cuda_exec.is_gpu and hip_exec.is_gpu and sycl_exec.is_gpu
+        assert not seq_exec.is_gpu and not omp_parallel_for_exec.is_gpu
+
+    def test_tuning_name(self):
+        assert cuda_exec.tuning_name() == "block_256"
+        assert cuda_exec.with_block_size(128).tuning_name() == "block_128"
+        assert seq_exec.tuning_name() == "default"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ExecPolicy(Backend.CUDA, block_size=0)
+        with pytest.raises(ValueError):
+            ExecPolicy(Backend.OPENMP, num_threads=0)
+        with pytest.raises(ValueError):
+            ExecPolicy(Backend.OPENMP, chunk_size=-1)
+
+
+class TestSegments:
+    def test_int_segment(self):
+        np.testing.assert_array_equal(_normalize_segment(4), [0, 1, 2, 3])
+
+    def test_tuple_segment(self):
+        np.testing.assert_array_equal(_normalize_segment((2, 5)), [2, 3, 4])
+
+    def test_range_segment(self):
+        np.testing.assert_array_equal(_normalize_segment(range(1, 7, 2)), [1, 3, 5])
+
+    def test_array_segment(self):
+        np.testing.assert_array_equal(_normalize_segment([5, 3, 1]), [5, 3, 1])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            _normalize_segment(-1)
+
+    def test_reversed_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            _normalize_segment((5, 2))
+
+
+class TestPartitioning:
+    def test_seq_is_one_partition(self):
+        parts = list(iter_partitions(seq_exec, np.arange(1000)))
+        assert len(parts) == 1
+
+    def test_gpu_partitions_are_block_sized(self):
+        parts = list(iter_partitions(cuda_exec, np.arange(1000)))
+        assert all(len(p) == 256 for p in parts[:-1])
+        assert len(parts[-1]) == 1000 - 256 * 3
+
+    def test_openmp_partitions_cover_once(self):
+        parts = list(iter_partitions(omp_parallel_for_exec, np.arange(500)))
+        joined = np.concatenate(parts)
+        np.testing.assert_array_equal(np.sort(joined), np.arange(500))
+
+    def test_empty_segment_no_partitions(self):
+        assert list(iter_partitions(cuda_exec, np.arange(0))) == []
+
+
+class TestForall:
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.backend.value)
+    def test_all_policies_produce_same_result(self, policy):
+        n = 1003
+        x = np.linspace(0.0, 1.0, n)
+        out = np.zeros(n)
+
+        def body(i):
+            out[i] = 2.0 * x[i] + 1.0
+
+        forall(policy, n, body)
+        np.testing.assert_array_equal(out, 2.0 * x + 1.0)
+
+    def test_returns_launch_count(self):
+        assert forall(cuda_exec, 1000, lambda i: None) == 4
+        assert forall(seq_exec, 1000, lambda i: None) == 1
+
+    def test_forall_chunks_ordinals(self):
+        seen = []
+        forall_chunks(cuda_exec, 600, lambda part, k: seen.append(k))
+        assert seen == [0, 1, 2]
+
+    @given(st.integers(min_value=1, max_value=5000), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_cover_property(self, n, policy_index):
+        """Every policy's partitions cover the iteration space exactly once."""
+        policy = ALL_POLICIES[policy_index]
+        parts = list(iter_partitions(policy, np.arange(n)))
+        joined = np.concatenate(parts) if parts else np.array([], dtype=int)
+        np.testing.assert_array_equal(np.sort(joined), np.arange(n))

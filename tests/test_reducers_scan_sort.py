@@ -1,0 +1,169 @@
+"""Reducers, scans, sorts, and atomics vs NumPy ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rajasim import (
+    MultiReduceSum,
+    ReduceMax,
+    ReduceMaxLoc,
+    ReduceMin,
+    ReduceMinLoc,
+    ReduceSum,
+    atomic_add,
+    atomic_max,
+    atomic_min,
+    exclusive_scan,
+    exclusive_scan_inplace,
+    inclusive_scan,
+    raja_sort,
+    sort_pairs,
+)
+
+float_arrays = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+).map(lambda xs: np.asarray(xs, dtype=float))
+
+
+class TestReducers:
+    @given(float_arrays, st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_over_chunks_matches_numpy(self, values, nchunks):
+        reducer = ReduceSum(0.0)
+        for chunk in np.array_split(values, nchunks):
+            reducer.combine(chunk)
+        assert reducer.get() == pytest.approx(float(np.sum(values)), rel=1e-9, abs=1e-9)
+
+    @given(float_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_min_max(self, values):
+        rmin, rmax = ReduceMin(np.inf), ReduceMax(-np.inf)
+        for chunk in np.array_split(values, 3):
+            if len(chunk):
+                rmin.combine(chunk)
+                rmax.combine(chunk)
+        assert rmin.get() == np.min(values)
+        assert rmax.get() == np.max(values)
+
+    def test_reset(self):
+        reducer = ReduceSum(0.0)
+        reducer.combine([1.0, 2.0])
+        reducer.reset()
+        assert reducer.get() == 0.0
+
+    def test_iadd_sugar(self):
+        reducer = ReduceSum(0.0)
+        reducer += np.array([1.0, 2.0, 3.0])
+        assert reducer.get() == 6.0
+
+    def test_minloc_first_occurrence(self):
+        values = np.array([3.0, 1.0, 1.0, 5.0])
+        reducer = ReduceMinLoc(np.inf)
+        reducer.combine(values, np.arange(4))
+        assert reducer.get() == 1.0
+        assert reducer.get_loc() == 1
+
+    def test_maxloc_across_chunks(self):
+        reducer = ReduceMaxLoc(-np.inf)
+        reducer.combine(np.array([1.0, 9.0]), np.array([0, 1]))
+        reducer.combine(np.array([5.0]), np.array([2]))
+        assert reducer.get() == 9.0 and reducer.get_loc() == 1
+
+    def test_loc_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ReduceMinLoc(np.inf).combine(np.zeros(3), np.zeros(2))
+
+    def test_multi_reduce(self):
+        mr = MultiReduceSum(3)
+        mr.combine(np.array([0, 1, 1, 2]), np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_allclose(mr.get(), [1.0, 5.0, 4.0])
+        assert mr.get(1) == 5.0
+
+    def test_multi_reduce_bad_bin(self):
+        with pytest.raises(IndexError):
+            MultiReduceSum(2).combine(np.array([5]), np.array([1.0]))
+
+
+class TestScans:
+    @given(float_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_inclusive_matches_cumsum(self, values):
+        np.testing.assert_allclose(inclusive_scan(values), np.cumsum(values))
+
+    @given(float_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_exclusive_shifts_inclusive(self, values):
+        out = exclusive_scan(values)
+        assert out[0] == 0.0
+        np.testing.assert_allclose(out[1:], np.cumsum(values)[:-1])
+
+    @given(float_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_exclusive_inplace_matches(self, values):
+        expected = exclusive_scan(values)
+        work = values.copy()
+        exclusive_scan_inplace(work)
+        np.testing.assert_allclose(work, expected)
+
+    def test_identity_offset(self):
+        out = exclusive_scan(np.array([1.0, 2.0]), identity=10.0)
+        np.testing.assert_allclose(out, [10.0, 11.0])
+
+    def test_scan_requires_1d(self):
+        with pytest.raises(ValueError):
+            inclusive_scan(np.zeros((2, 2)))
+
+
+class TestSorts:
+    @given(float_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_sort_matches_numpy(self, values):
+        work = values.copy()
+        raja_sort(work)
+        np.testing.assert_array_equal(work, np.sort(values))
+
+    @given(float_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_sort_pairs_keeps_association(self, keys):
+        values = np.arange(len(keys), dtype=float)
+        karr, varr = keys.copy(), values.copy()
+        sort_pairs(karr, varr)
+        # Every (key, value) pair in the output existed in the input.
+        pairs_in = {(float(k), float(v)) for k, v in zip(keys, values)}
+        pairs_out = {(float(k), float(v)) for k, v in zip(karr, varr)}
+        assert pairs_out == pairs_in
+        assert np.all(np.diff(karr) >= 0)
+
+    def test_sort_pairs_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sort_pairs(np.zeros(3), np.zeros(4))
+
+
+class TestAtomics:
+    def test_atomic_add_duplicates(self):
+        target = np.zeros(3)
+        atomic_add(target, np.array([0, 0, 1]), np.array([1.0, 2.0, 5.0]))
+        np.testing.assert_allclose(target, [3.0, 5.0, 0.0])
+
+    def test_atomic_min_max(self):
+        target = np.array([10.0, -10.0])
+        atomic_min(target, np.array([0, 0]), np.array([5.0, 7.0]))
+        atomic_max(target, np.array([1, 1]), np.array([-3.0, -5.0]))
+        np.testing.assert_allclose(target, [5.0, -3.0])
+
+    @given(
+        st.lists(st.integers(0, 9), min_size=1, max_size=100),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_atomic_add_equals_bincount(self, indices, seed):
+        rng = np.random.default_rng(seed)
+        idx = np.asarray(indices, dtype=np.intp)
+        vals = rng.random(len(idx))
+        target = np.zeros(10)
+        atomic_add(target, idx, vals)
+        np.testing.assert_allclose(
+            target, np.bincount(idx, weights=vals, minlength=10)
+        )

@@ -1,0 +1,144 @@
+"""Runtime report, CSV export, and GPU block-size tuning model."""
+
+import numpy as np
+import pytest
+
+from repro.caliper import CaliperSession, hot_regions, runtime_report
+from repro.caliper.report import exclusive_times
+from repro.machines.registry import P9_V100, SPR_DDR
+from repro.perfmodel import GpuTimeModel, KernelTraits, WorkProfile
+from repro.reporting import (
+    clusters_frame,
+    export_all,
+    fig1_frame,
+    parallel_coords_frame,
+    roofline_frame,
+    speedup_frame,
+    topdown_frame,
+)
+from repro.suite.registry import make_kernel
+
+
+def make_profile():
+    session = CaliperSession(collect_time=False)
+    with session.region("main"):
+        with session.region("solve"):
+            session.set_metric("t", 3.0)
+        with session.region("io"):
+            session.set_metric("t", 1.0)
+    return session.close()
+
+
+class TestRuntimeReport:
+    def test_exclusive_subtraction(self):
+        session = CaliperSession(collect_time=False)
+        with session.region("outer"):
+            session.set_metric("t", 10.0)
+            with session.region("inner"):
+                session.set_metric("t", 4.0)
+        profile = session.close()
+        excl = exclusive_times(profile, "t")
+        assert excl[("outer",)] == pytest.approx(6.0)
+        assert excl[("outer", "inner")] == pytest.approx(4.0)
+
+    def test_report_shares(self):
+        text = runtime_report(make_profile(), metric="t")
+        assert "main" in text and "solve" in text
+        # solve is 75% of the exclusive total.
+        solve_line = next(line for line in text.splitlines() if "solve" in line)
+        assert "75.00" in solve_line
+
+    def test_min_fraction_filters(self):
+        text = runtime_report(make_profile(), metric="t", min_fraction=0.5)
+        assert "solve" in text and "io" not in text
+
+    def test_min_fraction_validation(self):
+        with pytest.raises(ValueError):
+            runtime_report(make_profile(), metric="t", min_fraction=1.5)
+
+    def test_hot_regions_ranked(self):
+        ranked = hot_regions(make_profile(), metric="t", top=2)
+        assert ranked[0][0].endswith("solve")
+        assert ranked[0][1] == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            hot_regions(make_profile(), metric="t", top=0)
+
+
+class TestExport:
+    def test_fig1_frame_shape(self):
+        frame = fig1_frame()
+        assert frame.nrows == 76
+        assert "flops_per_byte" in frame.columns
+
+    def test_topdown_frame_fractions(self):
+        frame = topdown_frame("SPR-DDR")
+        matrix = frame.to_matrix(
+            ["frontend_bound", "bad_speculation", "retiring", "core_bound", "memory_bound"]
+        )
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_roofline_frame_three_rows_per_kernel(self):
+        frame = roofline_frame()
+        assert frame.nrows == 76 * 3
+        assert set(frame["level"]) == {"L1", "L2", "HBM"}
+
+    def test_clusters_frame(self):
+        frame = clusters_frame()
+        assert frame.nrows == 61
+        assert set(frame["cluster"]) == {0, 1, 2, 3}
+
+    def test_parallel_coords_frame(self):
+        frame = parallel_coords_frame()
+        assert frame.nrows == 4
+
+    def test_speedup_frame_columns(self):
+        frame = speedup_frame()
+        assert frame.nrows == 76
+        for col in ("speedup_SPR-HBM", "gflops_EPYC-MI250X", "flop_heavy"):
+            assert col in frame.columns
+
+    def test_export_all_writes_csvs(self, tmp_path):
+        paths = export_all(tmp_path)
+        assert len(paths) == 7
+        assert all(p.exists() and p.stat().st_size > 100 for p in paths)
+
+
+class TestBlockSizeTuning:
+    def test_occupancy_factor_shape(self):
+        model = GpuTimeModel(P9_V100)
+        assert model.occupancy_factor(None) == 1.0
+        assert model.occupancy_factor(256) == 1.0
+        assert model.occupancy_factor(64) < 1.0
+        assert model.occupancy_factor(1024) < 1.0
+        with pytest.raises(ValueError):
+            model.occupancy_factor(0)
+
+    def test_small_blocks_predicted_slower(self):
+        kernel = make_kernel("Stream_TRIAD", 32_000_000)
+        default = kernel.predict(P9_V100, block_size=256).total_seconds
+        tiny = kernel.predict(P9_V100, block_size=32).total_seconds
+        assert tiny > default
+
+    def test_block_size_ignored_on_cpu(self):
+        kernel = make_kernel("Stream_TRIAD", 32_000_000)
+        a = kernel.predict(SPR_DDR, block_size=32).total_seconds
+        b = kernel.predict(SPR_DDR).total_seconds
+        assert a == b
+
+    def test_executor_tunings_differ_in_time(self):
+        from repro.suite import RunParams, SuiteExecutor
+
+        params = RunParams(
+            variants=("RAJA_CUDA",),
+            machines=("P9-V100",),
+            kernels=("Stream_TRIAD",),
+            gpu_block_sizes=(64, 256),
+        )
+        result = SuiteExecutor(params).run()
+        times = {
+            p.globals["tuning"]: p.find(
+                ("RAJAPerf", "Stream", "Stream_TRIAD")
+            ).metrics["Avg time/rank"]
+            for p in result.profiles
+        }
+        assert times["block_64"] > times["block_256"]

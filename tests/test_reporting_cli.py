@@ -1,0 +1,114 @@
+"""Reporting drivers and the command-line interface."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.reporting import (
+    DESCRIPTIONS,
+    EXPERIMENTS,
+    run_all_experiments,
+    run_experiment,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+class TestTables:
+    def test_table1_lists_all_kernels(self):
+        text = table1()
+        assert "TRIAD" in text and "EDGE3D" in text and "FLOYD_WARSHALL" in text
+        assert "n^(3/2)" in text  # complexity column
+
+    def test_table2_matches_paper_numbers(self):
+        text = table2()
+        assert "SPR-DDR" in text and "Tioga" in text
+        assert "191.5" in text  # MI250X node TFLOPS
+
+    def test_table3_row_count(self):
+        assert len(table3().splitlines()) == 3 + 4  # title + header + sep + 4 rows
+
+    def test_table4_metric_names(self):
+        text = table4()
+        assert "dram__sectors_read.sum" in text
+        assert "thread-based" in text
+
+
+class TestExperiments:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "T1", "T2", "T3", "T4",
+            "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10",
+        }
+        assert set(DESCRIPTIONS) == set(EXPERIMENTS)
+
+    def test_run_experiment_case_insensitive(self):
+        assert "Table III" in run_experiment("t3")
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("F99")
+
+    def test_fig2_hierarchy(self):
+        assert "Backend Bound" in run_experiment("F2")
+
+    def test_fig7_has_four_clusters(self):
+        text = run_experiment("F7")
+        assert "Cluster 3" in text and "Cluster 4" not in text
+
+    def test_fig9_reference_lines(self):
+        text = run_experiment("F9")
+        assert "TRIAD" in text and "panel" in text
+
+    def test_run_all_writes_files(self, tmp_path):
+        results = run_all_experiments(output_dir=tmp_path)
+        assert len(results) == 14
+        assert (tmp_path / "f7.txt").exists()
+        assert (tmp_path / "t1.txt").exists()
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["list", "kernels"])
+        assert args.command == "list"
+
+    def test_list_kernels(self, capsys):
+        assert main(["list", "kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "Stream_TRIAD" in out and "Comm_HALO_EXCHANGE" in out
+
+    def test_list_machines(self, capsys):
+        main(["list", "machines"])
+        assert "Tioga" in capsys.readouterr().out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "T3"]) == 0
+        assert "32000000" in capsys.readouterr().out
+
+    def test_run_then_analyze(self, tmp_path, capsys):
+        code = main([
+            "run", "--paper", "--kernels", "Stream_TRIAD", "Basic_DAXPY",
+            "--output-dir", str(tmp_path),
+        ])
+        assert code == 0
+        files = sorted(str(p) for p in tmp_path.glob("*.cali"))
+        assert len(files) == 4
+        capsys.readouterr()
+        assert main(["analyze", *files]) == 0
+        out = capsys.readouterr().out
+        assert "Stream_TRIAD" in out
+
+    def test_run_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--variants", "RAJA_FORTRAN"])
+
+    def test_analyze_tree(self, tmp_path, capsys):
+        main(["run", "--machines", "SPR-DDR", "--variants", "RAJA_Seq",
+              "--kernels", "Stream_TRIAD", "--output-dir", str(tmp_path)])
+        files = [str(p) for p in tmp_path.glob("*.cali")]
+        capsys.readouterr()
+        main(["analyze", *files, "--tree"])
+        out = capsys.readouterr().out
+        assert "RAJAPerf" in out

@@ -1,0 +1,79 @@
+"""Scalability analysis (repro.analysis.scaling)."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    render_curve,
+    scaled_machine,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.machines.registry import P9_V100, SPR_DDR
+from repro.suite.registry import get_kernel_class, make_kernel
+
+
+class TestScaledMachine:
+    def test_resources_scale(self):
+        half = scaled_machine(SPR_DDR, 56)
+        assert half.cpu.cores_per_node == 56
+        assert half.peak_tflops_node == pytest.approx(SPR_DDR.peak_tflops_node / 2)
+        # Bandwidth saturates at half the cores: 56 cores still see full BW.
+        assert half.peak_membw_tb_node == pytest.approx(SPR_DDR.peak_membw_tb_node)
+
+    def test_quarter_cores_get_half_bandwidth(self):
+        quarter = scaled_machine(SPR_DDR, 28)
+        assert quarter.peak_membw_tb_node == pytest.approx(
+            SPR_DDR.peak_membw_tb_node / 2
+        )
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            scaled_machine(SPR_DDR, 0)
+        with pytest.raises(ValueError):
+            scaled_machine(SPR_DDR, 113)
+        with pytest.raises(ValueError):
+            scaled_machine(P9_V100, 4)
+
+
+class TestStrongScaling:
+    def test_memory_bound_kernel_saturates(self):
+        curve = strong_scaling(make_kernel("Stream_TRIAD", 32_000_000), SPR_DDR)
+        # Perfect scaling up to ~half the node, then bandwidth-limited.
+        assert curve.points[0].efficiency == pytest.approx(1.0)
+        assert curve.points[-1].efficiency < 0.7
+        assert curve.saturation_cores(0.7) == 112
+
+    def test_compute_bound_kernel_scales_linearly(self):
+        curve = strong_scaling(make_kernel("Basic_TRAP_INT", 32_000_000), SPR_DDR)
+        assert all(p.efficiency > 0.95 for p in curve.points)
+
+    def test_times_monotone_nonincreasing(self):
+        curve = strong_scaling(make_kernel("Basic_DAXPY", 32_000_000), SPR_DDR)
+        times = [p.time_seconds for p in curve.points]
+        assert all(b <= a * 1.0001 for a, b in zip(times, times[1:]))
+
+    def test_core_counts_capped_to_machine(self):
+        curve = strong_scaling(
+            make_kernel("Stream_ADD", 1_000_000), SPR_DDR,
+            core_counts=(1, 64, 500),
+        )
+        assert [p.cores for p in curve.points] == [1, 64]
+
+
+class TestWeakScaling:
+    def test_compute_bound_is_flat(self):
+        curve = weak_scaling(get_kernel_class("Basic_TRAP_INT"), SPR_DDR)
+        assert curve.mode == "weak"
+        assert all(p.efficiency > 0.95 for p in curve.points)
+
+    def test_memory_bound_degrades_past_bw_saturation(self):
+        curve = weak_scaling(get_kernel_class("Stream_TRIAD"), SPR_DDR)
+        assert curve.points[-1].efficiency < curve.points[0].efficiency
+
+
+class TestRendering:
+    def test_render(self):
+        curve = strong_scaling(make_kernel("Stream_TRIAD", 1_000_000), SPR_DDR)
+        text = render_curve(curve)
+        assert "strong scaling of Stream_TRIAD" in text
+        assert "cores" in text and "efficiency" in text

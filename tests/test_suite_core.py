@@ -1,0 +1,178 @@
+"""Suite core: registry, variants, run params, checksums, kernel base."""
+
+import numpy as np
+import pytest
+
+from repro.suite import (
+    CHECKSUM_RTOL,
+    Complexity,
+    Feature,
+    Group,
+    RunParams,
+    TABLE3,
+    checksum_array,
+    checksums_match,
+    get_variant,
+    variants_for_backends,
+)
+from repro.suite.registry import (
+    get_kernel_class,
+    kernel_names,
+    kernels_in_group,
+    make_kernel,
+    similarity_kernel_classes,
+)
+from repro.suite.variants import VARIANTS, VariantKind
+
+
+class TestChecksums:
+    def test_position_weighting_detects_permutation(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([3.0, 2.0, 1.0])
+        assert checksum_array(a) != checksum_array(b)
+        assert np.sum(a) == np.sum(b)  # a plain sum would miss it
+
+    def test_match_tolerance(self):
+        assert checksums_match(1.0, 1.0 + 0.5 * CHECKSUM_RTOL)
+        assert not checksums_match(1.0, 1.001)
+        assert checksums_match(0.0, 0.0)
+
+    def test_empty_array(self):
+        assert checksum_array(np.array([])) == 0.0
+
+
+class TestVariants:
+    def test_names(self):
+        assert get_variant("RAJA_CUDA").name == "RAJA_CUDA"
+        assert get_variant("Kokkos_Lambda").name == "Kokkos_Lambda"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_variant("RAJA_FORTRAN")
+
+    def test_full_set_is_13(self):
+        assert len(VARIANTS) == 13  # 6 backends x (Base, RAJA) + Kokkos
+
+    def test_variants_for_backends_pairs(self):
+        from repro.rajasim.policies import Backend
+
+        variants = variants_for_backends((Backend.CUDA,), kokkos=True)
+        names = [v.name for v in variants]
+        assert names == ["Base_CUDA", "RAJA_CUDA", "Kokkos_Lambda"]
+
+    def test_raja_flag(self):
+        assert get_variant("RAJA_HIP").is_raja
+        assert not get_variant("Base_HIP").is_raja
+        assert get_variant("Base_SYCL").is_gpu
+
+
+class TestRegistry:
+    def test_full_name_lookup(self):
+        assert get_kernel_class("Stream_TRIAD").NAME == "TRIAD"
+
+    def test_bare_name_lookup(self):
+        assert get_kernel_class("daxpy").NAME == "DAXPY"
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            get_kernel_class("Stream_QUADRUPLE")
+
+    def test_kernel_names_sorted_and_qualified(self):
+        names = kernel_names()
+        assert names == sorted(names)
+        assert all("_" in n for n in names)
+
+    def test_kernels_in_group(self):
+        assert len(kernels_in_group(Group.STREAM)) == 5
+        assert len(kernels_in_group(Group.COMM)) == 5
+
+    def test_similarity_exclusions(self):
+        names = {cls.class_full_name() for cls in similarity_kernel_classes()}
+        assert len(names) == 61
+        for excluded in ("Comm_HALO_EXCHANGE", "Algorithm_SORT",
+                         "Basic_MAT_MAT_SHARED", "Polybench_GEMM",
+                         "Algorithm_HISTOGRAM", "Apps_EDGE3D",
+                         "Basic_INDEXLIST"):
+            assert excluded not in names
+
+    def test_make_kernel_size(self):
+        kernel = make_kernel("TRIAD", problem_size=123)
+        assert kernel.problem_size == 123
+
+
+class TestComplexity:
+    def test_operations(self):
+        assert Complexity.N.operations(100) == 100
+        assert Complexity.N_3_2.operations(100) == pytest.approx(1000.0)
+        assert Complexity.N_LOG_N.operations(8) == pytest.approx(24.0)
+        assert Complexity.N_2_3.operations(1000) == pytest.approx(100.0)
+
+    def test_linearity_flag(self):
+        assert Complexity.N.is_linear
+        assert not Complexity.N_LOG_N.is_linear
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Complexity.N.operations(-1)
+
+
+class TestRunParams:
+    def test_size_parsing(self):
+        params = RunParams(problem_size="32M")
+        assert params.problem_size == 32_000_000
+
+    def test_table3(self):
+        assert TABLE3["SPR-DDR"].mpi_ranks == 112
+        assert TABLE3["P9-V100"].variant == "RAJA_CUDA"
+        assert TABLE3["EPYC-MI250X"].problem_size_per_rank == 4_000_000
+
+    def test_selection_by_group(self):
+        params = RunParams(groups=(Group.STREAM,))
+        assert params.selects(get_kernel_class("Stream_TRIAD"))
+        assert not params.selects(get_kernel_class("Basic_DAXPY"))
+
+    def test_selection_by_kernel_name(self):
+        params = RunParams(kernels=("TRIAD", "Basic_DAXPY"))
+        assert params.selects(get_kernel_class("Stream_TRIAD"))
+        assert params.selects(get_kernel_class("Basic_DAXPY"))
+        assert not params.selects(get_kernel_class("Stream_ADD"))
+
+    def test_selection_by_feature(self):
+        params = RunParams(features=(Feature.SORT,))
+        assert params.selects(get_kernel_class("Algorithm_SORT"))
+        assert not params.selects(get_kernel_class("Stream_TRIAD"))
+
+    def test_invalid_machine(self):
+        with pytest.raises(ValueError):
+            RunParams(machines=("Cray-1",))
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            RunParams(gpu_block_sizes=(100,))
+
+    def test_execution_size_cap(self):
+        params = RunParams(problem_size="32M", execution_size_cap=50_000)
+        assert params.execution_size == 50_000
+
+
+class TestKernelBaseBehaviour:
+    def test_unsupported_variant_rejected(self):
+        kernel = make_kernel("Apps_CONVECTION3DPA", 512)
+        bad = get_variant("Kokkos_Lambda")
+        if not kernel.supports(bad):
+            with pytest.raises(ValueError):
+                kernel.run_variant(bad)
+
+    def test_reset_reinitializes(self):
+        kernel = make_kernel("Basic_DAXPY", 100)
+        variant = get_variant("Base_Seq")
+        first = kernel.run_variant(variant)
+        second = kernel.run_variant(variant)  # run_variant resets
+        assert first == second
+
+    def test_invalid_problem_size(self):
+        with pytest.raises(ValueError):
+            make_kernel("Stream_TRIAD", 0)
+
+    def test_repr(self):
+        assert "Stream_TRIAD" in repr(make_kernel("Stream_TRIAD", 10))

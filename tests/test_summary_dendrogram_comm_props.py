@@ -1,0 +1,102 @@
+"""Suite summary frames, dendrogram rendering, and comm-ring properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.clustering import linkage
+from repro.analysis.dendrogram import render_dendrogram
+from repro.mpisim import SimComm
+from repro.suite.summary import group_summary, suite_inventory
+
+
+class TestSuiteInventory:
+    def test_all_kernels_listed(self):
+        frame = suite_inventory()
+        assert frame.nrows == 76
+        assert "Stream_TRIAD" in set(frame["kernel"])
+
+    def test_variant_counts_positive(self):
+        frame = suite_inventory()
+        assert np.all(frame["num_variants"] >= 4)
+        # Kokkos kernels get one extra variant.
+        kokkos = frame.filter(frame["has_kokkos"] == 1)
+        assert np.all(kokkos["num_variants"] % 2 == 1)
+
+    def test_group_summary_counts(self):
+        rollup = group_summary()
+        counts = dict(zip(rollup["group"], rollup["kernel_count"]))
+        assert counts == {
+            "Algorithm": 8, "Apps": 15, "Basic": 19, "Comm": 5,
+            "Lcals": 11, "Polybench": 13, "Stream": 5,
+        }
+
+    def test_stream_group_low_intensity(self):
+        rollup = group_summary()
+        by_group = dict(zip(rollup["group"], rollup["flops_per_byte_mean"]))
+        assert by_group["Stream"] < by_group["Apps"]
+
+
+class TestDendrogramRendering:
+    def test_labels_and_distances_rendered(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((6, 3))
+        merges = linkage(points, "ward")
+        text = render_dendrogram(merges, [f"k{i}" for i in range(6)])
+        for i in range(6):
+            assert f"k{i}" in text
+        assert "d=" in text
+
+    def test_threshold_marker(self):
+        rng = np.random.default_rng(1)
+        merges = linkage(rng.random((5, 2)) * 10, "ward")
+        text = render_dendrogram(merges, list("abcde"), threshold=1e-6)
+        assert "above threshold" in text
+
+    def test_label_count_validated(self):
+        merges = linkage(np.random.default_rng(2).random((4, 2)))
+        with pytest.raises(ValueError):
+            render_dendrogram(merges, ["only", "three", "labels"])
+
+
+class TestCommRingProperties:
+    @given(
+        ranks=st.integers(2, 8),
+        width=st.integers(1, 16),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ring_exchange_preserves_payloads(self, ranks, width, seed):
+        """Sending each rank's token left and right delivers exactly the
+        neighbor's token — for any ring size and message width."""
+        rng = np.random.default_rng(seed)
+        comm = SimComm(ranks)
+        tokens = [rng.random(width) for _ in range(ranks)]
+        for rank in range(ranks):
+            comm.isend(rank, (rank + 1) % ranks, tokens[rank], tag=0)
+        for rank in range(ranks):
+            buf = np.zeros(width)
+            comm.wait(rank, comm.irecv(rank, (rank - 1) % ranks, buf, tag=0))
+            np.testing.assert_array_equal(buf, tokens[(rank - 1) % ranks])
+
+    @given(ranks=st.integers(2, 6), n_msgs=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_message_accounting(self, ranks, n_msgs):
+        comm = SimComm(ranks)
+        for i in range(n_msgs):
+            comm.isend(0, 1, np.zeros(i + 1), tag=i)
+        assert comm.messages_sent == n_msgs
+        assert comm.bytes_sent == 8 * sum(range(1, n_msgs + 1))
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_fifo_per_tag(self, ranks):
+        """Two same-tag messages arrive in send order."""
+        comm = SimComm(ranks)
+        comm.isend(0, 1, np.array([1.0]), tag=5)
+        comm.isend(0, 1, np.array([2.0]), tag=5)
+        first, second = np.zeros(1), np.zeros(1)
+        comm.wait(1, comm.irecv(1, 0, first, tag=5))
+        comm.wait(1, comm.irecv(1, 0, second, tag=5))
+        assert first[0] == 1.0 and second[0] == 2.0

@@ -1,0 +1,72 @@
+"""Text table / bar chart rendering (repro.util.tables)."""
+
+import pytest
+
+from repro.util.tables import TextTable, render_barchart
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        table = TextTable(["a", "b"], title="T")
+        table.add_row(1, "x")
+        table.add_row(22, "yy")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "22" in text and "yy" in text
+
+    def test_alignment(self):
+        table = TextTable(["col"])
+        table.add_row("short")
+        table.add_row("a much longer cell")
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to the same width
+
+    def test_row_arity_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_float_formatting(self):
+        table = TextTable(["v"])
+        table.add_row(3.14159265)
+        assert "3.142" in table.render()
+
+    def test_len_counts_rows(self):
+        table = TextTable(["v"])
+        assert len(table) == 0
+        table.add_rows([(1,), (2,)])
+        assert len(table) == 2
+
+    def test_csv_escaping(self):
+        table = TextTable(["v"])
+        table.add_row('he said "hi", twice')
+        csv_text = table.to_csv()
+        assert '"he said ""hi"", twice"' in csv_text
+
+
+class TestBarchart:
+    def test_values_appear(self):
+        text = render_barchart(["x", "y"], [1.0, 2.0])
+        assert "x" in text and "y" in text and "2" in text
+
+    def test_reference_marker(self):
+        text = render_barchart(["k"], [0.5], max_value=1.0, reference=1.0)
+        assert "|" in text
+
+    def test_capped_values_flagged(self):
+        text = render_barchart(["k"], [100.0], max_value=10.0)
+        assert "+" in text  # over-cap marker
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_barchart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "empty" in render_barchart([], [])

@@ -1,0 +1,128 @@
+"""Thicket queries, the tuning analysis, and the event-trace service."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DEFAULT_BLOCK_SIZES,
+    render_tuning_table,
+    tune_from_thicket,
+    tune_kernel,
+)
+from repro.caliper import EventTrace, TraceEvent, TracingSession
+from repro.machines.registry import EPYC_MI250X, P9_V100, SPR_DDR
+from repro.suite import Group, RunParams, SuiteExecutor
+from repro.suite.registry import make_kernel
+from repro.thicket import Thicket
+
+
+@pytest.fixture(scope="module")
+def stream_thicket():
+    params = RunParams(groups=(Group.STREAM,), variants=("RAJA_Seq",),
+                       machines=("SPR-DDR", "SPR-HBM"))
+    return Thicket.from_caliperreader(SuiteExecutor(params).run().profiles)
+
+
+class TestThicketQuery:
+    def test_path_glob(self, stream_thicket):
+        sub = stream_thicket.query("RAJAPerf/*/Stream_TRIAD")
+        assert set(sub.dataframe["name"]) == {"Stream_TRIAD"}
+        assert sub.dataframe.nrows == 2  # one row per machine
+
+    def test_wildcard_group(self, stream_thicket):
+        sub = stream_thicket.query("RAJAPerf/Stream/*")
+        assert sub.dataframe.nrows == 10  # 5 kernels x 2 profiles
+
+    def test_no_match_is_empty(self, stream_thicket):
+        assert stream_thicket.query("Nothing/*").dataframe.nrows == 0
+
+    def test_metadata_query(self, stream_thicket):
+        sub = stream_thicket.metadata_query(machine="SPR-DDR", variant="RAJA_Seq")
+        assert sub.profiles == ["SPR-DDR/RAJA_Seq"]
+
+    def test_metadata_query_unknown_key(self, stream_thicket):
+        with pytest.raises(KeyError):
+            stream_thicket.metadata_query(color="red")
+
+
+class TestTuning:
+    def test_tune_kernel_picks_a_block(self):
+        result = tune_kernel(make_kernel("Stream_TRIAD", "32M"), P9_V100)
+        assert result.best_block in DEFAULT_BLOCK_SIZES
+        assert result.worst_penalty >= 1.0
+        assert set(result.times) == set(DEFAULT_BLOCK_SIZES)
+
+    def test_small_blocks_never_best_on_v100(self):
+        result = tune_kernel(make_kernel("Basic_DAXPY", "32M"), P9_V100)
+        assert result.best_block >= 256
+
+    def test_occupancy_differs_between_small_blocks(self):
+        from repro.perfmodel import GpuTimeModel
+
+        model = GpuTimeModel(P9_V100)
+        assert model.occupancy_factor(64) < model.occupancy_factor(128) < 1.0
+
+    def test_cpu_machine_rejected(self):
+        with pytest.raises(ValueError):
+            tune_kernel(make_kernel("Stream_TRIAD", 1000), SPR_DDR)
+
+    def test_render_table(self):
+        results = [tune_kernel(make_kernel("Stream_TRIAD", "32M"), EPYC_MI250X)]
+        text = render_tuning_table(results)
+        assert "Stream_TRIAD" in text and "Best" in text
+        assert render_tuning_table([]) == "(no tuning results)"
+
+    def test_tune_from_thicket(self):
+        params = RunParams(
+            variants=("RAJA_CUDA",), machines=("P9-V100",),
+            kernels=("Stream_TRIAD", "Basic_DAXPY"),
+            gpu_block_sizes=(64, 256),
+        )
+        thicket = Thicket.from_caliperreader(SuiteExecutor(params).run().profiles)
+        best = tune_from_thicket(thicket)
+        assert best["Stream_TRIAD"] == 256
+        assert best["Basic_DAXPY"] == 256
+
+
+class TestEventTrace:
+    def test_events_recorded_in_order(self):
+        session = TracingSession()
+        with session.region("outer"):
+            with session.region("inner"):
+                pass
+        kinds = [(e.kind, e.name) for e in session.trace.events]
+        assert kinds == [
+            ("begin", "outer"), ("begin", "inner"),
+            ("end", "inner"), ("end", "outer"),
+        ]
+
+    def test_spans_matched_with_durations(self):
+        session = TracingSession()
+        with session.region("a"):
+            sum(range(10_000))
+        spans = session.trace.spans()
+        assert spans[0][0] == ("a",)
+        assert spans[0][1] > 0
+
+    def test_unbalanced_trace_rejected(self):
+        trace = EventTrace(events=[TraceEvent(0.0, "begin", ("a",))])
+        with pytest.raises(ValueError, match="unclosed"):
+            trace.spans()
+        trace2 = EventTrace(events=[TraceEvent(0.0, "end", ("a",))])
+        with pytest.raises(ValueError, match="unmatched"):
+            trace2.spans()
+
+    def test_render(self):
+        session = TracingSession()
+        with session.region("r"):
+            pass
+        text = session.trace.render()
+        assert "begin r" in text and "end r" in text
+        assert EventTrace().render() == "(empty trace)"
+
+    def test_profile_still_collected(self):
+        session = TracingSession()
+        with session.region("k"):
+            session.set_metric("m", 1.0)
+        profile = session.close()
+        assert profile.roots[0].metrics["m"] == 1.0

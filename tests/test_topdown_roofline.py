@@ -1,0 +1,155 @@
+"""TMA analysis and instruction-roofline analysis layers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.roofline import (
+    LEVELS,
+    level_bandwidth,
+    roofline_ceiling,
+    roofline_points,
+    transactions,
+)
+from repro.analysis.topdown import (
+    TMA_COMPONENTS,
+    TopDown,
+    render_hierarchy,
+    topdown_from_counters,
+)
+from repro.cpusim.counters import PAPI_COUNTER_NAMES, slot_counters
+from repro.gpusim.ncu import NCU_METRIC_TABLE, ncu_counters
+from repro.machines.registry import P9_V100, SPR_DDR
+from repro.perfmodel import CpuTimeModel, KernelTraits, WorkProfile
+
+
+class TestTopDown:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            TopDown(0.5, 0.5, 0.5, 0.5, 0.5)
+
+    def test_vector_order(self):
+        td = TopDown(0.1, 0.0, 0.4, 0.2, 0.3)
+        np.testing.assert_allclose(td.vector(), [0.1, 0.0, 0.4, 0.2, 0.3])
+        assert td.dominant() == "retiring"
+        assert td.backend_bound == pytest.approx(0.5)
+
+    def test_hierarchy_render(self):
+        text = render_hierarchy()
+        for label in ("Frontend Bound", "Bad Speculation", "Retiring",
+                      "Backend Bound", "Core Bound", "Memory Bound", "DRAM Bound"):
+            assert label in text
+
+    def test_counters_roundtrip_through_analysis(self):
+        """Model -> raw counters -> analysis must reproduce the model's TMA."""
+        work = WorkProfile(10_000, 160_000, 80_000, 20_000)
+        traits = KernelTraits(cache_resident=0.4, frontend_factor=0.1)
+        breakdown = CpuTimeModel(SPR_DDR).predict(work, traits)
+        counters = slot_counters(breakdown, SPR_DDR, work.instructions)
+        recovered = topdown_from_counters(counters)
+        for component in TMA_COMPONENTS:
+            assert getattr(recovered, component) == pytest.approx(
+                breakdown.tma()[component], abs=1e-12
+            )
+
+    def test_counter_names_complete(self):
+        work = WorkProfile(1000, 8000, 8000, 1000)
+        breakdown = CpuTimeModel(SPR_DDR).predict(work, KernelTraits())
+        counters = slot_counters(breakdown, SPR_DDR, work.instructions)
+        assert set(counters) == set(PAPI_COUNTER_NAMES)
+
+    def test_missing_slots_rejected(self):
+        with pytest.raises(ValueError):
+            topdown_from_counters({"perf::slots": 0.0})
+
+
+class TestNcuCounters:
+    def _counters(self, **trait_kwargs):
+        work = WorkProfile(100_000, 1.6e6, 8e5, 2e5, atomics=100)
+        traits = KernelTraits(**trait_kwargs)
+        return work, ncu_counters(work, traits, P9_V100, gpu_time_seconds=1e-4)
+
+    def test_table4_rows(self):
+        names = {m.name for m in NCU_METRIC_TABLE}
+        assert "sm__sass_thread_inst_executed.sum" in names
+        assert "dram__sectors_read.sum" in names
+        assert len(NCU_METRIC_TABLE) == 12
+
+    def test_counters_cover_table4(self):
+        _, counters = self._counters()
+        assert {m.name for m in NCU_METRIC_TABLE} == set(counters)
+
+    def test_sector_arithmetic(self):
+        work, counters = self._counters(streaming_eff=1.0, gpu_cache_resident=0.0)
+        assert counters["l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum"] == (
+            pytest.approx(work.bytes_read / 32)
+        )
+        assert counters["dram__sectors_write.sum"] == pytest.approx(
+            work.bytes_written / 32
+        )
+
+    def test_poor_coalescing_amplifies_l1(self):
+        _, perfect = self._counters(streaming_eff=1.0)
+        _, scattered = self._counters(streaming_eff=0.25)
+        key = "l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum"
+        assert scattered[key] > perfect[key]
+
+    def test_cache_residency_reduces_dram(self):
+        _, cold = self._counters(gpu_cache_resident=0.0)
+        _, hot = self._counters(gpu_cache_resident=0.8)
+        assert hot["dram__sectors_read.sum"] < cold["dram__sectors_read.sum"]
+
+    def test_atomics_counted(self):
+        _, counters = self._counters()
+        assert counters["lts__t_sectors_op_atom.sum"] == 100
+
+    def test_invalid_time(self):
+        work = WorkProfile(10, 80, 80, 10)
+        with pytest.raises(ValueError):
+            ncu_counters(work, KernelTraits(), P9_V100, gpu_time_seconds=0.0)
+
+    def test_cpu_machine_rejected(self):
+        work = WorkProfile(10, 80, 80, 10)
+        with pytest.raises(ValueError):
+            ncu_counters(work, KernelTraits(), SPR_DDR, gpu_time_seconds=1.0)
+
+
+class TestRoofline:
+    def _points(self):
+        work = WorkProfile(1e6, 1.6e7, 8e6, 2e6, instructions=1e7)
+        counters = ncu_counters(work, KernelTraits(), P9_V100, gpu_time_seconds=1e-4)
+        return roofline_points("K", counters, P9_V100)
+
+    def test_three_levels(self):
+        points = self._points()
+        assert [p.level for p in points] == list(LEVELS)
+
+    def test_gips_consistent(self):
+        points = self._points()
+        expected = (1e7 / 32) / 1e-4 / 1e9
+        assert points[0].warp_gips == pytest.approx(expected)
+
+    def test_intensity_increases_down_the_hierarchy(self):
+        # Fewer transactions at deeper levels -> higher intensity.
+        points = {p.level: p.intensity for p in self._points()}
+        assert points["L2"] > points["L1"]
+
+    def test_ceiling_min_of_roofs(self):
+        flat = roofline_ceiling(P9_V100, "HBM", intensity=1e9)
+        assert flat == P9_V100.gpu.peak_warp_gips
+        sloped = roofline_ceiling(P9_V100, "HBM", intensity=0.1)
+        assert sloped == pytest.approx(0.1 * P9_V100.gpu.dram_gtxn_per_sec)
+
+    def test_bound_classification(self):
+        points = {p.level: p for p in self._points()}
+        for level, point in points.items():
+            ridge = P9_V100.gpu.peak_warp_gips / level_bandwidth(P9_V100, level)
+            expected = "compute" if point.intensity >= ridge else "memory"
+            assert point.bound_by(P9_V100) == expected
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            level_bandwidth(P9_V100, "L3")
+        with pytest.raises(ValueError):
+            transactions({}, "L9")
+        with pytest.raises(ValueError):
+            roofline_ceiling(P9_V100, "HBM", intensity=-1.0)

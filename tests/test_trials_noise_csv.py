@@ -1,0 +1,113 @@
+"""Multi-trial noise model and RAJAPerf-style per-run CSV output."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.noise import DEFAULT_SIGMA, noise_factor, noisy_time
+from repro.suite import RunParams, SuiteExecutor
+from repro.thicket import Thicket
+
+
+class TestNoiseModel:
+    def test_deterministic_per_key(self):
+        a = noise_factor("K", "SPR-DDR", 3)
+        b = noise_factor("K", "SPR-DDR", 3)
+        assert a == b
+
+    def test_varies_across_trials_and_kernels(self):
+        factors = {noise_factor("K", "SPR-DDR", t) for t in range(10)}
+        assert len(factors) == 10
+        assert noise_factor("K", "SPR-DDR", 0) != noise_factor("K2", "SPR-DDR", 0)
+
+    def test_median_near_one(self):
+        factors = [noise_factor("K", "m", t) for t in range(500)]
+        assert np.median(factors) == pytest.approx(1.0, abs=0.01)
+        assert np.std(np.log(factors)) == pytest.approx(DEFAULT_SIGMA, rel=0.2)
+
+    def test_zero_sigma_is_exact(self):
+        assert noise_factor("K", "m", 1, sigma=0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            noise_factor("K", "m", 0, sigma=-0.1)
+        with pytest.raises(ValueError):
+            noisy_time(0.0, "K", "m", 0)
+
+
+class TestMultiTrialRuns:
+    @pytest.fixture(scope="class")
+    def thicket(self):
+        params = RunParams(
+            kernels=("Stream_TRIAD", "Basic_DAXPY"),
+            variants=("RAJA_Seq",),
+            machines=("SPR-DDR",),
+            trials=8,
+        )
+        return Thicket.from_caliperreader(SuiteExecutor(params).run().profiles)
+
+    def test_one_profile_per_trial(self, thicket):
+        assert len(thicket.profiles) == 8
+
+    def test_trial_metadata_recorded(self, thicket):
+        assert sorted(thicket.metadata["trial"]) == list(range(8))
+
+    def test_stats_show_realistic_spread(self, thicket):
+        stats = thicket.aggregate_stats(["Avg time/rank"], aggs=("mean", "std"))
+        for row in stats.iter_rows():
+            if "_" not in str(row["name"]):
+                continue
+            cov = row["Avg time/rank_std"] / row["Avg time/rank_mean"]
+            assert 0.001 < cov < 0.10  # ~2% nominal jitter
+
+    def test_counters_remain_noise_free(self, thicket):
+        """Only the timing jitters; analytic counters are exact."""
+        stats = thicket.aggregate_stats(["perf::slots"], aggs=("std",))
+        hmm = [r for r in stats.iter_rows() if "_" in str(r["name"])]
+        # perf::slots derives from the noiseless breakdown.
+        assert all(r["perf::slots_std"] == pytest.approx(0.0) for r in hmm)
+
+    def test_single_trial_is_noise_free(self):
+        params = RunParams(
+            kernels=("Stream_TRIAD",), variants=("RAJA_Seq",),
+            machines=("SPR-DDR",), trials=1,
+        )
+        a = SuiteExecutor(params).run().profiles[0]
+        b = SuiteExecutor(params).run().profiles[0]
+        ka = a.find(("RAJAPerf", "Stream", "Stream_TRIAD")).metrics["Avg time/rank"]
+        kb = b.find(("RAJAPerf", "Stream", "Stream_TRIAD")).metrics["Avg time/rank"]
+        assert ka == kb
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            RunParams(trials=0)
+        with pytest.raises(ValueError):
+            RunParams(noise_sigma=-1.0)
+
+
+class TestCsvOutput:
+    def test_csv_written_per_run(self, tmp_path):
+        params = RunParams(
+            kernels=("Stream_TRIAD", "Basic_DAXPY"),
+            variants=("RAJA_Seq",),
+            machines=("SPR-DDR", "SPR-HBM"),
+            write_csv=True,
+            output_dir=str(tmp_path),
+        )
+        SuiteExecutor(params).run()
+        csvs = sorted(tmp_path.glob("*.csv"))
+        assert len(csvs) == 2
+        text = csvs[0].read_text()
+        assert "kernel" in text and "Stream_TRIAD" in text
+        assert "Avg time/rank" in text
+
+    def test_csv_loads_as_frame(self, tmp_path):
+        from repro.dataframe import frame_from_csv
+
+        params = RunParams(
+            kernels=("Stream_TRIAD",), variants=("RAJA_Seq",),
+            machines=("SPR-DDR",), write_csv=True, output_dir=str(tmp_path),
+        )
+        SuiteExecutor(params).run()
+        frame = frame_from_csv(next(tmp_path.glob("*.csv")))
+        assert frame.nrows == 1
+        assert "flops" in frame.columns

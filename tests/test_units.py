@@ -1,0 +1,76 @@
+"""Unit parsing/formatting (repro.util.units)."""
+
+import pytest
+
+from repro.util.units import (
+    format_bytes,
+    format_count,
+    format_rate,
+    format_seconds,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_integer(self):
+        assert parse_size("4096") == 4096
+
+    def test_decimal_suffixes(self):
+        assert parse_size("32M") == 32_000_000
+        assert parse_size("1k") == 1_000
+        assert parse_size("2G") == 2_000_000_000
+        assert parse_size("1T") == 10**12
+
+    def test_fractional_value(self):
+        assert parse_size("1.5M") == 1_500_000
+
+    def test_byte_suffix_tolerated(self):
+        assert parse_size("4KB") == 4_000
+        assert parse_size("4KiB") == 4_000  # decimal per RAJAPerf convention
+
+    def test_int_passthrough(self):
+        assert parse_size(1234) == 1234
+        assert parse_size(12.7) == 12
+
+    def test_whitespace(self):
+        assert parse_size("  8M  ") == 8_000_000
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+        with pytest.raises(ValueError):
+            parse_size("1Q")
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            parse_size(-5)
+
+
+class TestFormatting:
+    def test_format_count_magnitudes(self):
+        assert format_count(0) == "0"
+        assert format_count(1500) == "1.5K"
+        assert format_count(2_000_000) == "2M"
+        assert format_count(3.2e12).endswith("T")
+
+    def test_format_count_negative(self):
+        assert format_count(-1500) == "-1.5K"
+
+    def test_format_bytes_binary(self):
+        assert format_bytes(1024) == "1 KiB"
+        assert format_bytes(1024**3) == "1 GiB"
+        assert format_bytes(100) == "100 B"
+
+    def test_format_rate(self):
+        assert format_rate(2e9, "B/s") == "2GB/s"
+
+    def test_format_seconds_scales(self):
+        assert format_seconds(1.5) == "1.5 s"
+        assert format_seconds(2e-3) == "2 ms"
+        assert format_seconds(3e-6) == "3 us"
+        assert format_seconds(4e-9) == "4 ns"
+        assert format_seconds(0) == "0 s"
+
+    def test_format_seconds_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)

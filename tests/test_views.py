@@ -1,0 +1,94 @@
+"""RAJA-style Views and Layouts vs NumPy ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rajasim import Layout, View, make_permuted_layout
+
+
+class TestLayout:
+    def test_c_order_default(self):
+        layout = Layout((2, 3, 4))
+        assert layout(1, 2, 3) == 1 * 12 + 2 * 4 + 3
+
+    def test_matches_numpy_ravel(self):
+        shape = (3, 4, 5)
+        layout = Layout(shape)
+        ref = np.arange(np.prod(shape)).reshape(shape)
+        for idx in np.ndindex(shape):
+            assert layout(*idx) == ref[idx]
+
+    def test_permuted_layout(self):
+        # perm (2,1,0): dim 0 is fastest-varying.
+        layout = make_permuted_layout((2, 3, 4), (2, 1, 0))
+        assert layout(1, 0, 0) == 1
+        assert layout(0, 1, 0) == 2
+        assert layout(0, 0, 1) == 6
+
+    def test_vectorized_indexing(self):
+        layout = Layout((4, 5))
+        i = np.array([0, 1, 2])
+        j = np.array([1, 1, 1])
+        np.testing.assert_array_equal(layout(i, j), i * 5 + 1)
+
+    def test_bad_perm_rejected(self):
+        with pytest.raises(ValueError):
+            Layout((2, 2), perm=(0, 0))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Layout((2, 2))(1)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Layout((2, -1))
+
+
+class TestView:
+    def test_read_write_roundtrip(self):
+        data = np.zeros(12)
+        view = View(data, Layout((3, 4)))
+        view[1, 2] = 7.0
+        assert data[1 * 4 + 2] == 7.0
+        assert view[1, 2] == 7.0
+
+    def test_view_requires_flat_data(self):
+        with pytest.raises(ValueError):
+            View(np.zeros((2, 2)), Layout((2, 2)))
+
+    def test_too_small_data_rejected(self):
+        with pytest.raises(ValueError):
+            View(np.zeros(3), Layout((2, 2)))
+
+    def test_vectorized_access(self):
+        data = np.arange(20, dtype=float)
+        view = View(data, Layout((4, 5)))
+        rows = np.array([0, 1, 2, 3])
+        np.testing.assert_array_equal(view[rows, 0], data[rows * 5])
+
+    @given(
+        st.tuples(
+            st.integers(1, 5), st.integers(1, 5), st.integers(1, 5)
+        ),
+        st.permutations([0, 1, 2]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_permuted_view_matches_transposed_numpy(self, shape, perm):
+        """View through a permuted layout == writing into a transposed array."""
+        size = int(np.prod(shape))
+        data = np.zeros(size)
+        view = View(data, make_permuted_layout(shape, perm))
+        counter = 0.0
+        for idx in np.ndindex(shape):
+            counter += 1.0
+            view[idx] = counter
+        # Rebuild via numpy: the permuted layout stores dim perm[-1] fastest.
+        ref = np.zeros(shape)
+        counter = 0.0
+        for idx in np.ndindex(shape):
+            counter += 1.0
+            ref[idx] = counter
+        transposed = np.transpose(ref, axes=perm)
+        np.testing.assert_array_equal(data, transposed.ravel())
