@@ -9,6 +9,7 @@ by tests.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -34,7 +35,16 @@ def _node_from_dict(data: dict[str, Any], parent_path: tuple[str, ...]) -> Regio
 
 
 def write_cali(profile: CaliProfile, path: str | Path) -> Path:
-    """Serialize a profile to a ``.cali`` (JSON) file; returns the path."""
+    """Serialize a profile to a ``.cali`` (JSON) file; returns the path.
+
+    The write is atomic: the payload lands in a ``.tmp`` sibling which is
+    then ``os.replace``d over the target, so a crash (or injected I/O
+    fault) mid-write never leaves a truncated ``.cali`` that would later
+    poison analysis. Raises :class:`OSError` on failure; the target is
+    untouched in that case.
+    """
+    from repro.faults import active_injector
+
     payload = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
@@ -43,7 +53,16 @@ def write_cali(profile: CaliProfile, path: str | Path) -> Path:
     }
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=1, default=_jsonable))
+    data = json.dumps(payload, indent=1, default=_jsonable)
+    tmp = out.with_suffix(out.suffix + ".tmp")
+    injector = active_injector()
+    if injector is not None and injector.io_fault(out.name) is not None:
+        # Simulate an interrupted write: a truncated tmp file, then the
+        # failure. The target file must remain absent/intact.
+        tmp.write_text(data[: max(1, len(data) // 2)])
+        raise OSError(f"injected I/O write failure for {out}")
+    tmp.write_text(data)
+    os.replace(tmp, out)
     return out
 
 

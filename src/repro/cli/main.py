@@ -75,11 +75,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output-dir", default=".", help="where to write .cali files")
     run.add_argument("--paper", action="store_true",
                      help="use exactly the paper's Table III configuration")
+    run.add_argument("--resume", action="store_true",
+                     help="skip cells the campaign manifest marks complete")
+    run.add_argument("--fail-fast", action="store_true",
+                     help="abort on the first kernel error (no retry/isolation)")
+    run.add_argument("--max-attempts", type=int, default=3,
+                     help="attempts per kernel before it is marked failed")
+    run.add_argument("--kernel-timeout", type=float, default=None, metavar="SECONDS",
+                     help="per-kernel watchdog deadline")
+    run.add_argument("--inject-faults", default=None, metavar="JSON",
+                     help="fault-injection spec (JSON list; see repro.faults); "
+                          "$REPRO_FAULTS is honored when this is unset")
 
     analyze = sub.add_parser("analyze", help="Thicket EDA over .cali profiles")
     analyze.add_argument("files", nargs="+", help=".cali files to compose")
     analyze.add_argument("--metric", default="Avg time/rank")
     analyze.add_argument("--tree", action="store_true", help="print region trees")
+    analyze.add_argument("--strict", action="store_true",
+                         help="fail on unreadable .cali files instead of "
+                              "warning and analyzing the survivors")
 
     exp = sub.add_parser("experiment", help="regenerate paper artifacts")
     exp.add_argument("ids", nargs="*", default=[],
@@ -116,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from repro.faults import FaultInjector
     from repro.suite.executor import SuiteExecutor
 
     params = RunParams(
@@ -131,23 +148,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trials=args.trials,
         write_csv=args.csv,
         output_dir=args.output_dir,
+        resume=args.resume,
+        fail_fast=args.fail_fast,
+        max_attempts=args.max_attempts,
+        kernel_deadline_s=args.kernel_timeout,
     )
+    try:
+        if args.inject_faults:
+            injector = FaultInjector.from_config(args.inject_faults)
+        else:
+            injector = FaultInjector.from_env()
+    except ValueError as exc:
+        print(f"error: invalid fault-injection spec: {exc}", file=sys.stderr)
+        return 2
     executor = SuiteExecutor(params)
-    if args.paper:
-        result = executor.run_paper_configuration(write_files=True)
-    else:
-        result = executor.run(write_files=True)
+    with injector if injector is not None else nullcontext():
+        if args.paper:
+            result = executor.run_paper_configuration(write_files=True)
+        else:
+            result = executor.run(write_files=True)
     for path in result.cali_paths:
         print(f"wrote {path}")
     print(f"{len(result.profiles)} profiles, "
           f"{len(executor.selected_kernels())} kernels each")
-    return 0
+    print(result.report.summary())
+    return 0 if result.report.clean else 1
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.thicket import Thicket
+    import warnings as _warnings
 
-    thicket = Thicket.from_caliperreader(args.files)
+    from repro.thicket import ProfileLoadWarning, Thicket
+
+    with _warnings.catch_warnings(record=True) as caught:
+        _warnings.simplefilter("always", ProfileLoadWarning)
+        thicket = Thicket.from_caliperreader(
+            args.files, on_error="raise" if args.strict else "warn"
+        )
+    for warning in caught:
+        print(f"warning: {warning.message}", file=sys.stderr)
     print(thicket)
     if args.tree:
         for profile in thicket.profiles:

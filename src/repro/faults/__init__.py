@@ -1,0 +1,30 @@
+"""Fault injection: deterministic chaos for the campaign pipeline.
+
+See :mod:`repro.faults.injector`. The executor and ``write_cali``
+consult :func:`active_injector`; tests and CLI campaigns install one via
+the :class:`FaultInjector` context manager or ``$REPRO_FAULTS``.
+"""
+
+from repro.faults.injector import (
+    ENV_VAR,
+    DeadlineClock,
+    FaultInjector,
+    FaultKind,
+    FaultSite,
+    FaultSpec,
+    InjectedKernelFault,
+    active_injector,
+    install_injector,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "DeadlineClock",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSite",
+    "FaultSpec",
+    "InjectedKernelFault",
+    "active_injector",
+    "install_injector",
+]

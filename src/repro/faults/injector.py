@@ -1,0 +1,257 @@
+"""Deterministic fault injection for the campaign pipeline.
+
+Long data-collection campaigns (Table III: machines x variants x tunings
+x 76 kernels) fail in practice: a kernel throws, a node hangs, a file
+write is interrupted, a flipped bit corrupts a checksum. The executor's
+fault-tolerance machinery (retry, watchdog, checkpoint/resume, degraded
+analysis) must be *testable*, so this module provides a seedable,
+deterministic :class:`FaultInjector` that plants faults at chosen
+(kernel, variant, trial) sites:
+
+* ``KERNEL_EXCEPTION`` — raise :class:`InjectedKernelFault` when the
+  kernel runs (transient when ``times`` is finite, permanent when
+  ``times`` is ``None``);
+* ``HANG`` — advance the run's :class:`DeadlineClock` by
+  ``hang_seconds``, simulating a stuck kernel without real waiting;
+* ``CHECKSUM_CORRUPTION`` — perturb the executed checksum so
+  cross-variant verification trips;
+* ``IO_WRITE_FAILURE`` — make ``write_cali`` fail mid-write (the atomic
+  tmp-then-replace protocol must leave no truncated ``.cali`` behind).
+
+The injector is a context manager; entering installs it as the
+process-wide active injector that the executor and ``write_cali``
+consult. Specs can also come from a config mapping or the
+``REPRO_FAULTS`` environment variable (JSON), so real CLI campaigns can
+be chaos-tested without code changes.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultKind(Enum):
+    KERNEL_EXCEPTION = "kernel_exception"
+    HANG = "hang"
+    CHECKSUM_CORRUPTION = "checksum_corruption"
+    IO_WRITE_FAILURE = "io_write_failure"
+
+
+class InjectedKernelFault(RuntimeError):
+    """The planted transient/permanent kernel exception."""
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """Where in the sweep a fault can fire."""
+
+    kernel: str = "*"
+    variant: str = "*"
+    trial: int | str = "*"
+    machine: str = "*"
+
+
+@dataclass
+class FaultSpec:
+    """One planted fault: kind + site pattern + firing budget.
+
+    Site fields are ``fnmatch`` patterns (``"*"`` matches anything);
+    ``trial`` may be an int or ``"*"``. ``times`` is how many matching
+    occurrences fire before the fault clears — ``None`` means every
+    occurrence (a permanent fault). ``path`` is matched against the
+    output filename for IO faults.
+    """
+
+    kind: FaultKind
+    kernel: str = "*"
+    variant: str = "*"
+    trial: int | str = "*"
+    machine: str = "*"
+    path: str = "*"
+    times: int | None = 1
+    hang_seconds: float = 3600.0
+    corruption_delta: float = 0.5
+    message: str = ""
+    fired: int = field(default=0, init=False)
+
+    def exhausted(self) -> bool:
+        return self.times is not None and self.fired >= self.times
+
+    def matches(self, site: FaultSite) -> bool:
+        if not fnmatch.fnmatchcase(site.kernel, self.kernel):
+            return False
+        if not fnmatch.fnmatchcase(site.variant, self.variant):
+            return False
+        if not fnmatch.fnmatchcase(site.machine, self.machine):
+            return False
+        if self.trial != "*" and str(site.trial) != str(self.trial):
+            return False
+        return True
+
+    def matches_path(self, name: str) -> bool:
+        return fnmatch.fnmatchcase(name, self.path)
+
+
+def _spec_from_dict(data: dict[str, Any]) -> FaultSpec:
+    data = dict(data)
+    kind = data.pop("kind")
+    if not isinstance(kind, FaultKind):
+        kind = FaultKind(str(kind))
+    known = {
+        "kernel", "variant", "trial", "machine", "path",
+        "times", "hang_seconds", "corruption_delta", "message",
+    }
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown fault spec fields: {sorted(unknown)}")
+    return FaultSpec(kind=kind, **data)
+
+
+class DeadlineClock:
+    """A monotonic clock whose reading injected hangs can advance.
+
+    The executor's per-kernel watchdog measures elapsed time on this
+    clock; a HANG fault calls :meth:`advance` so a "stuck" kernel
+    exceeds its deadline without the test suite actually sleeping.
+    """
+
+    def __init__(self, time_fn=time.monotonic) -> None:
+        self._time_fn = time_fn
+        self._offset = 0.0
+
+    def now(self) -> float:
+        return self._time_fn() + self._offset
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards: {seconds}")
+        self._offset += seconds
+
+
+class FaultInjector:
+    """A deterministic set of planted faults, installable as a context.
+
+    Determinism: firing order depends only on the sweep order and each
+    spec's ``times`` budget; checksum corruption uses ``corruption_delta``
+    directly (no hidden randomness), so two identical runs observe
+    identical faults. ``fired_log`` records every fault that fired, for
+    assertions.
+    """
+
+    def __init__(self, specs: list[FaultSpec] | None = None, seed: int = 0) -> None:
+        self.specs = list(specs or [])
+        self.seed = seed
+        self.fired_log: list[tuple[FaultKind, FaultSite]] = []
+        self._previous: FaultInjector | None = None
+
+    # -------------------------------------------------------- construction
+    @classmethod
+    def from_config(cls, config: Any, seed: int = 0) -> "FaultInjector":
+        """Build from a JSON string or a list of spec dicts."""
+        if isinstance(config, str):
+            config = json.loads(config)
+        if isinstance(config, dict):
+            config = [config]
+        if not isinstance(config, list):
+            raise ValueError(f"fault config must be a list of specs, got {config!r}")
+        return cls([_spec_from_dict(d) for d in config], seed=seed)
+
+    @classmethod
+    def from_env(cls, env_var: str = ENV_VAR) -> "FaultInjector | None":
+        """Build from ``$REPRO_FAULTS`` (JSON list); None when unset."""
+        raw = os.environ.get(env_var, "").strip()
+        if not raw:
+            return None
+        return cls.from_config(raw)
+
+    # ------------------------------------------------------------ firing
+    def _fire(self, kind: FaultKind, site: FaultSite) -> FaultSpec | None:
+        for spec in self.specs:
+            if spec.kind is kind and not spec.exhausted() and spec.matches(site):
+                spec.fired += 1
+                self.fired_log.append((kind, site))
+                return spec
+        return None
+
+    def kernel_fault(self, site: FaultSite) -> None:
+        """Raise the planted kernel exception if one matches ``site``."""
+        spec = self._fire(FaultKind.KERNEL_EXCEPTION, site)
+        if spec is not None:
+            raise InjectedKernelFault(
+                spec.message
+                or f"injected kernel fault at {site.kernel}/{site.variant}"
+                f"/trial{site.trial} (firing {spec.fired})"
+            )
+
+    def hang_seconds(self, site: FaultSite) -> float:
+        """Simulated hang duration for ``site`` (0.0 when none fires)."""
+        spec = self._fire(FaultKind.HANG, site)
+        return spec.hang_seconds if spec is not None else 0.0
+
+    def corrupt_checksum(self, value: float, site: FaultSite) -> float:
+        """Return ``value``, perturbed when a corruption fault fires."""
+        spec = self._fire(FaultKind.CHECKSUM_CORRUPTION, site)
+        if spec is None:
+            return value
+        return value * (1.0 + spec.corruption_delta) + spec.corruption_delta
+
+    def io_fault(self, filename: str, site: FaultSite | None = None) -> FaultSpec | None:
+        """The IO-failure spec firing for this output file, if any."""
+        probe = site or FaultSite()
+        for spec in self.specs:
+            if (
+                spec.kind is FaultKind.IO_WRITE_FAILURE
+                and not spec.exhausted()
+                and spec.matches(probe)
+                and spec.matches_path(filename)
+            ):
+                spec.fired += 1
+                self.fired_log.append((FaultKind.IO_WRITE_FAILURE, probe))
+                return spec
+        return None
+
+    def reset(self) -> None:
+        """Clear firing counts and the log (fresh campaign, same plan)."""
+        for spec in self.specs:
+            spec.fired = 0
+        self.fired_log.clear()
+
+    # ------------------------------------------------------------ install
+    def __enter__(self) -> "FaultInjector":
+        self._previous = install_injector(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _set_active(self._previous)
+        self._previous = None
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({len(self.specs)} specs, {len(self.fired_log)} fired)"
+
+
+# ------------------------------------------------- process-wide injector
+_active: FaultInjector | None = None
+
+
+def active_injector() -> FaultInjector | None:
+    return _active
+
+
+def install_injector(injector: FaultInjector | None) -> FaultInjector | None:
+    """Install the process-wide injector; returns the previous one."""
+    return _set_active(injector)
+
+
+def _set_active(injector: FaultInjector | None) -> FaultInjector | None:
+    global _active
+    previous = _active
+    _active = injector
+    return previous

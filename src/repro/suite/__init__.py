@@ -34,6 +34,17 @@ from repro.suite.run_params import (
     MachineRunConfig,
     RunParams,
 )
+from repro.suite.errors import (
+    ChecksumMismatchError,
+    KernelExecutionError,
+    ProfileWriteError,
+    RETRYABLE_ERRORS,
+    RunTimeoutError,
+    SuiteError,
+)
+from repro.suite.retry import RetryPolicy
+from repro.suite.report import KernelRunRecord, RunReport, cell_key
+from repro.suite.manifest import MANIFEST_NAME, CampaignManifest
 from repro.suite.executor import RunResult, SuiteExecutor
 from repro.suite.summary import group_summary, suite_inventory
 
@@ -66,4 +77,16 @@ __all__ = [
     "SuiteExecutor",
     "suite_inventory",
     "group_summary",
+    "SuiteError",
+    "KernelExecutionError",
+    "ChecksumMismatchError",
+    "RunTimeoutError",
+    "ProfileWriteError",
+    "RETRYABLE_ERRORS",
+    "RetryPolicy",
+    "RunReport",
+    "KernelRunRecord",
+    "cell_key",
+    "CampaignManifest",
+    "MANIFEST_NAME",
 ]

@@ -1,0 +1,80 @@
+"""The executor's structured error taxonomy.
+
+One failed kernel must not kill an hours-long sweep, so every failure
+mode the campaign runner handles is a distinct exception carrying the
+run site (kernel, variant, trial). All inherit :class:`SuiteError`; the
+executor treats every taxonomy member as potentially transient and
+retries it with backoff before declaring the kernel failed.
+"""
+
+from __future__ import annotations
+
+
+class SuiteError(RuntimeError):
+    """Base class for structured campaign-runner failures."""
+
+
+class KernelExecutionError(SuiteError):
+    """A kernel raised during model evaluation or real execution."""
+
+    def __init__(self, kernel: str, variant: str, trial: int, cause: BaseException):
+        super().__init__(
+            f"{kernel}/{variant}/trial{trial}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.kernel = kernel
+        self.variant = variant
+        self.trial = trial
+        self.cause = cause
+
+
+class ChecksumMismatchError(SuiteError):
+    """An executed variant's checksum disagrees with the Base_Seq reference."""
+
+    def __init__(
+        self, kernel: str, variant: str, trial: int, expected: float, actual: float
+    ):
+        super().__init__(
+            f"{kernel}/{variant}/trial{trial}: checksum mismatch "
+            f"(Base_Seq reference {expected!r}, got {actual!r})"
+        )
+        self.kernel = kernel
+        self.variant = variant
+        self.trial = trial
+        self.expected = expected
+        self.actual = actual
+
+
+class RunTimeoutError(SuiteError):
+    """A kernel exceeded its per-kernel deadline (the watchdog tripped)."""
+
+    def __init__(
+        self, kernel: str, variant: str, trial: int, elapsed: float, deadline: float
+    ):
+        super().__init__(
+            f"{kernel}/{variant}/trial{trial}: exceeded deadline "
+            f"({elapsed:.3f}s > {deadline:.3f}s)"
+        )
+        self.kernel = kernel
+        self.variant = variant
+        self.trial = trial
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class ProfileWriteError(SuiteError):
+    """Writing a ``.cali`` profile (or the manifest) to disk failed."""
+
+    def __init__(self, path: str, cause: BaseException):
+        super().__init__(f"cannot write {path}: {cause}")
+        self.path = str(path)
+        self.cause = cause
+
+
+#: Every taxonomy member the retry loop considers possibly-transient.
+RETRYABLE_ERRORS: tuple[type[SuiteError], ...] = (
+    KernelExecutionError,
+    ChecksumMismatchError,
+    RunTimeoutError,
+    ProfileWriteError,
+)

@@ -15,12 +15,24 @@ tree is ``group -> kernel`` and whose region metrics are
 Adiak-style run metadata (variant, tuning, machine, problem size, ranks)
 lands in the profile globals, which Thicket later surfaces as its
 metadata table.
+
+The executor is a *campaign runner*: a multi-machine sweep takes hours
+on the paper's systems, so one bad kernel must not lose the rest. Each
+kernel runs inside an isolation boundary with bounded retry (exponential
+backoff + seeded jitter) for transient faults, a per-kernel deadline
+watchdog, and cross-variant checksum verification against the Base_Seq
+reference when real execution is on. Outcomes land in a
+:class:`~repro.suite.report.RunReport`; completed cells are checkpointed
+to a campaign manifest so an interrupted sweep resumes where it stopped
+(``RunParams.resume``). ``RunParams.fail_fast`` restores abort-on-first-
+error. Faults are plantable via :mod:`repro.faults` for testing.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from collections.abc import Callable
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import adiak
@@ -28,22 +40,64 @@ from repro.caliper.annotation import CaliperSession
 from repro.caliper.cali import write_cali
 from repro.caliper.records import CaliProfile
 from repro.cpusim.counters import slot_counters
+from repro.faults import DeadlineClock, FaultInjector, FaultSite, active_injector
 from repro.gpusim.ncu import ncu_counters
 from repro.machines.model import MachineKind, MachineModel
 from repro.machines.registry import get_machine
 from repro.perfmodel.cpu_time import CpuTimeModel
+from repro.suite.checksum import checksums_match
+from repro.suite.errors import (
+    ChecksumMismatchError,
+    KernelExecutionError,
+    ProfileWriteError,
+    RETRYABLE_ERRORS,
+    RunTimeoutError,
+    SuiteError,
+)
 from repro.suite.kernel_base import KernelBase
+from repro.suite.manifest import CampaignManifest
 from repro.suite.registry import all_kernel_classes
+from repro.suite.report import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RETRIED,
+    STATUS_SKIPPED,
+    KernelRunRecord,
+    RunReport,
+    cell_key,
+)
 from repro.suite.run_params import TABLE3, RunParams
 from repro.suite.variants import Variant, get_variant
 
 
 @dataclass
 class RunResult:
-    """Executor output: profiles plus any written .cali paths."""
+    """Executor output: profiles, written .cali paths, per-run outcomes."""
 
     profiles: list[CaliProfile]
     cali_paths: list[Path]
+    report: RunReport = field(default_factory=RunReport)
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One campaign cell: a (machine, variant, tuning, trial) run."""
+
+    machine: MachineModel
+    variant: Variant
+    block: int
+    trial: int
+    fname: str
+
+    @property
+    def tuning(self) -> str:
+        return f"block_{self.block}" if self.block else "default"
+
+    @property
+    def key(self) -> str:
+        return cell_key(
+            self.machine.shorthand, self.variant.name, self.tuning, self.trial
+        )
 
 
 def _variant_compatible(variant: Variant, machine: MachineModel) -> bool:
@@ -63,18 +117,34 @@ def _variant_compatible(variant: Variant, machine: MachineModel) -> bool:
 
 
 class SuiteExecutor:
-    """Runs a configured sweep and produces one profile per run."""
+    """Runs a configured sweep and produces one profile per run.
 
-    def __init__(self, params: RunParams) -> None:
+    ``injector`` overrides the process-wide active fault injector (tests
+    usually install one via the :class:`FaultInjector` context manager
+    instead); ``sleep_fn`` replaces the real backoff sleep so retry tests
+    run instantly.
+    """
+
+    def __init__(
+        self,
+        params: RunParams,
+        injector: FaultInjector | None = None,
+        sleep_fn: Callable[[float], None] | None = None,
+    ) -> None:
         self.params = params
+        self.injector = injector
+        self.sleep_fn = sleep_fn if sleep_fn is not None else time.sleep
+        self._reference_checksums: dict[tuple[type[KernelBase], int], float | None] = {}
 
     def selected_kernels(self) -> list[type[KernelBase]]:
         return [cls for cls in all_kernel_classes() if self.params.selects(cls)]
 
+    def _active_injector(self) -> FaultInjector | None:
+        return self.injector if self.injector is not None else active_injector()
+
     # ----------------------------------------------------------- execution
     def run(self, write_files: bool = False) -> RunResult:
-        profiles: list[CaliProfile] = []
-        paths: list[Path] = []
+        cells: list[_Cell] = []
         for machine_name in self.params.machines:
             machine = get_machine(machine_name)
             for variant_name in self.params.variants:
@@ -84,44 +154,102 @@ class SuiteExecutor:
                 tunings = self.params.gpu_block_sizes if variant.is_gpu else (0,)
                 for block in tunings:
                     for trial in range(self.params.trials):
-                        profile = self._run_one(machine, variant, block, trial)
-                        profiles.append(profile)
-                        if write_files:
-                            tuning = f"block_{block}" if block else "default"
-                            trial_tag = (
-                                f"_trial{trial}" if self.params.trials > 1 else ""
-                            )
-                            fname = (
-                                f"rajaperf_{machine.shorthand}_{variant.name}"
-                                f"_{tuning}{trial_tag}.cali"
-                            )
-                            paths.append(
-                                write_cali(
-                                    profile, Path(self.params.output_dir) / fname
-                                )
-                            )
-                        self._maybe_write_csv(profile, machine, variant, block, trial)
-        return RunResult(profiles=profiles, cali_paths=paths)
+                        tuning = f"block_{block}" if block else "default"
+                        trial_tag = (
+                            f"_trial{trial}" if self.params.trials > 1 else ""
+                        )
+                        fname = (
+                            f"rajaperf_{machine.shorthand}_{variant.name}"
+                            f"_{tuning}{trial_tag}.cali"
+                        )
+                        cells.append(_Cell(machine, variant, block, trial, fname))
+        return self._run_cells(cells, write_files)
 
     def run_paper_configuration(self, write_files: bool = False) -> RunResult:
         """Run exactly Table III: the paper's per-machine variant choices."""
-        profiles: list[CaliProfile] = []
-        paths: list[Path] = []
+        cells: list[_Cell] = []
         for config in TABLE3.values():
             machine = get_machine(config.machine)
             variant = get_variant(config.variant)
+            block = 256 if variant.is_gpu else 0
             for trial in range(self.params.trials):
-                profile = self._run_one(
-                    machine, variant, 256 if variant.is_gpu else 0, trial
-                )
-                profiles.append(profile)
-                if write_files:
-                    trial_tag = f"_trial{trial}" if self.params.trials > 1 else ""
-                    fname = f"rajaperf_{machine.shorthand}_{variant.name}{trial_tag}.cali"
-                    paths.append(
-                        write_cali(profile, Path(self.params.output_dir) / fname)
+                trial_tag = f"_trial{trial}" if self.params.trials > 1 else ""
+                fname = f"rajaperf_{machine.shorthand}_{variant.name}{trial_tag}.cali"
+                cells.append(_Cell(machine, variant, block, trial, fname))
+        return self._run_cells(cells, write_files)
+
+    # -------------------------------------------------------- campaign loop
+    def _run_cells(self, cells: list[_Cell], write_files: bool) -> RunResult:
+        params = self.params
+        report = RunReport()
+        profiles: list[CaliProfile] = []
+        paths: list[Path] = []
+        manifest: CampaignManifest | None = None
+        if write_files or params.resume:
+            manifest = CampaignManifest.load_or_create(
+                params.output_dir, params.fingerprint()
+            )
+        for cell in cells:
+            if params.resume and manifest is not None and manifest.is_complete(cell.key):
+                report.mark_cell(cell.key, STATUS_SKIPPED)
+                continue
+            profile, cell_records = self._run_one_cell(cell, report)
+            profiles.append(profile)
+            written: Path | None = None
+            write_failed = False
+            if write_files:
+                target = Path(params.output_dir) / cell.fname
+                try:
+                    written = self._write_profile(profile, target, cell)
+                    paths.append(written)
+                except ProfileWriteError as err:
+                    if params.fail_fast:
+                        raise
+                    write_failed = True
+                    report.add(
+                        KernelRunRecord(
+                            kernel="<profile write>",
+                            machine=cell.machine.shorthand,
+                            variant=cell.variant.name,
+                            tuning=cell.tuning,
+                            trial=cell.trial,
+                            status=STATUS_FAILED,
+                            attempts=params.max_attempts,
+                            error=str(err),
+                        )
                     )
-        return RunResult(profiles=profiles, cali_paths=paths)
+            self._maybe_write_csv(
+                profile, cell.machine, cell.variant, cell.block, cell.trial
+            )
+            cell_failed = write_failed or any(
+                r.status == STATUS_FAILED for r in cell_records
+            )
+            report.mark_cell(cell.key, STATUS_FAILED if cell_failed else STATUS_OK)
+            if manifest is not None and write_files:
+                manifest.record(
+                    cell.key,
+                    STATUS_FAILED if cell_failed else STATUS_OK,
+                    file=str(written) if written is not None else None,
+                    failed_kernels=[
+                        r.kernel for r in cell_records if r.status == STATUS_FAILED
+                    ],
+                )
+                manifest.save()
+        return RunResult(profiles=profiles, cali_paths=paths, report=report)
+
+    def _write_profile(self, profile: CaliProfile, target: Path, cell: _Cell) -> Path:
+        """Write one ``.cali`` file with the same bounded retry as kernels."""
+        policy = self.params.retry_policy()
+        delays = policy.delays()
+        attempt = 1
+        while True:
+            try:
+                return write_cali(profile, target)
+            except OSError as exc:
+                if attempt >= policy.max_attempts:
+                    raise ProfileWriteError(str(target), exc) from exc
+                self.sleep_fn(next(delays))
+                attempt += 1
 
     def _maybe_write_csv(self, profile, machine, variant, block, trial) -> None:
         """RAJAPerf-style per-run CSV: one row per kernel, one column per
@@ -148,12 +276,27 @@ class SuiteExecutor:
     def _run_one(
         self, machine: MachineModel, variant: Variant, block: int, trial: int = 0
     ) -> CaliProfile:
+        """One (machine, variant, tuning, trial) profile (no file I/O)."""
+        tuning = f"block_{block}" if block else "default"
+        cell = _Cell(machine, variant, block, trial, fname=f"<{tuning}>")
+        profile, _ = self._run_one_cell(cell, RunReport())
+        return profile
+
+    def _run_one_cell(
+        self, cell: _Cell, report: RunReport
+    ) -> tuple[CaliProfile, list[KernelRunRecord]]:
         params = self.params
+        machine, variant, block, trial = (
+            cell.machine,
+            cell.variant,
+            cell.block,
+            cell.trial,
+        )
         session = CaliperSession(collect_time=False)
 
         adiak.init()
         adiak.value("variant", variant.name)
-        adiak.value("tuning", f"block_{block}" if block else "default")
+        adiak.value("tuning", cell.tuning)
         adiak.value("trial", trial)
         adiak.value("machine", machine.shorthand)
         adiak.value("architecture", machine.architecture)
@@ -164,17 +307,113 @@ class SuiteExecutor:
         for key, val in adiak.fini().items():
             session.set_global(key, val)
 
+        cell_records: list[KernelRunRecord] = []
         with session.region("RAJAPerf"):
             for cls in self.selected_kernels():
-                if not any(v.name == variant.name for v in cls(1).variants()):
+                if not any(v.name == variant.name for v in cls.class_variants()):
                     continue
-                kernel = cls(problem_size=params.problem_size)
+                record = KernelRunRecord(
+                    kernel=cls.class_full_name(),
+                    machine=machine.shorthand,
+                    variant=variant.name,
+                    tuning=cell.tuning,
+                    trial=trial,
+                )
                 with session.region(cls.GROUP.value):
-                    with session.region(kernel.full_name):
-                        self._record_kernel(
-                            session, kernel, machine, variant, block, trial
+                    with session.region(cls.class_full_name()):
+                        self._run_kernel_isolated(
+                            session, cls, machine, variant, block, trial, record
                         )
-        return session.close()
+                report.add(record)
+                cell_records.append(record)
+        return session.close(), cell_records
+
+    def _run_kernel_isolated(
+        self,
+        session: CaliperSession,
+        cls: type[KernelBase],
+        machine: MachineModel,
+        variant: Variant,
+        block: int,
+        trial: int,
+        record: KernelRunRecord,
+    ) -> None:
+        """Run one kernel with retry; a permanent failure marks the record
+        ``failed`` and the sweep moves on (unless ``fail_fast``)."""
+        params = self.params
+        policy = params.retry_policy()
+        delays = policy.delays()
+        site = FaultSite(
+            kernel=cls.class_full_name(),
+            variant=variant.name,
+            trial=trial,
+            machine=machine.shorthand,
+        )
+        attempt = 1
+        while True:
+            try:
+                self._attempt_kernel(
+                    session, cls, machine, variant, block, trial, site, record
+                )
+            except RETRYABLE_ERRORS as err:
+                if params.fail_fast:
+                    raise
+                if attempt >= policy.max_attempts:
+                    record.status = STATUS_FAILED
+                    record.attempts = attempt
+                    record.error = str(err)
+                    session.set_metric("failed", 1.0, accumulate=False)
+                    return
+                self.sleep_fn(next(delays))
+                attempt += 1
+            else:
+                record.attempts = attempt
+                record.status = STATUS_OK if attempt == 1 else STATUS_RETRIED
+                return
+
+    def _attempt_kernel(
+        self,
+        session: CaliperSession,
+        cls: type[KernelBase],
+        machine: MachineModel,
+        variant: Variant,
+        block: int,
+        trial: int,
+        site: FaultSite,
+        record: KernelRunRecord,
+    ) -> None:
+        """One attempt: injector hooks + deadline watchdog around the
+        actual model/execution work; raises the structured taxonomy."""
+        params = self.params
+        injector = self._active_injector()
+        clock = DeadlineClock()
+        start = clock.now()
+        try:
+            if injector is not None:
+                injector.kernel_fault(site)  # may raise the planted fault
+                hang = injector.hang_seconds(site)
+                if hang:
+                    clock.advance(hang)
+            kernel = cls(problem_size=params.problem_size)
+            self._record_kernel(
+                session, kernel, machine, variant, block, trial, site, record
+            )
+        except SuiteError:
+            raise
+        except Exception as exc:
+            raise KernelExecutionError(
+                cls.class_full_name(), variant.name, trial, exc
+            ) from exc
+        if params.kernel_deadline_s is not None:
+            elapsed = clock.now() - start
+            if elapsed > params.kernel_deadline_s:
+                raise RunTimeoutError(
+                    cls.class_full_name(),
+                    variant.name,
+                    trial,
+                    elapsed,
+                    params.kernel_deadline_s,
+                )
 
     def _record_kernel(
         self,
@@ -184,6 +423,8 @@ class SuiteExecutor:
         variant: Variant,
         block: int,
         trial: int = 0,
+        site: FaultSite | None = None,
+        record: KernelRunRecord | None = None,
     ) -> None:
         from repro.perfmodel.noise import noisy_time
 
@@ -226,4 +467,49 @@ class SuiteExecutor:
             session.set_metric(
                 "wall time (executed)", time.perf_counter() - start, accumulate=False
             )
+            injector = self._active_injector()
+            if injector is not None and site is not None:
+                checksum = injector.corrupt_checksum(checksum, site)
             session.set_metric("checksum", checksum, accumulate=False)
+            self._verify_checksum(session, kernel, variant, trial, checksum, record)
+
+    # ------------------------------------------------- checksum verification
+    def _verify_checksum(
+        self,
+        session: CaliperSession,
+        kernel: KernelBase,
+        variant: Variant,
+        trial: int,
+        checksum: float,
+        record: KernelRunRecord | None,
+    ) -> None:
+        """Cross-variant verification: every executed variant must agree
+        with the Base_Seq reference checksum (RAJAPerf's tripwire)."""
+        reference = self._reference_checksum(type(kernel))
+        if reference is None:
+            return
+        ok = checksums_match(reference, checksum)
+        session.set_metric("checksum_ok", 1.0 if ok else 0.0, accumulate=False)
+        if record is not None:
+            record.checksum_ok = ok
+        if not ok:
+            raise ChecksumMismatchError(
+                kernel.full_name, variant.name, trial, reference, checksum
+            )
+
+    def _reference_checksum(self, cls: type[KernelBase]) -> float | None:
+        """The kernel's Base_Seq checksum at the execution size (cached).
+
+        Computed by an internal, injector-free Base_Seq run so it stays
+        trustworthy even when the campaign's own Base_Seq cell was
+        corrupted. Kernels without a Base_Seq variant opt out (None).
+        """
+        key = (cls, self.params.execution_size)
+        if key not in self._reference_checksums:
+            base_seq = get_variant("Base_Seq")
+            if not any(v.name == base_seq.name for v in cls.class_variants()):
+                self._reference_checksums[key] = None
+            else:
+                reference = cls(problem_size=self.params.execution_size)
+                self._reference_checksums[key] = reference.run_variant(base_seq)
+        return self._reference_checksums[key]

@@ -78,15 +78,30 @@ class KernelBase:
     def class_full_name(cls) -> str:
         return f"{cls.GROUP.value}_{cls.NAME}"
 
-    def variants(self) -> tuple[Variant, ...]:
-        """All variants this kernel provides."""
+    @classmethod
+    def class_variants(cls) -> tuple[Variant, ...]:
+        """All variants this kernel provides, without instantiating it.
+
+        Variant availability is class-level data (``BACKENDS`` and
+        ``HAS_KOKKOS``), so sweep drivers probing "does this kernel have
+        variant X?" must not pay for a kernel allocation per probe. The
+        result is cached per class.
+        """
+        cached = cls.__dict__.get("_VARIANTS_CACHE")
+        if cached is not None:
+            return cached
         out = []
-        for backend in self.BACKENDS:
+        for backend in cls.BACKENDS:
             out.append(Variant(VariantKind.BASE, backend))
             out.append(Variant(VariantKind.RAJA, backend))
-        if self.HAS_KOKKOS:
+        if cls.HAS_KOKKOS:
             out.append(Variant(VariantKind.KOKKOS, Backend.SEQUENTIAL))
-        return tuple(out)
+        cls._VARIANTS_CACHE = tuple(out)
+        return cls._VARIANTS_CACHE
+
+    def variants(self) -> tuple[Variant, ...]:
+        """All variants this kernel provides."""
+        return type(self).class_variants()
 
     def supports(self, variant: Variant) -> bool:
         return variant in self.variants()

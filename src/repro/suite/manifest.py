@@ -1,0 +1,106 @@
+"""Campaign checkpointing: the manifest that makes sweeps resumable.
+
+A campaign writing ``.cali`` files also maintains
+``campaign_manifest.json`` next to them, recording the status of every
+(machine, variant, tuning, trial) cell as it completes. A crashed or
+degraded campaign re-invoked with ``--resume`` skips the cells the
+manifest marks ``ok`` and re-runs only failed or missing ones. The
+manifest is rewritten atomically after every cell, so a crash can lose
+at most the in-flight cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+MANIFEST_NAME = "campaign_manifest.json"
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class CampaignManifest:
+    """Completed-cell ledger for one campaign output directory."""
+
+    path: Path
+    fingerprint: dict[str, Any] = field(default_factory=dict)
+    #: cell key -> {"status": "ok"|"failed", "file": str|None,
+    #:              "failed_kernels": [...]}
+    cells: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    # -------------------------------------------------------------- load
+    @classmethod
+    def load_or_create(
+        cls, output_dir: str | Path, fingerprint: dict[str, Any]
+    ) -> "CampaignManifest":
+        """Load the directory's manifest, or start an empty one.
+
+        A fingerprint mismatch (the resumed campaign was configured
+        differently) warns rather than fails: resuming with, say, more
+        trials legitimately extends an existing manifest.
+        """
+        path = Path(output_dir) / MANIFEST_NAME
+        if not path.exists():
+            return cls(path=path, fingerprint=dict(fingerprint))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"unreadable campaign manifest {path} ({exc}); starting fresh",
+                stacklevel=2,
+            )
+            return cls(path=path, fingerprint=dict(fingerprint))
+        recorded = payload.get("fingerprint", {})
+        if recorded and recorded != fingerprint:
+            changed = sorted(
+                k
+                for k in set(recorded) | set(fingerprint)
+                if recorded.get(k) != fingerprint.get(k)
+            )
+            warnings.warn(
+                f"campaign manifest {path} was recorded with a different "
+                f"configuration (changed: {changed}); resuming anyway",
+                stacklevel=2,
+            )
+        return cls(
+            path=path,
+            fingerprint=dict(fingerprint),
+            cells=dict(payload.get("cells", {})),
+        )
+
+    # ------------------------------------------------------------ queries
+    def is_complete(self, key: str) -> bool:
+        """Whether ``--resume`` may skip this cell."""
+        return self.cells.get(key, {}).get("status") == "ok"
+
+    def record(
+        self,
+        key: str,
+        status: str,
+        file: str | None = None,
+        failed_kernels: list[str] | None = None,
+    ) -> None:
+        self.cells[key] = {
+            "status": status,
+            "file": file,
+            "failed_kernels": list(failed_kernels or []),
+        }
+
+    # -------------------------------------------------------------- save
+    def save(self) -> Path:
+        """Atomically persist (tmp sibling + ``os.replace``)."""
+        payload = {
+            "format": "rajaperf-campaign-manifest",
+            "version": MANIFEST_VERSION,
+            "fingerprint": self.fingerprint,
+            "cells": self.cells,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        os.replace(tmp, self.path)
+        return self.path

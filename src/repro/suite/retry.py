@@ -1,0 +1,48 @@
+"""Bounded retry with exponential backoff + deterministic jitter.
+
+Transient faults (a wobbly filesystem, a one-off kernel exception, a
+corrupted checksum) deserve a few more attempts before a cell is written
+off; correlated retries across a campaign's many cells deserve jitter.
+The jitter stream is seeded so a replayed campaign backs off identically
+— determinism is what makes the fault-injection tests assertable.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts a kernel/write gets and how long to wait between.
+
+    ``delays()`` yields ``max_attempts - 1`` waits: ``base_delay``
+    doubled per attempt (capped at ``max_delay``), plus a uniformly
+    drawn jitter of up to ``jitter`` times the delay, from a stream
+    seeded with ``seed``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 20240
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delays(self) -> Iterator[float]:
+        rng = random.Random(self.seed)
+        for attempt in range(self.max_attempts - 1):
+            delay = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+            yield delay + (rng.uniform(0.0, self.jitter * delay) if self.jitter else 0.0)

@@ -60,6 +60,15 @@ class RunParams:
     write_csv: bool = False  # also emit RAJAPerf-style per-run CSV files
     output_dir: str = "."
     metadata: dict[str, object] = field(default_factory=dict)
+    # --- fault tolerance (see docs/architecture.md) ---
+    resume: bool = False  # skip cells the campaign manifest marks complete
+    fail_fast: bool = False  # abort the sweep on the first error (old behavior)
+    max_attempts: int = 3  # attempts per kernel (and per profile write)
+    retry_base_delay: float = 0.05  # first backoff wait, seconds
+    retry_max_delay: float = 2.0  # backoff cap, seconds
+    retry_jitter: float = 0.5  # jitter fraction of each backoff wait
+    retry_seed: int = 20240  # seeds the deterministic jitter stream
+    kernel_deadline_s: float | None = None  # per-kernel watchdog deadline
 
     def __post_init__(self) -> None:
         self.problem_size = parse_size(self.problem_size)
@@ -75,6 +84,42 @@ class RunParams:
             raise ValueError(f"trials must be > 0, got {self.trials}")
         if self.noise_sigma < 0:
             raise ValueError(f"noise_sigma must be >= 0, got {self.noise_sigma}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.retry_base_delay < 0 or self.retry_max_delay < 0:
+            raise ValueError("retry delays must be >= 0")
+        if self.retry_jitter < 0:
+            raise ValueError(f"retry_jitter must be >= 0, got {self.retry_jitter}")
+        if self.kernel_deadline_s is not None and self.kernel_deadline_s <= 0:
+            raise ValueError(
+                f"kernel_deadline_s must be > 0, got {self.kernel_deadline_s}"
+            )
+    def retry_policy(self):
+        """The executor's :class:`~repro.suite.retry.RetryPolicy`."""
+        from repro.suite.retry import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            base_delay=self.retry_base_delay,
+            max_delay=self.retry_max_delay,
+            jitter=self.retry_jitter,
+            seed=self.retry_seed,
+        )
+
+    def fingerprint(self) -> dict[str, object]:
+        """Configuration identity recorded in the campaign manifest."""
+        return {
+            "problem_size": self.problem_size,
+            "reps": self.reps,
+            "variants": list(self.variants),
+            "machines": list(self.machines),
+            "groups": [g.value for g in self.groups],
+            "kernels": list(self.kernels),
+            "features": [f.value for f in self.features],
+            "gpu_block_sizes": list(self.gpu_block_sizes),
+            "execute": self.execute,
+            "trials": self.trials,
+        }
 
     def selects(self, kernel_cls: type) -> bool:
         """Whether the filter settings select ``kernel_cls``."""

@@ -7,6 +7,6 @@ analyses on the composed metrics. This package reproduces that surface on
 the local column store.
 """
 
-from repro.thicket.thicket import Thicket
+from repro.thicket.thicket import ProfileLoadWarning, Thicket
 
-__all__ = ["Thicket"]
+__all__ = ["Thicket", "ProfileLoadWarning"]

@@ -14,6 +14,7 @@ environment).
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from pathlib import Path
 from typing import Any
@@ -25,6 +26,10 @@ from repro.caliper.records import CaliProfile
 from repro.dataframe import Frame
 
 PATH_SEP = "/"
+
+
+class ProfileLoadWarning(UserWarning):
+    """A ``.cali`` source was unreadable and skipped (degraded mode)."""
 
 
 class Thicket:
@@ -39,20 +44,53 @@ class Thicket:
         self.dataframe = dataframe
         self.metadata = metadata
         self.statsframe: Frame | None = None
+        #: (source, reason) pairs skipped during a tolerant load.
+        self.load_errors: list[tuple[str, str]] = []
 
     # -------------------------------------------------------- construction
     @classmethod
     def from_caliperreader(
-        cls, sources: Iterable[CaliProfile | str | Path] | CaliProfile | str | Path
+        cls,
+        sources: Iterable[CaliProfile | str | Path] | CaliProfile | str | Path,
+        on_error: str = "raise",
     ) -> "Thicket":
-        """Build a Thicket from profiles or ``.cali`` file paths."""
+        """Build a Thicket from profiles or ``.cali`` file paths.
+
+        ``on_error`` controls degraded-mode composition: ``"raise"``
+        (default) propagates the first unreadable source; ``"warn"``
+        emits a :class:`ProfileLoadWarning` per corrupt/missing file and
+        analyzes the surviving profiles, recording the casualties in
+        ``thicket.load_errors``. A campaign with a few dead cells still
+        yields its figures.
+        """
+        if on_error not in ("raise", "warn"):
+            raise ValueError(f"on_error must be 'raise' or 'warn', got {on_error!r}")
         if isinstance(sources, (CaliProfile, str, Path)):
             sources = [sources]
         profiles: list[CaliProfile] = []
+        load_errors: list[tuple[str, str]] = []
         for src in sources:
-            profiles.append(src if isinstance(src, CaliProfile) else read_cali(src))
+            if isinstance(src, CaliProfile):
+                profiles.append(src)
+                continue
+            try:
+                profiles.append(read_cali(src))
+            except (OSError, ValueError, KeyError) as exc:
+                if on_error == "raise":
+                    raise
+                reason = f"{type(exc).__name__}: {exc}"
+                load_errors.append((str(src), reason))
+                warnings.warn(
+                    f"skipping unreadable profile {src} ({reason})",
+                    ProfileLoadWarning,
+                    stacklevel=2,
+                )
         if not profiles:
-            raise ValueError("no profiles given")
+            raise ValueError(
+                "no profiles given"
+                if not load_errors
+                else f"no readable profiles (skipped {len(load_errors)})"
+            )
 
         data_records: list[dict[str, Any]] = []
         meta_records: list[dict[str, Any]] = []
@@ -84,7 +122,9 @@ class Thicket:
                     frame = frame.with_column(col, coerced.astype(float))
                 except (TypeError, ValueError):
                     frame = frame.with_column(col, coerced)
-        return cls(frame, Frame.from_records(meta_records))
+        thicket = cls(frame, Frame.from_records(meta_records))
+        thicket.load_errors = load_errors
+        return thicket
 
     @classmethod
     def concat_thickets(cls, thickets: Sequence["Thicket"]) -> "Thicket":

@@ -129,3 +129,529 @@ def test_mpi_message_loss_detected():
     req = kernel.comm.irecv(0, 1, np.zeros(4), tag=99)
     with pytest.raises(RuntimeError, match="deadlock"):
         kernel.comm.wait(0, req)
+
+
+# --------------------------------------------------------------------------
+# Campaign fault tolerance: the injector plants faults, the executor must
+# absorb transient ones (retry/backoff), bound hung kernels (deadline
+# clock), checkpoint completed cells (resume), and the analysis layer must
+# tolerate corrupt .cali files (degraded mode).
+# --------------------------------------------------------------------------
+
+from pathlib import Path
+
+from repro.faults import (
+    DeadlineClock,
+    FaultInjector,
+    FaultKind,
+    FaultSite,
+    FaultSpec,
+    InjectedKernelFault,
+)
+from repro.suite import (
+    ChecksumMismatchError,
+    KernelExecutionError,
+    MANIFEST_NAME,
+    RetryPolicy,
+    RunParams,
+    RunTimeoutError,
+    SuiteExecutor,
+)
+from repro.thicket import ProfileLoadWarning, Thicket
+
+
+def _params(tmp_path=None, **overrides):
+    base = dict(
+        problem_size="100K",
+        variants=("Base_Seq", "RAJA_Seq"),
+        machines=("SPR-DDR",),
+        kernels=("Stream_TRIAD", "Stream_ADD"),
+        max_attempts=3,
+        retry_base_delay=0.0,
+        retry_jitter=0.0,
+    )
+    if tmp_path is not None:
+        base["output_dir"] = str(tmp_path)
+    base.update(overrides)
+    return RunParams(**base)
+
+
+def _no_sleep(_seconds):
+    pass
+
+
+class TestFaultInjector:
+    def test_transient_budget_is_exact(self):
+        injector = FaultInjector(
+            [FaultSpec(kind=FaultKind.KERNEL_EXCEPTION, kernel="K", times=2)]
+        )
+        site = FaultSite(kernel="K", variant="V", trial=0)
+        for _ in range(2):
+            with pytest.raises(InjectedKernelFault):
+                injector.kernel_fault(site)
+        injector.kernel_fault(site)  # budget exhausted: no raise
+        assert len(injector.fired_log) == 2
+
+    def test_site_patterns_filter(self):
+        injector = FaultInjector(
+            [
+                FaultSpec(
+                    kind=FaultKind.KERNEL_EXCEPTION,
+                    kernel="Stream_*",
+                    variant="RAJA_Seq",
+                    trial=1,
+                    times=None,
+                )
+            ]
+        )
+        miss = FaultSite(kernel="Basic_DAXPY", variant="RAJA_Seq", trial=1)
+        injector.kernel_fault(miss)  # wrong kernel: silent
+        injector.kernel_fault(FaultSite("Stream_ADD", "Base_Seq", 1))  # wrong variant
+        injector.kernel_fault(FaultSite("Stream_ADD", "RAJA_Seq", 0))  # wrong trial
+        with pytest.raises(InjectedKernelFault):
+            injector.kernel_fault(FaultSite("Stream_ADD", "RAJA_Seq", 1))
+
+    def test_corruption_is_deterministic(self):
+        site = FaultSite(kernel="K", variant="V", trial=0)
+        values = []
+        for _ in range(2):
+            injector = FaultInjector(
+                [FaultSpec(kind=FaultKind.CHECKSUM_CORRUPTION, times=1)]
+            )
+            values.append(injector.corrupt_checksum(10.0, site))
+        assert values[0] == values[1] != 10.0
+
+    def test_from_config_json_and_env(self, monkeypatch):
+        spec_json = (
+            '[{"kind": "kernel_exception", "kernel": "Stream_TRIAD", "times": 2}]'
+        )
+        injector = FaultInjector.from_config(spec_json)
+        assert injector.specs[0].kind is FaultKind.KERNEL_EXCEPTION
+        assert injector.specs[0].times == 2
+        monkeypatch.setenv("REPRO_FAULTS", spec_json)
+        assert len(FaultInjector.from_env().specs) == 1
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert FaultInjector.from_env() is None
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault spec"):
+            FaultInjector.from_config('[{"kind": "hang", "kernelz": "X"}]')
+
+    def test_context_manager_installs_and_restores(self):
+        from repro.faults import active_injector
+
+        assert active_injector() is None
+        with FaultInjector([]) as injector:
+            assert active_injector() is injector
+        assert active_injector() is None
+
+    def test_deadline_clock_advances(self):
+        clock = DeadlineClock(time_fn=lambda: 100.0)
+        assert clock.now() == 100.0
+        clock.advance(7.5)
+        assert clock.now() == 107.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestRetryBackoff:
+    def test_delays_are_deterministic_given_seed(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.5, seed=7)
+        assert list(policy.delays()) == list(policy.delays())
+        other = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.5, seed=8)
+        assert list(policy.delays()) != list(other.delays())
+
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_transient_kernel_fault_is_retried(self):
+        sleeps = []
+        with FaultInjector(
+            [
+                FaultSpec(
+                    kind=FaultKind.KERNEL_EXCEPTION,
+                    kernel="Stream_TRIAD",
+                    variant="RAJA_Seq",
+                    times=2,
+                )
+            ]
+        ):
+            result = SuiteExecutor(
+                _params(retry_base_delay=0.01, retry_jitter=0.0),
+                sleep_fn=sleeps.append,
+            ).run()
+        report = result.report
+        assert report.counts() == {"ok": 3, "retried": 1}
+        (retried,) = report.retried
+        assert retried.kernel == "Stream_TRIAD"
+        assert retried.attempts == 3
+        assert sleeps == pytest.approx([0.01, 0.02])  # exponential backoff
+
+    def test_permanent_fault_isolates_one_kernel(self):
+        with FaultInjector(
+            [
+                FaultSpec(
+                    kind=FaultKind.KERNEL_EXCEPTION,
+                    kernel="Stream_ADD",
+                    variant="RAJA_Seq",
+                    times=None,
+                )
+            ]
+        ):
+            result = SuiteExecutor(_params(), sleep_fn=_no_sleep).run()
+        report = result.report
+        assert report.counts() == {"ok": 3, "failed": 1}
+        (failed,) = report.failed
+        assert failed.kernel == "Stream_ADD"
+        assert "InjectedKernelFault" in failed.error
+        # The sweep completed: every profile still exists, including the
+        # one containing the failed kernel (its region is flagged).
+        assert len(result.profiles) == 2
+        assert not report.clean
+
+    def test_identical_campaigns_produce_identical_reports(self):
+        def campaign():
+            with FaultInjector(
+                [
+                    FaultSpec(
+                        kind=FaultKind.KERNEL_EXCEPTION,
+                        kernel="Stream_TRIAD",
+                        times=1,
+                    )
+                ]
+            ):
+                result = SuiteExecutor(_params(), sleep_fn=_no_sleep).run()
+            return [
+                (r.kernel, r.variant, r.status, r.attempts)
+                for r in result.report.records
+            ]
+
+        assert campaign() == campaign()
+
+    def test_fail_fast_restores_abort_on_first_error(self):
+        with FaultInjector(
+            [FaultSpec(kind=FaultKind.KERNEL_EXCEPTION, kernel="Stream_TRIAD", times=None)]
+        ):
+            with pytest.raises(KernelExecutionError):
+                SuiteExecutor(_params(fail_fast=True), sleep_fn=_no_sleep).run()
+
+
+class TestTimeoutEnforcement:
+    def test_hung_kernel_trips_the_watchdog(self):
+        with FaultInjector(
+            [
+                FaultSpec(
+                    kind=FaultKind.HANG,
+                    kernel="Stream_TRIAD",
+                    variant="RAJA_Seq",
+                    times=None,
+                    hang_seconds=120.0,
+                )
+            ]
+        ):
+            result = SuiteExecutor(
+                _params(kernel_deadline_s=10.0), sleep_fn=_no_sleep
+            ).run()
+        (failed,) = result.report.failed
+        assert failed.kernel == "Stream_TRIAD"
+        assert "exceeded deadline" in failed.error
+
+    def test_transient_hang_recovers_via_retry(self):
+        with FaultInjector(
+            [
+                FaultSpec(
+                    kind=FaultKind.HANG,
+                    kernel="Stream_TRIAD",
+                    variant="RAJA_Seq",
+                    times=1,
+                    hang_seconds=120.0,
+                )
+            ]
+        ):
+            result = SuiteExecutor(
+                _params(kernel_deadline_s=10.0), sleep_fn=_no_sleep
+            ).run()
+        assert result.report.counts() == {"ok": 3, "retried": 1}
+
+    def test_no_deadline_means_no_watchdog(self):
+        with FaultInjector(
+            [FaultSpec(kind=FaultKind.HANG, times=None, hang_seconds=1e6)]
+        ):
+            result = SuiteExecutor(_params(), sleep_fn=_no_sleep).run()
+        assert result.report.counts() == {"ok": 4}
+
+    def test_fail_fast_raises_timeout(self):
+        with FaultInjector(
+            [FaultSpec(kind=FaultKind.HANG, kernel="Stream_ADD", times=None, hang_seconds=60.0)]
+        ):
+            with pytest.raises(RunTimeoutError):
+                SuiteExecutor(
+                    _params(kernel_deadline_s=1.0, fail_fast=True), sleep_fn=_no_sleep
+                ).run()
+
+
+class TestCrossVariantChecksumVerification:
+    def test_executed_variants_record_checksum_ok(self):
+        result = SuiteExecutor(
+            _params(execute=True, execution_size_cap=2_000), sleep_fn=_no_sleep
+        ).run()
+        for record in result.report.records:
+            assert record.checksum_ok is True
+        node = result.profiles[0].find(("RAJAPerf", "Stream", "Stream_TRIAD"))
+        assert node.metrics["checksum_ok"] == 1.0
+
+    def test_transient_corruption_detected_and_retried(self):
+        with FaultInjector(
+            [
+                FaultSpec(
+                    kind=FaultKind.CHECKSUM_CORRUPTION,
+                    kernel="Stream_TRIAD",
+                    variant="RAJA_Seq",
+                    times=1,
+                )
+            ]
+        ):
+            result = SuiteExecutor(
+                _params(execute=True, execution_size_cap=2_000), sleep_fn=_no_sleep
+            ).run()
+        assert result.report.counts() == {"ok": 3, "retried": 1}
+        assert not result.report.checksum_mismatches()  # retry recovered
+
+    def test_permanent_corruption_fails_the_kernel(self):
+        with FaultInjector(
+            [
+                FaultSpec(
+                    kind=FaultKind.CHECKSUM_CORRUPTION,
+                    kernel="Stream_TRIAD",
+                    variant="RAJA_Seq",
+                    times=None,
+                )
+            ]
+        ):
+            result = SuiteExecutor(
+                _params(execute=True, execution_size_cap=2_000), sleep_fn=_no_sleep
+            ).run()
+        (failed,) = result.report.failed
+        assert failed.checksum_ok is False
+        assert "checksum mismatch" in failed.error
+        assert result.report.checksum_mismatches()
+
+    def test_fail_fast_raises_checksum_mismatch(self):
+        with FaultInjector(
+            [
+                FaultSpec(
+                    kind=FaultKind.CHECKSUM_CORRUPTION,
+                    variant="RAJA_Seq",
+                    times=None,
+                )
+            ]
+        ):
+            with pytest.raises(ChecksumMismatchError):
+                SuiteExecutor(
+                    _params(execute=True, execution_size_cap=2_000, fail_fast=True),
+                    sleep_fn=_no_sleep,
+                ).run()
+
+
+class TestAtomicProfileWrites:
+    def test_transient_io_fault_retried_files_valid(self, tmp_path):
+        with FaultInjector(
+            [FaultSpec(kind=FaultKind.IO_WRITE_FAILURE, path="*Base_Seq*", times=1)]
+        ):
+            result = SuiteExecutor(_params(tmp_path), sleep_fn=_no_sleep).run(
+                write_files=True
+            )
+        assert len(result.cali_paths) == 2
+        from repro.caliper import read_cali
+
+        for path in result.cali_paths:
+            read_cali(path)  # every final file parses
+
+    def test_permanent_io_fault_leaves_no_truncated_cali(self, tmp_path):
+        with FaultInjector(
+            [FaultSpec(kind=FaultKind.IO_WRITE_FAILURE, path="*Base_Seq*", times=None)]
+        ):
+            result = SuiteExecutor(_params(tmp_path), sleep_fn=_no_sleep).run(
+                write_files=True
+            )
+        assert len(result.cali_paths) == 1  # only the RAJA_Seq profile landed
+        # The interrupted write left a .tmp sibling at most — never a
+        # truncated .cali that analyze would later choke on.
+        cali_files = sorted(p.name for p in tmp_path.glob("*.cali"))
+        assert cali_files == ["rajaperf_SPR-DDR_RAJA_Seq_default.cali"]
+        assert result.report.failed_cells() == ["SPR-DDR|Base_Seq|default|trial0"]
+
+
+class TestCheckpointResume:
+    def test_resume_skips_completed_cells(self, tmp_path):
+        first = SuiteExecutor(_params(tmp_path), sleep_fn=_no_sleep).run(
+            write_files=True
+        )
+        assert (tmp_path / MANIFEST_NAME).exists()
+        assert len(first.profiles) == 2
+        resumed = SuiteExecutor(_params(tmp_path, resume=True), sleep_fn=_no_sleep).run(
+            write_files=True
+        )
+        assert len(resumed.profiles) == 0
+        assert resumed.report.cell_counts() == {"skipped": 2}
+
+    def test_resume_reruns_only_the_failed_cell(self, tmp_path):
+        with FaultInjector(
+            [
+                FaultSpec(
+                    kind=FaultKind.KERNEL_EXCEPTION,
+                    kernel="Stream_ADD",
+                    variant="RAJA_Seq",
+                    times=None,
+                )
+            ]
+        ):
+            first = SuiteExecutor(_params(tmp_path), sleep_fn=_no_sleep).run(
+                write_files=True
+            )
+        assert first.report.failed_cells() == ["SPR-DDR|RAJA_Seq|default|trial0"]
+        # Re-invoke with --resume and the fault gone: only the failed
+        # cell runs again, and this time it completes.
+        resumed = SuiteExecutor(_params(tmp_path, resume=True), sleep_fn=_no_sleep).run(
+            write_files=True
+        )
+        assert len(resumed.profiles) == 1
+        assert resumed.report.cells == {
+            "SPR-DDR|Base_Seq|default|trial0": "skipped",
+            "SPR-DDR|RAJA_Seq|default|trial0": "ok",
+        }
+        assert resumed.report.clean
+
+    def test_acceptance_scenario_paper_sweep(self, tmp_path):
+        """The ISSUE's acceptance bar: 3 transient faults + 1 permanent
+        fault planted into a Table III sweep; the run completes with 3
+        retried and 1 failed, all other profiles land on disk, and
+        --resume re-runs only the failed cell."""
+        params = _params(
+            tmp_path,
+            variants=("Base_Seq", "RAJA_Seq"),
+            machines=("SPR-DDR", "SPR-HBM"),
+            kernels=("Stream_TRIAD", "Stream_ADD", "Stream_COPY"),
+        )
+        specs = [
+            FaultSpec(kind=FaultKind.KERNEL_EXCEPTION, kernel="Stream_TRIAD",
+                      variant="RAJA_Seq", machine="SPR-DDR", times=1),
+            FaultSpec(kind=FaultKind.KERNEL_EXCEPTION, kernel="Stream_ADD",
+                      variant="Base_Seq", machine="SPR-HBM", times=1),
+            FaultSpec(kind=FaultKind.KERNEL_EXCEPTION, kernel="Stream_COPY",
+                      variant="RAJA_Seq", machine="SPR-HBM", times=1),
+            FaultSpec(kind=FaultKind.KERNEL_EXCEPTION, kernel="Stream_COPY",
+                      variant="Base_Seq", machine="SPR-DDR", times=None),
+        ]
+        with FaultInjector(specs):
+            result = SuiteExecutor(params, sleep_fn=_no_sleep).run(write_files=True)
+        counts = result.report.counts()
+        assert counts["retried"] == 3
+        assert counts["failed"] == 1
+        assert len(result.cali_paths) == 4  # every cell's profile landed
+        assert result.report.failed_cells() == ["SPR-DDR|Base_Seq|default|trial0"]
+
+        resumed = SuiteExecutor(
+            _params(
+                tmp_path,
+                resume=True,
+                variants=("Base_Seq", "RAJA_Seq"),
+                machines=("SPR-DDR", "SPR-HBM"),
+                kernels=("Stream_TRIAD", "Stream_ADD", "Stream_COPY"),
+            ),
+            sleep_fn=_no_sleep,
+        ).run(write_files=True)
+        assert len(resumed.profiles) == 1
+        assert resumed.report.cell_counts() == {"skipped": 3, "ok": 1}
+
+    def test_manifest_fingerprint_mismatch_warns(self, tmp_path):
+        SuiteExecutor(_params(tmp_path), sleep_fn=_no_sleep).run(write_files=True)
+        changed = _params(tmp_path, resume=True, kernels=("Stream_TRIAD",))
+        with pytest.warns(UserWarning, match="different configuration"):
+            SuiteExecutor(changed, sleep_fn=_no_sleep).run(write_files=True)
+
+
+class TestDegradedModeAnalysis:
+    def _campaign(self, tmp_path):
+        return SuiteExecutor(_params(tmp_path), sleep_fn=_no_sleep).run(
+            write_files=True
+        )
+
+    def test_corrupt_cali_warns_and_survivors_analyzed(self, tmp_path):
+        result = self._campaign(tmp_path)
+        corrupt = tmp_path / "corrupt.cali"
+        corrupt.write_text('{"format": "cali-json", "version": 1, "glo')  # truncated
+        missing = tmp_path / "never_written.cali"
+        sources = [*result.cali_paths, corrupt, missing]
+        with pytest.warns(ProfileLoadWarning):
+            thicket = Thicket.from_caliperreader(sources, on_error="warn")
+        assert len(thicket.profiles) == 2
+        assert len(thicket.load_errors) == 2
+        regions, _, matrix = thicket.metric_matrix(
+            "Avg time/rank", region_filter=lambda s: "_" in s
+        )
+        assert regions and np.isfinite(matrix).all()
+
+    def test_strict_mode_still_raises(self, tmp_path):
+        corrupt = tmp_path / "corrupt.cali"
+        corrupt.write_text("not json at all")
+        with pytest.raises(ValueError):
+            Thicket.from_caliperreader([corrupt])
+
+    def test_all_sources_corrupt_is_an_error(self, tmp_path):
+        corrupt = tmp_path / "corrupt.cali"
+        corrupt.write_text("garbage")
+        with pytest.warns(ProfileLoadWarning):
+            with pytest.raises(ValueError, match="no readable profiles"):
+                Thicket.from_caliperreader([corrupt], on_error="warn")
+
+    def test_cli_analyze_tolerates_corrupt_file(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        result = self._campaign(tmp_path)
+        corrupt = tmp_path / "corrupt.cali"
+        corrupt.write_text("{ nope")
+        code = main(["analyze", str(corrupt), *[str(p) for p in result.cali_paths]])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warning:" in captured.err
+        assert "Thicket(2 profiles" in captured.out
+
+    def test_cli_analyze_strict_crashes_on_corrupt_file(self, tmp_path):
+        from repro.cli.main import main
+
+        corrupt = tmp_path / "corrupt.cali"
+        corrupt.write_text("{ nope")
+        with pytest.raises(ValueError):
+            main(["analyze", "--strict", str(corrupt)])
+
+
+class TestVariantProbeCaching:
+    def test_class_variants_requires_no_instance(self):
+        from repro.suite.kernel_base import KernelBase
+
+        assert StreamTriad.class_variants() == StreamTriad(1).variants()
+        # Cached per class, not inherited across subclasses.
+        assert StreamTriad.class_variants() is StreamTriad.class_variants()
+        assert (
+            "_VARIANTS_CACHE" in StreamTriad.__dict__
+            or StreamTriad.class_variants() is not None
+        )
+        assert KernelBase.__dict__.get("_VARIANTS_CACHE") is not StreamTriad.__dict__.get(
+            "_VARIANTS_CACHE"
+        )
+
+    def test_subclass_override_not_shadowed_by_parent_cache(self):
+        from repro.rajasim.policies import Backend
+
+        base_variants = StreamTriad.class_variants()
+
+        class NarrowTriad(StreamTriad):
+            BACKENDS = (Backend.SEQUENTIAL,)
+
+        expected = 2 + (1 if NarrowTriad.HAS_KOKKOS else 0)
+        assert len(NarrowTriad.class_variants()) == expected
+        assert StreamTriad.class_variants() == base_variants
