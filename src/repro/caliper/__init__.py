@@ -22,7 +22,7 @@ from repro.caliper.annotation import (
     set_session,
 )
 from repro.caliper.configmgr import ConfigManager
-from repro.caliper.cali import read_cali, write_cali
+from repro.caliper.cali import read_cali, verify_cali, write_cali
 from repro.caliper.report import hot_regions, runtime_report
 from repro.caliper.trace import EventTrace, TraceEvent, TracingSession
 
@@ -36,6 +36,7 @@ __all__ = [
     "set_session",
     "ConfigManager",
     "read_cali",
+    "verify_cali",
     "write_cali",
     "runtime_report",
     "hot_regions",

@@ -1,22 +1,55 @@
-"""``.cali`` profile serialization.
+"""``.cali`` profile serialization with an integrity-sealed footer.
 
 Real Caliper writes a compact binary/text format; Thicket only needs the
 structure (region tree, metrics, globals), so we serialize that structure
 as JSON with a format marker and version. Round-trip fidelity is asserted
 by tests.
+
+Every file is *sealed*: after the JSON payload the writer appends a
+one-line footer carrying the payload's byte length and CRC32::
+
+    {... JSON payload ...}
+    #cali-footer v1 len=8412 crc32=9fb31a02
+
+Readers verify the seal before parsing, so a truncated or bit-rotted
+profile is detected eagerly (``ValueError``) instead of poisoning a
+Thicket composition hours later. :func:`verify_cali` classifies a file
+without loading it (``ok`` / ``unsealed`` / ``truncated`` / ``corrupt``)
+— the primitive behind ``rajaperf-sim fsck``. Pre-seal files (valid JSON,
+no footer) still load and classify as ``unsealed``.
+
+Writes are crash-safe: payload + footer land in a fsynced ``.tmp``
+sibling which is ``os.replace``d over the target, then the directory is
+fsynced — a crash (or injected I/O fault) mid-write never leaves a
+truncated ``.cali`` under the target name.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
+import zlib
 from pathlib import Path
 from typing import Any
 
 from repro.caliper.records import CaliProfile, RegionRecord
+from repro.util.fsio import durable_replace
 
 FORMAT_NAME = "cali-json"
 FORMAT_VERSION = 1
+
+FOOTER_MARKER = "#cali-footer"
+FOOTER_VERSION = 1
+_FOOTER_RE = re.compile(
+    rf"{FOOTER_MARKER} v(\d+) len=(\d+) crc32=([0-9a-fA-F]{{8}})$"
+)
+
+#: verify_cali statuses
+STATUS_OK = "ok"
+STATUS_UNSEALED = "unsealed"
+STATUS_TRUNCATED = "truncated"
+STATUS_CORRUPT = "corrupt"
 
 
 def _node_to_dict(node: RegionRecord) -> dict[str, Any]:
@@ -34,18 +67,26 @@ def _node_from_dict(data: dict[str, Any], parent_path: tuple[str, ...]) -> Regio
     return node
 
 
-def write_cali(profile: CaliProfile, path: str | Path) -> Path:
-    """Serialize a profile to a ``.cali`` (JSON) file; returns the path.
+def footer_line(payload: bytes, crc: int | None = None) -> str:
+    """The seal for ``payload`` (``crc`` overrides, for fault injection)."""
+    if crc is None:
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return f"{FOOTER_MARKER} v{FOOTER_VERSION} len={len(payload)} crc32={crc:08x}"
 
-    The write is atomic: the payload lands in a ``.tmp`` sibling which is
-    then ``os.replace``d over the target, so a crash (or injected I/O
-    fault) mid-write never leaves a truncated ``.cali`` that would later
+
+def write_cali(profile: CaliProfile, path: str | Path) -> Path:
+    """Serialize a profile to a sealed ``.cali`` (JSON) file; returns the path.
+
+    The write is atomic and durable: payload + CRC32 footer land in a
+    fsynced ``.tmp`` sibling which is then ``os.replace``d over the
+    target (directory fsynced), so a crash (or injected I/O fault)
+    mid-write never leaves a truncated ``.cali`` that would later
     poison analysis. Raises :class:`OSError` on failure; the target is
     untouched in that case.
     """
     from repro.faults import active_injector
 
-    payload = {
+    payload_obj = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "globals": profile.globals,
@@ -53,22 +94,119 @@ def write_cali(profile: CaliProfile, path: str | Path) -> Path:
     }
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    data = json.dumps(payload, indent=1, default=_jsonable)
-    tmp = out.with_suffix(out.suffix + ".tmp")
+    payload = json.dumps(payload_obj, indent=1, default=_jsonable).encode("utf-8")
+    crc = None
     injector = active_injector()
+    if injector is not None and injector.footer_fault(out.name) is not None:
+        # Bit-rot simulation: the write completes, but the seal is wrong.
+        crc = (zlib.crc32(payload) ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    data = payload + ("\n" + footer_line(payload, crc) + "\n").encode("ascii")
+    tmp = out.with_suffix(out.suffix + ".tmp")
     if injector is not None and injector.io_fault(out.name) is not None:
         # Simulate an interrupted write: a truncated tmp file, then the
         # failure. The target file must remain absent/intact.
-        tmp.write_text(data[: max(1, len(data) // 2)])
+        tmp.write_bytes(data[: max(1, len(data) // 2)])
         raise OSError(f"injected I/O write failure for {out}")
-    tmp.write_text(data)
-    os.replace(tmp, out)
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except OSError:  # pragma: no cover - fs without fsync
+            pass
+    durable_replace(tmp, out)
     return out
 
 
+def _analyze_bytes(raw: bytes) -> tuple[str, str, bytes]:
+    """Classify raw ``.cali`` bytes: (status, detail, payload).
+
+    ``status`` is one of :data:`STATUS_OK` (seal verified),
+    :data:`STATUS_UNSEALED` (no footer, payload parses), or the damage
+    classes :data:`STATUS_TRUNCATED` / :data:`STATUS_CORRUPT`.
+    """
+    text_match = re.search(rb"\n(#cali-footer [^\n]*)\n?$", raw)
+    if text_match is not None:
+        payload = raw[: text_match.start()]
+        try:
+            footer_text = text_match.group(1).decode("ascii")
+        except UnicodeDecodeError:
+            return STATUS_CORRUPT, "undecodable footer", payload
+        parsed = _FOOTER_RE.match(footer_text)
+        if parsed is None:
+            # A footer that starts correctly but does not scan is almost
+            # always a write cut off mid-seal.
+            return STATUS_TRUNCATED, "incomplete integrity footer", payload
+        declared_len = int(parsed.group(2))
+        declared_crc = int(parsed.group(3), 16)
+        if len(payload) < declared_len:
+            return (
+                STATUS_TRUNCATED,
+                f"payload is {len(payload)} bytes, footer declares {declared_len}",
+                payload,
+            )
+        if len(payload) > declared_len:
+            return (
+                STATUS_CORRUPT,
+                f"payload is {len(payload)} bytes, footer declares {declared_len}",
+                payload,
+            )
+        actual_crc = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual_crc != declared_crc:
+            return (
+                STATUS_CORRUPT,
+                f"crc32 {actual_crc:08x} != declared {declared_crc:08x}",
+                payload,
+            )
+        return STATUS_OK, "", payload
+    # No complete footer. A partial marker at EOF is a truncated seal.
+    marker = FOOTER_MARKER.encode("ascii")
+    for length in range(len(marker), 1, -1):
+        if raw.endswith(b"\n" + marker[:length]):
+            return STATUS_TRUNCATED, "file ends inside the integrity footer", raw
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        return STATUS_CORRUPT, f"not utf-8 ({exc})", raw
+    try:
+        json.loads(text)
+    except json.JSONDecodeError as exc:
+        if "Unterminated" in exc.msg or exc.pos >= len(text.rstrip()):
+            return STATUS_TRUNCATED, f"JSON cut short ({exc.msg})", raw
+        return STATUS_CORRUPT, f"invalid JSON ({exc.msg} at pos {exc.pos})", raw
+    return STATUS_UNSEALED, "no integrity footer (pre-seal file)", raw
+
+
+def verify_cali(path: str | Path) -> tuple[str, str]:
+    """Integrity-check one ``.cali`` file without building a profile.
+
+    Returns ``(status, detail)`` with status ``ok`` / ``unsealed`` /
+    ``truncated`` / ``corrupt``. Never raises for damaged content (an
+    unreadable *path* still raises :class:`OSError`).
+    """
+    raw = Path(path).read_bytes()
+    status, detail, payload = _analyze_bytes(raw)
+    if status in (STATUS_OK, STATUS_UNSEALED):
+        # The seal guards bytes, not semantics — a sealed file written
+        # by a buggy producer could still be non-JSON.
+        try:
+            json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return STATUS_CORRUPT, f"sealed payload is not JSON ({exc})"
+    return status, detail
+
+
 def read_cali(path: str | Path) -> CaliProfile:
-    """Load a profile written by :func:`write_cali`."""
-    payload = json.loads(Path(path).read_text())
+    """Load a profile written by :func:`write_cali`, verifying its seal.
+
+    A truncated or corrupt file raises :class:`ValueError` with the
+    damage class in the message; unsealed (pre-footer) files still load.
+    """
+    raw = Path(path).read_bytes()
+    status, detail, payload_bytes = _analyze_bytes(raw)
+    if status in (STATUS_TRUNCATED, STATUS_CORRUPT):
+        raise ValueError(f"{path}: {status} .cali file: {detail}")
+    payload = json.loads(payload_bytes.decode("utf-8"))
     if payload.get("format") != FORMAT_NAME:
         raise ValueError(f"{path}: not a {FORMAT_NAME} file")
     if payload.get("version") != FORMAT_VERSION:

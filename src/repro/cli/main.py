@@ -86,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--inject-faults", default=None, metavar="JSON",
                      help="fault-injection spec (JSON list; see repro.faults); "
                           "$REPRO_FAULTS is honored when this is unset")
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="worker processes; N > 1 runs the campaign under "
+                          "the crash-tolerant supervisor")
+    run.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="kill and requeue a worker whose heartbeats stop "
+                          "for this long (supervised mode)")
 
     analyze = sub.add_parser("analyze", help="Thicket EDA over .cali profiles")
     analyze.add_argument("files", nargs="+", help=".cali files to compose")
@@ -126,6 +133,21 @@ def build_parser() -> argparse.ArgumentParser:
     lst = sub.add_parser("list", help="enumerate kernels/variants/machines")
     lst.add_argument("what", choices=["kernels", "groups", "variants", "machines"])
 
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify .cali integrity footers in a campaign directory",
+        description="Classify every .cali profile (ok/unsealed/truncated/"
+                    "corrupt/orphaned), quarantine damaged and orphaned "
+                    "files, and mark damaged cells for re-run so "
+                    "'run --resume' heals the campaign.",
+    )
+    fsck.add_argument("directory", help="campaign output directory")
+    fsck.add_argument("--dry-run", action="store_true",
+                      help="report only: no quarantine, no manifest changes")
+    fsck.add_argument("--no-rerun", action="store_true",
+                      help="quarantine damaged files but leave the manifest "
+                           "alone (resume will NOT re-produce them)")
+
     return parser
 
 
@@ -133,6 +155,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
     from repro.faults import FaultInjector
+    from repro.suite.errors import CampaignLockedError
     from repro.suite.executor import SuiteExecutor
 
     params = RunParams(
@@ -152,6 +175,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fail_fast=args.fail_fast,
         max_attempts=args.max_attempts,
         kernel_deadline_s=args.kernel_timeout,
+        workers=args.workers,
+        heartbeat_timeout=args.heartbeat_timeout,
     )
     try:
         if args.inject_faults:
@@ -162,16 +187,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: invalid fault-injection spec: {exc}", file=sys.stderr)
         return 2
     executor = SuiteExecutor(params)
-    with injector if injector is not None else nullcontext():
-        if args.paper:
-            result = executor.run_paper_configuration(write_files=True)
-        else:
-            result = executor.run(write_files=True)
+    try:
+        with injector if injector is not None else nullcontext():
+            if args.paper:
+                result = executor.run_paper_configuration(write_files=True)
+            else:
+                result = executor.run(write_files=True)
+    except CampaignLockedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     for path in result.cali_paths:
         print(f"wrote {path}")
     print(f"{len(result.profiles)} profiles, "
           f"{len(executor.selected_kernels())} kernels each")
     print(result.report.summary())
+    if result.report.interrupted:
+        return 130
     return 0 if result.report.clean else 1
 
 
@@ -289,6 +320,18 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.suite.fsck import fsck_directory
+
+    report = fsck_directory(
+        args.directory,
+        quarantine=not args.dry_run,
+        mark_rerun=not (args.dry_run or args.no_rerun),
+    )
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -300,6 +343,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "export": _cmd_export,
         "report": _cmd_report,
         "list": _cmd_list,
+        "fsck": _cmd_fsck,
     }
     return handlers[args.command](args)
 

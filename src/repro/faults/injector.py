@@ -16,7 +16,20 @@ deterministic :class:`FaultInjector` that plants faults at chosen
 * ``CHECKSUM_CORRUPTION`` — perturb the executed checksum so
   cross-variant verification trips;
 * ``IO_WRITE_FAILURE`` — make ``write_cali`` fail mid-write (the atomic
-  tmp-then-replace protocol must leave no truncated ``.cali`` behind).
+  tmp-then-replace protocol must leave no truncated ``.cali`` behind);
+* ``WORKER_CRASH`` — a supervised campaign worker ``os._exit``s before
+  running its cell (the segfault equivalent); the supervisor must detect
+  the dead process, respawn it, and requeue the cell;
+* ``STALE_HEARTBEAT`` — a worker stops emitting heartbeats and stalls
+  for ``hang_seconds`` real seconds; the supervisor's heartbeat deadline
+  must kill and replace it;
+* ``FOOTER_CORRUPTION`` — ``write_cali`` seals the profile with a wrong
+  CRC32 footer (simulated bit rot); readers and ``fsck`` must flag it.
+
+Worker-level faults carry an ``attempt`` site pattern: budgets
+(``times``) are per-process, and a respawned worker starts with a fresh
+budget, so matching on the cell's attempt number is what makes a
+"crash once, then succeed" scenario deterministic across processes.
 
 The injector is a context manager; entering installs it as the
 process-wide active injector that the executor and ``write_cali``
@@ -43,6 +56,9 @@ class FaultKind(Enum):
     HANG = "hang"
     CHECKSUM_CORRUPTION = "checksum_corruption"
     IO_WRITE_FAILURE = "io_write_failure"
+    WORKER_CRASH = "worker_crash"
+    STALE_HEARTBEAT = "stale_heartbeat"
+    FOOTER_CORRUPTION = "footer_corruption"
 
 
 class InjectedKernelFault(RuntimeError):
@@ -67,7 +83,9 @@ class FaultSpec:
     ``trial`` may be an int or ``"*"``. ``times`` is how many matching
     occurrences fire before the fault clears — ``None`` means every
     occurrence (a permanent fault). ``path`` is matched against the
-    output filename for IO faults.
+    output filename for IO and footer faults. ``attempt`` constrains
+    worker-level faults to a specific cell attempt number (budgets are
+    per-process; attempt matching is what survives worker respawns).
     """
 
     kind: FaultKind
@@ -76,6 +94,7 @@ class FaultSpec:
     trial: int | str = "*"
     machine: str = "*"
     path: str = "*"
+    attempt: int | str = "*"
     times: int | None = 1
     hang_seconds: float = 3600.0
     corruption_delta: float = 0.5
@@ -85,7 +104,7 @@ class FaultSpec:
     def exhausted(self) -> bool:
         return self.times is not None and self.fired >= self.times
 
-    def matches(self, site: FaultSite) -> bool:
+    def matches(self, site: FaultSite, attempt: int | None = None) -> bool:
         if not fnmatch.fnmatchcase(site.kernel, self.kernel):
             return False
         if not fnmatch.fnmatchcase(site.variant, self.variant):
@@ -93,6 +112,10 @@ class FaultSpec:
         if not fnmatch.fnmatchcase(site.machine, self.machine):
             return False
         if self.trial != "*" and str(site.trial) != str(self.trial):
+            return False
+        if self.attempt != "*" and (
+            attempt is None or str(attempt) != str(self.attempt)
+        ):
             return False
         return True
 
@@ -106,7 +129,7 @@ def _spec_from_dict(data: dict[str, Any]) -> FaultSpec:
     if not isinstance(kind, FaultKind):
         kind = FaultKind(str(kind))
     known = {
-        "kernel", "variant", "trial", "machine", "path",
+        "kernel", "variant", "trial", "machine", "path", "attempt",
         "times", "hang_seconds", "corruption_delta", "message",
     }
     unknown = set(data) - known
@@ -173,9 +196,15 @@ class FaultInjector:
         return cls.from_config(raw)
 
     # ------------------------------------------------------------ firing
-    def _fire(self, kind: FaultKind, site: FaultSite) -> FaultSpec | None:
+    def _fire(
+        self, kind: FaultKind, site: FaultSite, attempt: int | None = None
+    ) -> FaultSpec | None:
         for spec in self.specs:
-            if spec.kind is kind and not spec.exhausted() and spec.matches(site):
+            if (
+                spec.kind is kind
+                and not spec.exhausted()
+                and spec.matches(site, attempt)
+            ):
                 spec.fired += 1
                 self.fired_log.append((kind, site))
                 return spec
@@ -205,18 +234,49 @@ class FaultInjector:
 
     def io_fault(self, filename: str, site: FaultSite | None = None) -> FaultSpec | None:
         """The IO-failure spec firing for this output file, if any."""
+        return self._fire_path(FaultKind.IO_WRITE_FAILURE, filename, site)
+
+    def footer_fault(
+        self, filename: str, site: FaultSite | None = None
+    ) -> FaultSpec | None:
+        """The footer-corruption spec firing for this output file, if any.
+
+        Unlike an IO fault the write *succeeds* — the file lands on disk
+        complete but sealed with a wrong CRC32, the way bit rot or a
+        partial overwrite would leave it. Only readers and ``fsck`` can
+        tell.
+        """
+        return self._fire_path(FaultKind.FOOTER_CORRUPTION, filename, site)
+
+    def _fire_path(
+        self, kind: FaultKind, filename: str, site: FaultSite | None
+    ) -> FaultSpec | None:
         probe = site or FaultSite()
         for spec in self.specs:
             if (
-                spec.kind is FaultKind.IO_WRITE_FAILURE
+                spec.kind is kind
                 and not spec.exhausted()
                 and spec.matches(probe)
                 and spec.matches_path(filename)
             ):
                 spec.fired += 1
-                self.fired_log.append((FaultKind.IO_WRITE_FAILURE, probe))
+                self.fired_log.append((kind, probe))
                 return spec
         return None
+
+    def worker_crash(self, site: FaultSite, attempt: int) -> FaultSpec | None:
+        """The worker-crash spec firing for this cell attempt, if any.
+
+        The *caller* (the campaign worker) performs the ``os._exit`` —
+        the injector only decides; this keeps the injector importable
+        and testable in-process.
+        """
+        return self._fire(FaultKind.WORKER_CRASH, site, attempt)
+
+    def stale_seconds(self, site: FaultSite, attempt: int) -> float:
+        """Real seconds a worker should stall heartbeat-less (0.0 = none)."""
+        spec = self._fire(FaultKind.STALE_HEARTBEAT, site, attempt)
+        return spec.hang_seconds if spec is not None else 0.0
 
     def reset(self) -> None:
         """Clear firing counts and the log (fresh campaign, same plan)."""

@@ -35,17 +35,23 @@ from repro.suite.run_params import (
     RunParams,
 )
 from repro.suite.errors import (
+    CampaignLockedError,
     ChecksumMismatchError,
     KernelExecutionError,
     ProfileWriteError,
     RETRYABLE_ERRORS,
     RunTimeoutError,
     SuiteError,
+    WorkerCrashError,
 )
 from repro.suite.retry import RetryPolicy
 from repro.suite.report import KernelRunRecord, RunReport, cell_key
-from repro.suite.manifest import MANIFEST_NAME, CampaignManifest
-from repro.suite.executor import RunResult, SuiteExecutor
+from repro.suite.manifest import LOCK_NAME, MANIFEST_NAME, CampaignLock, CampaignManifest
+from repro.suite.executor import CellOutcome, RunResult, SuiteExecutor
+from repro.suite.fsck import FsckReport, ProfileCheck, fsck_directory
+from repro.suite.heartbeat import HeartbeatEmitter, HeartbeatMonitor
+from repro.suite.supervisor import CampaignSupervisor
+from repro.suite.worker import WORKER_CRASH_EXITCODE, CellResult, CellTask
 from repro.suite.summary import group_summary, suite_inventory
 
 __all__ = [
@@ -88,5 +94,19 @@ __all__ = [
     "KernelRunRecord",
     "cell_key",
     "CampaignManifest",
+    "CampaignLock",
+    "CampaignLockedError",
+    "CampaignSupervisor",
+    "CellOutcome",
+    "CellResult",
+    "CellTask",
+    "FsckReport",
+    "fsck_directory",
+    "HeartbeatEmitter",
+    "HeartbeatMonitor",
+    "ProfileCheck",
+    "LOCK_NAME",
     "MANIFEST_NAME",
+    "WORKER_CRASH_EXITCODE",
+    "WorkerCrashError",
 ]

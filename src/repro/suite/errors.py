@@ -71,6 +71,35 @@ class ProfileWriteError(SuiteError):
         self.cause = cause
 
 
+class CampaignLockedError(SuiteError):
+    """Another live campaign holds the output directory's manifest lock."""
+
+    def __init__(self, lock_path: str, holder_pid: int | None, since: str | None):
+        holder = f"pid {holder_pid}" if holder_pid else "an unknown process"
+        when = f" since {since}" if since else ""
+        super().__init__(
+            f"campaign output directory is locked by {holder}{when} "
+            f"({lock_path}); two campaigns must not share a manifest — "
+            f"wait for it to finish, use a different --output-dir, or "
+            f"delete the lock file if you are sure the holder is gone"
+        )
+        self.lock_path = str(lock_path)
+        self.holder_pid = holder_pid
+        self.since = since
+
+
+class WorkerCrashError(SuiteError):
+    """A supervised campaign worker died (crash or stale heartbeat)."""
+
+    def __init__(self, cell: str, attempt: int, reason: str):
+        super().__init__(
+            f"worker running cell {cell} died on attempt {attempt}: {reason}"
+        )
+        self.cell = cell
+        self.attempt = attempt
+        self.reason = reason
+
+
 #: Every taxonomy member the retry loop considers possibly-transient.
 RETRYABLE_ERRORS: tuple[type[SuiteError], ...] = (
     KernelExecutionError,

@@ -55,7 +55,7 @@ from repro.suite.errors import (
     SuiteError,
 )
 from repro.suite.kernel_base import KernelBase
-from repro.suite.manifest import CampaignManifest
+from repro.suite.manifest import CampaignLock, CampaignManifest
 from repro.suite.registry import all_kernel_classes
 from repro.suite.report import (
     STATUS_FAILED,
@@ -100,6 +100,31 @@ class _Cell:
         )
 
 
+@dataclass
+class CellOutcome:
+    """Everything one cell's execution produced (serial or worker path)."""
+
+    cell_key: str
+    profile: CaliProfile
+    records: list[KernelRunRecord]
+    written: Path | None = None
+    write_error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.write_error is not None or any(
+            r.status == STATUS_FAILED for r in self.records
+        )
+
+    @property
+    def status(self) -> str:
+        return STATUS_FAILED if self.failed else STATUS_OK
+
+    @property
+    def failed_kernels(self) -> list[str]:
+        return [r.kernel for r in self.records if r.status == STATUS_FAILED]
+
+
 def _variant_compatible(variant: Variant, machine: MachineModel) -> bool:
     """Whether a variant's backend runs on a machine kind.
 
@@ -142,8 +167,9 @@ class SuiteExecutor:
     def _active_injector(self) -> FaultInjector | None:
         return self.injector if self.injector is not None else active_injector()
 
-    # ----------------------------------------------------------- execution
-    def run(self, write_files: bool = False) -> RunResult:
+    # ----------------------------------------------------- cell enumeration
+    def build_cells(self) -> list[_Cell]:
+        """The configured sweep's cells, in deterministic sweep order."""
         cells: list[_Cell] = []
         for machine_name in self.params.machines:
             machine = get_machine(machine_name)
@@ -163,10 +189,10 @@ class SuiteExecutor:
                             f"_{tuning}{trial_tag}.cali"
                         )
                         cells.append(_Cell(machine, variant, block, trial, fname))
-        return self._run_cells(cells, write_files)
+        return cells
 
-    def run_paper_configuration(self, write_files: bool = False) -> RunResult:
-        """Run exactly Table III: the paper's per-machine variant choices."""
+    def build_paper_cells(self) -> list[_Cell]:
+        """Exactly Table III: the paper's per-machine variant choices."""
         cells: list[_Cell] = []
         for config in TABLE3.values():
             machine = get_machine(config.machine)
@@ -176,6 +202,24 @@ class SuiteExecutor:
                 trial_tag = f"_trial{trial}" if self.params.trials > 1 else ""
                 fname = f"rajaperf_{machine.shorthand}_{variant.name}{trial_tag}.cali"
                 cells.append(_Cell(machine, variant, block, trial, fname))
+        return cells
+
+    # ----------------------------------------------------------- execution
+    def run(self, write_files: bool = False) -> RunResult:
+        return self._execute(self.build_cells(), write_files)
+
+    def run_paper_configuration(self, write_files: bool = False) -> RunResult:
+        """Run exactly Table III: the paper's per-machine variant choices."""
+        return self._execute(self.build_paper_cells(), write_files)
+
+    def _execute(self, cells: list[_Cell], write_files: bool) -> RunResult:
+        if self.params.workers > 1:
+            from repro.suite.supervisor import CampaignSupervisor
+
+            supervisor = CampaignSupervisor(
+                self.params, injector=self._active_injector()
+            )
+            return supervisor.run(cells, write_files)
         return self._run_cells(cells, write_files)
 
     # -------------------------------------------------------- campaign loop
@@ -185,62 +229,94 @@ class SuiteExecutor:
         profiles: list[CaliProfile] = []
         paths: list[Path] = []
         manifest: CampaignManifest | None = None
-        if write_files or params.resume:
-            manifest = CampaignManifest.load_or_create(
-                params.output_dir, params.fingerprint()
-            )
-        for cell in cells:
-            if params.resume and manifest is not None and manifest.is_complete(cell.key):
-                report.mark_cell(cell.key, STATUS_SKIPPED)
-                continue
-            profile, cell_records = self._run_one_cell(cell, report)
-            profiles.append(profile)
-            written: Path | None = None
-            write_failed = False
-            if write_files:
-                target = Path(params.output_dir) / cell.fname
-                try:
-                    written = self._write_profile(profile, target, cell)
-                    paths.append(written)
-                except ProfileWriteError as err:
-                    if params.fail_fast:
-                        raise
-                    write_failed = True
-                    report.add(
-                        KernelRunRecord(
-                            kernel="<profile write>",
-                            machine=cell.machine.shorthand,
-                            variant=cell.variant.name,
-                            tuning=cell.tuning,
-                            trial=cell.trial,
-                            status=STATUS_FAILED,
-                            attempts=params.max_attempts,
-                            error=str(err),
-                        )
-                    )
-            self._maybe_write_csv(
-                profile, cell.machine, cell.variant, cell.block, cell.trial
-            )
-            cell_failed = write_failed or any(
-                r.status == STATUS_FAILED for r in cell_records
-            )
-            report.mark_cell(cell.key, STATUS_FAILED if cell_failed else STATUS_OK)
-            if manifest is not None and write_files:
-                manifest.record(
-                    cell.key,
-                    STATUS_FAILED if cell_failed else STATUS_OK,
-                    file=str(written) if written is not None else None,
-                    failed_kernels=[
-                        r.kernel for r in cell_records if r.status == STATUS_FAILED
-                    ],
+        lock: CampaignLock | None = None
+        if write_files:
+            lock = CampaignLock.acquire(params.output_dir)
+        try:
+            if write_files or params.resume:
+                manifest = CampaignManifest.load_or_create(
+                    params.output_dir, params.fingerprint()
                 )
-                manifest.save()
+            for cell in cells:
+                if (
+                    params.resume
+                    and manifest is not None
+                    and manifest.is_complete(cell.key)
+                ):
+                    report.mark_cell(cell.key, STATUS_SKIPPED)
+                    continue
+                outcome = self.run_cell(cell, write_files)
+                profiles.append(outcome.profile)
+                if outcome.written is not None:
+                    paths.append(outcome.written)
+                for record in outcome.records:
+                    report.add(record)
+                report.mark_cell(cell.key, outcome.status)
+                if manifest is not None and write_files:
+                    manifest.record(
+                        cell.key,
+                        outcome.status,
+                        file=(
+                            str(outcome.written)
+                            if outcome.written is not None
+                            else None
+                        ),
+                        failed_kernels=outcome.failed_kernels,
+                    )
+                    manifest.save()
+        finally:
+            if lock is not None:
+                lock.release()
         return RunResult(profiles=profiles, cali_paths=paths, report=report)
+
+    # ----------------------------------------------------------- one cell
+    def run_cell(self, cell: _Cell, write_files: bool) -> CellOutcome:
+        """Run one cell end to end (kernels + profile write + CSV).
+
+        The shared primitive behind both the serial campaign loop and
+        the supervised worker: everything the cell produced comes back
+        as a :class:`CellOutcome`; the caller owns report/manifest
+        bookkeeping.
+        """
+        params = self.params
+        profile, records = self._run_one_cell(cell)
+        written: Path | None = None
+        write_error: str | None = None
+        if write_files:
+            target = Path(params.output_dir) / cell.fname
+            try:
+                written = self._write_profile(profile, target, cell)
+            except ProfileWriteError as err:
+                if params.fail_fast:
+                    raise
+                write_error = str(err)
+                records.append(
+                    KernelRunRecord(
+                        kernel="<profile write>",
+                        machine=cell.machine.shorthand,
+                        variant=cell.variant.name,
+                        tuning=cell.tuning,
+                        trial=cell.trial,
+                        status=STATUS_FAILED,
+                        attempts=params.max_attempts,
+                        error=write_error,
+                    )
+                )
+        self._maybe_write_csv(
+            profile, cell.machine, cell.variant, cell.block, cell.trial
+        )
+        return CellOutcome(
+            cell_key=cell.key,
+            profile=profile,
+            records=records,
+            written=written,
+            write_error=write_error,
+        )
 
     def _write_profile(self, profile: CaliProfile, target: Path, cell: _Cell) -> Path:
         """Write one ``.cali`` file with the same bounded retry as kernels."""
         policy = self.params.retry_policy()
-        delays = policy.delays()
+        delays = policy.delays(salt=cell.key)
         attempt = 1
         while True:
             try:
@@ -279,11 +355,11 @@ class SuiteExecutor:
         """One (machine, variant, tuning, trial) profile (no file I/O)."""
         tuning = f"block_{block}" if block else "default"
         cell = _Cell(machine, variant, block, trial, fname=f"<{tuning}>")
-        profile, _ = self._run_one_cell(cell, RunReport())
+        profile, _ = self._run_one_cell(cell)
         return profile
 
     def _run_one_cell(
-        self, cell: _Cell, report: RunReport
+        self, cell: _Cell
     ) -> tuple[CaliProfile, list[KernelRunRecord]]:
         params = self.params
         machine, variant, block, trial = (
@@ -324,7 +400,6 @@ class SuiteExecutor:
                         self._run_kernel_isolated(
                             session, cls, machine, variant, block, trial, record
                         )
-                report.add(record)
                 cell_records.append(record)
         return session.close(), cell_records
 
@@ -342,12 +417,14 @@ class SuiteExecutor:
         ``failed`` and the sweep moves on (unless ``fail_fast``)."""
         params = self.params
         policy = params.retry_policy()
-        delays = policy.delays()
         site = FaultSite(
             kernel=cls.class_full_name(),
             variant=variant.name,
             trial=trial,
             machine=machine.shorthand,
+        )
+        delays = policy.delays(
+            salt=f"{site.machine}|{site.kernel}|{site.variant}|{site.trial}"
         )
         attempt = 1
         while True:

@@ -1,0 +1,205 @@
+"""``fsck`` for a campaign output directory.
+
+A campaign that survives crashed workers and SIGINT still leaves one
+question open: is what's *on disk* trustworthy? Every ``.cali`` profile
+carries an integrity footer (:mod:`repro.caliper.cali`), so damage is
+detectable after the fact; this module walks an output directory and
+classifies every profile:
+
+``ok``
+    Sealed and verified (footer present, length and CRC32 match).
+``unsealed``
+    Valid pre-footer profile (readable; written before sealing existed).
+``truncated``
+    The write stopped early — a crash mid-``write_cali`` or a copy that
+    lost its tail.
+``corrupt``
+    The length is right but the bytes are not (bit rot, concurrent
+    writers, a bad copy).
+``orphaned``
+    A well-formed profile the campaign manifest does not know about —
+    a leftover from a different sweep or a half-recorded cell; analysis
+    over the directory would silently include data the manifest never
+    vouched for.
+
+Damaged and orphaned profiles are moved to a ``quarantine/`` subdirectory
+(never deleted — forensics first), and damaged cells are demoted in the
+manifest so ``--resume`` re-runs exactly them: ``fsck`` + ``run --resume``
+heals a damaged campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.caliper.cali import (
+    STATUS_CORRUPT,
+    STATUS_OK,
+    STATUS_TRUNCATED,
+    STATUS_UNSEALED,
+    verify_cali,
+)
+from repro.suite.manifest import MANIFEST_NAME, CampaignManifest
+
+#: where fsck moves damaged/orphaned profiles (inside the output dir)
+QUARANTINE_DIR = "quarantine"
+
+STATUS_ORPHANED = "orphaned"
+
+
+@dataclass
+class ProfileCheck:
+    """One profile's verdict."""
+
+    path: Path
+    status: str  # ok | unsealed | truncated | corrupt | orphaned
+    detail: str = ""
+    cell: str | None = None  # manifest cell key, when the file is known
+
+    @property
+    def damaged(self) -> bool:
+        return self.status in (STATUS_TRUNCATED, STATUS_CORRUPT)
+
+    @property
+    def quarantinable(self) -> bool:
+        return self.damaged or self.status == STATUS_ORPHANED
+
+
+@dataclass
+class FsckReport:
+    """Everything one fsck pass found and did."""
+
+    directory: Path
+    checks: list[ProfileCheck] = field(default_factory=list)
+    quarantined: list[Path] = field(default_factory=list)
+    rerun_cells: list[str] = field(default_factory=list)
+    manifest_found: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not any(c.quarantinable for c in self.checks)
+
+    def with_status(self, status: str) -> list[ProfileCheck]:
+        return [c for c in self.checks if c.status == status]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for check in self.checks:
+            out[check.status] = out.get(check.status, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts()
+        order = (
+            STATUS_OK,
+            STATUS_UNSEALED,
+            STATUS_TRUNCATED,
+            STATUS_CORRUPT,
+            STATUS_ORPHANED,
+        )
+        parts = [f"{counts[s]} {s}" for s in order if counts.get(s)]
+        lines = [
+            f"fsck {self.directory}: {len(self.checks)} profile(s): "
+            + (", ".join(parts) if parts else "none found")
+        ]
+        for check in self.checks:
+            if check.quarantinable:
+                where = f" [{check.cell}]" if check.cell else ""
+                detail = f": {check.detail}" if check.detail else ""
+                lines.append(
+                    f"  {check.status.upper()} {check.path.name}{where}{detail}"
+                )
+        if self.quarantined:
+            lines.append(
+                f"  {len(self.quarantined)} file(s) moved to "
+                f"{self.directory / QUARANTINE_DIR}"
+            )
+        if self.rerun_cells:
+            lines.append(
+                f"  {len(self.rerun_cells)} cell(s) marked for re-run; "
+                "heal with: run --resume --output-dir "
+                f"{self.directory}"
+            )
+        if not self.manifest_found:
+            lines.append(
+                "  no campaign manifest: orphan detection and re-run "
+                "marking skipped"
+            )
+        return "\n".join(lines)
+
+
+def _cell_by_file(manifest: CampaignManifest) -> dict[str, str]:
+    """filename -> cell key, from the manifest's recorded files."""
+    out: dict[str, str] = {}
+    for key, entry in manifest.cells.items():
+        file = entry.get("file")
+        if file:
+            out[Path(file).name] = key
+    return out
+
+
+def fsck_directory(
+    output_dir: str | Path,
+    quarantine: bool = True,
+    mark_rerun: bool = True,
+) -> FsckReport:
+    """Verify every ``.cali`` profile in a campaign output directory.
+
+    With ``quarantine`` (the default), damaged and orphaned profiles are
+    moved to ``<output_dir>/quarantine/``; with ``mark_rerun``, damaged
+    cells are demoted in the manifest so ``run --resume`` re-produces
+    exactly them. Pass both as False for a read-only audit.
+    """
+    directory = Path(output_dir)
+    report = FsckReport(directory=directory)
+    manifest: CampaignManifest | None = None
+    known: dict[str, str] = {}
+    if (directory / MANIFEST_NAME).exists():
+        # fsck audits whatever configuration the manifest records: adopt
+        # its own fingerprint so loading (and saving) never warns about a
+        # configuration change fsck did not make.
+        try:
+            recorded = json.loads(
+                (directory / MANIFEST_NAME).read_text()
+            ).get("fingerprint", {})
+        except (OSError, ValueError):
+            recorded = {}
+        manifest = CampaignManifest.load_or_create(directory, recorded)
+        known = _cell_by_file(manifest)
+        report.manifest_found = True
+
+    for path in sorted(directory.glob("*.cali")):
+        status, detail = verify_cali(path)
+        cell = known.get(path.name)
+        if status in (STATUS_OK, STATUS_UNSEALED) and manifest is not None and cell is None:
+            status, detail = (
+                STATUS_ORPHANED,
+                "not recorded in the campaign manifest",
+            )
+        report.checks.append(
+            ProfileCheck(path=path, status=status, detail=detail, cell=cell)
+        )
+
+    bad = [c for c in report.checks if c.quarantinable]
+    if quarantine and bad:
+        qdir = directory / QUARANTINE_DIR
+        qdir.mkdir(exist_ok=True)
+        for check in bad:
+            target = qdir / check.path.name
+            os.replace(check.path, target)
+            report.quarantined.append(target)
+
+    if mark_rerun and manifest is not None:
+        for check in bad:
+            if check.cell is not None:
+                manifest.mark_for_rerun(
+                    check.cell, f"{check.status} profile quarantined by fsck"
+                )
+                report.rerun_cells.append(check.cell)
+        if report.rerun_cells:
+            manifest.save()
+
+    return report

@@ -5,21 +5,115 @@ A campaign writing ``.cali`` files also maintains
 (machine, variant, tuning, trial) cell as it completes. A crashed or
 degraded campaign re-invoked with ``--resume`` skips the cells the
 manifest marks ``ok`` and re-runs only failed or missing ones. The
-manifest is rewritten atomically after every cell, so a crash can lose
-at most the in-flight cell.
+manifest is rewritten crash-safely after every cell (tmp sibling +
+fsync + ``os.replace`` + directory fsync), so a crash can lose at most
+the in-flight cell — never the ledger.
+
+Concurrent campaigns must not interleave writes to one ledger, so the
+output directory carries an advisory :class:`CampaignLock`: a lockfile
+holding a PID lease. A second campaign against a locked directory fails
+loudly with :class:`~repro.suite.errors.CampaignLockedError`; a lease
+whose holder PID is dead is taken over automatically (crashed campaigns
+do not wedge the directory).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import socket
+import time
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.suite.errors import CampaignLockedError
+from repro.util.fsio import write_durable_text
+
 MANIFEST_NAME = "campaign_manifest.json"
 MANIFEST_VERSION = 1
+LOCK_NAME = "campaign_manifest.lock"
+
+
+def _pid_alive(pid: Any) -> bool:
+    """Whether ``pid`` names a live process we could signal."""
+    if not isinstance(pid, int) or pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # alive, owned by someone else
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return False
+    return True
+
+
+@dataclass
+class CampaignLock:
+    """Advisory PID-lease lock on a campaign output directory.
+
+    ``acquire`` creates ``campaign_manifest.lock`` exclusively; if it
+    already exists and its holder PID is alive, acquisition raises
+    :class:`CampaignLockedError` with a diagnostic. A stale lease (dead
+    holder, or a leak from this very process) is taken over in place.
+    The lock is advisory: it guards cooperating campaign runners, not
+    arbitrary writers.
+    """
+
+    path: Path
+    acquired: bool = False
+
+    @classmethod
+    def acquire(cls, output_dir: str | Path) -> "CampaignLock":
+        path = Path(output_dir) / LOCK_NAME
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lease = json.dumps(
+            {
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "acquired_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            },
+            indent=1,
+        )
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            holder: dict[str, Any] = {}
+            try:
+                holder = json.loads(path.read_text())
+            except (OSError, ValueError):
+                pass  # unreadable lease: treat as stale
+            holder_pid = holder.get("pid")
+            if _pid_alive(holder_pid) and holder_pid != os.getpid():
+                raise CampaignLockedError(
+                    str(path), holder_pid, holder.get("acquired_at")
+                ) from None
+            # Stale lease: the holder is gone (or is us) — take over.
+            write_durable_text(path, lease)
+            return cls(path=path, acquired=True)
+        try:
+            os.write(fd, lease.encode())
+        finally:
+            os.close(fd)
+        return cls(path=path, acquired=True)
+
+    def release(self) -> None:
+        if not self.acquired:
+            return
+        self.acquired = False
+        try:
+            self.path.unlink()
+        except FileNotFoundError:  # pragma: no cover - external cleanup
+            pass
+
+    def __enter__(self) -> "CampaignLock":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
 
 
 @dataclass
@@ -39,7 +133,10 @@ class CampaignManifest:
     ) -> "CampaignManifest":
         """Load the directory's manifest, or start an empty one.
 
-        A fingerprint mismatch (the resumed campaign was configured
+        An unreadable manifest is backed up as
+        ``campaign_manifest.json.bak`` before a fresh one takes its place
+        — forensic state is preserved, never silently destroyed. A
+        fingerprint mismatch (the resumed campaign was configured
         differently) warns rather than fails: resuming with, say, more
         trials legitimately extends an existing manifest.
         """
@@ -49,8 +146,15 @@ class CampaignManifest:
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError) as exc:
+            backup = path.with_suffix(path.suffix + ".bak")
+            try:
+                os.replace(path, backup)
+                saved = f"; corrupt file backed up as {backup.name}"
+            except OSError:
+                saved = "; backup failed, corrupt file left in place"
             warnings.warn(
-                f"unreadable campaign manifest {path} ({exc}); starting fresh",
+                f"unreadable campaign manifest {path} ({exc}); "
+                f"starting fresh{saved}",
                 stacklevel=2,
             )
             return cls(path=path, fingerprint=dict(fingerprint))
@@ -90,17 +194,23 @@ class CampaignManifest:
             "failed_kernels": list(failed_kernels or []),
         }
 
+    def mark_for_rerun(self, key: str, reason: str) -> None:
+        """Demote a cell so ``--resume`` re-runs it (fsck healing)."""
+        entry = self.cells.setdefault(
+            key, {"status": "failed", "file": None, "failed_kernels": []}
+        )
+        entry["status"] = "failed"
+        entry["rerun_reason"] = reason
+
     # -------------------------------------------------------------- save
     def save(self) -> Path:
-        """Atomically persist (tmp sibling + ``os.replace``)."""
+        """Crash-safely persist (fsynced tmp + ``os.replace`` + dir fsync)."""
         payload = {
             "format": "rajaperf-campaign-manifest",
             "version": MANIFEST_VERSION,
             "fingerprint": self.fingerprint,
             "cells": self.cells,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
-        os.replace(tmp, self.path)
-        return self.path
+        return write_durable_text(
+            self.path, json.dumps(payload, indent=1, sort_keys=True)
+        )

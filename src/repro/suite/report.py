@@ -51,6 +51,8 @@ class RunReport:
     records: list[KernelRunRecord] = field(default_factory=list)
     #: cell key -> ok | failed | skipped
     cells: dict[str, str] = field(default_factory=dict)
+    #: a SIGINT/SIGTERM drained the campaign before every cell ran
+    interrupted: bool = False
 
     def add(self, record: KernelRunRecord) -> None:
         self.records.append(record)
@@ -117,4 +119,9 @@ class RunReport:
         skipped = self.cell_counts().get(STATUS_SKIPPED, 0)
         if skipped:
             lines.append(f"  {skipped} cell(s) skipped (already complete in manifest)")
+        if self.interrupted:
+            lines.append(
+                "  campaign interrupted: in-flight cells drained, manifest "
+                "flushed; re-invoke with --resume to finish"
+            )
         return "\n".join(lines)

@@ -5,11 +5,18 @@ corrupted checksum) deserve a few more attempts before a cell is written
 off; correlated retries across a campaign's many cells deserve jitter.
 The jitter stream is seeded so a replayed campaign backs off identically
 — determinism is what makes the fault-injection tests assertable.
+
+Each call site passes its own ``salt`` (the cell/kernel key) to
+``delays``: the stream seed is derived from ``seed ^ crc32(salt)``, so
+two cells failing at the same moment back off *differently* (no
+thundering-herd retries against a shared filesystem) while a replayed
+campaign still sees identical waits per site.
 """
 
 from __future__ import annotations
 
 import random
+import zlib
 from collections.abc import Iterator
 from dataclasses import dataclass
 
@@ -18,10 +25,11 @@ from dataclasses import dataclass
 class RetryPolicy:
     """How many attempts a kernel/write gets and how long to wait between.
 
-    ``delays()`` yields ``max_attempts - 1`` waits: ``base_delay``
+    ``delays(salt)`` yields ``max_attempts - 1`` waits: ``base_delay``
     doubled per attempt (capped at ``max_delay``), plus a uniformly
     drawn jitter of up to ``jitter`` times the delay, from a stream
-    seeded with ``seed``.
+    seeded with ``seed ^ crc32(salt)`` — per-site decorrelation,
+    per-replay determinism.
     """
 
     max_attempts: int = 3
@@ -41,8 +49,14 @@ class RetryPolicy:
         if self.jitter < 0:
             raise ValueError(f"jitter must be >= 0, got {self.jitter}")
 
-    def delays(self) -> Iterator[float]:
-        rng = random.Random(self.seed)
+    def stream_seed(self, salt: object = None) -> int:
+        """The jitter-stream seed for one call site (``None`` = base seed)."""
+        if salt is None:
+            return self.seed
+        return self.seed ^ (zlib.crc32(str(salt).encode("utf-8")) & 0xFFFFFFFF)
+
+    def delays(self, salt: object = None) -> Iterator[float]:
+        rng = random.Random(self.stream_seed(salt))
         for attempt in range(self.max_attempts - 1):
             delay = min(self.base_delay * self.multiplier**attempt, self.max_delay)
             yield delay + (rng.uniform(0.0, self.jitter * delay) if self.jitter else 0.0)

@@ -69,6 +69,10 @@ class RunParams:
     retry_jitter: float = 0.5  # jitter fraction of each backoff wait
     retry_seed: int = 20240  # seeds the deterministic jitter stream
     kernel_deadline_s: float | None = None  # per-kernel watchdog deadline
+    # --- supervised multi-process execution (see supervisor.py) ---
+    workers: int = 1  # >1 fans cells out to a supervised worker pool
+    heartbeat_timeout: float = 30.0  # seconds without a worker heartbeat = stale
+    heartbeat_interval: float | None = None  # emit cadence (default timeout/5)
 
     def __post_init__(self) -> None:
         self.problem_size = parse_size(self.problem_size)
@@ -94,6 +98,28 @@ class RunParams:
             raise ValueError(
                 f"kernel_deadline_s must be > 0, got {self.kernel_deadline_s}"
             )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be > 0, got {self.heartbeat_timeout}"
+            )
+        if self.heartbeat_interval is not None and self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
+            )
+        if self.fail_fast and self.workers > 1:
+            raise ValueError(
+                "fail_fast is incompatible with workers > 1: a supervised "
+                "pool isolates failures by design"
+            )
+
+    def effective_heartbeat_interval(self) -> float:
+        """How often workers beat (a fraction of the staleness deadline)."""
+        if self.heartbeat_interval is not None:
+            return self.heartbeat_interval
+        return max(self.heartbeat_timeout / 5.0, 0.02)
+
     def retry_policy(self):
         """The executor's :class:`~repro.suite.retry.RetryPolicy`."""
         from repro.suite.retry import RetryPolicy

@@ -1,0 +1,399 @@
+"""Supervised multi-process campaign execution.
+
+The serial executor made one *kernel* failure survivable; this module
+makes one *process* failure survivable. A campaign's (machine, variant,
+tuning, trial) cells fan out to a pool of ``multiprocessing`` workers
+(:mod:`repro.suite.worker`), and a single supervisor loop owns every
+piece of shared state — the manifest, the report, the retry budgets —
+so workers stay crash-only: they either deliver a result or die, and
+either way the campaign continues.
+
+Supervision model (the worker lifecycle state machine):
+
+::
+
+    spawned -> idle -> busy(cell) -> idle -> ... -> drained(poison pill)
+                 |         |
+                 |         +-- process exit  -> DEAD  (requeue cell, respawn)
+                 |         +-- missed beats  -> STALE (kill, requeue, respawn)
+                 +-- process exit -> DEAD (respawn while work remains)
+
+* **Dead worker**: the process exited (an injected ``WORKER_CRASH``
+  does ``os._exit`` — the segfault equivalent). Detected via
+  ``Process.is_alive``; its in-flight cell is requeued with the next
+  attempt number under the campaign's :class:`RetryPolicy` (per-cell
+  backoff, jitter salted by cell key), and a replacement worker is
+  spawned. A cell that exhausts ``max_attempts`` is marked failed —
+  the campaign never is.
+* **Stale worker**: the process is alive but its heartbeats stopped
+  (wedged I/O, a hung driver, an injected ``STALE_HEARTBEAT``).
+  Detected by the :class:`HeartbeatMonitor` deadline; the worker is
+  killed and handled exactly like a dead one.
+* **Graceful shutdown**: SIGINT/SIGTERM flip a drain flag — no new
+  cells are dispatched, in-flight cells finish and are recorded, the
+  manifest is flushed, workers get poison pills, and the run returns
+  with ``report.interrupted`` so ``--resume`` can finish the job.
+
+Exactly one campaign may own an output directory: the supervisor holds
+the manifest's :class:`CampaignLock` (PID lease; stale leases from dead
+campaigns are taken over automatically).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import signal
+import threading
+import time
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.faults import FaultInjector, FaultSpec, active_injector
+from repro.suite.heartbeat import HeartbeatMonitor
+from repro.suite.manifest import CampaignLock, CampaignManifest
+from repro.suite.report import (
+    STATUS_FAILED,
+    STATUS_RETRIED,
+    STATUS_SKIPPED,
+    KernelRunRecord,
+    RunReport,
+)
+from repro.suite.run_params import RunParams
+from repro.suite.worker import CellResult, CellTask, worker_main
+
+
+def _mp_context():
+    """Prefer fork (cheap, Linux default); fall back to spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platform
+        return multiprocessing.get_context("spawn")
+
+
+@dataclass
+class _WorkerHandle:
+    """Supervisor-side view of one worker process."""
+
+    worker_id: int
+    process: multiprocessing.Process
+    task_queue: object  # per-worker queue: exactly-once assignment tracking
+    task: CellTask | None = None  # the in-flight cell, if any
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+
+class CampaignSupervisor:
+    """Fan a campaign's cells out to a supervised worker pool.
+
+    ``on_cell_complete`` is a test hook called (with the cell key) after
+    each result is recorded — deterministic mid-campaign intervention
+    points (e.g. raising SIGINT after the first completion) without
+    sleeping against the race.
+    """
+
+    #: how long a drain waits for in-flight cells before terminating them
+    DRAIN_GRACE_FACTOR = 2.0
+
+    def __init__(
+        self,
+        params: RunParams,
+        injector: FaultInjector | None = None,
+        on_cell_complete: Callable[[str], None] | None = None,
+    ) -> None:
+        if params.workers < 2:
+            raise ValueError("CampaignSupervisor requires params.workers >= 2")
+        self.params = params
+        self.injector = injector if injector is not None else active_injector()
+        self.on_cell_complete = on_cell_complete
+        self._shutdown = False
+        self._ctx = _mp_context()
+        self._next_worker_id = 0
+
+    # ------------------------------------------------------------- signals
+    def _install_signal_handlers(self):
+        """Route SIGINT/SIGTERM to the drain flag (main thread only)."""
+        if threading.current_thread() is not threading.main_thread():
+            return []
+        previous = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous.append((sig, signal.signal(sig, self._on_signal)))
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        return previous
+
+    def _on_signal(self, signum, frame) -> None:
+        self._shutdown = True
+
+    # -------------------------------------------------------------- workers
+    def _spawn_worker(self, result_queue, heartbeat_queue, write_files: bool,
+                      specs: list[FaultSpec], monitor: HeartbeatMonitor
+                      ) -> _WorkerHandle:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                worker_id,
+                self.params,
+                task_queue,
+                result_queue,
+                heartbeat_queue,
+                specs,
+                write_files,
+            ),
+            name=f"campaign-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        monitor.register(worker_id)
+        return _WorkerHandle(worker_id, process, task_queue)
+
+    @staticmethod
+    def _kill(handle: _WorkerHandle) -> None:
+        process = handle.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM ignored
+            process.kill()
+            process.join(timeout=2.0)
+
+    # ------------------------------------------------------------------ run
+    def run(self, cells, write_files: bool = False):
+        """Execute ``cells`` on the pool; returns the executor's RunResult."""
+        from repro.suite.executor import RunResult
+
+        params = self.params
+        report = RunReport()
+        profiles: list = []
+        paths: list[Path] = []
+        manifest: CampaignManifest | None = None
+        lock: CampaignLock | None = None
+        if write_files:
+            lock = CampaignLock.acquire(params.output_dir)
+        try:
+            if write_files or params.resume:
+                manifest = CampaignManifest.load_or_create(
+                    params.output_dir, params.fingerprint()
+                )
+            pending: deque[CellTask] = deque()
+            for cell in cells:
+                if (
+                    params.resume
+                    and manifest is not None
+                    and manifest.is_complete(cell.key)
+                ):
+                    report.mark_cell(cell.key, STATUS_SKIPPED)
+                    continue
+                pending.append(
+                    CellTask(
+                        machine=cell.machine.shorthand,
+                        variant=cell.variant.name,
+                        block=cell.block,
+                        trial=cell.trial,
+                        fname=cell.fname,
+                    )
+                )
+            if not pending:
+                return RunResult(profiles=profiles, cali_paths=paths, report=report)
+            self._run_pool(
+                pending, report, profiles, paths, manifest, write_files
+            )
+            if manifest is not None and write_files:
+                manifest.save()
+        finally:
+            if lock is not None:
+                lock.release()
+        report.interrupted = self._shutdown
+        return RunResult(profiles=profiles, cali_paths=paths, report=report)
+
+    # ------------------------------------------------------------ the loop
+    def _run_pool(self, pending, report, profiles, paths, manifest, write_files):
+        params = self.params
+        policy = params.retry_policy()
+        specs = list(self.injector.specs) if self.injector is not None else []
+        result_queue = self._ctx.Queue()
+        heartbeat_queue = self._ctx.Queue()
+        monitor = HeartbeatMonitor(params.heartbeat_timeout)
+        #: cell key -> precomputed backoff waits (salted, deterministic)
+        backoffs: dict[str, list[float]] = {}
+        #: cell key -> earliest monotonic dispatch time (crash backoff)
+        ready_at: dict[str, float] = {}
+        workers: dict[int, _WorkerHandle] = {}
+        drain_deadline: float | None = None
+
+        def record_result(result: CellResult) -> None:
+            for rec in result.records:
+                report.add(rec)
+            report.mark_cell(result.key, result.status)
+            if result.profile is not None:
+                profiles.append(result.profile)
+            if result.file is not None:
+                paths.append(Path(result.file))
+            if manifest is not None and write_files:
+                manifest.record(
+                    result.key,
+                    result.status,
+                    file=result.file,
+                    failed_kernels=result.failed_kernels,
+                )
+                manifest.save()
+            if self.on_cell_complete is not None:
+                self.on_cell_complete(result.key)
+
+        def handle_worker_death(handle: _WorkerHandle, reason: str) -> None:
+            """Requeue the dead/stale worker's cell under the retry policy."""
+            monitor.forget(handle.worker_id)
+            workers.pop(handle.worker_id, None)
+            task = handle.task
+            if task is None or self._shutdown:
+                return  # idle death, or draining: --resume will finish it
+            key = task.key
+            if task.attempt >= policy.max_attempts:
+                report.add(
+                    KernelRunRecord(
+                        kernel="<worker crash>",
+                        machine=task.machine,
+                        variant=task.variant,
+                        tuning=task.tuning,
+                        trial=task.trial,
+                        status=STATUS_FAILED,
+                        attempts=task.attempt,
+                        error=reason,
+                    )
+                )
+                report.mark_cell(key, STATUS_FAILED)
+                if manifest is not None and write_files:
+                    manifest.record(
+                        key, STATUS_FAILED, failed_kernels=["<worker crash>"]
+                    )
+                    manifest.save()
+                return
+            report.add(
+                KernelRunRecord(
+                    kernel="<worker crash>",
+                    machine=task.machine,
+                    variant=task.variant,
+                    tuning=task.tuning,
+                    trial=task.trial,
+                    status=STATUS_RETRIED,
+                    attempts=task.attempt,
+                    error=reason,
+                )
+            )
+            waits = backoffs.setdefault(key, list(policy.delays(salt=key)))
+            wait = waits[task.attempt - 1] if task.attempt - 1 < len(waits) else 0.0
+            ready_at[key] = time.monotonic() + wait
+            pending.append(task.next_attempt())
+
+        previous_handlers = self._install_signal_handlers()
+        try:
+            for _ in range(min(params.workers, len(pending))):
+                handle = self._spawn_worker(
+                    result_queue, heartbeat_queue, write_files, specs, monitor
+                )
+                workers[handle.worker_id] = handle
+
+            while pending or any(h.busy for h in workers.values()):
+                now = time.monotonic()
+                if self._shutdown:
+                    pending.clear()
+                    if drain_deadline is None:
+                        drain_deadline = now + max(
+                            self.DRAIN_GRACE_FACTOR * params.heartbeat_timeout, 5.0
+                        )
+                    if now > drain_deadline:
+                        break  # in-flight cells forfeited; --resume reruns them
+                    if not any(h.busy for h in workers.values()):
+                        break
+
+                # Dispatch: one cell per idle worker, respecting backoff.
+                for handle in workers.values():
+                    if handle.busy or not pending:
+                        continue
+                    task = self._pop_ready(pending, ready_at, now)
+                    if task is None:
+                        break
+                    handle.task = task
+                    monitor.beat(handle.worker_id)  # dispatch restarts the clock
+                    handle.task_queue.put(task)
+
+                # Heartbeats: drain and stamp with the supervisor's clock.
+                while True:
+                    try:
+                        worker_id, _seq = heartbeat_queue.get_nowait()
+                    except queue_mod.Empty:
+                        break
+                    monitor.beat(worker_id)
+
+                # Results.
+                try:
+                    result = result_queue.get(timeout=0.05)
+                except queue_mod.Empty:
+                    result = None
+                if result is not None:
+                    handle = workers.get(result.worker_id)
+                    if handle is not None:
+                        handle.task = None
+                    record_result(result)
+                    continue  # drain results before liveness verdicts
+
+                # Liveness: loud deaths first, then quiet (stale) ones.
+                for handle in list(workers.values()):
+                    if not handle.process.is_alive():
+                        handle.process.join(timeout=0.5)
+                        code = handle.process.exitcode
+                        handle_worker_death(
+                            handle, f"worker process died (exit code {code})"
+                        )
+                    elif handle.busy and monitor.is_stale(handle.worker_id):
+                        self._kill(handle)
+                        handle_worker_death(
+                            handle,
+                            f"worker missed heartbeat deadline "
+                            f"({params.heartbeat_timeout:.3g}s)",
+                        )
+                # Respawn up to the pool size while work remains.
+                while not self._shutdown and pending and len(workers) < min(
+                    params.workers, len(pending) + sum(
+                        1 for h in workers.values() if h.busy
+                    )
+                ):
+                    handle = self._spawn_worker(
+                        result_queue, heartbeat_queue, write_files, specs, monitor
+                    )
+                    workers[handle.worker_id] = handle
+        finally:
+            for sig, handler in previous_handlers:
+                signal.signal(sig, handler)
+            for handle in workers.values():
+                if handle.process.is_alive():
+                    try:
+                        handle.task_queue.put(None)  # poison pill
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+            deadline = time.monotonic() + 2.0
+            for handle in workers.values():
+                handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+                if handle.process.is_alive():
+                    self._kill(handle)
+            for q in (result_queue, heartbeat_queue):
+                q.cancel_join_thread()
+                q.close()
+
+    @staticmethod
+    def _pop_ready(pending, ready_at, now: float) -> CellTask | None:
+        """The first pending task whose backoff wait has elapsed."""
+        for _ in range(len(pending)):
+            task = pending.popleft()
+            if ready_at.get(task.key, 0.0) <= now:
+                return task
+            pending.append(task)  # still cooling down: rotate
+        return None

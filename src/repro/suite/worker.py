@@ -1,0 +1,174 @@
+"""The supervised campaign worker: one process, one cell at a time.
+
+``worker_main`` is the entry point the supervisor spawns. Each worker
+
+* ignores SIGINT (campaign shutdown is the supervisor's decision — the
+  terminal's SIGINT goes to the whole foreground process group, and a
+  worker that died on Ctrl-C would defeat the graceful drain);
+* runs a daemon :class:`~repro.suite.heartbeat.HeartbeatEmitter` so the
+  supervisor can tell "busy" from "wedged";
+* installs its own :class:`~repro.faults.FaultInjector` built from the
+  supervisor's specs (budgets are per-process; worker-level faults
+  match on the cell's attempt number so scenarios survive respawns);
+* pulls :class:`CellTask` items off its private task queue, executes
+  them through :meth:`SuiteExecutor.run_cell`, and reports a
+  :class:`CellResult` on the shared result queue. ``None`` is the
+  poison pill.
+
+A ``WORKER_CRASH`` fault fires *before* the cell runs and calls
+``os._exit`` — no result, no cleanup, no atexit: the closest a Python
+process gets to a segfault. The supervisor must recover from exactly
+this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro.faults import FaultInjector, FaultSite, FaultSpec
+from repro.machines.registry import get_machine
+from repro.suite.heartbeat import HeartbeatEmitter
+from repro.suite.report import STATUS_FAILED, KernelRunRecord, cell_key
+from repro.suite.run_params import RunParams
+from repro.suite.variants import get_variant
+
+#: Exit code of an injected worker crash (visible in the supervisor's log).
+WORKER_CRASH_EXITCODE = 73
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """A serializable cell assignment (machine/variant by name)."""
+
+    machine: str
+    variant: str
+    block: int
+    trial: int
+    fname: str
+    attempt: int = 1
+
+    @property
+    def tuning(self) -> str:
+        return f"block_{self.block}" if self.block else "default"
+
+    @property
+    def key(self) -> str:
+        return cell_key(self.machine, self.variant, self.tuning, self.trial)
+
+    def next_attempt(self) -> "CellTask":
+        return dataclasses.replace(self, attempt=self.attempt + 1)
+
+
+@dataclass
+class CellResult:
+    """What a worker sends back for one completed (or failed) cell."""
+
+    worker_id: int
+    key: str
+    status: str  # "ok" | "failed"
+    records: list[KernelRunRecord] = field(default_factory=list)
+    file: str | None = None
+    profile: object | None = None  # CaliProfile (picklable region tree)
+    failed_kernels: list[str] = field(default_factory=list)
+
+
+def _rebuild_cell(task: CellTask):
+    """Reconstitute the executor's cell from the task's names."""
+    from repro.suite.executor import _Cell
+
+    return _Cell(
+        machine=get_machine(task.machine),
+        variant=get_variant(task.variant),
+        block=task.block,
+        trial=task.trial,
+        fname=task.fname,
+    )
+
+
+def run_cell_task(executor, task: CellTask, write_files: bool) -> CellResult:
+    """Execute one task through the shared cell primitive."""
+    outcome = executor.run_cell(_rebuild_cell(task), write_files)
+    return CellResult(
+        worker_id=-1,  # stamped by the caller
+        key=task.key,
+        status=outcome.status,
+        records=outcome.records,
+        file=str(outcome.written) if outcome.written is not None else None,
+        profile=outcome.profile,
+        failed_kernels=outcome.failed_kernels,
+    )
+
+
+def worker_main(
+    worker_id: int,
+    params: RunParams,
+    task_queue,
+    result_queue,
+    heartbeat_queue,
+    fault_specs: list[FaultSpec],
+    write_files: bool,
+) -> None:
+    """Worker process entry point (must stay importable for ``spawn``)."""
+    from repro.suite.executor import SuiteExecutor
+
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        pass
+
+    # This process runs exactly one cell at a time: no nested pools.
+    params = dataclasses.replace(params, workers=1)
+
+    injector: FaultInjector | None = None
+    if fault_specs:
+        injector = FaultInjector([dataclasses.replace(s) for s in fault_specs])
+        injector.reset()  # fresh per-process budgets
+
+    emitter = HeartbeatEmitter(
+        worker_id, heartbeat_queue, params.effective_heartbeat_interval()
+    )
+    emitter.start()
+    executor = SuiteExecutor(params, injector=injector)
+
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        site = FaultSite(
+            kernel="*", variant=task.variant, trial=task.trial, machine=task.machine
+        )
+        if injector is not None:
+            if injector.worker_crash(site, task.attempt) is not None:
+                os._exit(WORKER_CRASH_EXITCODE)  # the segfault equivalent
+            stall = injector.stale_seconds(site, task.attempt)
+            if stall:
+                emitter.suppress()
+                time.sleep(stall)  # wedged: the supervisor must kill us
+        try:
+            result = run_cell_task(executor, task, write_files)
+        except BaseException as exc:  # noqa: BLE001 - cell never dies silently
+            result = CellResult(
+                worker_id=worker_id,
+                key=task.key,
+                status=STATUS_FAILED,
+                records=[
+                    KernelRunRecord(
+                        kernel="<worker>",
+                        machine=task.machine,
+                        variant=task.variant,
+                        tuning=task.tuning,
+                        trial=task.trial,
+                        status=STATUS_FAILED,
+                        attempts=task.attempt,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                ],
+                failed_kernels=["<worker>"],
+            )
+        result.worker_id = worker_id
+        result_queue.put(result)
+    emitter.stop()

@@ -20,6 +20,7 @@ from repro.util.units import (
     parse_size,
 )
 from repro.util.tables import TextTable, render_barchart
+from repro.util.fsio import durable_replace, fsync_dir, write_durable_text
 from repro.util.validation import (
     check_positive,
     check_in,
@@ -42,6 +43,9 @@ __all__ = [
     "parse_size",
     "TextTable",
     "render_barchart",
+    "durable_replace",
+    "fsync_dir",
+    "write_durable_text",
     "check_positive",
     "check_in",
     "check_probability_vector",

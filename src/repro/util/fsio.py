@@ -1,0 +1,51 @@
+"""Durable filesystem primitives for the crash-safe stores.
+
+The profile store and the campaign manifest both follow the same
+protocol: write the payload to a tmp sibling, fsync it, ``os.replace``
+it over the target, then fsync the containing directory so the rename
+itself survives a power cut. These helpers keep that protocol in one
+place; fsync failures on filesystems that do not support it (some CI
+overlays) are tolerated — atomicity still holds, only durability
+degrades.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a completed rename inside it is durable."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_replace(tmp: str | Path, target: str | Path) -> None:
+    """``os.replace`` + directory fsync (the tmp must already be synced)."""
+    os.replace(tmp, target)
+    fsync_dir(Path(target).parent)
+
+
+def write_durable_text(target: str | Path, text: str) -> Path:
+    """Crash-safe whole-file write: tmp sibling + fsync + atomic replace."""
+    out = Path(target)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out.with_suffix(out.suffix + ".tmp")
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except OSError:  # pragma: no cover - fs without fsync
+            pass
+    durable_replace(tmp, out)
+    return out
