@@ -1,0 +1,221 @@
+"""Ingest throughput at paper scale: 1000 profiles, seed path vs packed.
+
+The paper's workflow is "run the suite everywhere, then EDA over *many*
+runs" — thousands of sealed ``.cali`` files per campaign. The seed
+ingest opened, CRC-checked, JSON-parsed, and object-ified them one at a
+time, then built per-row dicts for ``Frame.from_records``. This bench
+builds a synthetic 1000-profile campaign in the *seed's* on-disk layout
+(pretty-printed loose files) and times three ingest strategies:
+
+* ``seed serial``   — the seed composition path, re-enacted faithfully
+  (``read_cali`` object trees -> per-row dicts -> ``from_records``);
+* ``columnar cold`` — the packed archive through the rewritten columnar
+  ingest, cache disabled (pure parse+compose improvement);
+* ``packed cached`` — the packed archive with the content-addressed
+  ingest cache primed (the steady state ``pack`` leaves a campaign in):
+  a repeated ``analyze`` must not re-parse a single payload.
+
+Asserted: all three produce identical Thicket tables, the cached path
+is >= 5x the seed path end to end, and a warm-cache load really never
+touches a payload parser.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from conftest import save_artifact
+
+from repro.caliper import calipack
+from repro.caliper.cali import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    footer_line,
+    read_cali,
+)
+from repro.dataframe import Frame
+from repro.thicket import Thicket
+from repro.thicket import ingest
+from repro.thicket.ingest_cache import CACHE_DIR_NAME
+
+N_PROFILES = 1000
+GROUPS = ("Basic", "Stream", "Polybench")
+KERNELS_PER_GROUP = 4
+METRICS = (
+    "Avg time/rank", "Bytes/rep", "Flops/rep", "iterations", "reps",
+    "Retiring", "Frontend bound", "Backend bound", "Bad speculation",
+)
+
+
+def _profile_payload(i: int) -> dict:
+    """One synthetic profile as the seed would have serialized it."""
+    rng = np.random.default_rng(i)
+    kernels = []
+    for g, group in enumerate(GROUPS):
+        children = []
+        for k in range(KERNELS_PER_GROUP):
+            metrics = {
+                name: float(rng.uniform(0.1, 10.0)) for name in METRICS
+            }
+            children.append(
+                {"name": f"{group}_K{k}", "metrics": metrics, "children": []}
+            )
+        kernels.append(
+            {"name": group, "metrics": {"Avg time/rank": float(g)},
+             "children": children}
+        )
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "globals": {
+            "machine": f"m{i % 4}",
+            "variant": f"variant{i % 25}",
+            "tuning": "default",
+            "trial": i // 100,
+            "problem_size": 32_000_000,
+        },
+        "records": [
+            {"name": "RAJAPerf", "metrics": {}, "children": kernels}
+        ],
+    }
+
+
+def _write_seed_style(path: Path, payload_obj: dict) -> None:
+    """A sealed file exactly as the seed wrote it (pretty-printed)."""
+    payload = json.dumps(payload_obj, indent=1).encode("utf-8")
+    path.write_bytes(
+        payload + ("\n" + footer_line(payload) + "\n").encode("ascii")
+    )
+
+
+def _seed_compose(paths: list[str]) -> tuple[Frame, Frame]:
+    """The seed's exact composition path: object trees -> row dicts."""
+    profiles = [read_cali(p) for p in paths]
+    data_records: list[dict] = []
+    meta_records: list[dict] = []
+    for idx, profile in enumerate(profiles):
+        pid = ingest.profile_id(profile.globals, idx)
+        meta = {"profile": pid}
+        meta.update(profile.globals)
+        meta_records.append(meta)
+        for node in profile.walk():
+            rec = {
+                "profile": pid,
+                "name": node.name,
+                "path": "/".join(node.path),
+                "depth": node.depth,
+            }
+            rec.update(node.metrics)
+            data_records.append(rec)
+    frame = Frame.from_records(data_records)
+    for col in frame.columns:
+        if col in ("profile", "name", "path"):
+            continue
+        arr = frame[col]
+        if arr.dtype == object:
+            coerced = np.array(
+                [np.nan if v is None else v for v in arr], dtype=object
+            )
+            try:
+                frame = frame.with_column(col, coerced.astype(float))
+            except (TypeError, ValueError):
+                frame = frame.with_column(col, coerced)
+    return frame, Frame.from_records(meta_records)
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """(loose files dir, packed archive, primed cache dir) at 1000 profiles."""
+    loose = tmp_path_factory.mktemp("campaign_loose")
+    packed = tmp_path_factory.mktemp("campaign_packed")
+    for i in range(N_PROFILES):
+        payload = _profile_payload(i)
+        _write_seed_style(loose / f"p{i:04d}.cali", payload)
+        _write_seed_style(packed / f"p{i:04d}.cali", payload)
+    archive, entries = calipack.pack_directory(packed)
+    assert len(entries) == N_PROFILES
+    cache_dir = packed / CACHE_DIR_NAME
+    # `pack` primes the cache (it read every payload anyway): emulate it.
+    Thicket.from_caliperreader(str(archive), cache=cache_dir)
+    files = sorted(str(p) for p in loose.glob("*.cali"))
+    return files, archive, cache_dir
+
+
+def bench_ingest_seed_serial(benchmark, campaign):
+    """Baseline: the seed's serial, row-dict composition of loose files."""
+    files, _, _ = campaign
+    frame, metadata = benchmark.pedantic(
+        _seed_compose, args=(files,), rounds=1, iterations=1
+    )
+    assert frame.nrows == N_PROFILES * (1 + len(GROUPS) * (1 + KERNELS_PER_GROUP))
+    assert metadata.nrows == N_PROFILES
+
+
+def bench_ingest_columnar_cold(benchmark, campaign):
+    """The packed archive through the columnar ingest, no cache."""
+    _, archive, _ = campaign
+    thicket = benchmark.pedantic(
+        Thicket.from_caliperreader, args=(str(archive),),
+        rounds=2, iterations=1,
+    )
+    assert thicket.metadata.nrows == N_PROFILES
+
+
+def bench_ingest_packed_cached(benchmark, campaign, artifact_dir):
+    """The acceptance bench: packed + cached analyze >= 5x the seed path,
+    identical tables, zero payload parses on a warm cache."""
+    files, archive, cache_dir = campaign
+
+    start = time.perf_counter()
+    seed_frame, seed_meta = _seed_compose(files)
+    seed_seconds = time.perf_counter() - start
+
+    # A warm-cache load must not parse any payload: break the parser.
+    real_parse = ingest.parse_cali_payload
+    ingest.parse_cali_payload = _refuse_to_parse
+    try:
+        thicket = benchmark.pedantic(
+            lambda: Thicket.from_caliperreader(str(archive), cache=cache_dir),
+            rounds=3, iterations=1,
+        )
+    finally:
+        ingest.parse_cali_payload = real_parse
+
+    assert thicket.dataframe.equals(seed_frame)
+    assert thicket.metadata.equals(seed_meta)
+
+    fast_seconds = benchmark.stats.stats.mean
+    speedup = seed_seconds / fast_seconds
+    save_artifact(
+        artifact_dir,
+        "ingest_speedup",
+        f"profiles:            {N_PROFILES}\n"
+        f"seed serial path:    {seed_seconds:.3f} s\n"
+        f"packed+cached path:  {fast_seconds:.3f} s\n"
+        f"speedup:             {speedup:.1f}x",
+    )
+    assert speedup >= 5.0, (
+        f"packed+cached ingest only {speedup:.1f}x faster than the seed "
+        f"path ({fast_seconds:.3f}s vs {seed_seconds:.3f}s)"
+    )
+
+
+def _refuse_to_parse(*args, **kwargs):
+    raise AssertionError("warm-cache ingest parsed a payload")
+
+
+def bench_ingest_equivalence(campaign):
+    """File/archive and serial/parallel ingest: identical Thicket tables."""
+    files, archive, _ = campaign
+    subset = files[:64]
+    serial = Thicket.from_caliperreader(subset)
+    parallel = Thicket.from_caliperreader(subset, workers=4)
+    assert serial.dataframe.equals(parallel.dataframe)
+    assert serial.metadata.equals(parallel.metadata)
+    from_archive = Thicket.from_caliperreader(str(archive))
+    from_files = _seed_compose(files)[0]
+    assert from_archive.dataframe.equals(from_files)

@@ -74,6 +74,28 @@ def footer_line(payload: bytes, crc: int | None = None) -> str:
     return f"{FOOTER_MARKER} v{FOOTER_VERSION} len={len(payload)} crc32={crc:08x}"
 
 
+def serialize_cali(profile: CaliProfile, corrupt_crc: bool = False) -> bytes:
+    """The exact sealed bytes of a ``.cali`` file: compact payload + footer.
+
+    Payloads are written compact (no indentation) — smaller files, and a
+    faster CRC + parse on every later ingest. ``corrupt_crc`` seals with
+    a deliberately wrong CRC (the ``FOOTER_CORRUPTION`` fault).
+    """
+    payload_obj = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "globals": profile.globals,
+        "records": [_node_to_dict(root) for root in profile.roots],
+    }
+    payload = json.dumps(
+        payload_obj, separators=(",", ":"), default=_jsonable
+    ).encode("utf-8")
+    crc = None
+    if corrupt_crc:
+        crc = (zlib.crc32(payload) ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    return payload + ("\n" + footer_line(payload, crc) + "\n").encode("ascii")
+
+
 def write_cali(profile: CaliProfile, path: str | Path) -> Path:
     """Serialize a profile to a sealed ``.cali`` (JSON) file; returns the path.
 
@@ -86,21 +108,12 @@ def write_cali(profile: CaliProfile, path: str | Path) -> Path:
     """
     from repro.faults import active_injector
 
-    payload_obj = {
-        "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
-        "globals": profile.globals,
-        "records": [_node_to_dict(root) for root in profile.roots],
-    }
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    payload = json.dumps(payload_obj, indent=1, default=_jsonable).encode("utf-8")
-    crc = None
     injector = active_injector()
-    if injector is not None and injector.footer_fault(out.name) is not None:
-        # Bit-rot simulation: the write completes, but the seal is wrong.
-        crc = (zlib.crc32(payload) ^ 0xFFFFFFFF) & 0xFFFFFFFF
-    data = payload + ("\n" + footer_line(payload, crc) + "\n").encode("ascii")
+    # Bit-rot simulation: the write completes, but the seal is wrong.
+    corrupt = injector is not None and injector.footer_fault(out.name) is not None
+    data = serialize_cali(profile, corrupt_crc=corrupt)
     tmp = out.with_suffix(out.suffix + ".tmp")
     if injector is not None and injector.io_fault(out.name) is not None:
         # Simulate an interrupted write: a truncated tmp file, then the
@@ -196,27 +209,65 @@ def verify_cali(path: str | Path) -> tuple[str, str]:
     return status, detail
 
 
+def parse_cali_payload(raw: bytes, source: str = "<bytes>") -> dict[str, Any]:
+    """Raw sealed/unsealed ``.cali`` bytes -> the validated payload dict.
+
+    The columnar ingest path stops here (it walks the plain dict tree
+    instead of building :class:`RegionRecord` objects); :func:`read_cali`
+    continues to a full profile. Damage raises :class:`ValueError` with
+    the damage class in the message.
+    """
+    status, detail, payload_bytes = _analyze_bytes(raw)
+    if status in (STATUS_TRUNCATED, STATUS_CORRUPT):
+        raise ValueError(f"{source}: {status} .cali file: {detail}")
+    payload = json.loads(payload_bytes.decode("utf-8"))
+    if payload.get("format") != FORMAT_NAME:
+        raise ValueError(f"{source}: not a {FORMAT_NAME} file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{source}: unsupported version {payload.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return payload
+
+
+def profile_from_payload(payload: dict[str, Any]) -> CaliProfile:
+    """Build a full :class:`CaliProfile` from a parsed payload dict."""
+    profile = CaliProfile(globals=dict(payload.get("globals", {})))
+    profile.roots = [_node_from_dict(r, ()) for r in payload.get("records", [])]
+    return profile
+
+
 def read_cali(path: str | Path) -> CaliProfile:
     """Load a profile written by :func:`write_cali`, verifying its seal.
 
     A truncated or corrupt file raises :class:`ValueError` with the
     damage class in the message; unsealed (pre-footer) files still load.
     """
-    raw = Path(path).read_bytes()
-    status, detail, payload_bytes = _analyze_bytes(raw)
-    if status in (STATUS_TRUNCATED, STATUS_CORRUPT):
-        raise ValueError(f"{path}: {status} .cali file: {detail}")
-    payload = json.loads(payload_bytes.decode("utf-8"))
-    if payload.get("format") != FORMAT_NAME:
-        raise ValueError(f"{path}: not a {FORMAT_NAME} file")
-    if payload.get("version") != FORMAT_VERSION:
-        raise ValueError(
-            f"{path}: unsupported version {payload.get('version')!r} "
-            f"(expected {FORMAT_VERSION})"
-        )
-    profile = CaliProfile(globals=dict(payload.get("globals", {})))
-    profile.roots = [_node_from_dict(r, ()) for r in payload.get("records", [])]
-    return profile
+    return profile_from_payload(
+        parse_cali_payload(Path(path).read_bytes(), str(path))
+    )
+
+
+def sealed_crc32(path: str | Path) -> int:
+    """A ``.cali`` file's content identity *without* reading the payload.
+
+    Sealed files declare their payload CRC32 in the footer — read just
+    the tail and trust the seal (ingest verifies it before parsing
+    anyway). Unsealed/damaged files fall back to a CRC over the whole
+    file. This is what keys the content-addressed ingest cache.
+    """
+    p = Path(path)
+    size = p.stat().st_size
+    with open(p, "rb") as handle:
+        handle.seek(max(0, size - 256))
+        tail = handle.read()
+    match = re.search(rb"\n(#cali-footer [^\n]*)\n?$", tail)
+    if match is not None:
+        parsed = _FOOTER_RE.match(match.group(1).decode("ascii", "replace"))
+        if parsed is not None:
+            return int(parsed.group(3), 16)
+    return zlib.crc32(p.read_bytes()) & 0xFFFFFFFF
 
 
 def _jsonable(value: Any) -> Any:

@@ -1,0 +1,535 @@
+"""``.calipack``: a packed, append-only campaign profile archive.
+
+A paper-scale campaign produces thousands of small sealed ``.cali``
+files; opening, fsyncing, and re-scanning them one at a time is the
+ingest wall. A ``.calipack`` collapses a campaign directory into one
+append-only container:
+
+::
+
+    #calipack v1
+    #calipack-entry name=<fname> len=<bytes>
+    <sealed .cali bytes, verbatim>
+    #calipack-entry name=<fname> len=<bytes>
+    <sealed .cali bytes, verbatim>
+    ...
+    <index JSON>
+    #calipack-footer v1 index_off=<off> index_len=<len> crc32=<8 hex>
+
+Entries are the *exact* bytes :func:`repro.caliper.cali.write_cali`
+would have written (payload + CRC32 seal), so ``unpack`` restores
+byte-identical files and every entry stays independently verifiable.
+The index records ``(name, offset, length, crc32)`` per entry — the
+CRC here covers the stored entry bytes and doubles as the entry's
+content address for the ingest cache. The index itself is sealed by
+the footer's CRC32.
+
+Durability mirrors the profile store: appends go through a single
+``os.write`` after truncating any garbage tail left by a crashed or
+fault-injected append, the handle is fsynced on :meth:`CalipackWriter.
+close` (which writes index + footer), and whole-archive rewrites go
+through the durable tmp+``os.replace`` machinery. An archive that
+crashed before ``close`` has no footer; :func:`recover_entries` scans
+the entry framing headers and salvages every complete entry — the
+supervisor runs exactly this when merging per-worker segments.
+
+Member references use ``<archive>::<entry name>`` strings (manifest
+``file`` fields, CLI arguments, fsck reports).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.caliper.cali import _analyze_bytes, serialize_cali
+from repro.caliper.records import CaliProfile
+from repro.util.fsio import durable_replace, fsync_dir
+
+ARCHIVE_SUFFIX = ".calipack"
+ARCHIVE_NAME = "campaign" + ARCHIVE_SUFFIX
+SEGMENT_DIR = "segments"
+MEMBER_SEP = "::"
+
+MAGIC = b"#calipack v1\n"
+INDEX_FORMAT = "calipack-index"
+INDEX_VERSION = 1
+
+_ENTRY_RE = re.compile(rb"#calipack-entry name=([^\n ]+) len=(\d+)\n")
+_FOOTER_RE = re.compile(
+    rb"#calipack-footer v1 index_off=(\d+) index_len=(\d+) "
+    rb"crc32=([0-9a-fA-F]{8})\n?$"
+)
+#: generous bound on the footer line's size, for the tail read
+_FOOTER_TAIL = 128
+
+
+class CalipackError(ValueError):
+    """A structurally damaged archive (bad magic, index, or footer)."""
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """One archived profile: where it lives and what its bytes hash to."""
+
+    name: str
+    offset: int
+    length: int
+    crc32: int
+
+    @property
+    def crc_hex(self) -> str:
+        return f"{self.crc32:08x}"
+
+
+def member_ref(archive: str | Path, name: str) -> str:
+    """The ``<archive>::<name>`` reference for one archived profile."""
+    return f"{archive}{MEMBER_SEP}{name}"
+
+
+def split_member_ref(source: str) -> tuple[str, str] | None:
+    """Parse ``<archive>::<name>``; None when ``source`` is not one."""
+    if MEMBER_SEP not in source:
+        return None
+    archive, _, name = source.rpartition(MEMBER_SEP)
+    if not archive.endswith(ARCHIVE_SUFFIX) or not name:
+        return None
+    return archive, name
+
+
+def is_archive(source: str | Path) -> bool:
+    return str(source).endswith(ARCHIVE_SUFFIX)
+
+
+def _entry_header(name: str, length: int) -> bytes:
+    if " " in name or "\n" in name:
+        raise ValueError(f"entry name may not contain spaces/newlines: {name!r}")
+    return f"#calipack-entry name={name} len={length}\n".encode("ascii")
+
+
+class CalipackWriter:
+    """Append entries to one archive; ``close()`` writes index + footer.
+
+    A writer owns its file exclusively (per-worker segments, or the
+    supervisor's merge). ``append_bytes`` truncates any garbage tail a
+    previous failed append left behind, so framing never goes bad, and
+    keeps the in-memory index authoritative. Entries replace earlier
+    ones of the same name (last-wins — a retried cell supersedes the
+    crashed attempt's profile).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._entries: dict[str, ArchiveEntry] = {}
+        if self.path.exists():
+            entries, good_end = scan_entries(self.path)
+            for entry in entries:
+                self._entries[entry.name] = entry
+            self._handle = open(self.path, "r+b")
+            self._handle.truncate(good_end)
+            self._handle.seek(good_end)
+        else:
+            self._handle = open(self.path, "w+b")
+            self._handle.write(MAGIC)
+        self._good_end = self._handle.tell()
+        self._closed = False
+
+    def __enter__(self) -> "CalipackWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def entries(self) -> list[ArchiveEntry]:
+        return list(self._entries.values())
+
+    def append_bytes(self, name: str, data: bytes) -> ArchiveEntry:
+        """Append one sealed ``.cali`` blob under ``name``."""
+        from repro.faults import active_injector
+
+        if self._closed:
+            raise ValueError(f"writer for {self.path} is closed")
+        # A failed append leaves a partial tail: cut it before writing.
+        self._handle.truncate(self._good_end)
+        self._handle.seek(self._good_end)
+        header = _entry_header(name, len(data))
+        injector = active_injector()
+        if injector is not None and injector.io_fault(name) is not None:
+            # Simulate an interrupted append: half the entry lands, then
+            # the failure. The next append (or recovery scan) drops it.
+            blob = header + data
+            self._handle.write(blob[: max(1, len(blob) // 2)])
+            self._handle.flush()
+            raise OSError(f"injected I/O write failure for {self.path}::{name}")
+        self._handle.write(header)
+        offset = self._handle.tell()
+        self._handle.write(data)
+        self._handle.flush()
+        self._good_end = self._handle.tell()
+        entry = ArchiveEntry(
+            name=name,
+            offset=offset,
+            length=len(data),
+            crc32=zlib.crc32(data) & 0xFFFFFFFF,
+        )
+        self._entries[name] = entry
+        return entry
+
+    def append_profile(self, name: str, profile: CaliProfile,
+                       corrupt_crc: bool = False) -> ArchiveEntry:
+        return self.append_bytes(name, serialize_cali(profile, corrupt_crc))
+
+    def close(self) -> Path:
+        """Seal the archive: write the index and footer, fsync."""
+        if self._closed:
+            return self.path
+        self._closed = True
+        self._handle.truncate(self._good_end)
+        self._handle.seek(self._good_end)
+        index = json.dumps(
+            {
+                "format": INDEX_FORMAT,
+                "version": INDEX_VERSION,
+                "entries": [
+                    {
+                        "name": e.name,
+                        "offset": e.offset,
+                        "length": e.length,
+                        "crc32": e.crc_hex,
+                    }
+                    for e in self._entries.values()
+                ],
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        crc = zlib.crc32(index) & 0xFFFFFFFF
+        self._handle.write(index)
+        self._handle.write(
+            f"\n#calipack-footer v1 index_off={self._good_end} "
+            f"index_len={len(index)} crc32={crc:08x}\n".encode("ascii")
+        )
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:  # pragma: no cover - fs without fsync
+            pass
+        self._handle.close()
+        fsync_dir(self.path.parent)
+        return self.path
+
+    def abort(self) -> None:
+        """Close the handle without sealing (tests / error paths)."""
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+
+
+class ArchiveSink:
+    """A lazily opened archive the executor streams cell profiles into.
+
+    ``ref_archive`` is the archive name reported back in manifests and
+    cell results: per-worker segments report member refs against the
+    final merged campaign archive, which :func:`merge_segments`
+    guarantees on drain (and campaign startup salvages after a crash),
+    so recorded refs never dangle on a stranded segment file.
+    """
+
+    def __init__(
+        self, path: str | Path, ref_archive: str | Path | None = None
+    ) -> None:
+        self.path = Path(path)
+        self.ref_archive = (
+            Path(ref_archive) if ref_archive is not None else self.path
+        )
+        self._writer: CalipackWriter | None = None
+
+    def append(
+        self, name: str, profile: CaliProfile, corrupt_crc: bool = False
+    ) -> str:
+        """Append one cell's profile; returns its member ref."""
+        if self._writer is None:
+            self._writer = CalipackWriter(self.path)
+        self._writer.append_profile(name, profile, corrupt_crc)
+        return member_ref(self.ref_archive, name)
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+
+# ------------------------------------------------------------------ reading
+def read_footer(path: str | Path) -> tuple[int, int, int] | None:
+    """``(index_off, index_len, crc32)`` from the footer, or None."""
+    p = Path(path)
+    size = p.stat().st_size
+    with open(p, "rb") as handle:
+        handle.seek(max(0, size - _FOOTER_TAIL))
+        tail = handle.read()
+    at = tail.rfind(b"#calipack-footer ")
+    if at < 0:
+        return None
+    match = _FOOTER_RE.match(tail[at:])
+    if match is None:
+        return None
+    return int(match.group(1)), int(match.group(2)), int(match.group(3), 16)
+
+
+def load_index(path: str | Path) -> list[ArchiveEntry]:
+    """The archive's sealed entry index (verifying its CRC).
+
+    Raises :class:`CalipackError` for a missing/damaged footer or index
+    — callers that want salvage semantics use :func:`scan_entries`.
+    """
+    p = Path(path)
+    with open(p, "rb") as handle:
+        if handle.read(len(MAGIC)) != MAGIC:
+            raise CalipackError(f"{p}: not a calipack archive")
+    footer = read_footer(p)
+    if footer is None:
+        raise CalipackError(f"{p}: no archive footer (unfinished archive?)")
+    index_off, index_len, declared_crc = footer
+    with open(p, "rb") as handle:
+        handle.seek(index_off)
+        raw = handle.read(index_len)
+    if len(raw) != index_len:
+        raise CalipackError(f"{p}: index truncated")
+    if zlib.crc32(raw) & 0xFFFFFFFF != declared_crc:
+        raise CalipackError(f"{p}: index CRC mismatch")
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CalipackError(f"{p}: unreadable index ({exc})") from exc
+    if payload.get("format") != INDEX_FORMAT:
+        raise CalipackError(f"{p}: not a {INDEX_FORMAT} index")
+    return [
+        ArchiveEntry(
+            name=e["name"],
+            offset=int(e["offset"]),
+            length=int(e["length"]),
+            crc32=int(e["crc32"], 16),
+        )
+        for e in payload.get("entries", [])
+    ]
+
+
+def scan_entries(path: str | Path) -> tuple[list[ArchiveEntry], int]:
+    """Salvage scan: walk the entry framing headers directly.
+
+    Returns ``(entries, good_end)`` where ``good_end`` is the offset
+    just past the last *complete* entry — a partial tail (crashed
+    append) or an old index/footer region is excluded. Works on
+    unfinished (footer-less) segments; last-wins on duplicate names.
+    """
+    p = Path(path)
+    raw = p.read_bytes()
+    if not raw.startswith(MAGIC):
+        raise CalipackError(f"{p}: not a calipack archive")
+    entries: dict[str, ArchiveEntry] = {}
+    pos = len(MAGIC)
+    good_end = pos
+    while pos < len(raw):
+        match = _ENTRY_RE.match(raw, pos)
+        if match is None:
+            break  # index / footer / partial tail
+        length = int(match.group(2))
+        offset = match.end()
+        if offset + length > len(raw):
+            break  # truncated final entry: drop it
+        data = raw[offset : offset + length]
+        name = match.group(1).decode("ascii", "replace")
+        entries[name] = ArchiveEntry(
+            name=name,
+            offset=offset,
+            length=length,
+            crc32=zlib.crc32(data) & 0xFFFFFFFF,
+        )
+        pos = offset + length
+        good_end = pos
+    return list(entries.values()), good_end
+
+
+def load_entries(path: str | Path) -> list[ArchiveEntry]:
+    """Index when sealed, salvage scan otherwise (crashed segments)."""
+    try:
+        return load_index(path)
+    except CalipackError:
+        entries, _ = scan_entries(path)
+        return entries
+
+
+def read_entry_bytes(
+    path: str | Path, entry: ArchiveEntry, verify: bool = True
+) -> bytes:
+    """One entry's stored (sealed ``.cali``) bytes, CRC-checked."""
+    with open(path, "rb") as handle:
+        handle.seek(entry.offset)
+        data = handle.read(entry.length)
+    if len(data) != entry.length:
+        raise ValueError(
+            f"{member_ref(path, entry.name)}: truncated archive entry "
+            f"({len(data)} of {entry.length} bytes)"
+        )
+    if verify and zlib.crc32(data) & 0xFFFFFFFF != entry.crc32:
+        raise ValueError(
+            f"{member_ref(path, entry.name)}: corrupt archive entry "
+            f"(index CRC mismatch)"
+        )
+    return data
+
+
+def find_entry(path: str | Path, name: str) -> ArchiveEntry:
+    for entry in load_entries(path):
+        if entry.name == name:
+            return entry
+    raise KeyError(f"{path}: no archive entry named {name!r}")
+
+
+def verify_entry(path: str | Path, entry: ArchiveEntry) -> tuple[str, str]:
+    """Classify one entry like ``verify_cali``: archive CRC, then seal."""
+    with open(path, "rb") as handle:
+        handle.seek(entry.offset)
+        data = handle.read(entry.length)
+    if len(data) != entry.length:
+        return "truncated", f"{len(data)} of {entry.length} entry bytes on disk"
+    if zlib.crc32(data) & 0xFFFFFFFF != entry.crc32:
+        return "corrupt", "archive index CRC mismatch"
+    status, detail, payload = _analyze_bytes(data)
+    if status in ("ok", "unsealed"):
+        try:
+            json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            return "corrupt", f"sealed payload is not JSON ({exc})"
+    return status, detail
+
+
+# --------------------------------------------------------------- conversion
+def pack_directory(
+    directory: str | Path,
+    archive: str | Path | None = None,
+    remove: bool = True,
+) -> tuple[Path, list[ArchiveEntry]]:
+    """Pack every loose ``.cali`` in ``directory`` into one archive.
+
+    Entries store the files' bytes verbatim (seals included). With
+    ``remove`` (the default) the loose files are deleted afterwards and
+    the campaign manifest's ``file`` fields are rewritten to
+    ``<archive>::<name>`` member refs. The archive is built in a tmp
+    sibling and durably replaced, so a crash mid-pack loses nothing.
+    """
+    directory = Path(directory)
+    target = Path(archive) if archive is not None else directory / ARCHIVE_NAME
+    files = sorted(directory.glob("*.cali"))
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    if tmp.exists():
+        tmp.unlink()
+    writer = CalipackWriter(tmp)
+    try:
+        if target.exists():  # repack: carry existing entries over
+            for entry in load_entries(target):
+                writer.append_bytes(entry.name, read_entry_bytes(target, entry))
+        for path in files:
+            writer.append_bytes(path.name, path.read_bytes())
+    except BaseException:
+        writer.abort()
+        tmp.unlink(missing_ok=True)
+        raise
+    writer.close()
+    durable_replace(tmp, target)
+    entries = load_index(target)
+    if remove:
+        for path in files:
+            path.unlink()
+        _rewrite_manifest_refs(directory, target, pack=True)
+    return target, entries
+
+
+def unpack_archive(
+    archive: str | Path,
+    directory: str | Path | None = None,
+    remove: bool = True,
+) -> list[Path]:
+    """Restore an archive's entries as loose ``.cali`` files (verbatim)."""
+    archive = Path(archive)
+    directory = Path(directory) if directory is not None else archive.parent
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for entry in load_entries(archive):
+        out = directory / entry.name
+        tmp = out.with_suffix(out.suffix + ".tmp")
+        tmp.write_bytes(read_entry_bytes(archive, entry))
+        durable_replace(tmp, out)
+        written.append(out)
+    if remove:
+        archive.unlink()
+        _rewrite_manifest_refs(directory, archive, pack=False)
+    return written
+
+
+def _rewrite_manifest_refs(directory: Path, archive: Path, pack: bool) -> None:
+    """Point manifest ``file`` fields at the archive (or back at files)."""
+    from repro.suite.manifest import MANIFEST_NAME, CampaignManifest
+
+    if not (directory / MANIFEST_NAME).exists():
+        return
+    try:
+        fingerprint = json.loads(
+            (directory / MANIFEST_NAME).read_text()
+        ).get("fingerprint", {})
+    except (OSError, ValueError):
+        return
+    manifest = CampaignManifest.load_or_create(directory, fingerprint)
+    changed = False
+    for entry in manifest.cells.values():
+        file = entry.get("file")
+        if not file:
+            continue
+        ref = split_member_ref(file)
+        if pack and ref is None:
+            entry["file"] = member_ref(archive, Path(file).name)
+            changed = True
+        elif not pack and ref is not None:
+            entry["file"] = str(directory / ref[1])
+            changed = True
+    if changed:
+        manifest.save()
+
+
+def merge_segments(
+    directory: str | Path, archive: str | Path | None = None
+) -> Path | None:
+    """Merge ``segments/*.calipack`` into the campaign archive.
+
+    The supervisor calls this on drain; campaign startup calls it too,
+    so segments stranded by a crash are salvaged (footer-less segments
+    go through the recovery scan). Merged segments are deleted. Returns
+    the archive path, or None when there was nothing to merge.
+    """
+    directory = Path(directory)
+    seg_dir = directory / SEGMENT_DIR
+    segments = sorted(seg_dir.glob("*" + ARCHIVE_SUFFIX)) if seg_dir.is_dir() else []
+    if not segments:
+        return None
+    target = Path(archive) if archive is not None else directory / ARCHIVE_NAME
+    writer = CalipackWriter(target)
+    try:
+        for segment in segments:
+            for entry in load_entries(segment):
+                writer.append_bytes(
+                    entry.name, read_entry_bytes(segment, entry)
+                )
+    finally:
+        writer.close()
+    for segment in segments:
+        segment.unlink()
+    try:
+        seg_dir.rmdir()
+    except OSError:
+        pass
+    return target

@@ -19,6 +19,9 @@ Subcommands mirror how the paper's pipeline is driven:
     Write every figure's underlying data as plot-ready CSV files.
 ``report``
     Caliper-style runtime report of a ``.cali`` profile.
+``pack`` / ``unpack``
+    Convert a campaign between loose ``.cali`` files and a packed
+    ``.calipack`` archive (``pack`` also primes the ingest cache).
 ``list``
     Enumerate kernels, groups, variants, or machines (RAJAPerf's
     ``--print-kernels`` etc.).
@@ -72,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="repeated measurements (applies the noise model)")
     run.add_argument("--csv", action="store_true",
                      help="also write RAJAPerf-style per-run CSV files")
+    run.add_argument("--pack", action="store_true",
+                     help="write profiles into a packed campaign.calipack "
+                          "archive instead of loose .cali files")
     run.add_argument("--output-dir", default=".", help="where to write .cali files")
     run.add_argument("--paper", action="store_true",
                      help="use exactly the paper's Table III configuration")
@@ -95,12 +101,45 @@ def build_parser() -> argparse.ArgumentParser:
                           "for this long (supervised mode)")
 
     analyze = sub.add_parser("analyze", help="Thicket EDA over .cali profiles")
-    analyze.add_argument("files", nargs="+", help=".cali files to compose")
+    analyze.add_argument("files", nargs="+",
+                         help=".cali files, .calipack archives, or "
+                              "archive::entry member refs to compose")
     analyze.add_argument("--metric", default="Avg time/rank")
     analyze.add_argument("--tree", action="store_true", help="print region trees")
     analyze.add_argument("--strict", action="store_true",
                          help="fail on unreadable .cali files instead of "
                               "warning and analyzing the survivors")
+    analyze.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="parallel ingest processes (sources split by "
+                              "index ranges; result identical to serial)")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="skip the content-addressed ingest cache "
+                              "(.ingest_cache/ beside the first source)")
+
+    pack = sub.add_parser(
+        "pack",
+        help="pack a campaign's .cali files into one .calipack archive",
+        description="Collapse every loose .cali in a campaign directory "
+                    "into an append-only campaign.calipack (entries stored "
+                    "verbatim, CRC32-indexed), rewrite manifest file refs, "
+                    "and prime the ingest cache.",
+    )
+    pack.add_argument("directory", help="campaign output directory")
+    pack.add_argument("--keep", action="store_true",
+                      help="keep the loose .cali files (archive is a copy)")
+    pack.add_argument("--no-cache", action="store_true",
+                      help="do not prime the ingest cache after packing")
+
+    unpack = sub.add_parser(
+        "unpack",
+        help="restore a .calipack archive back to loose .cali files",
+    )
+    unpack.add_argument("archive", help="the .calipack to unpack")
+    unpack.add_argument("--dir", default=None,
+                        help="where to write the files (default: beside "
+                             "the archive)")
+    unpack.add_argument("--keep", action="store_true",
+                        help="keep the archive after unpacking")
 
     exp = sub.add_parser("experiment", help="regenerate paper artifacts")
     exp.add_argument("ids", nargs="*", default=[],
@@ -170,6 +209,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         execute=args.execute,
         trials=args.trials,
         write_csv=args.csv,
+        pack=args.pack,
         output_dir=args.output_dir,
         resume=args.resume,
         fail_fast=args.fail_fast,
@@ -210,11 +250,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     import warnings as _warnings
 
     from repro.thicket import ProfileLoadWarning, Thicket
+    from repro.thicket.ingest_cache import default_cache_dir
 
+    cache = None if args.no_cache else default_cache_dir(args.files[0])
     with _warnings.catch_warnings(record=True) as caught:
         _warnings.simplefilter("always", ProfileLoadWarning)
         thicket = Thicket.from_caliperreader(
-            args.files, on_error="raise" if args.strict else "warn"
+            args.files,
+            on_error="raise" if args.strict else "warn",
+            workers=args.workers,
+            cache=cache,
         )
     for warning in caught:
         print(f"warning: {warning.message}", file=sys.stderr)
@@ -320,6 +365,53 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.caliper.calipack import CalipackError, pack_directory
+    from repro.thicket import Thicket
+    from repro.thicket.ingest_cache import CACHE_DIR_NAME
+
+    try:
+        archive, entries = pack_directory(args.directory, remove=not args.keep)
+    except (CalipackError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"packed {len(entries)} profile(s) into {archive}")
+    if not args.no_cache and entries:
+        # Packing read every payload anyway: compose once now so the next
+        # analyze over the archive is a pure cache load.
+        import warnings as _warnings
+
+        from pathlib import Path
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore")
+            try:
+                Thicket.from_caliperreader(
+                    str(archive),
+                    on_error="warn",
+                    cache=Path(args.directory) / CACHE_DIR_NAME,
+                )
+            except ValueError:
+                pass  # nothing readable: pack succeeded, cache stays cold
+        print(f"primed ingest cache in {Path(args.directory) / CACHE_DIR_NAME}")
+    return 0
+
+
+def _cmd_unpack(args: argparse.Namespace) -> int:
+    from repro.caliper.calipack import CalipackError, unpack_archive
+
+    try:
+        written = unpack_archive(
+            args.archive, directory=args.dir, remove=not args.keep
+        )
+    except (CalipackError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_fsck(args: argparse.Namespace) -> int:
     from repro.suite.fsck import fsck_directory
 
@@ -344,6 +436,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "list": _cmd_list,
         "fsck": _cmd_fsck,
+        "pack": _cmd_pack,
+        "unpack": _cmd_unpack,
     }
     return handlers[args.command](args)
 

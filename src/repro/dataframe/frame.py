@@ -59,11 +59,11 @@ class Frame:
         rows = list(records)
         if not rows:
             return cls()
-        keys: list[str] = []
+        # Ordered-set union of keys: a dict keeps first-seen order without
+        # the quadratic `key not in list` scan per row.
+        keys: dict[str, None] = {}
         for row in rows:
-            for key in row:
-                if key not in keys:
-                    keys.append(key)
+            keys.update(dict.fromkeys(row))
         data = {key: [row.get(key) for row in rows] for key in keys}
         return cls(data)
 
@@ -98,6 +98,30 @@ class Frame:
         return all(
             np.array_equal(self._cols[c], other._cols[c]) for c in self.columns
         )
+
+    def equals(self, other: "Frame", equal_nan: bool = True) -> bool:
+        """Like ``==`` but treating aligned NaNs as equal (the default).
+
+        ``__eq__`` uses strict ``np.array_equal``, under which a column
+        containing NaN never equals itself — useless for comparing two
+        independently composed ensembles. This is the comparison the
+        ingest-equivalence guarantees are stated in.
+        """
+        if not isinstance(other, Frame):
+            return False
+        if self.columns != other.columns or self.nrows != other.nrows:
+            return False
+        for name in self.columns:
+            a, b = self._cols[name], other._cols[name]
+            if a.dtype != b.dtype:
+                return False
+            if np.array_equal(a, b):
+                continue
+            if not equal_nan or a.dtype.kind != "f":
+                return False
+            if not np.array_equal(a, b, equal_nan=True):
+                return False
+        return True
 
     def __repr__(self) -> str:
         return f"Frame({self.nrows} rows x {len(self._cols)} cols: {self.columns})"

@@ -160,6 +160,10 @@ class SuiteExecutor:
         self.injector = injector
         self.sleep_fn = sleep_fn if sleep_fn is not None else time.sleep
         self._reference_checksums: dict[tuple[type[KernelBase], int], float | None] = {}
+        #: when set, profiles stream into a .calipack instead of loose files
+        self.profile_sink = None  # repro.caliper.calipack.ArchiveSink
+        #: when set, Base_Seq references are shared across processes
+        self.refstore = None  # repro.suite.refchecksums.ReferenceChecksumStore
 
     def selected_kernels(self) -> list[type[KernelBase]]:
         return [cls for cls in all_kernel_classes() if self.params.selects(cls)]
@@ -233,6 +237,18 @@ class SuiteExecutor:
         if write_files:
             lock = CampaignLock.acquire(params.output_dir)
         try:
+            if write_files and params.pack:
+                from repro.caliper.calipack import ARCHIVE_NAME, ArchiveSink, merge_segments
+
+                # Salvage segments stranded by a crashed supervised run.
+                merge_segments(params.output_dir)
+                self.profile_sink = ArchiveSink(
+                    Path(params.output_dir) / ARCHIVE_NAME
+                )
+            if write_files and params.execute:
+                from repro.suite.refchecksums import ReferenceChecksumStore
+
+                self.refstore = ReferenceChecksumStore(params.output_dir)
             if write_files or params.resume:
                 manifest = CampaignManifest.load_or_create(
                     params.output_dir, params.fingerprint()
@@ -265,6 +281,9 @@ class SuiteExecutor:
                     )
                     manifest.save()
         finally:
+            if self.profile_sink is not None:
+                self.profile_sink.close()
+                self.profile_sink = None
             if lock is not None:
                 lock.release()
         return RunResult(profiles=profiles, cali_paths=paths, report=report)
@@ -314,12 +333,26 @@ class SuiteExecutor:
         )
 
     def _write_profile(self, profile: CaliProfile, target: Path, cell: _Cell) -> Path:
-        """Write one ``.cali`` file with the same bounded retry as kernels."""
+        """Write one profile with the same bounded retry as kernels.
+
+        Loose-file mode writes a sealed ``.cali``; packed mode appends
+        the same sealed bytes to the campaign archive (returning the
+        member ref as the recorded path).
+        """
         policy = self.params.retry_policy()
         delays = policy.delays(salt=cell.key)
         attempt = 1
         while True:
             try:
+                if self.profile_sink is not None:
+                    injector = self._active_injector()
+                    corrupt = (
+                        injector is not None
+                        and injector.footer_fault(cell.fname) is not None
+                    )
+                    return Path(
+                        self.profile_sink.append(cell.fname, profile, corrupt)
+                    )
                 return write_cali(profile, target)
             except OSError as exc:
                 if attempt >= policy.max_attempts:
@@ -580,13 +613,30 @@ class SuiteExecutor:
         Computed by an internal, injector-free Base_Seq run so it stays
         trustworthy even when the campaign's own Base_Seq cell was
         corrupted. Kernels without a Base_Seq variant opt out (None).
+        Memoized in-process; when a :class:`ReferenceChecksumStore`
+        sidecar is attached (supervised campaigns), references are also
+        shared across worker processes — the first worker to need one
+        computes and publishes it, everyone else loads it.
         """
-        key = (cls, self.params.execution_size)
-        if key not in self._reference_checksums:
-            base_seq = get_variant("Base_Seq")
-            if not any(v.name == base_seq.name for v in cls.class_variants()):
-                self._reference_checksums[key] = None
-            else:
-                reference = cls(problem_size=self.params.execution_size)
-                self._reference_checksums[key] = reference.run_variant(base_seq)
-        return self._reference_checksums[key]
+        size = self.params.execution_size
+        key = (cls, size)
+        if key in self._reference_checksums:
+            return self._reference_checksums[key]
+        name = cls.class_full_name()
+        if self.refstore is not None:
+            from repro.suite.refchecksums import MISSING
+
+            stored = self.refstore.get(name, size)
+            if stored is not MISSING:
+                self._reference_checksums[key] = stored
+                return stored
+        base_seq = get_variant("Base_Seq")
+        if not any(v.name == base_seq.name for v in cls.class_variants()):
+            value = None
+        else:
+            reference = cls(problem_size=size)
+            value = reference.run_variant(base_seq)
+        self._reference_checksums[key] = value
+        if self.refstore is not None:
+            self.refstore.put(name, size, value)
+        return value

@@ -26,6 +26,13 @@ Damaged and orphaned profiles are moved to a ``quarantine/`` subdirectory
 (never deleted — forensics first), and damaged cells are demoted in the
 manifest so ``--resume`` re-runs exactly them: ``fsck`` + ``run --resume``
 heals a damaged campaign.
+
+Packed campaigns are covered too: every entry of the campaign's
+``.calipack`` archive(s) — including per-worker segments stranded by a
+crash — is verified against the archive index (entry CRC32), then
+against its own seal. Damaged or orphaned *entries* are extracted into
+``quarantine/`` and the archive is rewritten without them, so the same
+``fsck`` + ``run --resume`` healing loop applies.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.caliper import calipack
 from repro.caliper.cali import (
     STATUS_CORRUPT,
     STATUS_OK,
@@ -43,6 +51,7 @@ from repro.caliper.cali import (
     verify_cali,
 )
 from repro.suite.manifest import MANIFEST_NAME, CampaignManifest
+from repro.util.fsio import durable_replace
 
 #: where fsck moves damaged/orphaned profiles (inside the output dir)
 QUARANTINE_DIR = "quarantine"
@@ -52,12 +61,14 @@ STATUS_ORPHANED = "orphaned"
 
 @dataclass
 class ProfileCheck:
-    """One profile's verdict."""
+    """One profile's verdict (a loose file or one archive entry)."""
 
     path: Path
     status: str  # ok | unsealed | truncated | corrupt | orphaned
     detail: str = ""
     cell: str | None = None  # manifest cell key, when the file is known
+    archive: Path | None = None  # the .calipack holding this entry, if any
+    entry: str | None = None  # the archive entry name, if any
 
     @property
     def damaged(self) -> bool:
@@ -132,12 +143,14 @@ class FsckReport:
 
 
 def _cell_by_file(manifest: CampaignManifest) -> dict[str, str]:
-    """filename -> cell key, from the manifest's recorded files."""
+    """filename (or archive entry name) -> cell key, from the manifest."""
     out: dict[str, str] = {}
     for key, entry in manifest.cells.items():
         file = entry.get("file")
-        if file:
-            out[Path(file).name] = key
+        if not file:
+            continue
+        ref = calipack.split_member_ref(file)
+        out[ref[1] if ref is not None else Path(file).name] = key
     return out
 
 
@@ -183,15 +196,123 @@ def fsck_directory(
             ProfileCheck(path=path, status=status, detail=detail, cell=cell)
         )
 
+    archives = sorted(directory.glob("*" + calipack.ARCHIVE_SUFFIX))
+    seg_dir = directory / calipack.SEGMENT_DIR
+    if seg_dir.is_dir():
+        archives += sorted(seg_dir.glob("*" + calipack.ARCHIVE_SUFFIX))
+    for archive in archives:
+        _check_archive(archive, manifest, known, report)
+
     bad = [c for c in report.checks if c.quarantinable]
     if quarantine and bad:
         qdir = directory / QUARANTINE_DIR
         qdir.mkdir(exist_ok=True)
         for check in bad:
+            if check.archive is not None:
+                continue  # archive entries are extracted per archive below
             target = qdir / check.path.name
             os.replace(check.path, target)
             report.quarantined.append(target)
+        for archive in archives:
+            entry_checks = [
+                c for c in bad if c.archive == archive and c.entry is not None
+            ]
+            if entry_checks:
+                _quarantine_archive_entries(archive, entry_checks, qdir, report)
 
+    return _finish(report, manifest, mark_rerun)
+
+
+def _check_archive(
+    archive: Path,
+    manifest: CampaignManifest | None,
+    known: dict[str, str],
+    report: FsckReport,
+) -> None:
+    """Verify every entry of one ``.calipack`` against index + seal."""
+    try:
+        entries = calipack.load_entries(archive)
+    except (calipack.CalipackError, OSError) as exc:
+        report.checks.append(
+            ProfileCheck(
+                path=archive,
+                status=STATUS_CORRUPT,
+                detail=f"unreadable archive: {exc}",
+            )
+        )
+        return
+    for entry in entries:
+        status, detail = calipack.verify_entry(archive, entry)
+        cell = known.get(entry.name)
+        if (
+            status in (STATUS_OK, STATUS_UNSEALED)
+            and manifest is not None
+            and cell is None
+        ):
+            status, detail = (
+                STATUS_ORPHANED,
+                "not recorded in the campaign manifest",
+            )
+        report.checks.append(
+            ProfileCheck(
+                path=Path(calipack.member_ref(archive, entry.name)),
+                status=status,
+                detail=detail,
+                cell=cell,
+                archive=archive,
+                entry=entry.name,
+            )
+        )
+
+
+def _quarantine_archive_entries(
+    archive: Path,
+    checks: list[ProfileCheck],
+    qdir: Path,
+    report: FsckReport,
+) -> None:
+    """Extract damaged/orphaned entries to quarantine, rewrite the archive.
+
+    The damaged bytes land in ``quarantine/`` exactly as stored
+    (forensics first); the archive is rebuilt without them in a tmp
+    sibling and durably replaced, so a crash mid-fsck loses nothing.
+    """
+    drop = {c.entry for c in checks}
+    entries = calipack.load_entries(archive)
+    for entry in entries:
+        if entry.name not in drop:
+            continue
+        target = qdir / entry.name
+        target.write_bytes(
+            calipack.read_entry_bytes(archive, entry, verify=False)
+        )
+        report.quarantined.append(target)
+    tmp = archive.with_suffix(archive.suffix + ".tmp")
+    if tmp.exists():
+        tmp.unlink()
+    writer = calipack.CalipackWriter(tmp)
+    try:
+        for entry in entries:
+            if entry.name in drop:
+                continue
+            writer.append_bytes(
+                entry.name,
+                calipack.read_entry_bytes(archive, entry, verify=False),
+            )
+    except BaseException:
+        writer.abort()
+        tmp.unlink(missing_ok=True)
+        raise
+    writer.close()
+    durable_replace(tmp, archive)
+
+
+def _finish(
+    report: FsckReport,
+    manifest: CampaignManifest | None,
+    mark_rerun: bool,
+) -> FsckReport:
+    bad = [c for c in report.checks if c.quarantinable]
     if mark_rerun and manifest is not None:
         for check in bad:
             if check.cell is not None:

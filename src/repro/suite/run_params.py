@@ -58,6 +58,7 @@ class RunParams:
     trials: int = 1  # repeated measurements (noise model applied when > 1)
     noise_sigma: float = 0.02  # run-to-run coefficient of variation
     write_csv: bool = False  # also emit RAJAPerf-style per-run CSV files
+    pack: bool = False  # write profiles into a .calipack archive, not files
     output_dir: str = "."
     metadata: dict[str, object] = field(default_factory=dict)
     # --- fault tolerance (see docs/architecture.md) ---

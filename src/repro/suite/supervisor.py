@@ -179,6 +179,12 @@ class CampaignSupervisor:
         if write_files:
             lock = CampaignLock.acquire(params.output_dir)
         try:
+            if write_files and params.pack:
+                from repro.caliper.calipack import merge_segments
+
+                # Salvage segments stranded by a previous crashed run
+                # (footer-less segments go through the recovery scan).
+                merge_segments(params.output_dir)
             if write_files or params.resume:
                 manifest = CampaignManifest.load_or_create(
                     params.output_dir, params.fingerprint()
@@ -206,6 +212,10 @@ class CampaignSupervisor:
             self._run_pool(
                 pending, report, profiles, paths, manifest, write_files
             )
+            if write_files and params.pack:
+                from repro.caliper.calipack import merge_segments
+
+                merge_segments(params.output_dir)
             if manifest is not None and write_files:
                 manifest.save()
         finally:

@@ -133,6 +133,29 @@ def worker_main(
     )
     emitter.start()
     executor = SuiteExecutor(params, injector=injector)
+    if write_files and params.pack:
+        from pathlib import Path
+
+        from repro.caliper.calipack import (
+            ARCHIVE_NAME,
+            ARCHIVE_SUFFIX,
+            SEGMENT_DIR,
+            ArchiveSink,
+        )
+
+        # Each worker appends to its own segment (no cross-process file
+        # contention); refs point at the campaign archive the supervisor
+        # merges the segments into on drain.
+        executor.profile_sink = ArchiveSink(
+            Path(params.output_dir)
+            / SEGMENT_DIR
+            / f"worker-{worker_id}{ARCHIVE_SUFFIX}",
+            ref_archive=Path(params.output_dir) / ARCHIVE_NAME,
+        )
+    if write_files and params.execute:
+        from repro.suite.refchecksums import ReferenceChecksumStore
+
+        executor.refstore = ReferenceChecksumStore(params.output_dir)
 
     while True:
         task = task_queue.get()
@@ -171,4 +194,6 @@ def worker_main(
             )
         result.worker_id = worker_id
         result_queue.put(result)
+    if executor.profile_sink is not None:
+        executor.profile_sink.close()  # seal the segment's index
     emitter.stop()

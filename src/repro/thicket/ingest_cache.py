@@ -1,0 +1,215 @@
+"""Content-addressed cache of composed Thicket tables.
+
+A repeated ``analyze`` over an unchanged campaign should not re-parse a
+single payload. Every profile already has a content address — archive
+entries carry their CRC32 in the ``.calipack`` index, loose sealed
+files declare theirs in the seal footer — so the *source set* has one
+too: the SHA-256 over the ordered ``(name, crc32)`` pairs. The cache
+stores the fully composed dataframe + metadata tables under that key;
+any change to any cell (``run --resume`` re-executing it, ``fsck``
+quarantining it, a repack) changes a CRC, changes the key, and the
+stale entry simply never matches again. No explicit invalidation
+protocol, no mtime heuristics.
+
+Entries are single files in a ``.ingest_cache/`` directory::
+
+    #thicket-ingest-cache v1 header=<len> blob=<len> crc32=<8 hex>
+    <header JSON>
+    <blob bytes>
+
+The header describes both tables column by column; the blob carries the
+column data. Numeric columns are raw array buffers (``ndarray.tobytes``
+/ ``np.frombuffer`` by exact dtype string, so a cache load reproduces
+dtypes bit-for-bit); string/object columns are dictionary-encoded
+(unique values + a ``u4`` code array — profile ids, region names, and
+paths are massively repetitive); anything else falls back to JSON.
+Loading is a handful of buffer views — no JSON parse of profile
+payloads, no row iteration. The whole file is CRC-guarded and written
+via the durable tmp+replace protocol; a damaged or mismatched cache
+entry is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.dataframe import Frame
+from repro.util.fsio import write_durable_bytes
+
+CACHE_DIR_NAME = ".ingest_cache"
+CACHE_SUFFIX = ".tic"
+_MAGIC = "#thicket-ingest-cache v1"
+#: cache entries kept per directory (oldest evicted after a store)
+KEEP_ENTRIES = 8
+
+
+def cache_key(sources: list[tuple[str, str]]) -> str:
+    """The source set's content address: ordered (name, crc32hex) pairs."""
+    digest = hashlib.sha256()
+    for name, crc in sources:
+        digest.update(f"{name}:{crc}\n".encode("utf-8"))
+    return digest.hexdigest()[:24]
+
+
+def cache_path(cache_dir: str | Path, key: str) -> Path:
+    return Path(cache_dir) / f"thicket-{key}{CACHE_SUFFIX}"
+
+
+def default_cache_dir(source: str | Path) -> Path:
+    """Where a campaign's cache lives: beside its first source."""
+    p = Path(str(source).split("::", 1)[0])
+    base = p.parent if p.suffix else p
+    return base / CACHE_DIR_NAME
+
+
+# ------------------------------------------------------------------ encode
+def _encode_frame(frame: Frame, blob: bytearray) -> dict[str, Any]:
+    columns = []
+    for name in frame.columns:
+        arr = frame[name]
+        spec: dict[str, Any] = {"name": name}
+        if arr.dtype != object:
+            raw = np.ascontiguousarray(arr).tobytes()
+            spec.update(
+                kind="raw", dtype=arr.dtype.str,
+                offset=len(blob), nbytes=len(raw),
+            )
+            blob.extend(raw)
+        else:
+            values = arr.tolist()
+            if all(v is None or isinstance(v, str) for v in values):
+                uniq: dict[Any, int] = {}
+                codes = [uniq.setdefault(v, len(uniq)) for v in values]
+                raw = np.asarray(codes, dtype="<u4").tobytes()
+                spec.update(
+                    kind="dict", values=list(uniq),
+                    offset=len(blob), nbytes=len(raw),
+                )
+                blob.extend(raw)
+            else:
+                spec.update(kind="json", values=[_jsonable(v) for v in values])
+        columns.append(spec)
+    return {"nrows": frame.nrows, "columns": columns}
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _decode_frame(spec: dict[str, Any], blob: bytes) -> Frame:
+    nrows = int(spec["nrows"])
+    cols: dict[str, np.ndarray] = {}
+    for col in spec["columns"]:
+        kind = col["kind"]
+        if kind == "raw":
+            raw = blob[col["offset"] : col["offset"] + col["nbytes"]]
+            arr = np.frombuffer(raw, dtype=np.dtype(col["dtype"])).copy()
+        elif kind == "dict":
+            raw = blob[col["offset"] : col["offset"] + col["nbytes"]]
+            codes = np.frombuffer(raw, dtype="<u4")
+            values = np.empty(len(col["values"]), dtype=object)
+            values[:] = col["values"]
+            arr = values[codes] if len(values) else np.empty(0, dtype=object)
+        elif kind == "json":
+            arr = np.empty(len(col["values"]), dtype=object)
+            arr[:] = col["values"]
+        else:
+            raise ValueError(f"unknown cache column kind {kind!r}")
+        if len(arr) != nrows:
+            raise ValueError(
+                f"cache column {col['name']!r} has {len(arr)} rows, "
+                f"expected {nrows}"
+            )
+        cols[col["name"]] = arr
+    frame = Frame()
+    frame._cols = cols
+    frame._nrows = nrows
+    return frame
+
+
+# ------------------------------------------------------------- store / load
+def store(
+    cache_dir: str | Path,
+    sources: list[tuple[str, str]],
+    dataframe: Frame,
+    metadata: Frame,
+) -> Path:
+    """Persist composed tables for this exact source set; prune old entries."""
+    blob = bytearray()
+    header = {
+        "sources": sources,
+        "dataframe": _encode_frame(dataframe, blob),
+        "metadata": _encode_frame(metadata, blob),
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    body = header_bytes + bytes(blob)
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    head = (
+        f"{_MAGIC} header={len(header_bytes)} blob={len(blob)} "
+        f"crc32={crc:08x}\n"
+    ).encode("ascii")
+    out = write_durable_bytes(cache_path(cache_dir, cache_key(sources)),
+                              head + body)
+    _prune(Path(cache_dir), keep=KEEP_ENTRIES)
+    return out
+
+
+def load(
+    cache_dir: str | Path, sources: list[tuple[str, str]]
+) -> tuple[Frame, Frame] | None:
+    """(dataframe, metadata) on a verified hit; None on any miss/damage."""
+    path = cache_path(cache_dir, cache_key(sources))
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return None
+    try:
+        nl = raw.index(b"\n")
+        head = raw[:nl].decode("ascii")
+        if not head.startswith(_MAGIC):
+            return None
+        fields = dict(
+            part.split("=", 1) for part in head[len(_MAGIC):].split()
+        )
+        header_len = int(fields["header"])
+        blob_len = int(fields["blob"])
+        declared_crc = int(fields["crc32"], 16)
+        body = raw[nl + 1 :]
+        if len(body) != header_len + blob_len:
+            return None
+        if zlib.crc32(body) & 0xFFFFFFFF != declared_crc:
+            return None
+        header = json.loads(body[:header_len].decode("utf-8"))
+        if [list(s) for s in header.get("sources", [])] != [
+            list(s) for s in sources
+        ]:
+            return None  # hash collision or hand-renamed file
+        blob = body[header_len:]
+        dataframe = _decode_frame(header["dataframe"], blob)
+        metadata = _decode_frame(header["metadata"], blob)
+    except (ValueError, KeyError, IndexError, UnicodeDecodeError):
+        return None
+    return dataframe, metadata
+
+
+def _prune(cache_dir: Path, keep: int) -> None:
+    try:
+        entries = sorted(
+            cache_dir.glob("thicket-*" + CACHE_SUFFIX),
+            key=lambda p: p.stat().st_mtime,
+        )
+    except OSError:  # pragma: no cover - racing cleanup
+        return
+    for stale in entries[:-keep] if keep else entries:
+        try:
+            stale.unlink()
+        except OSError:  # pragma: no cover - racing cleanup
+            pass

@@ -14,16 +14,15 @@ environment).
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-from repro.caliper.cali import read_cali
 from repro.caliper.records import CaliProfile
 from repro.dataframe import Frame
+from repro.thicket import ingest, ingest_cache
 
 PATH_SEP = "/"
 
@@ -53,8 +52,14 @@ class Thicket:
         cls,
         sources: Iterable[CaliProfile | str | Path] | CaliProfile | str | Path,
         on_error: str = "raise",
+        workers: int = 1,
+        cache: str | Path | None = None,
     ) -> "Thicket":
-        """Build a Thicket from profiles or ``.cali`` file paths.
+        """Build a Thicket from profiles, ``.cali`` files, or archives.
+
+        Sources may be in-memory :class:`CaliProfile` objects, loose
+        ``.cali`` paths, ``.calipack`` archive paths (every entry), or
+        ``<archive>::<name>`` member refs, freely mixed.
 
         ``on_error`` controls degraded-mode composition: ``"raise"``
         (default) propagates the first unreadable source; ``"warn"``
@@ -62,68 +67,52 @@ class Thicket:
         analyzes the surviving profiles, recording the casualties in
         ``thicket.load_errors``. A campaign with a few dead cells still
         yields its figures.
+
+        ``workers`` > 1 fans composition out over a multiprocessing
+        pool (sources split into index ranges, chunks merged in source
+        order — the result is identical to a serial load). ``cache``
+        names a directory holding content-addressed composed tables: a
+        repeated load of an unchanged source set returns without
+        parsing any payload, and any change to any profile changes its
+        CRC and misses the cache naturally.
         """
         if on_error not in ("raise", "warn"):
             raise ValueError(f"on_error must be 'raise' or 'warn', got {on_error!r}")
-        if isinstance(sources, (CaliProfile, str, Path)):
-            sources = [sources]
-        profiles: list[CaliProfile] = []
-        load_errors: list[tuple[str, str]] = []
-        for src in sources:
-            if isinstance(src, CaliProfile):
-                profiles.append(src)
-                continue
-            try:
-                profiles.append(read_cali(src))
-            except (OSError, ValueError, KeyError) as exc:
-                if on_error == "raise":
-                    raise
-                reason = f"{type(exc).__name__}: {exc}"
-                load_errors.append((str(src), reason))
-                warnings.warn(
-                    f"skipping unreadable profile {src} ({reason})",
-                    ProfileLoadWarning,
-                    stacklevel=2,
-                )
-        if not profiles:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        units, expand_errors = ingest.expand_sources(sources)
+        if expand_errors and on_error == "raise":
+            src, reason = expand_errors[0]
+            raise ValueError(f"{src}: {reason}")
+        if not units and not expand_errors:
+            raise ValueError("no profiles given")
+
+        identity = ingest.source_identity(units) if cache is not None else None
+        if identity is not None and not expand_errors:
+            hit = ingest_cache.load(cache, identity)
+            if hit is not None:
+                thicket = cls(*hit)
+                return thicket
+
+        builder, loaded, load_errors = ingest.compose_units(
+            units, workers, on_error
+        )
+        load_errors = expand_errors + load_errors
+        ingest.warn_load_errors(load_errors, ProfileLoadWarning)
+        if not loaded:
             raise ValueError(
                 "no profiles given"
                 if not load_errors
                 else f"no readable profiles (skipped {len(load_errors)})"
             )
-
-        data_records: list[dict[str, Any]] = []
-        meta_records: list[dict[str, Any]] = []
-        for idx, profile in enumerate(profiles):
-            profile_id = _profile_id(profile, idx)
-            meta = {"profile": profile_id}
-            meta.update(profile.globals)
-            meta_records.append(meta)
-            for node in profile.walk():
-                rec: dict[str, Any] = {
-                    "profile": profile_id,
-                    "name": node.name,
-                    "path": PATH_SEP.join(node.path),
-                    "depth": node.depth,
-                }
-                rec.update(node.metrics)
-                data_records.append(rec)
-        frame = Frame.from_records(data_records)
-        # Missing metrics (regions that lack a counter) become NaN.
-        for col in frame.columns:
-            if col in ("profile", "name", "path"):
-                continue
-            arr = frame[col]
-            if arr.dtype == object:
-                coerced = np.array(
-                    [np.nan if v is None else v for v in arr], dtype=object
-                )
-                try:
-                    frame = frame.with_column(col, coerced.astype(float))
-                except (TypeError, ValueError):
-                    frame = frame.with_column(col, coerced)
-        thicket = cls(frame, Frame.from_records(meta_records))
+        frame, metadata = ingest.build_frames(builder)
+        thicket = cls(frame, metadata)
         thicket.load_errors = load_errors
+        if identity is not None and not load_errors:
+            try:
+                ingest_cache.store(cache, identity, frame, metadata)
+            except OSError:  # pragma: no cover - read-only cache dir
+                pass
         return thicket
 
     @classmethod
@@ -324,16 +313,7 @@ def _aggregate(values: np.ndarray, agg: str) -> float:
 
 
 def _profile_id(profile: CaliProfile, index: int) -> str:
-    g = profile.globals
-    parts = [str(g.get("machine", "?")), str(g.get("variant", "?"))]
-    tuning = g.get("tuning")
-    if tuning and tuning != "default":
-        parts.append(str(tuning))
-    trial = g.get("trial")
-    if trial not in (None, 0):
-        parts.append(f"trial{trial}")
-    base = "/".join(parts)
-    return base if base != "?/?" else f"profile-{index}"
+    return ingest.profile_id(profile.globals, index)
 
 
 def _outer_vstack(a: Frame, b: Frame) -> Frame:

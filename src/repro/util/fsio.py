@@ -49,3 +49,19 @@ def write_durable_text(target: str | Path, text: str) -> Path:
             pass
     durable_replace(tmp, out)
     return out
+
+
+def write_durable_bytes(target: str | Path, data: bytes) -> Path:
+    """:func:`write_durable_text` for binary payloads (the ingest cache)."""
+    out = Path(target)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out.with_suffix(out.suffix + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except OSError:  # pragma: no cover - fs without fsync
+            pass
+    durable_replace(tmp, out)
+    return out
