@@ -27,14 +27,13 @@ truncated ``.cali`` under the target name.
 from __future__ import annotations
 
 import json
-import os
 import re
 import zlib
 from pathlib import Path
 from typing import Any
 
 from repro.caliper.records import CaliProfile, RegionRecord
-from repro.util.fsio import durable_replace
+from repro.util.fsio import tmp_sibling, write_durable_bytes
 
 FORMAT_NAME = "cali-json"
 FORMAT_VERSION = 1
@@ -114,21 +113,12 @@ def write_cali(profile: CaliProfile, path: str | Path) -> Path:
     # Bit-rot simulation: the write completes, but the seal is wrong.
     corrupt = injector is not None and injector.footer_fault(out.name) is not None
     data = serialize_cali(profile, corrupt_crc=corrupt)
-    tmp = out.with_suffix(out.suffix + ".tmp")
     if injector is not None and injector.io_fault(out.name) is not None:
         # Simulate an interrupted write: a truncated tmp file, then the
         # failure. The target file must remain absent/intact.
-        tmp.write_bytes(data[: max(1, len(data) // 2)])
+        tmp_sibling(out).write_bytes(data[: max(1, len(data) // 2)])
         raise OSError(f"injected I/O write failure for {out}")
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        try:
-            os.fsync(handle.fileno())
-        except OSError:  # pragma: no cover - fs without fsync
-            pass
-    durable_replace(tmp, out)
-    return out
+    return write_durable_bytes(out, data)
 
 
 def _analyze_bytes(raw: bytes) -> tuple[str, str, bytes]:

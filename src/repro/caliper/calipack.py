@@ -48,7 +48,8 @@ from pathlib import Path
 
 from repro.caliper.cali import _analyze_bytes, serialize_cali
 from repro.caliper.records import CaliProfile
-from repro.util.fsio import durable_replace, fsync_dir
+from repro.chaos.points import crash_point
+from repro.util.fsio import durable_replace, fsync_dir, tmp_sibling
 
 ARCHIVE_SUFFIX = ".calipack"
 ARCHIVE_NAME = "campaign" + ARCHIVE_SUFFIX
@@ -171,6 +172,15 @@ class CalipackWriter:
         offset = self._handle.tell()
         self._handle.write(data)
         self._handle.flush()
+        # The entry's bytes are on disk but not yet acknowledged: a crash
+        # here leaves a complete-but-unindexed (or, torn, a partial) tail
+        # that the next reopen's recovery scan must classify correctly.
+        crash_point(
+            "calipack.mid-entry-append",
+            path=self.path,
+            torn_file=self.path,
+            torn_base=self._good_end,
+        )
         self._good_end = self._handle.tell()
         entry = ArchiveEntry(
             name=name,
@@ -192,6 +202,7 @@ class CalipackWriter:
         self._closed = True
         self._handle.truncate(self._good_end)
         self._handle.seek(self._good_end)
+        crash_point("calipack.pre-index", path=self.path)
         index = json.dumps(
             {
                 "format": INDEX_FORMAT,
@@ -210,6 +221,13 @@ class CalipackWriter:
         ).encode("utf-8")
         crc = zlib.crc32(index) & 0xFFFFFFFF
         self._handle.write(index)
+        self._handle.flush()
+        crash_point(
+            "calipack.pre-footer",
+            path=self.path,
+            torn_file=self.path,
+            torn_base=self._good_end,
+        )
         self._handle.write(
             f"\n#calipack-footer v1 index_off={self._good_end} "
             f"index_len={len(index)} crc32={crc:08x}\n".encode("ascii")
@@ -426,9 +444,7 @@ def pack_directory(
     directory = Path(directory)
     target = Path(archive) if archive is not None else directory / ARCHIVE_NAME
     files = sorted(directory.glob("*.cali"))
-    tmp = target.with_suffix(target.suffix + ".tmp")
-    if tmp.exists():
-        tmp.unlink()
+    tmp = tmp_sibling(target)
     writer = CalipackWriter(tmp)
     try:
         if target.exists():  # repack: carry existing entries over
@@ -462,7 +478,7 @@ def unpack_archive(
     written: list[Path] = []
     for entry in load_entries(archive):
         out = directory / entry.name
-        tmp = out.with_suffix(out.suffix + ".tmp")
+        tmp = tmp_sibling(out)
         tmp.write_bytes(read_entry_bytes(archive, entry))
         durable_replace(tmp, out)
         written.append(out)
@@ -524,6 +540,9 @@ def merge_segments(
                 writer.append_bytes(
                     entry.name, read_entry_bytes(segment, entry)
                 )
+            # Segment folded in but not deleted: a crash here must leave
+            # a re-runnable merge (last-wins dedup makes it idempotent).
+            crash_point("calipack.mid-merge", path=target)
     finally:
         writer.close()
     for segment in segments:

@@ -1,0 +1,221 @@
+"""The crash-consistency invariants the chaos runner machine-checks.
+
+Stated once, checked after every recovery phase of every trial:
+
+**I1 — sealed data is never silently altered.** Every profile that was
+sealed (CRC-verified) before the crash is, after recovery, either still
+present with the same content CRC or sitting in ``quarantine/`` with its
+original name. It is never missing and never readable-with-other-bytes.
+
+**I2 — the manifest never loses a completed cell.** Every cell the
+manifest recorded ``ok`` before the crash still exists in the manifest
+afterwards (fsck may demote it to re-run when its profile was damaged,
+but the ledger never forgets it), and after ``run --resume`` it is
+``ok`` again.
+
+**I3 — resume converges.** After ``fsck`` + ``run --resume`` the
+manifest records the campaign's *full* cell set ``ok`` and a second
+``fsck`` finds nothing to repair.
+
+**I4 — recovery is analysis-equivalent.** The Thicket composed from the
+recovered campaign is :meth:`~repro.dataframe.Frame.equals`-identical
+to the one composed from an uncrashed golden campaign, on every ingest
+path (serial, parallel, packed, warm cache), with no load errors.
+
+Each check returns a list of violation strings — empty means the
+invariant holds. The checks only ever *read* the campaign directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.caliper import calipack
+from repro.caliper.cali import STATUS_OK, sealed_crc32, verify_cali
+from repro.suite.fsck import QUARANTINE_DIR
+from repro.suite.manifest import MANIFEST_NAME
+
+#: metric columns that exist only under real execution and are measured
+#: (wall clock), hence legitimately differ between two correct runs
+VOLATILE_COLUMNS = ("wall time (executed)",)
+
+
+@dataclass
+class StoreSnapshot:
+    """What the durable store vouched for at one instant."""
+
+    #: sealed profile name -> crc32 hex (loose files and archive entries)
+    profiles: dict[str, str] = field(default_factory=dict)
+    #: manifest cell keys recorded ``ok``
+    ok_cells: set[str] = field(default_factory=set)
+
+
+def _archive_paths(directory: Path) -> list[Path]:
+    archives = sorted(directory.glob("*" + calipack.ARCHIVE_SUFFIX))
+    seg_dir = directory / calipack.SEGMENT_DIR
+    if seg_dir.is_dir():
+        archives += sorted(seg_dir.glob("*" + calipack.ARCHIVE_SUFFIX))
+    return archives
+
+
+def snapshot_store(directory: str | Path) -> StoreSnapshot:
+    """Record every *verified-sealed* profile and every ``ok`` cell.
+
+    Only profiles whose seal checks out are recorded: an in-flight or
+    torn write was never vouched for, so losing it is not a violation.
+    Archive entries are verified against both the index CRC and their
+    own seal; footer-less archives go through the salvage scan.
+    """
+    directory = Path(directory)
+    snap = StoreSnapshot()
+    for path in sorted(directory.glob("*.cali")):
+        try:
+            status, _ = verify_cali(path)
+        except OSError:
+            continue
+        if status == STATUS_OK:
+            snap.profiles[path.name] = f"{sealed_crc32(path):08x}"
+    for archive in _archive_paths(directory):
+        try:
+            entries = calipack.load_entries(archive)
+        except (calipack.CalipackError, OSError):
+            continue
+        for entry in entries:
+            try:
+                status, _ = calipack.verify_entry(archive, entry)
+            except OSError:
+                continue
+            if status == STATUS_OK:
+                snap.profiles[entry.name] = entry.crc_hex
+    manifest_path = directory / MANIFEST_NAME
+    if manifest_path.exists():
+        try:
+            cells = json.loads(manifest_path.read_text()).get("cells", {})
+        except (OSError, ValueError):
+            cells = {}
+        snap.ok_cells = {
+            key
+            for key, cell in cells.items()
+            if isinstance(cell, dict) and cell.get("status") == "ok"
+        }
+    return snap
+
+
+def _manifest_cells(directory: Path) -> dict[str, dict] | None:
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        cells = json.loads(path.read_text()).get("cells", {})
+    except (OSError, ValueError):
+        return None
+    return cells if isinstance(cells, dict) else None
+
+
+# ------------------------------------------------------------------ checks
+def check_sealed_preserved(
+    pre: StoreSnapshot, directory: str | Path, check_crc: bool = True
+) -> list[str]:
+    """I1: every pre-crash sealed profile survives or is quarantined.
+
+    ``check_crc=False`` relaxes the byte identity to name presence —
+    needed when a resumed campaign legitimately *re-executes* a cell
+    whose measured wall time reseals the profile with a new CRC.
+    """
+    directory = Path(directory)
+    post = snapshot_store(directory)
+    qdir = directory / QUARANTINE_DIR
+    violations = []
+    for name, crc in pre.profiles.items():
+        if name in post.profiles:
+            if not check_crc or post.profiles[name] == crc:
+                continue
+            # Re-sealed in place: only legitimate if the manifest owns
+            # the cell again (resume re-ran it); flagged otherwise.
+            violations.append(
+                f"sealed profile {name} silently altered: "
+                f"crc {crc} -> {post.profiles[name]}"
+            )
+            continue
+        if (qdir / name).exists():
+            continue  # preserved for forensics, with its reason in fsck
+        violations.append(
+            f"sealed profile {name} (crc {crc}) lost: "
+            "neither readable nor quarantined"
+        )
+    return violations
+
+
+def check_completed_cells_remembered(
+    pre: StoreSnapshot, directory: str | Path
+) -> list[str]:
+    """I2 (post-crash half): no pre-crash ``ok`` cell vanished."""
+    cells = _manifest_cells(Path(directory))
+    if cells is None:
+        if pre.ok_cells:
+            return [
+                f"manifest unreadable/missing; {len(pre.ok_cells)} "
+                "completed cell(s) forgotten"
+            ]
+        return []
+    return [
+        f"completed cell {key} vanished from the manifest"
+        for key in sorted(pre.ok_cells)
+        if key not in cells
+    ]
+
+
+def check_full_cell_set(
+    expected_keys: set[str], directory: str | Path
+) -> list[str]:
+    """I3: after resume, every expected cell is recorded ``ok``."""
+    cells = _manifest_cells(Path(directory))
+    if cells is None:
+        return [f"no readable manifest in {directory}"]
+    violations = []
+    for key in sorted(expected_keys):
+        status = cells.get(key, {}).get("status")
+        if status != "ok":
+            violations.append(
+                f"cell {key} is {status!r} after resume, expected 'ok'"
+            )
+    for key in sorted(set(cells) - expected_keys):
+        violations.append(f"manifest records unexpected cell {key}")
+    return violations
+
+
+def frames_match(golden, other, drop: tuple[str, ...] = ()) -> list[str]:
+    """I4 (one table): Frame equality modulo declared-volatile columns."""
+    golden_cols = [c for c in golden.columns if c not in drop]
+    other_cols = [c for c in other.columns if c not in drop]
+    if golden_cols != other_cols:
+        return [
+            f"column mismatch: golden {golden_cols} vs recovered {other_cols}"
+        ]
+    if golden.nrows != other.nrows:
+        return [f"row count {other.nrows}, golden has {golden.nrows}"]
+    violations = []
+    for name in golden_cols:
+        if not golden.select([name]).equals(other.select([name])):
+            violations.append(f"column {name!r} differs from golden")
+    return violations
+
+
+def thickets_match(golden, other, volatile: bool = False) -> list[str]:
+    """I4: dataframe + metadata identical; no degraded-mode casualties."""
+    drop = VOLATILE_COLUMNS if volatile else ()
+    violations = [
+        f"dataframe: {v}"
+        for v in frames_match(golden.dataframe, other.dataframe, drop=drop)
+    ]
+    violations += [
+        f"metadata: {v}"
+        for v in frames_match(golden.metadata, other.metadata)
+    ]
+    violations += [
+        f"load error on {src}: {reason}"
+        for src, reason in getattr(other, "load_errors", [])
+    ]
+    return violations

@@ -1,0 +1,661 @@
+"""The chaos trial runner: crash everywhere, prove recovery converges.
+
+For every registered crash point (and campaign mode it applies to) the
+runner executes the full production loop against a small but real
+campaign:
+
+1. **run (armed)** — a forked child arms the point's
+   :class:`~repro.chaos.points.ChaosSchedule` in ``exit`` mode and runs
+   the campaign; the strike is a genuine ``os._exit`` mid-write — no
+   ``finally`` blocks, no atexit, locks left held, tmp files left
+   behind. A token file scoped to the trial makes the strike fire
+   exactly once even when a supervised pool respawns the crashed
+   worker.
+2. **post-crash audit** — whatever the crash left on disk must already
+   satisfy the atomicity half of the contract: the manifest parses,
+   loose profiles verify sealed (in-flight writes may only ever leave
+   tmp siblings or an unsealed archive tail).
+3. **fsck** — quarantine damage, demote damaged cells
+   (:func:`~repro.suite.fsck.fsck_directory`).
+4. **resume (unarmed)** — a second child re-runs the campaign with
+   ``resume=True``; it must exit cleanly and leave a second ``fsck``
+   with nothing to repair.
+5. **analyze** — the recovered campaign is composed into Thicket frames
+   over four independent ingest paths (serial, parallel pool,
+   packed/unpacked complement, cold-store + warm-load cache) and each
+   must be :meth:`~repro.dataframe.Frame.equals`-identical to the
+   frames of an uncrashed golden campaign.
+
+Invariant definitions live in :mod:`repro.chaos.invariants`. Every
+trial is replayable: its schedule is a pure function of
+``(seed, point, mode, trial index)``.
+
+The runner also carries the harness :meth:`ChaosRunner.self_test` —
+it stages a loss with one repair deliberately suppressed and asserts
+the invariant checks *catch* it, proving the harness can fail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.caliper import calipack
+from repro.chaos import invariants
+from repro.chaos.points import (
+    CHAOS_KILL_EXITCODE,
+    REGISTERED_POINTS,
+    ChaosSchedule,
+    PointSpec,
+    arm,
+)
+from repro.suite.fsck import fsck_directory
+from repro.suite.run_params import RunParams
+
+MODES = ("serial", "supervised")
+
+#: how long one child campaign may take before the trial is abandoned
+CHILD_TIMEOUT_S = 180.0
+
+
+def _trial_params(output_dir: Path, mode: str, spec: PointSpec) -> RunParams:
+    """The trial campaign: 4 cells, small, deterministic, fast to re-run."""
+    return RunParams(
+        problem_size=1024,
+        reps=1,
+        machines=("SPR-DDR",),
+        variants=("Base_Seq", "RAJA_Seq"),
+        kernels=("Basic_DAXPY", "Stream_TRIAD"),
+        trials=2,
+        execute=spec.execute,
+        pack=spec.pack,
+        output_dir=str(output_dir),
+        workers=2 if mode == "supervised" else 1,
+        max_attempts=3,
+        retry_base_delay=0.0,
+        retry_max_delay=0.0,
+        retry_jitter=0.0,
+        heartbeat_timeout=10.0,
+    )
+
+
+def _run_armed_campaign(params: RunParams, schedule: ChaosSchedule) -> None:
+    """Child body: arm the schedule, run the campaign, exit normally.
+
+    When the armed point is reached the process dies *inside* the hook
+    (``os._exit``); reaching the end means the point either never came
+    due in this process or was healed in-flight (a supervised worker
+    crashed and the supervisor finished the campaign anyway).
+    """
+    from repro.suite.executor import SuiteExecutor
+
+    arm(schedule)
+    SuiteExecutor(params).run(write_files=True)
+
+
+def _run_resume_campaign(params: RunParams) -> None:
+    from repro.suite.executor import SuiteExecutor
+
+    result = SuiteExecutor(
+        dataclasses.replace(params, resume=True)
+    ).run(write_files=True)
+    if not result.report.clean:
+        raise RuntimeError(
+            f"resume left unclean cells: {result.report.cell_counts()}"
+        )
+
+
+def _run_armed_analyze(
+    sources: list[str], cache_dir: str, schedule: ChaosSchedule
+) -> None:
+    from repro.thicket import Thicket
+
+    arm(schedule)
+    Thicket.from_caliperreader(sources, cache=cache_dir)
+
+
+@dataclass
+class TrialVerdict:
+    """One (point, mode, trial) run of the full loop."""
+
+    point: str
+    mode: str
+    trial: int
+    seed: int
+    hit: int
+    torn: bool
+    applicable: bool = True
+    fired: bool = False  # the strike token was claimed somewhere
+    killed: bool = False  # a process actually died with the chaos code
+    violations: list[str] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def status(self) -> str:
+        if not self.applicable:
+            return "skipped"
+        if self.violations:
+            return "violated"
+        if not self.fired:
+            return "unreached"
+        return "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "mode": self.mode,
+            "trial": self.trial,
+            "seed": self.seed,
+            "hit": self.hit,
+            "torn": self.torn,
+            "status": self.status,
+            "fired": self.fired,
+            "killed": self.killed,
+            "violations": self.violations,
+            "duration_s": round(self.duration_s, 3),
+            "replay": (
+                f"rajaperf-sim chaos --seed {self.seed} "
+                f"--points {self.point} --modes {self.mode} "
+                f"--trials-per-point {self.trial + 1}"
+            ),
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Every trial's verdict plus the per-point coverage rollup."""
+
+    seed: int
+    trials_per_point: int
+    verdicts: list[TrialVerdict] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[TrialVerdict]:
+        return [v for v in self.verdicts if v.violations]
+
+    def uncovered_points(self) -> list[str]:
+        """(point, mode) combos that were applicable but never struck."""
+        out = []
+        combos = {(v.point, v.mode) for v in self.verdicts if v.applicable}
+        for point, mode in sorted(combos):
+            if not any(
+                v.fired
+                for v in self.verdicts
+                if v.point == point and v.mode == mode
+            ):
+                out.append(f"{point} [{mode}]")
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.uncovered_points()
+
+    def to_dict(self) -> dict:
+        counts: dict[str, int] = {}
+        for verdict in self.verdicts:
+            counts[verdict.status] = counts.get(verdict.status, 0) + 1
+        return {
+            "seed": self.seed,
+            "trials_per_point": self.trials_per_point,
+            "ok": self.ok,
+            "counts": counts,
+            "uncovered_points": self.uncovered_points(),
+            "trials": [v.to_dict() for v in self.verdicts],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+
+class ChaosRunner:
+    """Enumerate kill points, run the loop, check the invariants."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trials_per_point: int = 1,
+        points: list[str] | None = None,
+        modes: list[str] | None = None,
+        workdir: str | Path | None = None,
+        keep: bool = False,
+        progress=None,
+    ) -> None:
+        unknown = [p for p in (points or []) if p not in REGISTERED_POINTS]
+        if unknown:
+            raise ValueError(
+                f"unknown crash points {unknown}; "
+                f"registered: {list(REGISTERED_POINTS)}"
+            )
+        bad_modes = [m for m in (modes or []) if m not in MODES]
+        if bad_modes:
+            raise ValueError(f"unknown modes {bad_modes}; have {list(MODES)}")
+        self.seed = seed
+        self.trials_per_point = trials_per_point
+        self.points = list(points) if points else list(REGISTERED_POINTS)
+        self.modes = list(modes) if modes else list(MODES)
+        self.keep = keep
+        self.progress = progress or (lambda _msg: None)
+        self._own_workdir = workdir is None
+        self.workdir = Path(
+            workdir
+            if workdir is not None
+            else tempfile.mkdtemp(prefix="rajaperf-chaos-")
+        )
+        self._goldens: dict[tuple[bool, bool], tuple[Path, object]] = {}
+        self._ctx = multiprocessing.get_context("fork")
+
+    # ------------------------------------------------------------- plumbing
+    def _spawn(self, target, *args) -> int:
+        """Run ``target(*args)`` in a forked child; return its exit code."""
+        child = self._ctx.Process(target=target, args=args)
+        child.start()
+        child.join(CHILD_TIMEOUT_S)
+        if child.is_alive():
+            child.kill()
+            child.join()
+            return -1
+        return child.exitcode if child.exitcode is not None else -1
+
+    def _sources(self, directory: Path, pack: bool) -> list[str]:
+        """The campaign's ingest sources, ordered by profile name.
+
+        Archive entries append in completion order, which resume
+        legitimately permutes — sorting by name on both the golden and
+        the recovered side makes frame comparison order-insensitive.
+        """
+        if pack:
+            archive = directory / calipack.ARCHIVE_NAME
+            names = sorted(e.name for e in calipack.load_entries(archive))
+            return [calipack.member_ref(archive, n) for n in names]
+        return sorted(str(p) for p in directory.glob("*.cali"))
+
+    def _golden(self, spec: PointSpec) -> tuple[Path, object]:
+        """The uncrashed reference campaign + Thicket for this config."""
+        from repro.thicket import Thicket
+
+        key = (spec.execute, spec.pack)
+        if key in self._goldens:
+            return self._goldens[key]
+        outdir = (
+            self.workdir
+            / "golden"
+            / f"exec{int(spec.execute)}-pack{int(spec.pack)}"
+        )
+        params = _trial_params(outdir, "serial", spec)
+        from repro.suite.executor import SuiteExecutor
+
+        result = SuiteExecutor(params).run(write_files=True)
+        if not result.report.clean:
+            raise RuntimeError(
+                f"golden campaign failed: {result.report.cell_counts()}"
+            )
+        thicket = Thicket.from_caliperreader(self._sources(outdir, spec.pack))
+        self._goldens[key] = (outdir, thicket)
+        return self._goldens[key]
+
+    def _expected_cells(self, params: RunParams) -> set[str]:
+        from repro.suite.executor import SuiteExecutor
+
+        return {cell.key for cell in SuiteExecutor(params).build_cells()}
+
+    def _schedule(
+        self, spec: PointSpec, trial: int, token: Path
+    ) -> ChaosSchedule:
+        """The trial's deterministic strike plan.
+
+        Trial 0 always strikes the first occurrence; later trials strike
+        torn (for torn-capable points) or deeper occurrences, which may
+        legitimately never come due (``unreached``).
+        """
+        if trial == 0:
+            hit, torn = 1, False
+        elif spec.torn:
+            hit, torn = 1 + (trial - 1) // 2, trial % 2 == 1
+        else:
+            hit, torn = trial + 1, False
+        return ChaosSchedule(
+            point=spec.name,
+            hit=hit,
+            mode="exit",
+            torn=torn,
+            seed=self.seed + trial,
+            token=str(token),
+        )
+
+    def _seed_stranded_segment(self, outdir: Path, golden_dir: Path) -> None:
+        """Plant a footer-less worker segment so a serial campaign's
+        startup salvage has something to merge (serial runs never create
+        segments on their own)."""
+        archive = golden_dir / calipack.ARCHIVE_NAME
+        entries = calipack.load_entries(archive)
+        seg = outdir / calipack.SEGMENT_DIR / ("worker-9" + calipack.ARCHIVE_SUFFIX)
+        seg.parent.mkdir(parents=True, exist_ok=True)
+        writer = calipack.CalipackWriter(seg)
+        writer.append_bytes(
+            entries[0].name, calipack.read_entry_bytes(archive, entries[0])
+        )
+        writer.abort()  # no index, no footer: exactly a crashed worker
+
+    # ---------------------------------------------------------------- trials
+    def run(self) -> ChaosReport:
+        report = ChaosReport(
+            seed=self.seed, trials_per_point=self.trials_per_point
+        )
+        try:
+            for name in self.points:
+                spec = REGISTERED_POINTS[name]
+                for mode in self.modes:
+                    for trial in range(self.trials_per_point):
+                        verdict = self._run_trial(spec, mode, trial)
+                        report.verdicts.append(verdict)
+                        self.progress(
+                            f"{verdict.status:>9s}  {name} [{mode}] "
+                            f"trial {trial}"
+                            + (
+                                f": {'; '.join(verdict.violations)}"
+                                if verdict.violations
+                                else ""
+                            )
+                        )
+        finally:
+            if not self.keep and self._own_workdir:
+                shutil.rmtree(self.workdir, ignore_errors=True)
+        return report
+
+    def _run_trial(self, spec: PointSpec, mode: str, trial: int) -> TrialVerdict:
+        start = time.monotonic()
+        verdict = TrialVerdict(
+            point=spec.name,
+            mode=mode,
+            trial=trial,
+            seed=self.seed,
+            hit=1,
+            torn=False,
+        )
+        if mode not in spec.modes:
+            verdict.applicable = False
+            return verdict
+        trialdir = self.workdir / f"{spec.name.replace('.', '-')}-{mode}-{trial}"
+        trialdir.mkdir(parents=True, exist_ok=True)
+        token = trialdir / "strike.token"
+        schedule = self._schedule(spec, trial, token)
+        verdict.hit, verdict.torn = schedule.hit, schedule.torn
+        try:
+            if spec.phase == "analyze":
+                self._analyze_phase_trial(spec, mode, trialdir, schedule, verdict)
+            else:
+                self._run_phase_trial(spec, mode, trialdir, schedule, verdict)
+        except Exception as exc:  # noqa: BLE001 - a broken trial is a verdict
+            verdict.violations.append(
+                f"trial harness error: {type(exc).__name__}: {exc}"
+            )
+        verdict.fired = token.exists()
+        verdict.duration_s = time.monotonic() - start
+        if not self.keep:
+            shutil.rmtree(trialdir, ignore_errors=True)
+        return verdict
+
+    def _run_phase_trial(
+        self,
+        spec: PointSpec,
+        mode: str,
+        trialdir: Path,
+        schedule: ChaosSchedule,
+        verdict: TrialVerdict,
+    ) -> None:
+        golden_dir, golden_thicket = self._golden(spec)
+        outdir = trialdir / "campaign"
+        outdir.mkdir()
+        params = _trial_params(outdir, mode, spec)
+        if spec.name == "calipack.mid-merge" and mode == "serial":
+            self._seed_stranded_segment(outdir, golden_dir)
+
+        # Phase 1: the armed run. Exit 0 = completed (point unreached, or
+        # a worker crash the supervisor healed in-flight).
+        code = self._spawn(_run_armed_campaign, params, schedule)
+        verdict.killed = code == CHAOS_KILL_EXITCODE
+        if code not in (0, CHAOS_KILL_EXITCODE):
+            verdict.violations.append(
+                f"armed campaign died with unexpected exit code {code}"
+            )
+            return
+
+        # Phase 2: post-crash atomicity — targets are never torn.
+        snap = invariants.snapshot_store(outdir)
+        verdict.violations += self._check_target_atomicity(outdir)
+
+        # Phase 3: fsck heals; completed cells must survive it.
+        fsck_directory(outdir)
+        verdict.violations += [
+            f"post-fsck: {v}"
+            for v in invariants.check_completed_cells_remembered(snap, outdir)
+        ]
+
+        # Phase 4: resume must finish the campaign and leave it clean.
+        code = self._spawn(_run_resume_campaign, params)
+        if code != 0:
+            verdict.violations.append(
+                f"resume campaign failed with exit code {code}"
+            )
+            return
+        verdict.violations += [
+            f"post-resume: {v}"
+            for v in invariants.check_full_cell_set(
+                self._expected_cells(params), outdir
+            )
+        ]
+        verdict.violations += [
+            f"post-resume: {v}"
+            for v in invariants.check_sealed_preserved(
+                snap, outdir, check_crc=not spec.execute
+            )
+        ]
+        recheck = fsck_directory(outdir)
+        if not recheck.clean:
+            verdict.violations.append(
+                "post-resume fsck still found damage: " + recheck.summary()
+            )
+
+        # Phase 5: analysis equivalence on all four ingest paths.
+        verdict.violations += self._check_analysis(
+            outdir, trialdir, spec, golden_thicket
+        )
+
+    def _analyze_phase_trial(
+        self,
+        spec: PointSpec,
+        mode: str,
+        trialdir: Path,
+        schedule: ChaosSchedule,
+        verdict: TrialVerdict,
+    ) -> None:
+        """Crash mid-analyze (the ingest-cache store), then re-analyze."""
+        golden_dir, golden_thicket = self._golden(spec)
+        outdir = trialdir / "campaign"
+        outdir.mkdir()
+        params = _trial_params(outdir, mode, spec)
+        code = self._spawn(_run_resume_campaign, params)
+        if code != 0:
+            verdict.violations.append(
+                f"setup campaign failed with exit code {code}"
+            )
+            return
+        snap = invariants.snapshot_store(outdir)
+        sources = self._sources(outdir, spec.pack)
+        cache_dir = trialdir / "cache"
+        code = self._spawn(
+            _run_armed_analyze, sources, str(cache_dir), schedule
+        )
+        verdict.killed = code == CHAOS_KILL_EXITCODE
+        if code not in (0, CHAOS_KILL_EXITCODE):
+            verdict.violations.append(
+                f"armed analyze died with unexpected exit code {code}"
+            )
+            return
+        # The campaign store is read-only to analysis: nothing changes.
+        verdict.violations += [
+            f"post-crash: {v}"
+            for v in invariants.check_sealed_preserved(snap, outdir)
+        ]
+        fsck_directory(outdir)
+        verdict.violations += self._check_analysis(
+            outdir, trialdir, spec, golden_thicket, cache_dir=cache_dir
+        )
+
+    # ---------------------------------------------------------------- checks
+    def _check_target_atomicity(self, outdir: Path) -> list[str]:
+        """No durable *target* may ever be left torn by a crash.
+
+        In-flight state lives in tmp siblings and unsealed archive tails
+        — both are recoverable. A loose ``.cali`` under its final name
+        that does not verify, or a manifest that does not parse, means a
+        write was not atomic.
+        """
+        from repro.caliper.cali import STATUS_OK, verify_cali
+        from repro.suite.manifest import MANIFEST_NAME
+
+        violations = []
+        manifest = outdir / MANIFEST_NAME
+        if manifest.exists():
+            try:
+                json.loads(manifest.read_text())
+            except ValueError as exc:
+                violations.append(f"post-crash: manifest torn: {exc}")
+        for path in sorted(outdir.glob("*.cali")):
+            status, detail = verify_cali(path)
+            if status != STATUS_OK:
+                violations.append(
+                    f"post-crash: loose profile {path.name} is {status} "
+                    f"({detail}) — the durable write was not atomic"
+                )
+        return violations
+
+    def _check_analysis(
+        self,
+        outdir: Path,
+        trialdir: Path,
+        spec: PointSpec,
+        golden_thicket,
+        cache_dir: Path | None = None,
+    ) -> list[str]:
+        from repro.thicket import Thicket
+
+        sources = self._sources(outdir, spec.pack)
+        violations = []
+
+        def compare(label: str, thicket) -> None:
+            violations.extend(
+                f"analyze[{label}]: {v}"
+                for v in invariants.thickets_match(
+                    golden_thicket, thicket, volatile=spec.execute
+                )
+            )
+
+        compare("serial", Thicket.from_caliperreader(sources, workers=1))
+        compare("parallel", Thicket.from_caliperreader(sources, workers=2))
+
+        # Complement path: flip the storage representation and re-ingest.
+        flipdir = trialdir / "flip"
+        flipdir.mkdir(exist_ok=True)
+        if spec.pack:
+            archive = outdir / calipack.ARCHIVE_NAME
+            calipack.unpack_archive(archive, flipdir, remove=False)
+            flip_sources = sorted(str(p) for p in flipdir.glob("*.cali"))
+        else:
+            flip_archive = flipdir / ("flip" + calipack.ARCHIVE_SUFFIX)
+            calipack.pack_directory(outdir, flip_archive, remove=False)
+            names = sorted(
+                e.name for e in calipack.load_entries(flip_archive)
+            )
+            flip_sources = [
+                calipack.member_ref(flip_archive, n) for n in names
+            ]
+        compare("flipped", Thicket.from_caliperreader(flip_sources))
+
+        # Cache path: a cold store then a warm hit must agree too.
+        cache = cache_dir if cache_dir is not None else trialdir / "cache"
+        compare("cache-cold", Thicket.from_caliperreader(sources, cache=str(cache)))
+        compare("cache-warm", Thicket.from_caliperreader(sources, cache=str(cache)))
+        return violations
+
+    # -------------------------------------------------------------- self-test
+    def self_test(self) -> dict:
+        """Prove the invariant checks can fail (a harness that cannot
+        detect a loss proves nothing).
+
+        Two repairs are deliberately suppressed and the checks must
+        flag the damage:
+
+        * **silent corruption, fsck suppressed** — a sealed profile of a
+          clean campaign is bit-rotted in place and *no* fsck runs; I1
+          must report the alteration.
+        * **resume suppressed** — a campaign is crashed between two
+          cells and never resumed; I3 must report the missing cells.
+        """
+        spec = REGISTERED_POINTS["executor.post-cell"]
+        scenarios = []
+        try:
+            # --- scenario 1: rot a sealed profile, suppress fsck ---------
+            outdir = self.workdir / "selftest-corruption"
+            params = _trial_params(outdir, "serial", spec)
+            code = self._spawn(_run_resume_campaign, params)
+            if code != 0:
+                raise RuntimeError(f"setup campaign exited {code}")
+            snap = invariants.snapshot_store(outdir)
+            victim = sorted(outdir.glob("*.cali"))[0]
+            raw = bytearray(victim.read_bytes())
+            raw[len(raw) // 4] ^= 0xFF  # payload bit-rot; footer now lies
+            victim.write_bytes(bytes(raw))
+            found = invariants.check_sealed_preserved(snap, outdir)
+            scenarios.append(
+                {
+                    "name": "silent-corruption-without-fsck",
+                    "detected": bool(found),
+                    "violations": found,
+                }
+            )
+
+            # --- scenario 2: crash between cells, suppress resume --------
+            outdir = self.workdir / "selftest-noresume"
+            outdir.mkdir(parents=True, exist_ok=True)
+            params = _trial_params(outdir, "serial", spec)
+            schedule = ChaosSchedule(
+                point=spec.name,
+                hit=1,
+                mode="exit",
+                seed=self.seed,
+                token=str(self.workdir / "selftest-noresume.token"),
+            )
+            code = self._spawn(_run_armed_campaign, params, schedule)
+            if code != CHAOS_KILL_EXITCODE:
+                raise RuntimeError(
+                    f"armed campaign exited {code}, expected a chaos kill"
+                )
+            fsck_directory(outdir)  # fsck alone cannot finish the campaign
+            found = invariants.check_full_cell_set(
+                self._expected_cells(params), outdir
+            )
+            scenarios.append(
+                {
+                    "name": "crash-without-resume",
+                    "detected": bool(found),
+                    "violations": found,
+                }
+            )
+        finally:
+            if not self.keep and self._own_workdir:
+                shutil.rmtree(self.workdir, ignore_errors=True)
+        return {
+            "ok": all(s["detected"] for s in scenarios),
+            "scenarios": scenarios,
+        }

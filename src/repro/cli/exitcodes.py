@@ -1,0 +1,32 @@
+"""The CLI's exit-code contract, in one place.
+
+Scripts and CI drive ``rajaperf-sim`` and branch on its exit status, so
+the codes are API. Every subcommand maps its outcome to one of these
+constants; the CLI smoke tests assert them.
+
+====  =========================================================
+code  meaning
+====  =========================================================
+0     success
+1     unclean run (kernel failures recorded, campaign finished)
+2     usage error (argparse, invalid fault spec, bad arguments)
+3     campaign directory locked by a live campaign
+4     analysis completed degraded (some sources failed to load)
+5     chaos invariant violation (or self-test failed to detect)
+73    worker crash sentinel (a supervised worker died mid-cell)
+77    chaos kill (internal to the chaos harness's child runs)
+130   interrupted (SIGINT; 128 + signal number)
+====  =========================================================
+"""
+
+from __future__ import annotations
+
+OK = 0
+UNCLEAN_RUN = 1
+USAGE = 2
+CAMPAIGN_LOCKED = 3
+DEGRADED_ANALYSIS = 4
+INVARIANT_VIOLATION = 5
+WORKER_CRASH = 73
+CHAOS_KILL = 77
+INTERRUPTED = 130

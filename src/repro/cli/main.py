@@ -25,6 +25,12 @@ Subcommands mirror how the paper's pipeline is driven:
 ``list``
     Enumerate kernels, groups, variants, or machines (RAJAPerf's
     ``--print-kernels`` etc.).
+``chaos``
+    Crash-consistency chaos trials: kill the pipeline at every durable
+    write boundary and machine-check that fsck + resume + analyze
+    converge (see docs/architecture.md).
+
+Exit codes are standardized in :mod:`repro.cli.exitcodes`.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.cli import exitcodes
 from repro.machines.registry import MACHINES, list_machines
 from repro.suite.features import Feature
 from repro.suite.groups import Group
@@ -115,6 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--no-cache", action="store_true",
                          help="skip the content-addressed ingest cache "
                               "(.ingest_cache/ beside the first source)")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit a machine-readable JSON report (metric "
+                              "matrix + load_errors ledger) instead of text")
 
     pack = sub.add_parser(
         "pack",
@@ -187,6 +197,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="quarantine damaged files but leave the manifest "
                            "alone (resume will NOT re-produce them)")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic crash-consistency trials over every kill point",
+        description="For every registered crash point, run a small "
+                    "campaign, kill it mid-write (os._exit, optionally "
+                    "with a torn tmp file), then fsck + run --resume + "
+                    "analyze, and machine-check that no sealed data is "
+                    "lost and the recovered Thicket frames equal an "
+                    "uncrashed golden run. Trials replay from --seed.",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seeds every trial's strike plan and torn-write "
+                            "prefix (same seed = same trials)")
+    chaos.add_argument("--trials-per-point", type=int, default=1,
+                       help="strike plans per (point, mode); later trials "
+                            "hit deeper occurrences / torn variants")
+    chaos.add_argument("--points", nargs="+", default=None, metavar="POINT",
+                       help="restrict to these crash points (default: all; "
+                            "see 'list' of points in the JSON report)")
+    chaos.add_argument("--modes", nargs="+", default=None,
+                       choices=["serial", "supervised"],
+                       help="campaign modes to trial (default: both)")
+    chaos.add_argument("--report", default=None, metavar="FILE",
+                       help="also write the JSON invariant report here")
+    chaos.add_argument("--workdir", default=None,
+                       help="where trial campaigns live (default: a "
+                            "temporary directory)")
+    chaos.add_argument("--keep", action="store_true",
+                       help="keep trial directories for post-mortem")
+    chaos.add_argument("--self-test", action="store_true",
+                       help="instead of trials, suppress one repair on "
+                            "purpose and assert the invariant checker "
+                            "catches the loss")
+
     return parser
 
 
@@ -225,7 +269,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             injector = FaultInjector.from_env()
     except ValueError as exc:
         print(f"error: invalid fault-injection spec: {exc}", file=sys.stderr)
-        return 2
+        return exitcodes.USAGE
     executor = SuiteExecutor(params)
     try:
         with injector if injector is not None else nullcontext():
@@ -235,18 +279,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 result = executor.run(write_files=True)
     except CampaignLockedError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 3
+        return exitcodes.CAMPAIGN_LOCKED
     for path in result.cali_paths:
         print(f"wrote {path}")
     print(f"{len(result.profiles)} profiles, "
           f"{len(executor.selected_kernels())} kernels each")
     print(result.report.summary())
     if result.report.interrupted:
-        return 130
-    return 0 if result.report.clean else 1
+        return exitcodes.INTERRUPTED
+    return exitcodes.OK if result.report.clean else exitcodes.UNCLEAN_RUN
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json as _json
     import warnings as _warnings
 
     from repro.thicket import ProfileLoadWarning, Thicket
@@ -261,14 +306,43 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=cache,
         )
-    for warning in caught:
-        print(f"warning: {warning.message}", file=sys.stderr)
+    if not args.json:
+        for warning in caught:
+            print(f"warning: {warning.message}", file=sys.stderr)
+    # Degraded composition: some sources failed to load and the frames
+    # cover only the survivors. Scripted pipelines read it from the JSON
+    # ledger and from the distinct exit code.
+    degraded = bool(thicket.load_errors)
+    exit_code = exitcodes.DEGRADED_ANALYSIS if degraded else exitcodes.OK
+    if args.json:
+        regions, profiles, matrix = thicket.metric_matrix(
+            args.metric, region_filter=lambda s: "_" in s
+        )
+        print(_json.dumps(
+            {
+                "profiles": [str(p) for p in thicket.profiles],
+                "metric": args.metric,
+                "regions": list(regions),
+                "columns": [str(p) for p in profiles],
+                "matrix": [[float(v) for v in row] for row in matrix],
+                "degraded": degraded,
+                "load_errors": {
+                    "count": len(thicket.load_errors),
+                    "sources": [
+                        {"source": src, "reason": reason}
+                        for src, reason in thicket.load_errors
+                    ],
+                },
+            },
+            indent=1,
+        ))
+        return exit_code
     print(thicket)
     if args.tree:
         for profile in thicket.profiles:
             print()
             print(thicket.tree(metric=args.metric, profile=profile))
-        return 0
+        return exit_code
     regions, profiles, matrix = thicket.metric_matrix(
         args.metric, region_filter=lambda s: "_" in s
     )
@@ -277,7 +351,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     for i, region in enumerate(regions):
         cells = " ".join(f"{v:>26.6g}" for v in matrix[i])
         print(f"{region:28s} {cells}")
-    return 0
+    if degraded:
+        print(
+            f"analysis degraded: {len(thicket.load_errors)} source(s) "
+            "failed to load (see warnings)",
+            file=sys.stderr,
+        )
+    return exit_code
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -421,7 +501,55 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         mark_rerun=not (args.dry_run or args.no_rerun),
     )
     print(report.summary())
-    return 0 if report.clean else 1
+    return exitcodes.OK if report.clean else exitcodes.UNCLEAN_RUN
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.chaos.runner import ChaosRunner
+
+    try:
+        runner = ChaosRunner(
+            seed=args.seed,
+            trials_per_point=args.trials_per_point,
+            points=args.points,
+            modes=args.modes,
+            workdir=args.workdir,
+            keep=args.keep,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exitcodes.USAGE
+
+    if args.self_test:
+        result = runner.self_test()
+        print(_json.dumps(result, indent=1))
+        if not result["ok"]:
+            print(
+                "chaos self-test FAILED: a suppressed repair went "
+                "undetected — the invariant checker is broken",
+                file=sys.stderr,
+            )
+            return exitcodes.INVARIANT_VIOLATION
+        return exitcodes.OK
+
+    report = runner.run()
+    out = report.to_json()
+    print(out)
+    if args.report:
+        Path(args.report).write_text(out + "\n")
+    if not report.ok:
+        print(
+            f"chaos: {len(report.violations)} trial(s) violated "
+            f"invariants, {len(report.uncovered_points())} point(s) "
+            "never struck",
+            file=sys.stderr,
+        )
+        return exitcodes.INVARIANT_VIOLATION
+    return exitcodes.OK
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -438,6 +566,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fsck": _cmd_fsck,
         "pack": _cmd_pack,
         "unpack": _cmd_unpack,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -38,6 +38,7 @@ from pathlib import Path
 from repro import adiak
 from repro.caliper.annotation import CaliperSession
 from repro.caliper.cali import write_cali
+from repro.chaos.points import crash_point
 from repro.caliper.records import CaliProfile
 from repro.cpusim.counters import slot_counters
 from repro.faults import DeadlineClock, FaultInjector, FaultSite, active_injector
@@ -280,6 +281,7 @@ class SuiteExecutor:
                         failed_kernels=outcome.failed_kernels,
                     )
                     manifest.save()
+                    crash_point("executor.post-cell", path=manifest.path)
         finally:
             if self.profile_sink is not None:
                 self.profile_sink.close()

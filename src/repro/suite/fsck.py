@@ -50,8 +50,13 @@ from repro.caliper.cali import (
     STATUS_UNSEALED,
     verify_cali,
 )
-from repro.suite.manifest import MANIFEST_NAME, CampaignManifest
-from repro.util.fsio import durable_replace
+from repro.suite.manifest import (
+    LOCK_NAME,
+    MANIFEST_NAME,
+    CampaignManifest,
+    _pid_alive,
+)
+from repro.util.fsio import TMP_GLOB, durable_replace, tmp_sibling
 
 #: where fsck moves damaged/orphaned profiles (inside the output dir)
 QUARANTINE_DIR = "quarantine"
@@ -87,6 +92,7 @@ class FsckReport:
     checks: list[ProfileCheck] = field(default_factory=list)
     quarantined: list[Path] = field(default_factory=list)
     rerun_cells: list[str] = field(default_factory=list)
+    removed_tmp: list[Path] = field(default_factory=list)
     manifest_found: bool = False
 
     @property
@@ -127,6 +133,10 @@ class FsckReport:
             lines.append(
                 f"  {len(self.quarantined)} file(s) moved to "
                 f"{self.directory / QUARANTINE_DIR}"
+            )
+        if self.removed_tmp:
+            lines.append(
+                f"  {len(self.removed_tmp)} orphaned tmp file(s) removed"
             )
         if self.rerun_cells:
             lines.append(
@@ -220,7 +230,48 @@ def fsck_directory(
             if entry_checks:
                 _quarantine_archive_entries(archive, entry_checks, qdir, report)
 
+    if quarantine:
+        _sweep_orphan_tmps(directory, report)
+
     return _finish(report, manifest, mark_rerun)
+
+
+def _campaign_is_live(directory: Path) -> bool:
+    """Whether a live campaign holds this directory's lock."""
+    lock = directory / LOCK_NAME
+    try:
+        holder = json.loads(lock.read_text())
+    except (OSError, ValueError):
+        return False
+    pid = holder.get("pid") if isinstance(holder, dict) else None
+    return _pid_alive(pid) and pid != os.getpid()
+
+
+def _sweep_orphan_tmps(directory: Path, report: FsckReport) -> None:
+    """Delete tmp siblings orphaned by a crash mid-durable-write.
+
+    A ``<name>.<pid>.<n>.tmp`` left behind is dead weight: its payload
+    was never renamed into place, so nothing references it, and a tmp is
+    re-derived fresh on every write — safe to remove. Skipped entirely
+    while a live campaign holds the directory lock, because that
+    campaign's in-flight tmps are not orphans.
+    """
+    if _campaign_is_live(directory):
+        return
+    roots = [
+        directory,
+        directory / calipack.SEGMENT_DIR,
+        directory / ".ingest_cache",
+    ]
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for tmp in sorted(root.glob(TMP_GLOB)):
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - racing cleanup
+                continue
+            report.removed_tmp.append(tmp)
 
 
 def _check_archive(
@@ -287,9 +338,7 @@ def _quarantine_archive_entries(
             calipack.read_entry_bytes(archive, entry, verify=False)
         )
         report.quarantined.append(target)
-    tmp = archive.with_suffix(archive.suffix + ".tmp")
-    if tmp.exists():
-        tmp.unlink()
+    tmp = tmp_sibling(archive)
     writer = calipack.CalipackWriter(tmp)
     try:
         for entry in entries:

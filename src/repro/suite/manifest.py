@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.chaos.points import crash_point
 from repro.suite.errors import CampaignLockedError
 from repro.util.fsio import write_durable_text
 
@@ -205,6 +206,7 @@ class CampaignManifest:
     # -------------------------------------------------------------- save
     def save(self) -> Path:
         """Crash-safely persist (fsynced tmp + ``os.replace`` + dir fsync)."""
+        crash_point("manifest.pre-save", path=self.path)
         payload = {
             "format": "rajaperf-campaign-manifest",
             "version": MANIFEST_VERSION,

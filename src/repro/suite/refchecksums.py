@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.chaos.points import crash_point
 from repro.util.fsio import write_durable_text
 
 SIDECAR_NAME = ".reference_checksums.json"
@@ -52,6 +53,7 @@ class ReferenceChecksumStore:
         """Publish one reference (merging concurrent publishers' entries)."""
         data = self._read()
         data[self._key(kernel, size)] = value
+        crash_point("refchecksums.pre-publish", path=self.path)
         try:
             write_durable_text(
                 self.path, json.dumps(data, sort_keys=True, indent=0)

@@ -51,6 +51,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.chaos.points import crash_point
 from repro.faults import FaultInjector, FaultSpec, active_injector
 from repro.suite.heartbeat import HeartbeatMonitor
 from repro.suite.manifest import CampaignLock, CampaignManifest
@@ -255,6 +256,7 @@ class CampaignSupervisor:
                     failed_kernels=result.failed_kernels,
                 )
                 manifest.save()
+                crash_point("supervisor.post-record", path=manifest.path)
             if self.on_cell_complete is not None:
                 self.on_cell_complete(result.key)
 

@@ -25,10 +25,13 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import queue as queue_mod
 import signal
 import time
 from dataclasses import dataclass, field
 
+from repro.chaos.points import ChaosCrash
+from repro.cli.exitcodes import WORKER_CRASH
 from repro.faults import FaultInjector, FaultSite, FaultSpec
 from repro.machines.registry import get_machine
 from repro.suite.heartbeat import HeartbeatEmitter
@@ -37,7 +40,12 @@ from repro.suite.run_params import RunParams
 from repro.suite.variants import get_variant
 
 #: Exit code of an injected worker crash (visible in the supervisor's log).
-WORKER_CRASH_EXITCODE = 73
+#: Canonically defined in :mod:`repro.cli.exitcodes`; re-exported here
+#: because the supervisor and its tests historically import it from us.
+WORKER_CRASH_EXITCODE = WORKER_CRASH
+
+#: How often an idle worker re-checks that its supervisor still exists.
+_ORPHAN_POLL_S = 1.0
 
 
 @dataclass(frozen=True)
@@ -157,8 +165,18 @@ def worker_main(
 
         executor.refstore = ReferenceChecksumStore(params.output_dir)
 
+    # If the supervisor dies abruptly (kill -9, a chaos os._exit) it can
+    # never send poison pills, and a worker blocked on task_queue.get()
+    # would idle forever. Poll with a timeout and exit when reparented.
+    supervisor_pid = os.getppid()
+
     while True:
-        task = task_queue.get()
+        try:
+            task = task_queue.get(timeout=_ORPHAN_POLL_S)
+        except queue_mod.Empty:
+            if os.getppid() != supervisor_pid:
+                break  # orphaned: our supervisor is gone
+            continue
         if task is None:
             break
         site = FaultSite(
@@ -173,6 +191,8 @@ def worker_main(
                 time.sleep(stall)  # wedged: the supervisor must kill us
         try:
             result = run_cell_task(executor, task, write_files)
+        except ChaosCrash:  # a simulated crash must stay a crash
+            raise
         except BaseException as exc:  # noqa: BLE001 - cell never dies silently
             result = CellResult(
                 worker_id=worker_id,

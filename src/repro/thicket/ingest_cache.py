@@ -39,6 +39,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.chaos.points import crash_point
 from repro.dataframe import Frame
 from repro.util.fsio import write_durable_bytes
 
@@ -156,8 +157,9 @@ def store(
         f"{_MAGIC} header={len(header_bytes)} blob={len(blob)} "
         f"crc32={crc:08x}\n"
     ).encode("ascii")
-    out = write_durable_bytes(cache_path(cache_dir, cache_key(sources)),
-                              head + body)
+    target = cache_path(cache_dir, cache_key(sources))
+    crash_point("ingest-cache.pre-store", path=target)
+    out = write_durable_bytes(target, head + body)
     _prune(Path(cache_dir), keep=KEEP_ENTRIES)
     return out
 

@@ -616,8 +616,14 @@ class TestDegradedModeAnalysis:
         corrupt.write_text("{ nope")
         code = main(["analyze", str(corrupt), *[str(p) for p in result.cali_paths]])
         captured = capsys.readouterr()
-        assert code == 0
+        # Analysis completes on the survivors but exits with the
+        # distinct degraded-mode code so schedulers can tell the
+        # difference from a fully clean analysis.
+        from repro.cli import exitcodes
+
+        assert code == exitcodes.DEGRADED_ANALYSIS
         assert "warning:" in captured.err
+        assert "degraded" in captured.err
         assert "Thicket(2 profiles" in captured.out
 
     def test_cli_analyze_strict_crashes_on_corrupt_file(self, tmp_path):
