@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--gpu-block-sizes", nargs="+", type=int, default=[256])
     run.add_argument("--execute", action="store_true",
                      help="really execute the NumPy kernels (capped size)")
+    run.add_argument("--no-state-pool", action="store_true",
+                     help="disable the kernel-state pool: allocate and set "
+                          "up a fresh kernel instance per executed cell "
+                          "instead of restoring a pooled snapshot")
     run.add_argument("--trials", type=int, default=1,
                      help="repeated measurements (applies the noise model)")
     run.add_argument("--csv", action="store_true",
@@ -251,6 +255,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         features=tuple(Feature(f) for f in args.features),
         gpu_block_sizes=tuple(args.gpu_block_sizes),
         execute=args.execute,
+        state_pool=not args.no_state_pool,
         trials=args.trials,
         write_csv=args.csv,
         pack=args.pack,

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import atomic_add, forall
+from repro.rajasim import atomic_add, forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -56,6 +56,7 @@ class AlgorithmHistogram(KernelBase):
         data, counts = self.data, self.counts
         counts[:] = 0.0
 
+        @slice_capable
         def body(i: np.ndarray) -> None:
             atomic_add(counts, data[i], 1.0)
 

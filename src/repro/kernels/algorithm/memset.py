@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import Resource, forall
+from repro.rajasim import Resource, forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -49,6 +49,7 @@ class AlgorithmMemset(KernelBase):
     def run_raja(self, policy: ExecPolicy) -> None:
         dst, value = self.dst, self.VALUE
 
+        @slice_capable(fuse=True)
         def body(i: np.ndarray) -> None:
             dst[i] = value
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import ReduceSum, forall
+from repro.rajasim import ReduceSum, forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.features import Feature
 from repro.suite.groups import Group
@@ -50,6 +50,7 @@ class AlgorithmReduceSum(KernelBase):
         x = self.x
         reducer = ReduceSum(0.0)
 
+        @slice_capable
         def body(i: np.ndarray) -> None:
             reducer.combine(x[i])
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import forall
+from repro.rajasim import forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -55,6 +55,7 @@ class BasicArrayOfPtrs(KernelBase):
     def run_raja(self, policy: ExecPolicy) -> None:
         sources, out = self.sources, self.out
 
+        @slice_capable(fuse=True)
         def body(i: np.ndarray) -> None:
             acc = sources[0][i].copy()
             for k in range(1, NUM_PTRS):

@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import forall
+from repro.rajasim import forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -53,6 +53,7 @@ class BasicCopy8(KernelBase):
     def run_raja(self, policy: ExecPolicy) -> None:
         src, dst = self.src, self.dst
 
+        @slice_capable(fuse=True)
         def body(i: np.ndarray) -> None:
             for k in range(NUM_ARRAYS):
                 dst[k][i] = src[k][i]

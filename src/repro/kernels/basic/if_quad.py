@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import forall
+from repro.rajasim import forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -67,6 +67,7 @@ class BasicIfQuad(KernelBase):
     def run_raja(self, policy: ExecPolicy) -> None:
         a, b, c, x1, x2 = self.a, self.b, self.c, self.x1, self.x2
 
+        @slice_capable(fuse=True)
         def body(i: np.ndarray) -> None:
             disc = b[i] * b[i] - 4.0 * a[i] * c[i]
             positive = disc >= 0.0

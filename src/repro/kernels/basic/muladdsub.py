@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import forall
+from repro.rajasim import forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -52,6 +52,7 @@ class BasicMuladdsub(KernelBase):
         in1, in2 = self.in1, self.in2
         out1, out2, out3 = self.out1, self.out2, self.out3
 
+        @slice_capable(fuse=True)
         def body(i: np.ndarray) -> None:
             out1[i] = in1[i] * in2[i]
             out2[i] = in1[i] + in2[i]

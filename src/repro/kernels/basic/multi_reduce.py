@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import MultiReduceSum, forall
+from repro.rajasim import MultiReduceSum, forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -59,6 +59,7 @@ class BasicMultiReduce(KernelBase):
         data, bins = self.data, self.bins
         reducer = MultiReduceSum(NUM_BINS)
 
+        @slice_capable
         def body(i: np.ndarray) -> None:
             reducer.combine(bins[i], data[i])
 

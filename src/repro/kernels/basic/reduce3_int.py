@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import ReduceMax, ReduceMin, ReduceSum, forall
+from repro.rajasim import ReduceMax, ReduceMin, ReduceSum, forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.features import Feature
 from repro.suite.groups import Group
@@ -54,6 +54,7 @@ class BasicReduce3Int(KernelBase):
         rmin = ReduceMin(float(np.iinfo(np.int64).max))
         rmax = ReduceMax(float(np.iinfo(np.int64).min))
 
+        @slice_capable
         def body(i: np.ndarray) -> None:
             values = vec[i]
             rsum.combine(values)

@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import ReduceMax, ReduceMin, ReduceSum, forall
+from repro.rajasim import ReduceMax, ReduceMin, ReduceSum, forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.features import Feature
 from repro.suite.groups import Group
@@ -60,6 +60,7 @@ class BasicReduceStruct(KernelBase):
         xmin, ymin = ReduceMin(np.inf), ReduceMin(np.inf)
         xmax, ymax = ReduceMax(-np.inf), ReduceMax(-np.inf)
 
+        @slice_capable
         def body(i: np.ndarray) -> None:
             xv, yv = x[i], y[i]
             xsum.combine(xv)

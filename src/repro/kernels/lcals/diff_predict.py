@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import forall
+from repro.rajasim import forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -73,6 +73,7 @@ class LcalsDiffPredict(KernelBase):
     def run_raja(self, policy: ExecPolicy) -> None:
         compute = self._compute
 
+        @slice_capable(fuse=True)
         def body(i: np.ndarray) -> None:
             compute(i)
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import forall
+from repro.rajasim import forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -62,6 +62,7 @@ class LcalsPlanckian(KernelBase):
     def run_raja(self, policy: ExecPolicy) -> None:
         x, u, v, y, w = self.x, self.u, self.v, self.y, self.w
 
+        @slice_capable(fuse=True)
         def body(i: np.ndarray) -> None:
             y[i] = u[i] / v[i]
             w[i] = x[i] / np.expm1(y[i])

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import forall
+from repro.rajasim import forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -46,6 +46,7 @@ class StreamCopy(KernelBase):
     def run_raja(self, policy: ExecPolicy) -> None:
         a, c = self.a, self.c
 
+        @slice_capable(fuse=True)
         def body(i: np.ndarray) -> None:
             c[i] = a[i]
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import ReduceSum, forall
+from repro.rajasim import ReduceSum, forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.features import Feature
 from repro.suite.groups import Group
@@ -58,6 +58,7 @@ class StreamDot(KernelBase):
         a, b = self.a, self.b
         reducer = ReduceSum(0.0)
 
+        @slice_capable
         def body(i: np.ndarray) -> None:
             reducer.combine(a[i] * b[i])
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import forall
+from repro.rajasim import forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -48,6 +48,7 @@ class StreamMul(KernelBase):
     def run_raja(self, policy: ExecPolicy) -> None:
         b, c, q = self.b, self.c, self.Q
 
+        @slice_capable(fuse=True)
         def body(i: np.ndarray) -> None:
             b[i] = q * c[i]
 

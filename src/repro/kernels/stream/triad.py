@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.perfmodel.calibration import triad_traits
 from repro.perfmodel.traits import KernelTraits
-from repro.rajasim import forall
+from repro.rajasim import forall, slice_capable
 from repro.rajasim.policies import ExecPolicy
 from repro.suite.checksum import checksum_array
 from repro.suite.features import Feature
@@ -56,6 +56,7 @@ class StreamTriad(KernelBase):
     def run_raja(self, policy: ExecPolicy) -> None:
         a, b, c, q = self.a, self.b, self.c, self.Q
 
+        @slice_capable(fuse=True)
         def body(i: np.ndarray) -> None:
             a[i] = b[i] + q * c[i]
 

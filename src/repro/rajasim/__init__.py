@@ -23,7 +23,13 @@ from repro.rajasim.policies import (
     simd_exec,
     sycl_exec,
 )
-from repro.rajasim.forall import forall, forall_chunks
+from repro.rajasim.forall import (
+    dispatch_mode,
+    forall,
+    forall_chunks,
+    legacy_dispatch,
+    slice_capable,
+)
 from repro.rajasim.kernel import kernel_2d, kernel_3d
 from repro.rajasim.views import Layout, View, make_permuted_layout
 from repro.rajasim.reducers import (
@@ -51,6 +57,9 @@ __all__ = [
     "sycl_exec",
     "forall",
     "forall_chunks",
+    "slice_capable",
+    "legacy_dispatch",
+    "dispatch_mode",
     "kernel_2d",
     "kernel_3d",
     "Layout",

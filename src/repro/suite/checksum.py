@@ -7,11 +7,32 @@ weighting catches permutation errors a plain sum would miss.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 #: Relative tolerance for cross-variant checksum agreement. Variants
 #: reassociate floating-point reductions, so exact equality is too strict.
 CHECKSUM_RTOL = 1e-10
+
+#: Read-only weight vectors by length. Checksums run once per executed
+#: cell over the same few array lengths, so the ``arange`` allocation is
+#: pure hot-path overhead; the cached vector produces bit-identical dots.
+_WEIGHT_CACHE: OrderedDict[int, np.ndarray] = OrderedDict()
+_WEIGHT_CACHE_MAX = 32
+
+
+def _weights(size: int) -> np.ndarray:
+    cached = _WEIGHT_CACHE.get(size)
+    if cached is not None:
+        _WEIGHT_CACHE.move_to_end(size)
+        return cached
+    weights = np.arange(1, size + 1, dtype=np.float64)
+    weights.flags.writeable = False
+    _WEIGHT_CACHE[size] = weights
+    while len(_WEIGHT_CACHE) > _WEIGHT_CACHE_MAX:
+        _WEIGHT_CACHE.popitem(last=False)
+    return weights
 
 
 def checksum_array(data: np.ndarray, scale: float | None = None) -> float:
@@ -25,8 +46,7 @@ def checksum_array(data: np.ndarray, scale: float | None = None) -> float:
         return 0.0
     if scale is None:
         scale = 1.0 / arr.size
-    weights = np.arange(1, arr.size + 1, dtype=np.float64)
-    return float(np.dot(weights, arr) * scale)
+    return float(np.dot(_weights(arr.size), arr) * scale)
 
 
 def checksums_match(a: float, b: float, rtol: float = CHECKSUM_RTOL) -> bool:

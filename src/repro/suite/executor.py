@@ -68,6 +68,7 @@ from repro.suite.report import (
     cell_key,
 )
 from repro.suite.run_params import TABLE3, RunParams
+from repro.suite.state_pool import KernelStatePool
 from repro.suite.variants import Variant, get_variant
 
 
@@ -161,6 +162,9 @@ class SuiteExecutor:
         self.injector = injector
         self.sleep_fn = sleep_fn if sleep_fn is not None else time.sleep
         self._reference_checksums: dict[tuple[type[KernelBase], int], float | None] = {}
+        #: one set-up instance per (class, size) reused across the whole
+        #: campaign — variants, tunings, trials (None = --no-state-pool)
+        self.state_pool = KernelStatePool() if params.state_pool else None
         #: when set, profiles stream into a .calipack instead of loose files
         self.profile_sink = None  # repro.caliper.calipack.ArchiveSink
         #: when set, Base_Seq references are shared across processes
@@ -570,12 +574,21 @@ class SuiteExecutor:
                 session.set_metric(name, value, accumulate=False)
 
         if params.execute:
-            exec_kernel = type(kernel)(problem_size=params.execution_size)
-            start = time.perf_counter()
+            # Setup (allocation + RNG init — or a pooled snapshot restore)
+            # is explicit and timed separately: "wall time (executed)"
+            # must cover only the variant run, not state preparation.
+            setup_start = time.perf_counter()
+            exec_kernel = self._exec_kernel(type(kernel))
+            session.set_metric(
+                "setup time (executed)",
+                time.perf_counter() - setup_start,
+                accumulate=False,
+            )
             policy = variant.policy()
             if variant.is_gpu and block:
                 policy = policy.with_block_size(block)
-            checksum = exec_kernel.run_variant(variant, policy)
+            start = time.perf_counter()
+            checksum = exec_kernel.run_variant_prepared(variant, policy)
             session.set_metric(
                 "wall time (executed)", time.perf_counter() - start, accumulate=False
             )
@@ -584,6 +597,17 @@ class SuiteExecutor:
                 checksum = injector.corrupt_checksum(checksum, site)
             session.set_metric("checksum", checksum, accumulate=False)
             self._verify_checksum(session, kernel, variant, trial, checksum, record)
+
+    def _exec_kernel(self, cls: type[KernelBase]) -> KernelBase:
+        """A set-up instance of ``cls`` at the execution size, ready for
+        ``run_variant_prepared`` — pooled (snapshot-restored) when the
+        state pool is on, freshly allocated otherwise."""
+        size = self.params.execution_size
+        if self.state_pool is not None:
+            return self.state_pool.acquire(cls, size)
+        kernel = cls(problem_size=size)
+        kernel.ensure_setup()
+        return kernel
 
     # ------------------------------------------------- checksum verification
     def _verify_checksum(
@@ -636,8 +660,7 @@ class SuiteExecutor:
         if not any(v.name == base_seq.name for v in cls.class_variants()):
             value = None
         else:
-            reference = cls(problem_size=size)
-            value = reference.run_variant(base_seq)
+            value = self._exec_kernel(cls).run_variant_prepared(base_seq)
         self._reference_checksums[key] = value
         if self.refstore is not None:
             self.refstore.put(name, size, value)

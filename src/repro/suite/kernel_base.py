@@ -242,18 +242,38 @@ class KernelBase:
         """Position-weighted checksum over the kernel's outputs."""
         raise NotImplementedError
 
-    def run_variant(self, variant: Variant, policy: ExecPolicy | None = None) -> float:
-        """Reset, run one repetition of ``variant``, return its checksum."""
+    def run_variant_prepared(
+        self, variant: Variant, policy: ExecPolicy | None = None
+    ) -> float:
+        """Run one repetition of ``variant`` against *already prepared*
+        state, return its checksum.
+
+        The caller owns setup: either :meth:`ensure_setup` ran on this
+        instance, or a :class:`~repro.suite.state_pool.KernelStatePool`
+        restored a post-``setup()`` snapshot into it. This is the timed
+        hot path — it performs no allocation or RNG work of its own.
+        """
         if not self.supports(variant):
             raise ValueError(f"{self.full_name} has no variant {variant.name}")
+        if not self._is_setup:
+            raise RuntimeError(
+                f"{self.full_name}: run_variant_prepared() before setup — "
+                "call ensure_setup() or acquire via KernelStatePool"
+            )
         policy = policy if policy is not None else variant.policy()
-        self.reset()
-        self.ensure_setup()
         if variant.kind in (VariantKind.RAJA, VariantKind.KOKKOS):
             self.run_raja(policy)
         else:
             self.run_base(policy)
         return self.checksum()
+
+    def run_variant(self, variant: Variant, policy: ExecPolicy | None = None) -> float:
+        """Reset, run one repetition of ``variant``, return its checksum."""
+        if not self.supports(variant):
+            raise ValueError(f"{self.full_name} has no variant {variant.name}")
+        self.reset()
+        self.ensure_setup()
+        return self.run_variant_prepared(variant, policy)
 
     def verify_variants(self, variants: Sequence[Variant] | None = None) -> dict[str, float]:
         """Run the given (default: all) variants; assert checksum agreement.

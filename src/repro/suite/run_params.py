@@ -55,6 +55,7 @@ class RunParams:
     gpu_block_sizes: tuple[int, ...] = (256,)
     execute: bool = False  # actually run the NumPy kernels (vs model-only)
     execution_size_cap: int = 200_000  # cap real execution sizes
+    state_pool: bool = True  # reuse snapshot-restored kernel state across cells
     trials: int = 1  # repeated measurements (noise model applied when > 1)
     noise_sigma: float = 0.02  # run-to-run coefficient of variation
     write_csv: bool = False  # also emit RAJAPerf-style per-run CSV files

@@ -1,0 +1,130 @@
+"""Cross-policy and cross-engine equivalence of the zero-copy dispatch.
+
+The PR's contract: slice/fused dispatch, the partition-plan cache, and
+the cached iota arrays are pure plumbing — every kernel's checksum must
+be *bit-identical* to the seed engine (``legacy_dispatch``) under every
+policy, including odd iteration counts (empty, single element, primes,
+non-multiples of the GPU block size).
+"""
+
+import numpy as np
+import pytest
+
+from repro.rajasim import (
+    cuda_exec,
+    forall,
+    omp_parallel_for_exec,
+    seq_exec,
+    slice_capable,
+)
+from repro.rajasim.forall import clear_dispatch_caches, legacy_dispatch
+from repro.suite.registry import all_kernel_classes, load_all_kernels, make_kernel
+
+POLICIES = {
+    "Sequential": seq_exec,
+    "OpenMP": omp_parallel_for_exec,
+    "CUDA": cuda_exec,
+}
+
+#: Empty, single, prime, just-past-block, and non-multiple-of-block sizes.
+ODD_SIZES = (0, 1, 2, 61, 97, 257, 1000, 1003)
+
+RAJA_VARIANTS = ("RAJA_Seq", "RAJA_OpenMP", "RAJA_CUDA")
+
+
+def _kernel_checksum(cls, variant, size: int) -> float:
+    kernel = cls(problem_size=size)
+    return kernel.run_variant(variant)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_caches():
+    clear_dispatch_caches()
+    yield
+    clear_dispatch_caches()
+
+
+class TestForallEquivalence:
+    """Engine equivalence at the ``forall`` level, per capability class."""
+
+    @pytest.mark.parametrize("policy_name", list(POLICIES))
+    @pytest.mark.parametrize("n", ODD_SIZES)
+    def test_slice_vs_array_vs_legacy(self, policy_name, n):
+        policy = POLICIES[policy_name]
+        x = np.linspace(0.5, 2.5, max(n, 1))[:n]
+
+        def compute(out):
+            def plain(i):
+                out[i] = 3.0 * x[i] - 1.0
+            return plain
+
+        out_array = np.zeros(n)
+        launches_array = forall(policy, n, compute(out_array))
+
+        out_slice = np.zeros(n)
+        launches_slice = forall(policy, n, slice_capable(compute(out_slice)))
+
+        out_fused = np.zeros(n)
+        launches_fused = forall(
+            policy, n, slice_capable(fuse=True)(compute(out_fused))
+        )
+
+        out_legacy = np.zeros(n)
+        with legacy_dispatch():
+            launches_legacy = forall(policy, n, compute(out_legacy))
+
+        assert launches_array == launches_slice == launches_fused == launches_legacy
+        np.testing.assert_array_equal(out_array, out_legacy)
+        np.testing.assert_array_equal(out_slice, out_legacy)
+        np.testing.assert_array_equal(out_fused, out_legacy)
+
+    @pytest.mark.parametrize("policy_name", list(POLICIES))
+    def test_partition_order_dependent_body(self, policy_name):
+        """Non-fused slice bodies must see partitions in plan order."""
+        policy = POLICIES[policy_name]
+        n = 1003
+        fast_parts, legacy_parts = [], []
+        forall(policy, n, slice_capable(lambda s: fast_parts.append((s.start, s.stop))))
+        with legacy_dispatch():
+            forall(
+                policy, n,
+                lambda idx: legacy_parts.append((int(idx[0]), int(idx[-1]) + 1)),
+            )
+        assert fast_parts == legacy_parts
+
+
+class TestKernelEquivalence:
+    """Every kernel, every RAJA policy: fast engine == seed engine."""
+
+    @pytest.mark.parametrize("size", (1, 61, 1003))
+    @pytest.mark.parametrize("name", ("Stream_TRIAD", "Stream_DOT",
+                                      "Algorithm_HISTOGRAM", "Basic_MULTI_REDUCE",
+                                      "Lcals_EOS"))
+    def test_representatives_at_odd_sizes(self, name, size):
+        """One kernel per capability class (fused, reducer slice,
+        atomic, chunked reducer, array-path) at odd sizes."""
+        kernel = make_kernel(name, size)
+        variants = [v for v in kernel.variants() if v.name in RAJA_VARIANTS]
+        for variant in variants:
+            clear_dispatch_caches()
+            fast = _kernel_checksum(type(kernel), variant, size)
+            with legacy_dispatch():
+                legacy = _kernel_checksum(type(kernel), variant, size)
+            assert repr(fast) == repr(legacy), (name, variant.name, size)
+
+    def test_all_kernels_all_policies_bit_identical(self):
+        """The full registry at a prime size: zero tolerance, exact repr."""
+        load_all_kernels()
+        size = 197
+        mismatches = []
+        for cls in all_kernel_classes():
+            for variant in cls.class_variants():
+                if variant.name not in RAJA_VARIANTS:
+                    continue
+                clear_dispatch_caches()
+                fast = _kernel_checksum(cls, variant, size)
+                with legacy_dispatch():
+                    legacy = _kernel_checksum(cls, variant, size)
+                if repr(fast) != repr(legacy):
+                    mismatches.append((cls.__name__, variant.name, fast, legacy))
+        assert not mismatches, mismatches

@@ -16,6 +16,11 @@ from repro.rajasim import (
     simd_exec,
     sycl_exec,
 )
+import importlib
+
+# The package re-exports the forall *function*, shadowing the module name.
+forall_mod = importlib.import_module("repro.rajasim.forall")
+
 from repro.rajasim.forall import _normalize_segment, iter_partitions
 from repro.rajasim.policies import ExecPolicy
 
@@ -112,3 +117,130 @@ class TestForall:
         parts = list(iter_partitions(policy, np.arange(n)))
         joined = np.concatenate(parts) if parts else np.array([], dtype=int)
         np.testing.assert_array_equal(np.sort(joined), np.arange(n))
+
+
+class TestSegmentValidation:
+    def test_float_tuple_bounds_rejected(self):
+        with pytest.raises(TypeError, match="segment bounds must be integers"):
+            _normalize_segment((0.0, 5))
+        with pytest.raises(TypeError, match="segment bounds must be integers"):
+            _normalize_segment((0, 5.5))
+
+    def test_bool_bounds_rejected(self):
+        # bool is an int subclass; silently iterating (False, True) would
+        # hide a caller bug.
+        with pytest.raises(TypeError):
+            _normalize_segment((False, True))
+
+    def test_bool_segment_rejected(self):
+        with pytest.raises(TypeError):
+            _normalize_segment(True)
+
+    def test_numpy_integer_bounds_accepted(self):
+        np.testing.assert_array_equal(
+            _normalize_segment((np.int64(2), np.int32(5))), [2, 3, 4]
+        )
+
+    def test_forall_rejects_float_tuple(self):
+        with pytest.raises(TypeError):
+            forall(seq_exec, (0, 4.2), lambda i: None)
+
+
+class TestDispatchEngine:
+    """The zero-copy engine: capability protocol, plan cache, legacy mode."""
+
+    def setup_method(self):
+        forall_mod.clear_dispatch_caches()
+
+    def test_default_mode_is_fast(self):
+        assert forall_mod.dispatch_mode() == "fast"
+
+    def test_legacy_dispatch_flips_mode_and_env(self):
+        import os
+
+        with forall_mod.legacy_dispatch():
+            assert forall_mod.dispatch_mode() == "legacy"
+            assert os.environ.get("REPRO_LEGACY_DISPATCH") == "1"
+        assert forall_mod.dispatch_mode() == "fast"
+        assert os.environ.get("REPRO_LEGACY_DISPATCH") is None
+
+    def test_slice_capable_body_receives_slices(self):
+        seen = []
+        body = forall_mod.slice_capable(lambda i: seen.append(i))
+        launches = forall(cuda_exec, 600, body)
+        assert launches == 3
+        assert all(isinstance(s, slice) for s in seen)
+        assert [(s.start, s.stop) for s in seen] == [(0, 256), (256, 512), (512, 600)]
+
+    def test_fused_body_runs_once_with_plan_launch_count(self):
+        seen = []
+        body = forall_mod.slice_capable(fuse=True)(lambda i: seen.append(i))
+        launches = forall(cuda_exec, 600, body)
+        assert launches == 3  # plan's launch count, not the call count
+        assert seen == [slice(0, 600)]
+
+    def test_fused_body_empty_segment_not_called(self):
+        seen = []
+        body = forall_mod.slice_capable(fuse=True)(lambda i: seen.append(i))
+        assert forall(cuda_exec, 0, body) == 0
+        assert seen == []
+
+    def test_fused_body_in_forall_chunks_gets_per_partition_slices(self):
+        seen = []
+        body = forall_mod.slice_capable(fuse=True)(
+            lambda part, k: seen.append((part, k))
+        )
+        assert forall_chunks(cuda_exec, 600, body) == 3
+        assert [k for _, k in seen] == [0, 1, 2]
+        assert all(isinstance(part, slice) for part, _ in seen)
+
+    def test_plain_body_receives_arrays(self):
+        seen = []
+        forall(cuda_exec, 600, lambda i: seen.append(i))
+        assert all(isinstance(p, np.ndarray) for p in seen)
+
+    def test_slice_capable_over_index_array_falls_back(self):
+        seen = []
+        body = forall_mod.slice_capable(lambda i: seen.append(i))
+        forall(seq_exec, np.array([5, 3, 1]), body)
+        assert all(isinstance(p, np.ndarray) for p in seen)
+
+    def test_legacy_mode_ignores_capabilities(self):
+        seen = []
+        body = forall_mod.slice_capable(fuse=True)(lambda i: seen.append(i))
+        with forall_mod.legacy_dispatch():
+            launches = forall(cuda_exec, 600, body)
+        assert launches == 3
+        assert all(isinstance(p, np.ndarray) for p in seen)
+
+    def test_partition_plan_is_cached(self):
+        plan_a = forall_mod.partition_plan(cuda_exec, 1000)
+        plan_b = forall_mod.partition_plan(cuda_exec, 1000)
+        assert plan_a is plan_b
+        forall_mod.clear_dispatch_caches()
+        assert forall_mod.partition_plan(cuda_exec, 1000) is not plan_a
+
+    def test_plan_matches_legacy_partitioner(self):
+        for policy in ALL_POLICIES:
+            for n in (1, 2, 7, 97, 256, 257, 1000, 1003):
+                indices = np.arange(n)
+                legacy = [
+                    p.tolist()
+                    for p in forall_mod._iter_partitions_uncached(policy, indices)
+                ]
+                planned = [
+                    indices[a:b].tolist()
+                    for a, b in forall_mod.partition_plan(policy, n)
+                ]
+                assert planned == legacy, (policy.backend, n)
+
+    def test_cached_arange_is_readonly_and_shared(self):
+        a = forall_mod._cached_arange(0, 100)
+        b = forall_mod._cached_arange(0, 100)
+        assert a is b
+        assert not a.flags.writeable
+
+    def test_plan_cache_lru_bound(self):
+        for n in range(1, 300):
+            forall_mod.partition_plan(cuda_exec, n)
+        assert len(forall_mod._PLAN_CACHE) <= forall_mod._PLAN_CACHE_MAX

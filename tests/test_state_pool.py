@@ -1,0 +1,268 @@
+"""The kernel-state pool: snapshot, write-set certification, restore.
+
+The pool's contract: an acquired instance behaves exactly like a fresh
+``cls(problem_size); ensure_setup()`` — every checksum bit-identical —
+while skipping re-allocation and re-initialization. Anything it cannot
+prove restorable must fall back to fresh instantiation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli.main import build_parser
+from repro.suite.executor import SuiteExecutor
+from repro.suite.registry import make_kernel
+from repro.suite.run_params import RunParams
+from repro.suite.state_pool import (
+    KernelStatePool,
+    UnpoolableState,
+    _restore_value,
+    _snapshot_value,
+    _value_matches,
+)
+from repro.suite.variants import get_variant
+
+RAJA_SEQ = get_variant("RAJA_Seq")
+RAJA_CUDA = get_variant("RAJA_CUDA")
+BASE_SEQ = get_variant("Base_Seq")
+
+
+def _fresh_checksum(cls, size, variant):
+    kernel = cls(problem_size=size)
+    return kernel.run_variant(variant)
+
+
+class TestPooledEqualsFresh:
+    @pytest.mark.parametrize(
+        "name",
+        ["Stream_TRIAD", "Basic_DAXPY", "Lcals_DIFF_PREDICT",
+         "Stream_DOT", "Algorithm_HISTOGRAM"],
+    )
+    def test_repeated_acquires_bit_identical(self, name):
+        size = 1003
+        cls = type(make_kernel(name, size))
+        pool = KernelStatePool()
+        variants = [v for v in cls(problem_size=size).variants()
+                    if v.name in ("Base_Seq", "RAJA_Seq", "RAJA_CUDA")]
+        for _round in range(3):
+            for variant in variants:
+                kernel = pool.acquire(cls, size)
+                pooled = kernel.run_variant_prepared(variant)
+                fresh = _fresh_checksum(cls, size, variant)
+                assert repr(pooled) == repr(fresh), (name, variant.name)
+
+    def test_hit_returns_live_instance(self):
+        cls = type(make_kernel("Stream_TRIAD", 500))
+        pool = KernelStatePool()
+        first = pool.acquire(cls, 500)
+        first.run_variant_prepared(RAJA_SEQ)
+        second = pool.acquire(cls, 500)
+        assert second is first
+        assert pool.stats()["hits"] == 1
+        assert pool.stats()["misses"] == 1
+
+    def test_accumulating_kernel_restored_between_runs(self):
+        # DAXPY's y += a*x feeds prior output back in: without restore a
+        # second pooled run would double-accumulate.
+        cls = type(make_kernel("Basic_DAXPY", 777))
+        pool = KernelStatePool()
+        sums = []
+        for _ in range(3):
+            kernel = pool.acquire(cls, 777)
+            sums.append(kernel.run_variant_prepared(RAJA_SEQ))
+        assert len(set(map(repr, sums))) == 1
+
+    def test_volatile_mutation_healed_on_acquire(self):
+        # DAXPY's accumulator y is certified volatile; a run (or any
+        # destructive mutation) of it must be undone by the next acquire.
+        cls = type(make_kernel("Basic_DAXPY", 400))
+        pool = KernelStatePool()
+        kernel = pool.acquire(cls, 400)
+        baseline = kernel.run_variant_prepared(RAJA_SEQ)
+        kernel.y.fill(123.456)
+        healed = pool.acquire(cls, 400)
+        assert repr(healed.run_variant_prepared(RAJA_SEQ)) == repr(baseline)
+
+
+class TestCertification:
+    def test_overwrite_only_outputs_certified_stable(self):
+        # TRIAD's a[:] = b + q*c reaches a fixed point after one run;
+        # certification must drop it from the per-acquire restore set.
+        cls = type(make_kernel("Stream_TRIAD", 600))
+        pool = KernelStatePool()
+        pool.acquire(cls, 600)
+        (entry,) = pool._entries.values()
+        volatile_arrays = {
+            n for n, t in entry.volatile.items() if t[0] == "nd"
+        }
+        assert "a" not in volatile_arrays  # the overwritten output
+        assert {"b", "c"} & set(cls(problem_size=600).__dict__) or True
+
+    def test_accumulator_certified_volatile(self):
+        cls = type(make_kernel("Basic_DAXPY", 600))
+        pool = KernelStatePool()
+        pool.acquire(cls, 600)
+        (entry,) = pool._entries.values()
+        assert "y" in entry.volatile  # y += a*x never reaches a fixed point
+
+    def test_certification_failure_restores_everything(self):
+        # A kernel with no Base_Seq/RAJA_Seq variants cannot be certified:
+        # every snapshotted attribute stays volatile.
+        class Uncertifiable:
+            def __init__(self, problem_size=None):
+                self.data = np.arange(float(problem_size or 8))
+
+            def ensure_setup(self):
+                pass
+
+            def variants(self):
+                return ()
+
+        pool = KernelStatePool()
+        pool.acquire(Uncertifiable, 8)
+        (entry,) = pool._entries.values()
+        assert "data" in entry.volatile
+
+
+class TestSnapshotRestore:
+    def test_rng_state_round_trips(self):
+        rng = np.random.default_rng(42)
+        token = _snapshot_value(rng, 0, set())
+        expected = rng.normal(size=5)
+        rng.normal(size=100)  # advance the stream
+        restored = _restore_value(rng, token)
+        assert restored is rng
+        np.testing.assert_array_equal(rng.normal(size=5), expected)
+
+    def test_ndarray_restored_in_place(self):
+        arr = np.arange(10.0)
+        token = _snapshot_value(arr, 0, set())
+        view = arr[2:5]
+        arr += 100.0
+        restored = _restore_value(arr, token)
+        assert restored is arr  # aliases (Views) stay valid
+        np.testing.assert_array_equal(view, [2.0, 3.0, 4.0])
+
+    def test_nested_containers_round_trip(self):
+        state = {"xs": [np.zeros(4), np.ones(4)], "n": 7}
+        token = _snapshot_value(state, 0, set())
+        state["xs"][0][:] = 9.0
+        state["n"] = -1
+        state["junk"] = "added"
+        _restore_value(state, token)
+        np.testing.assert_array_equal(state["xs"][0], np.zeros(4))
+        assert state["n"] == 7
+        assert "junk" not in state
+
+    def test_unsnapshotable_value_raises(self):
+        with pytest.raises(UnpoolableState):
+            _snapshot_value(lambda: None, 0, set())
+
+    def test_value_matches_is_bit_exact(self):
+        arr = np.arange(5.0)
+        token = _snapshot_value(arr, 0, set())
+        assert _value_matches(arr, token)
+        arr[3] = np.nextafter(arr[3], np.inf)  # one ulp
+        assert not _value_matches(arr, token)
+
+
+class TestFallbacksAndBudget:
+    def test_unpoolable_class_falls_back_to_fresh(self):
+        class Unpoolable:
+            def __init__(self, problem_size=None):
+                self.fn = lambda: None  # not snapshotable
+
+            def ensure_setup(self):
+                pass
+
+            def variants(self):
+                return ()
+
+        pool = KernelStatePool()
+        first = pool.acquire(Unpoolable, 4)
+        second = pool.acquire(Unpoolable, 4)
+        assert first is not second
+        assert pool.stats()["fallbacks"] >= 1
+        assert pool.stats()["entries"] == 0
+
+    @staticmethod
+    def _volatile_class(name):
+        # No variants => certification yields nothing and the whole 8 KiB
+        # array stays volatile, giving the entry a real byte cost.
+        def __init__(self, problem_size=None):
+            self.data = np.zeros(1024)
+
+        return type(name, (), {
+            "__init__": __init__,
+            "ensure_setup": lambda self: None,
+            "variants": lambda self: (),
+        })
+
+    def test_byte_budget_evicts_lru(self):
+        cls_a = self._volatile_class("VolatileA")
+        cls_b = self._volatile_class("VolatileB")
+        small = KernelStatePool(max_bytes=10 * 1024)
+        small.acquire(cls_a, 1024)
+        small.acquire(cls_b, 1024)  # 16 KiB volatile total: evicts A
+        stats = small.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] <= small.max_bytes
+        assert (cls_b, 1024, None) in small._entries
+
+    def test_oversized_snapshot_still_returns_working_kernel(self):
+        cls = type(make_kernel("Basic_DAXPY", 3000))
+        small = KernelStatePool(max_bytes=1)
+        kernel = small.acquire(cls, 3000)
+        fresh = _fresh_checksum(cls, 3000, RAJA_SEQ)
+        assert repr(kernel.run_variant_prepared(RAJA_SEQ)) == repr(fresh)
+
+
+class TestExecutorIntegration:
+    def _params(self, state_pool):
+        return RunParams(
+            problem_size=1500,
+            execution_size_cap=1500,
+            execute=True,
+            trials=2,
+            machines=("SPR-DDR",),
+            variants=("Base_Seq", "RAJA_Seq"),
+            kernels=("Basic_DAXPY", "Stream_TRIAD"),
+            state_pool=state_pool,
+            output_dir="/tmp/state-pool-test",
+        )
+
+    @staticmethod
+    def _checksums(result):
+        out = {}
+        for prof in result.profiles:
+            g = prof.globals
+            for node in prof.walk():
+                value = getattr(node, "metrics", {}).get("checksum")
+                if value is not None:
+                    out[(g["variant"], g["trial"], node.path)] = value
+        return out
+
+    def test_pool_on_off_profiles_identical(self):
+        on = SuiteExecutor(self._params(True)).run(write_files=False)
+        off = SuiteExecutor(self._params(False)).run(write_files=False)
+        sums_on, sums_off = self._checksums(on), self._checksums(off)
+        assert sums_on and sums_on == sums_off
+
+    def test_setup_time_metric_present(self):
+        result = SuiteExecutor(self._params(True)).run(write_files=False)
+        found = False
+        for prof in result.profiles:
+            for node in prof.walk():
+                metrics = getattr(node, "metrics", {})
+                if "wall time (executed)" in metrics:
+                    assert "setup time (executed)" in metrics
+                    assert metrics["setup time (executed)"] >= 0.0
+                    found = True
+        assert found
+
+    def test_cli_no_state_pool_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--no-state-pool"])
+        assert args.no_state_pool is True
+        args = parser.parse_args(["run"])
+        assert args.no_state_pool is False

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Gate execution-engine benchmark results against the committed baseline.
+
+Reads a pytest-benchmark JSON file (``BENCH_<sha>.json`` from the CI
+benchmarks job), pulls the ``extra_info`` stats the engine-sweep benches
+record, and compares them against ``benchmarks/baselines/kernel_execution.json``:
+
+* ``speedup`` — the legacy-vs-zero-copy engine ratio. Both sweeps run on
+  the same machine in the same job, so this is self-normalizing across
+  hardware; a drop means the engine itself regressed. Hard failure.
+* ``engine_cells_per_sec`` — absolute executed-cell throughput. Hard
+  failure when it regresses more than the tolerance below baseline;
+  machine-dependent, so refresh the baseline (``--update``) when the CI
+  runner class changes.
+
+Exit status 0 = within tolerance, 1 = regression, 2 = usage/format error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "baselines"
+    / "kernel_execution.json"
+)
+
+#: extra_info keys gated per benchmark (higher is better for all).
+GATED_METRICS = ("speedup", "engine_cells_per_sec")
+
+
+def load_results(bench_json: Path) -> dict[str, dict]:
+    data = json.loads(bench_json.read_text())
+    out: dict[str, dict] = {}
+    for bench in data.get("benchmarks", []):
+        extra = bench.get("extra_info") or {}
+        if any(metric in extra for metric in GATED_METRICS):
+            out[bench["name"]] = extra
+    return out
+
+
+def check(results: dict[str, dict], baseline: dict) -> list[str]:
+    tolerance = float(baseline.get("tolerance", 0.2))
+    failures = []
+    for name, expected in baseline["benchmarks"].items():
+        got = results.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from benchmark results")
+            continue
+        for metric in GATED_METRICS:
+            if metric not in expected:
+                continue
+            floor = expected[metric] * (1.0 - tolerance)
+            value = got.get(metric)
+            if value is None:
+                failures.append(f"{name}: result has no {metric!r}")
+            elif value < floor:
+                failures.append(
+                    f"{name}: {metric} {value:.3f} regressed below "
+                    f"{floor:.3f} (baseline {expected[metric]:.3f}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+    return failures
+
+
+def update_baseline(results: dict[str, dict], baseline_path: Path) -> None:
+    baseline = json.loads(baseline_path.read_text())
+    for name, entry in baseline["benchmarks"].items():
+        got = results.get(name)
+        if got is None:
+            raise SystemExit(f"cannot update: {name} missing from results")
+        for metric in GATED_METRICS:
+            if metric in entry:
+                entry[metric] = round(float(got[metric]), 2)
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", type=Path, help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from these results instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        results = load_results(args.bench_json)
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        update_baseline(results, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    failures = check(results, baseline)
+    for name, extra in sorted(results.items()):
+        print(
+            f"{name}: speedup={extra.get('speedup')} "
+            f"engine_cells_per_sec={extra.get('engine_cells_per_sec')}"
+        )
+    if failures:
+        print("\nBENCHMARK REGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("benchmarks within tolerance of committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
