@@ -42,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import shutil
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -517,6 +518,69 @@ def _rewrite_manifest_refs(directory: Path, archive: Path, pack: bool) -> None:
         manifest.save()
 
 
+def _natural_key(name: str) -> tuple:
+    """Numeric-aware sort key: ``worker-2`` orders before ``worker-10``.
+
+    Plain lexicographic ordering folds ``worker-10`` before ``worker-2``,
+    which inverts last-wins precedence for respawned workers whose ids
+    passed one digit width. Digit runs compare as integers; text runs as
+    text (tagged so mixed shapes stay comparable).
+    """
+    return tuple(
+        (0, int(part)) if part.isdigit() else (1, part)
+        for part in re.split(r"(\d+)", name)
+        if part
+    )
+
+
+def _merge_archives(sources: list[Path], target: Path) -> Path:
+    """Fold ``sources`` (in order, last-wins) into ``target`` canonically.
+
+    The merged archive is rebuilt name-sorted in a tmp sibling and
+    durably replaced, so its bytes are a pure function of its entry set:
+    no matter how many segments or merge levels produced it, or in what
+    completion order entries arrived, the same entries give the same
+    archive — the property the sharded merge tree's bit-identity
+    guarantee rests on.
+    """
+    entries: dict[str, tuple[Path, ArchiveEntry]] = {}
+    for source in sources:
+        for entry in load_entries(source):
+            entries[entry.name] = (source, entry)
+    tmp = tmp_sibling(target)
+    writer = CalipackWriter(tmp)
+    try:
+        for name in sorted(entries):
+            source, entry = entries[name]
+            # verify=False: damaged entries carry over byte-for-byte —
+            # detecting and quarantining them is fsck's job, and a merge
+            # must never fail a campaign over one bad profile.
+            writer.append_bytes(
+                name, read_entry_bytes(source, entry, verify=False)
+            )
+    except BaseException:
+        writer.abort()
+        tmp.unlink(missing_ok=True)
+        raise
+    writer.close()
+    durable_replace(tmp, target)
+    return target
+
+
+def canonicalize_archive(archive: str | Path) -> Path | None:
+    """Rewrite an archive into its canonical (name-sorted) sealed form.
+
+    Appends land in completion order, which resume, retry, and worker
+    scheduling legitimately permute. Campaign completion canonicalizes
+    the archive so serial, supervised, and sharded runs over the same
+    cells end with byte-identical ``campaign.calipack`` files.
+    """
+    target = Path(archive)
+    if not target.exists():
+        return None
+    return _merge_archives([target], target)
+
+
 def merge_segments(
     directory: str | Path, archive: str | Path | None = None
 ) -> Path | None:
@@ -524,31 +588,85 @@ def merge_segments(
 
     The supervisor calls this on drain; campaign startup calls it too,
     so segments stranded by a crash are salvaged (footer-less segments
-    go through the recovery scan). Merged segments are deleted. Returns
-    the archive path, or None when there was nothing to merge.
+    go through the recovery scan). Segments fold in numeric-aware name
+    order (``worker-2`` before ``worker-10``) with last-wins dedup, and
+    the merged archive is rebuilt canonically (tmp + durable replace)
+    before any segment is deleted — a crash between the replace and the
+    deletions just re-merges idempotently. Returns the archive path, or
+    None when there was nothing to merge.
     """
     directory = Path(directory)
     seg_dir = directory / SEGMENT_DIR
-    segments = sorted(seg_dir.glob("*" + ARCHIVE_SUFFIX)) if seg_dir.is_dir() else []
+    segments = (
+        sorted(
+            seg_dir.glob("*" + ARCHIVE_SUFFIX),
+            key=lambda p: _natural_key(p.name),
+        )
+        if seg_dir.is_dir()
+        else []
+    )
     if not segments:
         return None
     target = Path(archive) if archive is not None else directory / ARCHIVE_NAME
-    writer = CalipackWriter(target)
-    try:
-        for segment in segments:
-            for entry in load_entries(segment):
-                writer.append_bytes(
-                    entry.name, read_entry_bytes(segment, entry)
-                )
-            # Segment folded in but not deleted: a crash here must leave
-            # a re-runnable merge (last-wins dedup makes it idempotent).
-            crash_point("calipack.mid-merge", path=target)
-    finally:
-        writer.close()
+    sources = ([target] if target.exists() else []) + segments
+    _merge_archives(sources, target)
+    # Merged archive durable, no segment deleted yet: a crash here must
+    # leave a re-runnable merge (last-wins dedup makes it idempotent).
+    crash_point("calipack.mid-merge", path=target)
     for segment in segments:
         segment.unlink()
+        # Between two segment deletions: the survivors re-merge into the
+        # already-folded archive without changing it.
+        crash_point("calipack.post-merge-unlink", path=target)
     try:
         seg_dir.rmdir()
     except OSError:
         pass
+    return target
+
+
+def merge_shards(
+    directory: str | Path,
+    shard_archives: list[str | Path],
+    archive: str | Path | None = None,
+    scratch: str | Path | None = None,
+) -> Path | None:
+    """Hierarchically merge per-shard archives into the campaign archive.
+
+    Pairs of archives fold into scratch intermediates level by level (a
+    merge tree, with the ``shard.mid-merge-level`` crash point between
+    levels), and the final level — together with any existing campaign
+    archive — goes through the same canonical rewrite as
+    :func:`merge_segments`. Source order is preserved across tree
+    levels, so last-wins precedence holds globally: callers order
+    ``shard_archives`` with superseded (failed, reassigned-away) shards
+    first. Intermediates live in a scratch directory recreated per
+    merge; a crash at any level simply re-runs the tree from the intact
+    shard archives. Shard archives themselves are never deleted.
+    """
+    directory = Path(directory)
+    target = Path(archive) if archive is not None else directory / ARCHIVE_NAME
+    sources = [Path(p) for p in shard_archives if Path(p).exists()]
+    if not sources:
+        return None
+    scratch_dir = (
+        Path(scratch) if scratch is not None else directory / ".merge-scratch"
+    )
+    shutil.rmtree(scratch_dir, ignore_errors=True)
+    scratch_dir.mkdir(parents=True, exist_ok=True)
+    level: list[Path] = sources
+    depth = 0
+    while len(level) > 1:
+        next_level: list[Path] = []
+        for i in range(0, len(level), 2):
+            out = scratch_dir / f"level{depth}-{i // 2}{ARCHIVE_SUFFIX}"
+            _merge_archives(level[i : i + 2], out)
+            next_level.append(out)
+        # One tree level durable in scratch: a crash here re-runs the
+        # whole tree from the shard archives (still intact).
+        crash_point("shard.mid-merge-level", path=target)
+        level = next_level
+        depth += 1
+    _merge_archives(([target] if target.exists() else []) + level, target)
+    shutil.rmtree(scratch_dir, ignore_errors=True)
     return target

@@ -57,6 +57,17 @@ def _archive_paths(directory: Path) -> list[Path]:
     seg_dir = directory / calipack.SEGMENT_DIR
     if seg_dir.is_dir():
         archives += sorted(seg_dir.glob("*" + calipack.ARCHIVE_SUFFIX))
+    # A sharded campaign's entries may sit in per-shard archives (and
+    # their segments, and the merge tree's scratch intermediates) before
+    # the hierarchical merge lands them in the campaign archive.
+    shard_root = directory / "shards"
+    if shard_root.is_dir():
+        for shard_dir in sorted(shard_root.iterdir()):
+            if shard_dir.is_dir():
+                archives += _archive_paths(shard_dir)
+    scratch = directory / ".merge-scratch"
+    if scratch.is_dir():
+        archives += sorted(scratch.glob("*" + calipack.ARCHIVE_SUFFIX))
     return archives
 
 
@@ -200,6 +211,68 @@ def frames_match(golden, other, drop: tuple[str, ...] = ()) -> list[str]:
     for name in golden_cols:
         if not golden.select([name]).equals(other.select([name])):
             violations.append(f"column {name!r} differs from golden")
+    return violations
+
+
+def check_shard_campaign(
+    expected_keys: set[str], directory: str | Path
+) -> list[str]:
+    """I5: a recovered sharded campaign is coherent end to end.
+
+    After ``fsck`` + ``run --resume`` of a sharded campaign: the shard
+    map is readable; every shard directory on disk is one the map knows;
+    the map's assignment covers exactly the campaign's cell set; and
+    every cell the campaign manifest records ``ok`` has its profile
+    present in the *merged* campaign archive (not stranded in a shard).
+    Together with I1-I4 this is the sharded convergence guarantee: kill
+    any shard or the coordinator anywhere, and recovery still yields one
+    complete, analysis-identical ``campaign.calipack``.
+    """
+    from repro.suite.coordinator import ShardMap
+    from repro.suite.shard import SHARD_DIR, parse_shard_index
+
+    directory = Path(directory)
+    violations: list[str] = []
+    shard_map = ShardMap.load(directory)
+    if shard_map is None:
+        return [f"no readable shard map in {directory}"]
+    shard_root = directory / SHARD_DIR
+    if shard_root.is_dir():
+        for shard_dir in sorted(shard_root.iterdir()):
+            if not shard_dir.is_dir():
+                continue
+            index = parse_shard_index(shard_dir.name)
+            if index is None or index >= shard_map.shards:
+                violations.append(
+                    f"orphan shard directory {shard_dir.name} "
+                    f"(map has {shard_map.shards} shard(s))"
+                )
+    assigned = {
+        key for keys in shard_map.assignment.values() for key in keys
+    }
+    for key in sorted(expected_keys - assigned):
+        violations.append(f"cell {key} missing from the shard map")
+    for key in sorted(assigned - expected_keys):
+        violations.append(f"shard map assigns unexpected cell {key}")
+    cells = _manifest_cells(directory) or {}
+    archive = directory / calipack.ARCHIVE_NAME
+    try:
+        merged = {e.name for e in calipack.load_entries(archive)}
+    except (calipack.CalipackError, OSError):
+        merged = set()
+    for key, entry in sorted(cells.items()):
+        if entry.get("status") != "ok":
+            continue
+        file = entry.get("file")
+        if not file:
+            continue
+        ref = calipack.split_member_ref(file)
+        name = ref[1] if ref is not None else Path(file).name
+        if name not in merged:
+            violations.append(
+                f"ok cell {key}: profile {name} not in the merged "
+                f"campaign archive"
+            )
     return violations
 
 

@@ -108,6 +108,7 @@ REGISTERED_POINTS: dict[str, PointSpec] = {
             "calipack.mid-entry-append",
             torn=True,
             pack=True,
+            modes=("serial", "supervised", "sharded"),
             description="archive append: entry bytes written, good_end "
             "not advanced (torn: partial entry tail)",
         ),
@@ -127,12 +128,41 @@ REGISTERED_POINTS: dict[str, PointSpec] = {
         PointSpec(
             "calipack.mid-merge",
             pack=True,
-            description="segment merge: some segments folded into the "
-            "campaign archive, none deleted yet",
+            description="segment merge: segments folded into the "
+            "campaign archive (durably replaced), none deleted yet",
+        ),
+        PointSpec(
+            "calipack.post-merge-unlink",
+            pack=True,
+            description="segment merge: merged archive durable, some "
+            "segments deleted, others still on disk",
+        ),
+        # ---- suite/coordinator.py: the sharded campaign ---------------
+        PointSpec(
+            "shard.pre-map-save",
+            modes=("sharded",),
+            pack=True,
+            description="shard coordinator: cell partition computed, "
+            "shard map not yet durably written",
+        ),
+        PointSpec(
+            "shard.post-shard-exit",
+            modes=("sharded",),
+            pack=True,
+            description="shard coordinator: a shard supervisor exited "
+            "and was recorded, its outcome not yet acted on",
+        ),
+        PointSpec(
+            "shard.mid-merge-level",
+            modes=("sharded",),
+            pack=True,
+            description="shard merge tree: one level of intermediates "
+            "durable in scratch, shard archives intact",
         ),
         # ---- suite/manifest.py: the campaign ledger -------------------
         PointSpec(
             "manifest.pre-save",
+            modes=("serial", "supervised", "sharded"),
             description="manifest checkpoint: cell completed, ledger "
             "not yet rewritten",
         ),

@@ -58,10 +58,15 @@ from repro.chaos.points import (
 from repro.suite.fsck import fsck_directory
 from repro.suite.run_params import RunParams
 
-MODES = ("serial", "supervised")
+MODES = ("serial", "supervised", "sharded")
 
 #: how long one child campaign may take before the trial is abandoned
 CHILD_TIMEOUT_S = 180.0
+
+
+def _effective_pack(mode: str, spec: PointSpec) -> bool:
+    """Sharded campaigns always pack: the merge tree needs archives."""
+    return spec.pack or mode == "sharded"
 
 
 def _trial_params(output_dir: Path, mode: str, spec: PointSpec) -> RunParams:
@@ -74,9 +79,11 @@ def _trial_params(output_dir: Path, mode: str, spec: PointSpec) -> RunParams:
         kernels=("Basic_DAXPY", "Stream_TRIAD"),
         trials=2,
         execute=spec.execute,
-        pack=spec.pack,
+        pack=_effective_pack(mode, spec),
         output_dir=str(output_dir),
         workers=2 if mode == "supervised" else 1,
+        shards=2 if mode == "sharded" else 0,
+        shard_lease_timeout=10.0,
         max_attempts=3,
         retry_base_delay=0.0,
         retry_max_delay=0.0,
@@ -332,19 +339,49 @@ class ChaosRunner:
             token=str(token),
         )
 
-    def _seed_stranded_segment(self, outdir: Path, golden_dir: Path) -> None:
-        """Plant a footer-less worker segment so a serial campaign's
+    def _seed_stranded_segments(
+        self, outdir: Path, golden_dir: Path, count: int
+    ) -> None:
+        """Plant footer-less worker segments so a serial campaign's
         startup salvage has something to merge (serial runs never create
-        segments on their own)."""
+        segments on their own). ``count > 1`` gives the post-merge-unlink
+        point a genuinely *partial* deletion to strike between."""
         archive = golden_dir / calipack.ARCHIVE_NAME
         entries = calipack.load_entries(archive)
-        seg = outdir / calipack.SEGMENT_DIR / ("worker-9" + calipack.ARCHIVE_SUFFIX)
-        seg.parent.mkdir(parents=True, exist_ok=True)
-        writer = calipack.CalipackWriter(seg)
-        writer.append_bytes(
-            entries[0].name, calipack.read_entry_bytes(archive, entries[0])
-        )
-        writer.abort()  # no index, no footer: exactly a crashed worker
+        for i in range(count):
+            seg = (
+                outdir
+                / calipack.SEGMENT_DIR
+                / (f"worker-{9 + i}" + calipack.ARCHIVE_SUFFIX)
+            )
+            seg.parent.mkdir(parents=True, exist_ok=True)
+            writer = calipack.CalipackWriter(seg)
+            entry = entries[i % len(entries)]
+            writer.append_bytes(
+                entry.name, calipack.read_entry_bytes(archive, entry)
+            )
+            writer.abort()  # no index, no footer: exactly a crashed worker
+
+    @staticmethod
+    def _wait_shards_quiesce(outdir: Path, timeout_s: float = 10.0) -> None:
+        """Wait for orphaned shard processes to notice their coordinator
+        died (the lease thread's re-parenting poll) and exit, so the
+        post-crash audit reads a quiescent store."""
+        from repro.suite.manifest import _pid_alive
+        from repro.suite.shard import SHARD_DIR, read_lease
+
+        shard_root = outdir / SHARD_DIR
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            live = False
+            if shard_root.is_dir():
+                for shard_dir in shard_root.iterdir():
+                    lease = read_lease(shard_dir) if shard_dir.is_dir() else None
+                    if lease is not None and _pid_alive(lease.get("pid")):
+                        live = True
+            if not live:
+                return
+            time.sleep(0.1)
 
     # ---------------------------------------------------------------- trials
     def run(self) -> ChaosReport:
@@ -417,11 +454,19 @@ class ChaosRunner:
         outdir = trialdir / "campaign"
         outdir.mkdir()
         params = _trial_params(outdir, mode, spec)
-        if spec.name == "calipack.mid-merge" and mode == "serial":
-            self._seed_stranded_segment(outdir, golden_dir)
+        pack = _effective_pack(mode, spec)
+        if mode == "serial" and spec.name in (
+            "calipack.mid-merge",
+            "calipack.post-merge-unlink",
+        ):
+            self._seed_stranded_segments(
+                outdir,
+                golden_dir,
+                count=2 if spec.name == "calipack.post-merge-unlink" else 1,
+            )
 
         # Phase 1: the armed run. Exit 0 = completed (point unreached, or
-        # a worker crash the supervisor healed in-flight).
+        # a worker/shard crash the supervising process healed in-flight).
         code = self._spawn(_run_armed_campaign, params, schedule)
         verdict.killed = code == CHAOS_KILL_EXITCODE
         if code not in (0, CHAOS_KILL_EXITCODE):
@@ -429,6 +474,10 @@ class ChaosRunner:
                 f"armed campaign died with unexpected exit code {code}"
             )
             return
+        if mode == "sharded":
+            # A killed coordinator leaves shard processes to notice the
+            # re-parenting and exit; audit only a quiescent store.
+            self._wait_shards_quiesce(outdir)
 
         # Phase 2: post-crash atomicity — targets are never torn.
         snap = invariants.snapshot_store(outdir)
@@ -460,6 +509,13 @@ class ChaosRunner:
                 snap, outdir, check_crc=not spec.execute
             )
         ]
+        if mode == "sharded":
+            verdict.violations += [
+                f"post-resume: {v}"
+                for v in invariants.check_shard_campaign(
+                    self._expected_cells(params), outdir
+                )
+            ]
         recheck = fsck_directory(outdir)
         if not recheck.clean:
             verdict.violations.append(
@@ -468,7 +524,7 @@ class ChaosRunner:
 
         # Phase 5: analysis equivalence on all four ingest paths.
         verdict.violations += self._check_analysis(
-            outdir, trialdir, spec, golden_thicket
+            outdir, trialdir, spec, golden_thicket, pack=pack
         )
 
     def _analyze_phase_trial(
@@ -525,12 +581,29 @@ class ChaosRunner:
         from repro.suite.manifest import MANIFEST_NAME
 
         violations = []
-        manifest = outdir / MANIFEST_NAME
-        if manifest.exists():
+        manifests = [outdir / MANIFEST_NAME]
+        shard_map = outdir / "shard_map.json"
+        if shard_map.exists():
+            try:
+                json.loads(shard_map.read_text())
+            except ValueError as exc:
+                violations.append(f"post-crash: shard map torn: {exc}")
+        shard_root = outdir / "shards"
+        if shard_root.is_dir():
+            manifests += [
+                shard_dir / MANIFEST_NAME
+                for shard_dir in sorted(shard_root.iterdir())
+                if shard_dir.is_dir()
+            ]
+        for manifest in manifests:
+            if not manifest.exists():
+                continue
             try:
                 json.loads(manifest.read_text())
             except ValueError as exc:
-                violations.append(f"post-crash: manifest torn: {exc}")
+                violations.append(
+                    f"post-crash: manifest {manifest.name} torn: {exc}"
+                )
         for path in sorted(outdir.glob("*.cali")):
             status, detail = verify_cali(path)
             if status != STATUS_OK:
@@ -547,10 +620,13 @@ class ChaosRunner:
         spec: PointSpec,
         golden_thicket,
         cache_dir: Path | None = None,
+        pack: bool | None = None,
     ) -> list[str]:
         from repro.thicket import Thicket
 
-        sources = self._sources(outdir, spec.pack)
+        if pack is None:
+            pack = spec.pack
+        sources = self._sources(outdir, pack)
         violations = []
 
         def compare(label: str, thicket) -> None:
@@ -567,7 +643,7 @@ class ChaosRunner:
         # Complement path: flip the storage representation and re-ingest.
         flipdir = trialdir / "flip"
         flipdir.mkdir(exist_ok=True)
-        if spec.pack:
+        if pack:
             archive = outdir / calipack.ARCHIVE_NAME
             calipack.unpack_archive(archive, flipdir, remove=False)
             flip_sources = sorted(str(p) for p in flipdir.glob("*.cali"))

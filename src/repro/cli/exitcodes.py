@@ -14,6 +14,7 @@ code  meaning
 4     analysis completed degraded (some sources failed to load)
 5     chaos invariant violation (or self-test failed to detect)
 73    worker crash sentinel (a supervised worker died mid-cell)
+74    shard orphaned (a shard supervisor lost its coordinator)
 77    chaos kill (internal to the chaos harness's child runs)
 130   interrupted (SIGINT; 128 + signal number)
 ====  =========================================================
@@ -28,5 +29,6 @@ CAMPAIGN_LOCKED = 3
 DEGRADED_ANALYSIS = 4
 INVARIANT_VIOLATION = 5
 WORKER_CRASH = 73
+SHARD_ORPHANED = 74
 CHAOS_KILL = 77
 INTERRUPTED = 130

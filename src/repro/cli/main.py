@@ -25,6 +25,9 @@ Subcommands mirror how the paper's pipeline is driven:
 ``list``
     Enumerate kernels, groups, variants, or machines (RAJAPerf's
     ``--print-kernels`` etc.).
+``shard-status``
+    Progress of a sharded campaign (``run --shards N``): per-shard
+    ok/failed/pending counts, liveness leases, merge state.
 ``chaos``
     Crash-consistency chaos trials: kill the pipeline at every durable
     write boundary and machine-check that fsck + resume + analyze
@@ -110,6 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="kill and requeue a worker whose heartbeats stop "
                           "for this long (supervised mode)")
+    run.add_argument("--shards", type=int, default=0, metavar="N",
+                     help="partition the campaign across N self-healing "
+                          "shard supervisors and merge their archives "
+                          "(implies --pack; each shard runs --workers "
+                          "processes)")
+    run.add_argument("--shard-lease-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="declare a shard wedged when its lease goes "
+                          "unrefreshed for this long (sharded mode)")
 
     analyze = sub.add_parser("analyze", help="Thicket EDA over .cali profiles")
     analyze.add_argument("files", nargs="+",
@@ -186,6 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
     lst = sub.add_parser("list", help="enumerate kernels/variants/machines")
     lst.add_argument("what", choices=["kernels", "groups", "variants", "machines"])
 
+    shard_status = sub.add_parser(
+        "shard-status",
+        help="progress of a sharded campaign's shards",
+        description="Read the shard map, each shard's manifest and "
+                    "liveness lease, and report per-shard ok/failed/"
+                    "pending counts plus whether the merged campaign "
+                    "archive exists yet.",
+    )
+    shard_status.add_argument("directory", help="campaign output directory")
+
     fsck = sub.add_parser(
         "fsck",
         help="verify .cali integrity footers in a campaign directory",
@@ -221,8 +243,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restrict to these crash points (default: all; "
                             "see 'list' of points in the JSON report)")
     chaos.add_argument("--modes", nargs="+", default=None,
-                       choices=["serial", "supervised"],
-                       help="campaign modes to trial (default: both)")
+                       choices=["serial", "supervised", "sharded"],
+                       help="campaign modes to trial (default: all)")
     chaos.add_argument("--report", default=None, metavar="FILE",
                        help="also write the JSON invariant report here")
     chaos.add_argument("--workdir", default=None,
@@ -245,28 +267,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.suite.errors import CampaignLockedError
     from repro.suite.executor import SuiteExecutor
 
-    params = RunParams(
-        problem_size=parse_size(args.size),
-        reps=args.reps,
-        variants=tuple(args.variants),
-        machines=tuple(args.machines),
-        groups=tuple(Group(g) for g in args.groups),
-        kernels=tuple(args.kernels),
-        features=tuple(Feature(f) for f in args.features),
-        gpu_block_sizes=tuple(args.gpu_block_sizes),
-        execute=args.execute,
-        state_pool=not args.no_state_pool,
-        trials=args.trials,
-        write_csv=args.csv,
-        pack=args.pack,
-        output_dir=args.output_dir,
-        resume=args.resume,
-        fail_fast=args.fail_fast,
-        max_attempts=args.max_attempts,
-        kernel_deadline_s=args.kernel_timeout,
-        workers=args.workers,
-        heartbeat_timeout=args.heartbeat_timeout,
-    )
+    try:
+        params = RunParams(
+            problem_size=parse_size(args.size),
+            reps=args.reps,
+            variants=tuple(args.variants),
+            machines=tuple(args.machines),
+            groups=tuple(Group(g) for g in args.groups),
+            kernels=tuple(args.kernels),
+            features=tuple(Feature(f) for f in args.features),
+            gpu_block_sizes=tuple(args.gpu_block_sizes),
+            execute=args.execute,
+            state_pool=not args.no_state_pool,
+            trials=args.trials,
+            write_csv=args.csv,
+            # The merge tree combines per-shard archives, so sharded
+            # campaigns are always packed.
+            pack=args.pack or args.shards > 0,
+            output_dir=args.output_dir,
+            resume=args.resume,
+            fail_fast=args.fail_fast,
+            max_attempts=args.max_attempts,
+            kernel_deadline_s=args.kernel_timeout,
+            workers=args.workers,
+            heartbeat_timeout=args.heartbeat_timeout,
+            shards=args.shards,
+            shard_lease_timeout=args.shard_lease_timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exitcodes.USAGE
     try:
         if args.inject_faults:
             injector = FaultInjector.from_config(args.inject_faults)
@@ -497,6 +527,21 @@ def _cmd_unpack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    from repro.suite.coordinator import MAP_NAME, shard_status
+
+    from pathlib import Path
+
+    print(shard_status(args.directory))
+    # A readable shard map is the contract; anything else (not sharded,
+    # or a map fsck must repair) is reported but exits unclean.
+    return (
+        exitcodes.OK
+        if (Path(args.directory) / MAP_NAME).exists()
+        else exitcodes.UNCLEAN_RUN
+    )
+
+
 def _cmd_fsck(args: argparse.Namespace) -> int:
     from repro.suite.fsck import fsck_directory
 
@@ -568,6 +613,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "export": _cmd_export,
         "report": _cmd_report,
         "list": _cmd_list,
+        "shard-status": _cmd_shard_status,
         "fsck": _cmd_fsck,
         "pack": _cmd_pack,
         "unpack": _cmd_unpack,

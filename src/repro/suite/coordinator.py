@@ -1,0 +1,653 @@
+"""The shard coordinator: self-healing scale-out campaigns.
+
+A sharded campaign partitions its cells deterministically across N
+shard supervisors (:mod:`repro.suite.shard`), each running an ordinary
+campaign in its own shared-nothing directory. The coordinator owns the
+campaign-level state and nothing else:
+
+* the **shard map** (``shard_map.json``, fsio-atomic): which cell keys
+  belong to which shard, which shards have been retired, and the
+  configuration fingerprint — the durable record a resumed coordinator
+  re-adopts so cells never migrate between shards across a crash;
+* the **healing state machine** over shard processes::
+
+      assigned -> running -> settled (exit 0)
+                    |
+                    +-- abnormal exit / stale lease
+                    |        fsck shard dir, respawn with --resume
+                    |        (bounded by the campaign RetryPolicy)
+                    |        ... budget exhausted -> RETIRED
+                    |              residue reassigned to survivors
+                    +-- exit CAMPAIGN_LOCKED (predecessor not reaped)
+                             short retry, not charged to the budget
+
+  A retired shard's residue — its assigned cells not yet ``ok`` — moves
+  to the surviving shards (the map is updated durably first), and a
+  survivor that already settled is re-spawned with ``--resume`` to pick
+  the new work up. Only when *every* shard has retired does residue
+  become terminal: those cells are recorded ``failed`` with
+  ``<shard unavailable>`` in the campaign manifest, and the campaign —
+  like every other failure here — finishes unclean instead of dying;
+* the **hierarchical merge**: on completion, per-shard archives fold
+  through :func:`~repro.caliper.calipack.merge_shards`' merge tree into
+  one canonical ``campaign.calipack`` that is byte-identical to what a
+  single-supervisor run of the same cells produces, and the campaign
+  manifest is composed from the shard manifests with member refs
+  rewritten to the merged archive.
+
+Crash points: ``shard.pre-map-save`` (partition computed, map not yet
+durable), ``shard.post-shard-exit`` (a shard reaped, outcome not yet
+acted on), and ``shard.mid-merge-level`` (inside the merge tree). Kill
+the coordinator at any of them — or kill any shard anywhere — and
+``fsck`` + ``run --resume`` converges to the full cell set (chaos
+invariant I5).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.caliper.calipack import ARCHIVE_NAME, member_ref, merge_shards, split_member_ref
+from repro.chaos.points import crash_point
+from repro.cli.exitcodes import CAMPAIGN_LOCKED
+from repro.faults import FaultInjector, active_injector
+from repro.suite.manifest import MANIFEST_NAME, CampaignLock, CampaignManifest
+from repro.suite.report import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    KernelRunRecord,
+    RunReport,
+)
+from repro.suite.run_params import RunParams
+from repro.suite.shard import (
+    SHARD_DIR,
+    cell_spec,
+    lease_age,
+    read_lease,
+    shard_dir_name,
+    shard_main,
+    shard_path,
+)
+from repro.util.fsio import write_durable_text
+
+MAP_NAME = "shard_map.json"
+MAP_VERSION = 1
+
+#: bounded retries when a shard exits CAMPAIGN_LOCKED (a predecessor's
+#: orphan poll has not fired yet); not charged to the respawn budget
+LOCK_RETRY_LIMIT = 50
+LOCK_RETRY_DELAY_S = 0.2
+
+#: coordinator supervision loop cadence
+_POLL_S = 0.05
+
+
+def _mp_context():
+    """Prefer fork (cheap, Linux default); fall back to spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platform
+        return multiprocessing.get_context("spawn")
+
+
+# -------------------------------------------------------------- shard map
+@dataclass
+class ShardMap:
+    """The durable campaign-level partition record."""
+
+    path: Path
+    shards: int
+    fingerprint: dict[str, Any] = field(default_factory=dict)
+    #: shard dir name -> assigned cell keys (current truth, post-healing)
+    assignment: dict[str, list[str]] = field(default_factory=dict)
+    retired: list[int] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, output_dir: str | Path) -> "ShardMap | None":
+        """The directory's shard map, or None (fresh, or unreadable).
+
+        An unreadable map is backed up as ``shard_map.json.bak`` — same
+        forensics-first policy as the campaign manifest. Losing the map
+        is safe: a fresh partition re-runs at most the cells whose
+        completions now sit in a different shard's manifest, and the
+        last-wins merge deduplicates the archives.
+        """
+        path = Path(output_dir) / MAP_NAME
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            shards = int(payload["shards"])
+            assignment = {
+                str(k): [str(key) for key in v]
+                for k, v in dict(payload.get("assignment", {})).items()
+            }
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            backup = path.with_suffix(path.suffix + ".bak")
+            try:
+                os.replace(path, backup)
+                saved = f"; corrupt file backed up as {backup.name}"
+            except OSError:
+                saved = "; backup failed, corrupt file left in place"
+            warnings.warn(
+                f"unreadable shard map {path} ({exc}); "
+                f"repartitioning{saved}",
+                stacklevel=2,
+            )
+            return None
+        return cls(
+            path=path,
+            shards=shards,
+            fingerprint=dict(payload.get("fingerprint", {})),
+            assignment=assignment,
+            retired=[int(i) for i in payload.get("retired", [])],
+        )
+
+    def save(self) -> Path:
+        """Durably persist (the ``shard.pre-map-save`` crash boundary)."""
+        crash_point("shard.pre-map-save", path=self.path)
+        payload = {
+            "format": "rajaperf-shard-map",
+            "version": MAP_VERSION,
+            "shards": self.shards,
+            "fingerprint": self.fingerprint,
+            "assignment": self.assignment,
+            "retired": sorted(self.retired),
+        }
+        return write_durable_text(
+            self.path, json.dumps(payload, indent=1, sort_keys=True)
+        )
+
+    def keys_for(self, index: int) -> list[str]:
+        return list(self.assignment.get(shard_dir_name(index), []))
+
+
+def partition_keys(keys: list[str], shards: int) -> dict[str, list[str]]:
+    """Deterministic round-robin partition of cell keys across shards.
+
+    Round-robin (rather than contiguous chunks) interleaves the sweep
+    order, so machines and variants spread evenly and no shard ends up
+    owning all the expensive cells.
+    """
+    assignment: dict[str, list[str]] = {
+        shard_dir_name(k): [] for k in range(shards)
+    }
+    for i, key in enumerate(keys):
+        assignment[shard_dir_name(i % shards)].append(key)
+    return assignment
+
+
+# ------------------------------------------------------------- supervision
+@dataclass
+class _ShardHandle:
+    """Coordinator-side view of one shard's lifecycle."""
+
+    index: int
+    keys: list[str]
+    process: multiprocessing.Process | None = None
+    spawned_at: float = 0.0
+    attempt: int = 1  # crash respawns charged against the retry budget
+    lock_retries: int = 0
+    ready_at: float = 0.0  # earliest monotonic (re)spawn time
+    resume: bool = False  # next spawn resumes (respawn / reassignment)
+    dirty: bool = False  # assignment grew while the process was running
+    settled: bool = False  # exited 0 on its current assignment
+    retired: bool = False
+
+    @property
+    def active(self) -> bool:
+        return not (self.settled or self.retired)
+
+
+class ShardCoordinator:
+    """Partition, spawn, monitor, heal, merge — one sharded campaign."""
+
+    def __init__(
+        self, params: RunParams, injector: FaultInjector | None = None
+    ) -> None:
+        if params.shards < 1:
+            raise ValueError("ShardCoordinator requires params.shards >= 1")
+        self.params = params
+        self.injector = injector if injector is not None else active_injector()
+        self._ctx = _mp_context()
+        self._shutdown = False
+
+    # ------------------------------------------------------------- signals
+    def _install_signal_handlers(self):
+        if threading.current_thread() is not threading.main_thread():
+            return []
+        previous = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous.append((sig, signal.signal(sig, self._on_signal)))
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        return previous
+
+    def _on_signal(self, signum, frame) -> None:
+        self._shutdown = True
+
+    # ------------------------------------------------------------------ run
+    def run(self, cells, write_files: bool = True):
+        """Execute ``cells`` across the shards; returns a RunResult."""
+        from repro.suite.executor import RunResult
+
+        if not write_files:
+            raise ValueError(
+                "sharded campaigns require write_files=True: shards are "
+                "shared-nothing directories merged on disk"
+            )
+        params = self.params
+        report = RunReport()
+        out_dir = Path(params.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        lock = CampaignLock.acquire(out_dir)
+        handles: dict[int, _ShardHandle] = {}
+        previous_handlers = self._install_signal_handlers()
+        try:
+            manifest = CampaignManifest.load_or_create(
+                out_dir, params.fingerprint()
+            )
+            cells_by_key = {cell.key: cell for cell in cells}
+            pending: list[str] = []
+            for cell in cells:
+                if params.resume and manifest.is_complete(cell.key):
+                    report.mark_cell(cell.key, STATUS_SKIPPED)
+                else:
+                    pending.append(cell.key)
+
+            shard_map = self._load_or_partition(out_dir, pending)
+            for index in range(shard_map.shards):
+                keys = [k for k in shard_map.keys_for(index) if k in cells_by_key]
+                handle = _ShardHandle(index=index, keys=keys)
+                if index in shard_map.retired:
+                    handle.retired = True
+                elif not keys:
+                    handle.settled = True  # nothing assigned: born settled
+                handles[index] = handle
+
+            if any(h.active for h in handles.values()):
+                self._supervise(handles, shard_map, cells_by_key, write_files)
+            self._merge(out_dir, shard_map, handles)
+            self._compose(
+                manifest, report, cells, cells_by_key, pending, shard_map, handles
+            )
+        finally:
+            for sig, handler in previous_handlers:
+                signal.signal(sig, handler)
+            for handle in handles.values():
+                self._kill(handle)
+            lock.release()
+        report.interrupted = self._shutdown
+        paths = [
+            Path(entry["file"])
+            for key, entry in manifest.cells.items()
+            if key in cells_by_key and entry.get("file")
+        ]
+        return RunResult(profiles=[], cali_paths=paths, report=report)
+
+    # ---------------------------------------------------------- partitioning
+    def _load_or_partition(self, out_dir: Path, pending: list[str]) -> ShardMap:
+        """Adopt the existing shard map, or cut a fresh partition.
+
+        A resumed campaign must keep cells on the shards that already
+        hold their completions, so an existing map with a matching
+        configuration is adopted verbatim; only keys the map has never
+        seen (a sweep extended with more trials, say) are dealt out
+        round-robin to the surviving shards.
+        """
+        params = self.params
+        existing = ShardMap.load(out_dir)
+        if (
+            existing is not None
+            and existing.shards == params.shards
+            and existing.fingerprint == params.fingerprint()
+        ):
+            known = {k for keys in existing.assignment.values() for k in keys}
+            new = [k for k in pending if k not in known]
+            if new:
+                survivors = [
+                    k for k in range(existing.shards) if k not in existing.retired
+                ] or list(range(existing.shards))
+                for i, key in enumerate(new):
+                    existing.assignment.setdefault(
+                        shard_dir_name(survivors[i % len(survivors)]), []
+                    ).append(key)
+            existing.save()
+            return existing
+        shard_map = ShardMap(
+            path=out_dir / MAP_NAME,
+            shards=params.shards,
+            fingerprint=params.fingerprint(),
+            assignment=partition_keys(pending, params.shards),
+        )
+        shard_map.save()
+        return shard_map
+
+    # ------------------------------------------------------------- lifecycle
+    def _spawn(self, handle: _ShardHandle, cells_by_key, write_files: bool) -> None:
+        params = self.params
+        specs = [cell_spec(cells_by_key[k]) for k in handle.keys if k in cells_by_key]
+        resume = handle.resume or params.resume
+        handle.process = self._ctx.Process(
+            target=shard_main,
+            args=(handle.index, params, specs, write_files, resume, os.getpid()),
+            name=f"campaign-shard-{handle.index}",
+            # Not a daemon: a shard may spawn its own worker pool, and
+            # daemonic processes cannot have children.
+            daemon=False,
+        )
+        handle.process.start()
+        handle.spawned_at = time.monotonic()
+        handle.dirty = False
+
+    @staticmethod
+    def _kill(handle: _ShardHandle) -> None:
+        process = handle.process
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM ignored
+            process.kill()
+            process.join(timeout=2.0)
+
+    def _supervise(self, handles, shard_map, cells_by_key, write_files) -> None:
+        """The healing loop: reap, respawn, retire, reassign."""
+        params = self.params
+        policy = params.retry_policy()
+        backoffs = {
+            h.index: list(policy.delays(salt=f"shard-{h.index}"))
+            for h in handles.values()
+        }
+
+        while not self._shutdown:
+            now = time.monotonic()
+            active = [h for h in handles.values() if h.active]
+            if not active:
+                return
+            for handle in active:
+                process = handle.process
+                if process is None:
+                    if now >= handle.ready_at:
+                        self._spawn(handle, cells_by_key, write_files)
+                    continue
+                if not process.is_alive():
+                    process.join(timeout=0.5)
+                    code = process.exitcode
+                    handle.process = None
+                    # Reaped but not yet acted on: a coordinator killed
+                    # here must re-derive the shard's fate on resume.
+                    crash_point("shard.post-shard-exit", path=shard_map.path)
+                    self._reap(handle, code, handles, shard_map, backoffs)
+                elif self._stale(handle, now):
+                    self._kill(handle)
+                    handle.process = None
+                    self._heal(
+                        handle,
+                        f"shard missed lease deadline "
+                        f"({params.shard_lease_timeout:.3g}s)",
+                        handles,
+                        shard_map,
+                        backoffs,
+                    )
+            time.sleep(_POLL_S)
+
+    def _stale(self, handle: _ShardHandle, now: float) -> bool:
+        """A live process whose lease stopped refreshing is wedged."""
+        lease = read_lease(shard_path(self.params.output_dir, handle.index))
+        age = lease_age(lease)
+        if age is None:
+            # No lease yet: measure from the spawn instead.
+            age = now - handle.spawned_at
+        return age > self.params.shard_lease_timeout
+
+    def _reap(self, handle, code, handles, shard_map, backoffs) -> None:
+        if code == 0:
+            if handle.dirty:
+                # Reassigned residue arrived while it ran: one more pass.
+                handle.resume = True
+                handle.ready_at = 0.0
+            else:
+                handle.settled = True
+            return
+        if code == CAMPAIGN_LOCKED:
+            handle.lock_retries += 1
+            if handle.lock_retries > LOCK_RETRY_LIMIT:
+                self._retire(handle, handles, shard_map)
+                return
+            handle.resume = True
+            handle.ready_at = time.monotonic() + LOCK_RETRY_DELAY_S
+            return
+        self._heal(
+            handle,
+            f"shard process died (exit code {code})",
+            handles,
+            shard_map,
+            backoffs,
+        )
+
+    def _heal(self, handle, reason, handles, shard_map, backoffs) -> None:
+        """fsck the shard, then respawn under the retry budget — or retire."""
+        from repro.suite.fsck import fsck_directory
+
+        shard_dir = shard_path(self.params.output_dir, handle.index)
+        if shard_dir.is_dir():
+            try:
+                fsck_directory(shard_dir)
+            except OSError:  # pragma: no cover - fsck must not kill healing
+                pass
+        policy = self.params.retry_policy()
+        if handle.attempt >= policy.max_attempts:
+            self._retire(handle, handles, shard_map)
+            return
+        waits = backoffs[handle.index]
+        wait = (
+            waits[handle.attempt - 1]
+            if handle.attempt - 1 < len(waits)
+            else 0.0
+        )
+        handle.attempt += 1
+        handle.resume = True
+        handle.ready_at = time.monotonic() + wait
+
+    def _retire(self, handle, handles, shard_map) -> None:
+        """Out of respawns: move the shard's residue to the survivors."""
+        handle.retired = True
+        shard_map.retired.append(handle.index)
+        residue = self._residue(handle)
+        survivors = [
+            h for h in handles.values() if not h.retired
+        ]
+        if residue and survivors:
+            for i, key in enumerate(residue):
+                survivor = survivors[i % len(survivors)]
+                survivor.keys.append(key)
+                shard_map.assignment.setdefault(
+                    shard_dir_name(survivor.index), []
+                ).append(key)
+                survivor.dirty = True
+                if survivor.settled:
+                    # Settled survivors take another resumed pass for
+                    # the new work; their crash budget is untouched.
+                    survivor.settled = False
+                    survivor.resume = True
+                    survivor.ready_at = 0.0
+                    survivor.dirty = False
+            retired_keys = shard_map.assignment.get(
+                shard_dir_name(handle.index), []
+            )
+            shard_map.assignment[shard_dir_name(handle.index)] = [
+                k for k in retired_keys if k not in set(residue)
+            ]
+        shard_map.save()
+
+    def _residue(self, handle: _ShardHandle) -> list[str]:
+        """The retired shard's assigned keys not completed in its manifest."""
+        done = {
+            key
+            for key, entry in self._shard_cells(handle.index).items()
+            if entry.get("status") == STATUS_OK
+        }
+        return [k for k in handle.keys if k not in done]
+
+    def _shard_cells(self, index: int) -> dict[str, dict]:
+        shard_dir = shard_path(self.params.output_dir, index)
+        try:
+            cells = json.loads(
+                (shard_dir / MANIFEST_NAME).read_text()
+            ).get("cells", {})
+        except (OSError, ValueError):
+            return {}
+        return {
+            k: v for k, v in cells.items() if isinstance(v, dict)
+        }
+
+    # ----------------------------------------------------------------- merge
+    def _merge(self, out_dir: Path, shard_map: ShardMap, handles) -> None:
+        """Fold the shard archives into the campaign archive (merge tree).
+
+        Retired shards' archives go first so a survivor's re-run of
+        reassigned residue wins the last-wins dedup; survivors follow in
+        index order, keeping the fold deterministic.
+        """
+        ordered = sorted(
+            handles.values(), key=lambda h: (not h.retired, h.index)
+        )
+        archives = [
+            shard_path(out_dir, h.index) / ARCHIVE_NAME for h in ordered
+        ]
+        merge_shards(out_dir, archives)
+
+    def _compose(
+        self, manifest, report, cells, cells_by_key, pending, shard_map, handles
+    ) -> None:
+        """Rebuild the campaign manifest and report from the shard truth.
+
+        Member refs recorded by the shards are rewritten to point at the
+        merged campaign archive. On an interrupted run only completed
+        cells are recorded — the rest stay pending for ``--resume``.
+        Cells no shard could finish (every owner retired) are terminal
+        failures: ``<shard unavailable>``.
+        """
+        root_archive = Path(self.params.output_dir) / ARCHIVE_NAME
+        by_shard = {
+            h.index: self._shard_cells(h.index) for h in handles.values()
+        }
+        # Current owner's verdict wins; retired predecessors fill gaps.
+        owner: dict[str, list[int]] = {}
+        for handle in sorted(
+            handles.values(), key=lambda h: (h.retired, h.index)
+        ):
+            for key in handle.keys:
+                owner.setdefault(key, []).append(handle.index)
+        for key in pending:
+            entry = None
+            for index in owner.get(key, []):
+                candidate = by_shard.get(index, {}).get(key)
+                if candidate is not None:
+                    entry = candidate
+                    break
+            if entry is None:
+                if self._shutdown:
+                    continue  # interrupted: leave for --resume
+                report.add(
+                    KernelRunRecord(
+                        kernel="<shard unavailable>",
+                        machine=cells_by_key[key].machine.shorthand,
+                        variant=cells_by_key[key].variant.name,
+                        tuning=cells_by_key[key].tuning,
+                        trial=cells_by_key[key].trial,
+                        status=STATUS_FAILED,
+                        attempts=self.params.max_attempts,
+                        error="every shard assigned this cell was retired",
+                    )
+                )
+                report.mark_cell(key, STATUS_FAILED)
+                manifest.record(
+                    key, STATUS_FAILED, failed_kernels=["<shard unavailable>"]
+                )
+                continue
+            status = entry.get("status", STATUS_FAILED)
+            file = entry.get("file")
+            if file:
+                ref = split_member_ref(file)
+                name = ref[1] if ref is not None else Path(file).name
+                file = member_ref(root_archive, name)
+            report.mark_cell(
+                key, STATUS_OK if status == STATUS_OK else STATUS_FAILED
+            )
+            if status != STATUS_OK:
+                for kernel in entry.get("failed_kernels", []) or ["<shard>"]:
+                    report.add(
+                        KernelRunRecord(
+                            kernel=kernel,
+                            machine=cells_by_key[key].machine.shorthand,
+                            variant=cells_by_key[key].variant.name,
+                            tuning=cells_by_key[key].tuning,
+                            trial=cells_by_key[key].trial,
+                            status=STATUS_FAILED,
+                            error="recorded failed by shard "
+                            f"{owner.get(key, ['?'])[0]}",
+                        )
+                    )
+            manifest.record(
+                key,
+                status,
+                file=file,
+                failed_kernels=list(entry.get("failed_kernels", [])),
+            )
+        manifest.save()
+
+
+# ------------------------------------------------------------ shard status
+def shard_status(output_dir: str | Path) -> str:
+    """Human-readable status of a sharded campaign directory."""
+    from repro.suite.shard import shard_progress
+
+    out_dir = Path(output_dir)
+    shard_map = ShardMap.load(out_dir)
+    if shard_map is None:
+        if (out_dir / SHARD_DIR).is_dir():
+            return f"{out_dir}: shard directories present but no shard map"
+        return f"{out_dir}: not a sharded campaign (no shard map)"
+    lines = [
+        f"sharded campaign {out_dir}: {shard_map.shards} shard(s), "
+        f"{len(shard_map.retired)} retired"
+    ]
+    for index in range(shard_map.shards):
+        keys = shard_map.keys_for(index)
+        progress = shard_progress(out_dir, index, keys)
+        if index in shard_map.retired:
+            state = "retired"
+        elif progress.lease_pid is not None and progress.lease_age is not None:
+            if progress.lease_age > 3600:
+                state = "lease expired"
+            else:
+                state = (
+                    f"lease pid {progress.lease_pid} "
+                    f"({progress.lease_age:.1f}s ago)"
+                )
+        else:
+            state = "no lease"
+        lines.append(
+            f"  shard-{index}: {progress.ok}/{progress.assigned} ok, "
+            f"{progress.failed} failed, {progress.pending} pending [{state}]"
+        )
+    merged = out_dir / ARCHIVE_NAME
+    lines.append(
+        f"  campaign archive: {merged.name} "
+        f"({'present' if merged.exists() else 'not merged yet'})"
+    )
+    return "\n".join(lines)

@@ -56,8 +56,8 @@ from repro.suite.errors import (
     SuiteError,
 )
 from repro.suite.kernel_base import KernelBase
-from repro.suite.manifest import CampaignLock, CampaignManifest
 from repro.suite.registry import all_kernel_classes
+from repro.suite.session import CampaignSession
 from repro.suite.report import (
     STATUS_FAILED,
     STATUS_OK,
@@ -222,6 +222,13 @@ class SuiteExecutor:
         return self._execute(self.build_paper_cells(), write_files)
 
     def _execute(self, cells: list[_Cell], write_files: bool) -> RunResult:
+        if self.params.shards > 0 and write_files:
+            from repro.suite.coordinator import ShardCoordinator
+
+            coordinator = ShardCoordinator(
+                self.params, injector=self._active_injector()
+            )
+            return coordinator.run(cells, write_files)
         if self.params.workers > 1:
             from repro.suite.supervisor import CampaignSupervisor
 
@@ -237,16 +244,12 @@ class SuiteExecutor:
         report = RunReport()
         profiles: list[CaliProfile] = []
         paths: list[Path] = []
-        manifest: CampaignManifest | None = None
-        lock: CampaignLock | None = None
-        if write_files:
-            lock = CampaignLock.acquire(params.output_dir)
+        session = CampaignSession(params, write_files).open()
+        manifest = session.manifest
         try:
-            if write_files and params.pack:
-                from repro.caliper.calipack import ARCHIVE_NAME, ArchiveSink, merge_segments
+            if write_files and params.pack and self.profile_sink is None:
+                from repro.caliper.calipack import ARCHIVE_NAME, ArchiveSink
 
-                # Salvage segments stranded by a crashed supervised run.
-                merge_segments(params.output_dir)
                 self.profile_sink = ArchiveSink(
                     Path(params.output_dir) / ARCHIVE_NAME
                 )
@@ -254,10 +257,6 @@ class SuiteExecutor:
                 from repro.suite.refchecksums import ReferenceChecksumStore
 
                 self.refstore = ReferenceChecksumStore(params.output_dir)
-            if write_files or params.resume:
-                manifest = CampaignManifest.load_or_create(
-                    params.output_dir, params.fingerprint()
-                )
             for cell in cells:
                 if (
                     params.resume
@@ -286,12 +285,18 @@ class SuiteExecutor:
                     )
                     manifest.save()
                     crash_point("executor.post-cell", path=manifest.path)
+            # The loop completed: seal the archive in canonical form so
+            # every execution mode converges on the same bytes. The sink
+            # must close first — finalize rewrites the file it holds open.
+            if self.profile_sink is not None:
+                self.profile_sink.close()
+                self.profile_sink = None
+            session.finalize()
         finally:
             if self.profile_sink is not None:
                 self.profile_sink.close()
                 self.profile_sink = None
-            if lock is not None:
-                lock.release()
+            session.close()
         return RunResult(profiles=profiles, cali_paths=paths, report=report)
 
     # ----------------------------------------------------------- one cell

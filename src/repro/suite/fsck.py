@@ -33,12 +33,23 @@ crash — is verified against the archive index (entry CRC32), then
 against its own seal. Damaged or orphaned *entries* are extracted into
 ``quarantine/`` and the archive is rewritten without them, so the same
 ``fsck`` + ``run --resume`` healing loop applies.
+
+Sharded campaigns (:mod:`repro.suite.coordinator`) recurse: each
+``shards/shard-K/`` directory is itself a complete campaign directory
+and gets its own sub-pass (skipped while a live shard holds its lock).
+At the campaign level fsck additionally repairs the shard map — an
+unreadable ``shard_map.json`` is backed up so the resumed coordinator
+repartitions — quarantines shard directories the map does not know
+(orphans from an older, wider partition), and sweeps the merge tree's
+``.merge-scratch`` intermediates, which are pure derivatives of the
+shard archives.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -94,10 +105,16 @@ class FsckReport:
     rerun_cells: list[str] = field(default_factory=list)
     removed_tmp: list[Path] = field(default_factory=list)
     manifest_found: bool = False
+    #: sub-passes over ``shards/shard-K/`` campaign directories
+    shard_reports: list["FsckReport"] = field(default_factory=list)
+    #: campaign-level shard repairs (map backup, orphan dirs, scratch)
+    notes: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        return not any(c.quarantinable for c in self.checks)
+        return not any(c.quarantinable for c in self.checks) and all(
+            sub.clean for sub in self.shard_reports
+        )
 
     def with_status(self, status: str) -> list[ProfileCheck]:
         return [c for c in self.checks if c.status == status]
@@ -148,6 +165,11 @@ class FsckReport:
             lines.append(
                 "  no campaign manifest: orphan detection and re-run "
                 "marking skipped"
+            )
+        lines.extend(f"  {note}" for note in self.notes)
+        for sub in self.shard_reports:
+            lines.extend(
+                "  " + line for line in sub.summary().splitlines()
             )
         return "\n".join(lines)
 
@@ -233,6 +255,8 @@ def fsck_directory(
     if quarantine:
         _sweep_orphan_tmps(directory, report)
 
+    _fsck_shards(directory, quarantine, mark_rerun, report)
+
     return _finish(report, manifest, mark_rerun)
 
 
@@ -272,6 +296,92 @@ def _sweep_orphan_tmps(directory: Path, report: FsckReport) -> None:
             except OSError:  # pragma: no cover - racing cleanup
                 continue
             report.removed_tmp.append(tmp)
+
+
+def _fsck_shards(
+    directory: Path,
+    quarantine: bool,
+    mark_rerun: bool,
+    report: FsckReport,
+) -> None:
+    """Audit and repair the sharded layer of a campaign directory.
+
+    The shard map is loaded through :meth:`ShardMap.load`, which backs
+    up an unreadable map (the resumed coordinator repartitions). Shard
+    directories the map does not know — leftovers of an older, wider
+    partition — are quarantined whole, because the merge would otherwise
+    pick up archives no assignment vouches for. Every known shard
+    directory is a complete campaign directory and gets a recursive
+    sub-pass, except while a live shard supervisor holds its lock.
+    """
+    # Imported here: the coordinator imports fsck for shard healing.
+    from repro.suite.coordinator import MAP_NAME, ShardMap
+    from repro.suite.shard import SHARD_DIR, parse_shard_index
+
+    shard_root = directory / SHARD_DIR
+    map_path = directory / MAP_NAME
+    if not shard_root.is_dir() and not map_path.exists():
+        return
+
+    had_map = map_path.exists()
+    shard_map = ShardMap.load(directory)
+    if had_map and shard_map is None:
+        report.notes.append(
+            "unreadable shard map backed up; the coordinator "
+            "repartitions on resume"
+        )
+
+    if shard_root.is_dir():
+        for shard_dir in sorted(shard_root.iterdir()):
+            if not shard_dir.is_dir():
+                continue
+            index = parse_shard_index(shard_dir.name)
+            orphan = index is None or (
+                shard_map is not None and index >= shard_map.shards
+            )
+            if orphan:
+                if quarantine:
+                    qdir = directory / QUARANTINE_DIR
+                    qdir.mkdir(exist_ok=True)
+                    target = qdir / shard_dir.name
+                    if target.exists():  # pragma: no cover - repeat fsck
+                        shutil.rmtree(target)
+                    os.replace(shard_dir, target)
+                    report.quarantined.append(target)
+                    report.notes.append(
+                        f"orphan shard directory {shard_dir.name} "
+                        "quarantined (not in the shard map)"
+                    )
+                else:
+                    report.notes.append(
+                        f"orphan shard directory {shard_dir.name} "
+                        "is not in the shard map"
+                    )
+                continue
+            if _campaign_is_live(shard_dir):
+                report.notes.append(
+                    f"shard {shard_dir.name} is live; sub-pass skipped"
+                )
+                continue
+            report.shard_reports.append(
+                fsck_directory(shard_dir, quarantine, mark_rerun)
+            )
+
+    if quarantine and not _campaign_is_live(directory):
+        scratch = directory / ".merge-scratch"
+        if scratch.is_dir():
+            # Merge intermediates are pure derivatives of the shard
+            # archives; the resumed merge rebuilds them from scratch.
+            shutil.rmtree(scratch, ignore_errors=True)
+            report.notes.append("stale merge scratch removed")
+        token = directory / (LOCK_NAME + ".takeover")
+        try:
+            claimant = json.loads(token.read_text()).get("pid")
+        except (OSError, ValueError):
+            claimant = None
+        if token.exists() and not _pid_alive(claimant):
+            token.unlink(missing_ok=True)
+            report.notes.append("stale lock-takeover token removed")
 
 
 def _check_archive(

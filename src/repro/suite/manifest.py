@@ -92,8 +92,36 @@ class CampaignLock:
                 raise CampaignLockedError(
                     str(path), holder_pid, holder.get("acquired_at")
                 ) from None
-            # Stale lease: the holder is gone (or is us) — take over.
-            write_durable_text(path, lease)
+            # Stale lease: the holder is gone (or is us). Two contenders
+            # can reach this branch for the same expired lease, so the
+            # takeover itself must be exclusive: claim a takeover token
+            # with O_EXCL first. Exactly one contender wins; the loser
+            # fails with the same clean CampaignLockedError a live lease
+            # produces. A token orphaned by a crash mid-takeover is
+            # cleared once its claimant is dead, so it cannot wedge the
+            # directory.
+            token = path.with_name(path.name + ".takeover")
+            try:
+                tfd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                claimant: Any = None
+                try:
+                    claimant = json.loads(token.read_text()).get("pid")
+                except (OSError, ValueError):
+                    pass
+                if not _pid_alive(claimant):
+                    token.unlink(missing_ok=True)
+                raise CampaignLockedError(
+                    str(path), claimant, holder.get("acquired_at")
+                ) from None
+            try:
+                os.write(tfd, json.dumps({"pid": os.getpid()}).encode())
+            finally:
+                os.close(tfd)
+            try:
+                write_durable_text(path, lease)
+            finally:
+                token.unlink(missing_ok=True)
             return cls(path=path, acquired=True)
         try:
             os.write(fd, lease.encode())

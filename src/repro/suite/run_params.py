@@ -75,6 +75,9 @@ class RunParams:
     workers: int = 1  # >1 fans cells out to a supervised worker pool
     heartbeat_timeout: float = 30.0  # seconds without a worker heartbeat = stale
     heartbeat_interval: float | None = None  # emit cadence (default timeout/5)
+    # --- sharded scale-out execution (see coordinator.py) ---
+    shards: int = 0  # >0 partitions cells across shard supervisors
+    shard_lease_timeout: float = 30.0  # seconds without a lease refresh = stale
 
     def __post_init__(self) -> None:
         self.problem_size = parse_size(self.problem_size)
@@ -114,6 +117,22 @@ class RunParams:
             raise ValueError(
                 "fail_fast is incompatible with workers > 1: a supervised "
                 "pool isolates failures by design"
+            )
+        if self.shards < 0:
+            raise ValueError(f"shards must be >= 0, got {self.shards}")
+        if self.shard_lease_timeout <= 0:
+            raise ValueError(
+                f"shard_lease_timeout must be > 0, got {self.shard_lease_timeout}"
+            )
+        if self.shards > 0 and not self.pack:
+            raise ValueError(
+                "sharded campaigns require pack=True: the merge tree "
+                "combines per-shard .calipack archives"
+            )
+        if self.fail_fast and self.shards > 0:
+            raise ValueError(
+                "fail_fast is incompatible with shards > 0: a sharded "
+                "campaign isolates failures by design"
             )
 
     def effective_heartbeat_interval(self) -> float:

@@ -54,7 +54,7 @@ from pathlib import Path
 from repro.chaos.points import crash_point
 from repro.faults import FaultInjector, FaultSpec, active_injector
 from repro.suite.heartbeat import HeartbeatMonitor
-from repro.suite.manifest import CampaignLock, CampaignManifest
+from repro.suite.session import CampaignSession
 from repro.suite.report import (
     STATUS_FAILED,
     STATUS_RETRIED,
@@ -175,21 +175,9 @@ class CampaignSupervisor:
         report = RunReport()
         profiles: list = []
         paths: list[Path] = []
-        manifest: CampaignManifest | None = None
-        lock: CampaignLock | None = None
-        if write_files:
-            lock = CampaignLock.acquire(params.output_dir)
+        session = CampaignSession(params, write_files).open()
+        manifest = session.manifest
         try:
-            if write_files and params.pack:
-                from repro.caliper.calipack import merge_segments
-
-                # Salvage segments stranded by a previous crashed run
-                # (footer-less segments go through the recovery scan).
-                merge_segments(params.output_dir)
-            if write_files or params.resume:
-                manifest = CampaignManifest.load_or_create(
-                    params.output_dir, params.fingerprint()
-                )
             pending: deque[CellTask] = deque()
             for cell in cells:
                 if (
@@ -208,20 +196,15 @@ class CampaignSupervisor:
                         fname=cell.fname,
                     )
                 )
-            if not pending:
-                return RunResult(profiles=profiles, cali_paths=paths, report=report)
-            self._run_pool(
-                pending, report, profiles, paths, manifest, write_files
-            )
-            if write_files and params.pack:
-                from repro.caliper.calipack import merge_segments
-
-                merge_segments(params.output_dir)
-            if manifest is not None and write_files:
-                manifest.save()
+            if pending:
+                self._run_pool(
+                    pending, report, profiles, paths, manifest, write_files
+                )
+                if manifest is not None and write_files:
+                    manifest.save()
+            session.finalize()
         finally:
-            if lock is not None:
-                lock.release()
+            session.close()
         report.interrupted = self._shutdown
         return RunResult(profiles=profiles, cali_paths=paths, report=report)
 

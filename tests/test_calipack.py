@@ -133,6 +133,99 @@ def test_merge_segments_combines_and_removes(tmp_path):
     assert calipack.merge_segments(tmp_path) is None  # nothing left
 
 
+def test_merge_segments_orders_worker_segments_numerically(tmp_path):
+    """``worker-10`` merges *after* ``worker-2``: last-wins must follow
+    worker numbers, not lexicographic filename order."""
+    seg_dir = tmp_path / calipack.SEGMENT_DIR
+    for worker, value in ((10, 10.0), (2, 2.0)):
+        with calipack.CalipackWriter(
+            seg_dir / f"worker-{worker}.calipack"
+        ) as writer:
+            writer.append_profile("dup.cali", make_profile("dup", value))
+
+    merged = calipack.merge_segments(tmp_path)
+    (entry,) = calipack.load_index(merged)
+    data = calipack.read_entry_bytes(merged, entry)
+    assert data == serialize_cali(make_profile("dup", 10.0))
+
+
+def test_merged_archive_is_byte_stable_across_creation_order(tmp_path):
+    """The merged archive is a pure function of the entry set: shuffling
+    the order segments were created (and hence their mtimes and the
+    append order within the sweep) must not change a single byte."""
+    orders = (("0", "1", "2"), ("2", "0", "1"))
+    archives = []
+    for sub, order in zip(("a", "b"), orders):
+        outdir = tmp_path / sub
+        seg_dir = outdir / calipack.SEGMENT_DIR
+        for worker in order:
+            with calipack.CalipackWriter(
+                seg_dir / f"worker-{worker}.calipack"
+            ) as writer:
+                writer.append_profile(
+                    f"p{worker}.cali", make_profile(worker, float(worker))
+                )
+        archives.append(calipack.merge_segments(outdir).read_bytes())
+    assert archives[0] == archives[1]
+
+
+def _merge_armed(directory, schedule):
+    from repro.chaos.points import arm
+
+    arm(schedule)
+    calipack.merge_segments(directory)
+
+
+def test_remerge_after_partial_segment_unlink_is_idempotent(tmp_path):
+    """Crash between the two segment deletions (the
+    ``calipack.post-merge-unlink`` boundary): the merged archive is
+    already durable, one segment is gone, one remains. Re-running the
+    merge must converge on byte-identical output."""
+    import multiprocessing
+
+    from repro.chaos.points import CHAOS_KILL_EXITCODE, ChaosSchedule
+
+    def seed_segments(outdir):
+        seg_dir = outdir / calipack.SEGMENT_DIR
+        for worker, tags in enumerate((("a", "b"), ("c",))):
+            with calipack.CalipackWriter(
+                seg_dir / f"worker-{worker}.calipack"
+            ) as writer:
+                for tag in tags:
+                    writer.append_profile(f"{tag}.cali", make_profile(tag))
+
+    reference = tmp_path / "reference"
+    seed_segments(reference)
+    golden = calipack.merge_segments(reference).read_bytes()
+
+    crashed = tmp_path / "crashed"
+    seed_segments(crashed)
+    schedule = ChaosSchedule(
+        point="calipack.post-merge-unlink",
+        hit=1,
+        mode="exit",
+        torn=False,
+        seed=0,
+        token=str(tmp_path / "strike.token"),
+    )
+    ctx = multiprocessing.get_context("fork")
+    child = ctx.Process(target=_merge_armed, args=(crashed, schedule))
+    child.start()
+    child.join()
+    assert child.exitcode == CHAOS_KILL_EXITCODE
+
+    archive = crashed / calipack.ARCHIVE_NAME
+    assert archive.read_bytes() == golden  # merge was durable pre-crash
+    remaining = list(
+        (crashed / calipack.SEGMENT_DIR).glob("*" + calipack.ARCHIVE_SUFFIX)
+    )
+    assert len(remaining) == 1  # genuinely partial deletion
+
+    assert calipack.merge_segments(crashed) == archive
+    assert archive.read_bytes() == golden
+    assert not (crashed / calipack.SEGMENT_DIR).exists()
+
+
 # ------------------------------------------------------- campaign write path
 def test_packed_campaign_records_member_refs(tmp_path):
     params = small_params(tmp_path)
