@@ -22,6 +22,18 @@ recovered campaign is :meth:`~repro.dataframe.Frame.equals`-identical
 to the one composed from an uncrashed golden campaign, on every ingest
 path (serial, parallel, packed, warm cache), with no load errors.
 
+**I5 — a recovered sharded campaign is coherent end to end** (see
+:func:`check_shard_campaign`).
+
+**I6 — the job service loses nothing and duplicates nothing.** After a
+kill-anywhere of the service daemon, a restarted scheduler converges
+every job record to a consistent state: every record parses with its
+seal intact, every job reaches a terminal state (SUCCEEDED for the
+chaos job), no campaign directory exists that no job record accounts
+for (no duplicated campaign work), every SUCCEEDED job's campaign
+records its full expected cell set ``ok`` (no lost work), and no
+terminal job still holds a live scheduler lease.
+
 Each check returns a list of violation strings — empty means the
 invariant holds. The checks only ever *read* the campaign directory.
 """
@@ -272,6 +284,92 @@ def check_shard_campaign(
             violations.append(
                 f"ok cell {key}: profile {name} not in the merged "
                 f"campaign archive"
+            )
+    return violations
+
+
+def check_job_records_parse(root: str | Path) -> list[str]:
+    """I6 (atomicity half): every job record on disk parses sealed.
+
+    Run *before* recovery: a crash anywhere — including mid-save — must
+    never leave a record that is present but unreadable, because records
+    are only ever created whole (O_EXCL + full write + fsync) and
+    rewritten via the durable tmp+replace protocol. ``.bak`` files do
+    not count: they are fsck's forensic quarantine, not live records.
+    """
+    from repro.service.jobstore import (
+        RECORD_SUFFIX,
+        JobRecordDamaged,
+        JobStore,
+        parse_record_text,
+    )
+
+    store = JobStore(root)
+    if not store.jobs_dir.is_dir():
+        return []
+    violations = []
+    for path in sorted(store.jobs_dir.glob(f"*{RECORD_SUFFIX}")):
+        if path.name.endswith(".bak"):
+            continue
+        try:
+            parse_record_text(path.read_text())
+        except (OSError, JobRecordDamaged) as exc:
+            violations.append(f"job record {path.name} unreadable: {exc}")
+    return violations
+
+
+def check_job_service(
+    root: str | Path, expected_cells: dict[str, set[str]]
+) -> list[str]:
+    """I6: after recovery, the job service converged with nothing lost.
+
+    ``expected_cells`` maps each job id to the campaign cell set its
+    spec implies. Checks: every record parses; every expected job exists
+    and is SUCCEEDED; no unexpected job records; no campaign directory
+    without a record (duplicated work); every SUCCEEDED job's campaign
+    has its full cell set ``ok`` (via :func:`check_full_cell_set`); no
+    terminal job holds a live lease.
+    """
+    from repro.service.jobstore import STATE_SUCCEEDED, JobStore
+    from repro.suite.manifest import _pid_alive
+
+    store = JobStore(root)
+    violations = check_job_records_parse(root)
+    records = {r.job_id: r for r in store.list_jobs()}
+    for job_id in sorted(expected_cells):
+        record = records.get(job_id)
+        if record is None:
+            violations.append(f"job {job_id} lost: no readable record")
+            continue
+        if record.state != STATE_SUCCEEDED:
+            violations.append(
+                f"job {job_id} is {record.state} after recovery "
+                f"(reason: {record.reason!r}), expected SUCCEEDED"
+            )
+            continue
+        violations += [
+            f"job {job_id}: {v}"
+            for v in check_full_cell_set(
+                expected_cells[job_id], store.campaign_dir(job_id)
+            )
+        ]
+    for job_id in sorted(set(records) - set(expected_cells)):
+        violations.append(f"unexpected job record {job_id}")
+    if store.campaigns_dir.is_dir():
+        for campaign in sorted(store.campaigns_dir.iterdir()):
+            if campaign.is_dir() and campaign.name not in records:
+                violations.append(
+                    f"campaign directory {campaign.name} has no job "
+                    "record: duplicated or unaccounted campaign work"
+                )
+    for job_id, record in sorted(records.items()):
+        if not record.terminal:
+            continue
+        lease = store.read_lease(job_id)
+        if lease is not None and _pid_alive(lease.get("pid")):
+            violations.append(
+                f"terminal job {job_id} still holds a live scheduler "
+                f"lease (pid {lease.get('pid')})"
             )
     return violations
 

@@ -181,6 +181,28 @@ REGISTERED_POINTS: dict[str, PointSpec] = {
             description="ingest cache: tables composed, cache entry "
             "not yet written",
         ),
+        # ---- service/: the durable campaign job service ---------------
+        PointSpec(
+            "service.pre-job-save",
+            phase="service",
+            modes=("service",),
+            description="job store: a state transition computed, the "
+            "job record not yet durably rewritten",
+        ),
+        PointSpec(
+            "service.post-claim",
+            phase="service",
+            modes=("service",),
+            description="scheduler: job lease claimed (O_EXCL token on "
+            "disk), the RUNNING transition not yet saved",
+        ),
+        PointSpec(
+            "service.mid-drain",
+            phase="service",
+            modes=("service",),
+            description="graceful drain: about to stop a running job "
+            "and requeue it; record still RUNNING, lease still held",
+        ),
         # ---- campaign loops: between two cells' durable records -------
         PointSpec(
             "executor.post-cell",

@@ -58,7 +58,7 @@ from repro.chaos.points import (
 from repro.suite.fsck import fsck_directory
 from repro.suite.run_params import RunParams
 
-MODES = ("serial", "supervised", "sharded")
+MODES = ("serial", "supervised", "sharded", "service")
 
 #: how long one child campaign may take before the trial is abandoned
 CHILD_TIMEOUT_S = 180.0
@@ -125,6 +125,94 @@ def _run_armed_analyze(
 
     arm(schedule)
     Thicket.from_caliperreader(sources, cache=cache_dir)
+
+
+# ------------------------------------------------------------ service mode
+CHAOS_JOB_ID = "chaos-job"
+
+
+def _service_job_spec() -> dict:
+    """The service trial's job spec — must mirror :func:`_trial_params`
+    (serial flavor) exactly, so the job's campaign is frame-identical to
+    the golden campaign."""
+    return {
+        "problem_size": 1024,
+        "reps": 1,
+        "machines": ["SPR-DDR"],
+        "variants": ["Base_Seq", "RAJA_Seq"],
+        "kernels": ["Basic_DAXPY", "Stream_TRIAD"],
+        "trials": 2,
+        "execute": False,
+        "pack": False,
+        "workers": 1,
+        "max_attempts": 3,
+        "heartbeat_timeout": 10.0,
+        "retry_base_delay": 0.0,
+        "retry_max_delay": 0.0,
+        "retry_jitter": 0.0,
+    }
+
+
+def _run_armed_service(
+    root: str, schedule: ChaosSchedule, drain: bool
+) -> None:
+    """Child body for a service trial: submit, schedule, (maybe) drain.
+
+    With ``drain`` the scheduler waits for the job to reach RUNNING and
+    then drains — the ``service.mid-drain`` point fires inside the drain
+    loop, simulating a daemon killed halfway through graceful shutdown.
+    If the armed point never comes due, the loop runs the job to
+    completion and exits 0 (an ``unreached`` verdict, not a failure).
+    """
+    from repro.service.jobstore import STATE_RUNNING, JobStore
+    from repro.service.scheduler import JobScheduler, SchedulerConfig
+
+    arm(schedule)
+    store = JobStore(root)
+    store.submit(_service_job_spec(), tenant="chaos", job_id=CHAOS_JOB_ID)
+    scheduler = JobScheduler(
+        store, SchedulerConfig(progress_interval=0.05)
+    )
+    scheduler.recover()
+    if drain:
+        deadline = time.monotonic() + CHILD_TIMEOUT_S / 2
+        while time.monotonic() < deadline:
+            scheduler.tick()
+            record = store.load(CHAOS_JOB_ID)
+            if record is not None and record.state == STATE_RUNNING:
+                break
+            if record is not None and record.terminal:
+                return  # finished before we could drain
+            time.sleep(0.02)
+        scheduler.drain()
+        # The drain survived (point unreached): finish the job so the
+        # trial still converges without a recovery phase doing the work.
+        scheduler = JobScheduler(store)
+        scheduler.recover()
+    scheduler.run_until_idle(timeout=CHILD_TIMEOUT_S / 2)
+
+
+def _run_service_recovery(root: str) -> None:
+    """Child body: what a restarted daemon does — recover and converge.
+
+    Also retries the submission exactly like a client whose acknowledgment
+    was lost would: with the caller-chosen job id, a duplicate submit is
+    idempotent, so this never double-queues the campaign.
+    """
+    from repro.service.jobstore import STATE_SUCCEEDED, JobStore
+    from repro.service.scheduler import JobScheduler
+
+    store = JobStore(root)
+    store.submit(_service_job_spec(), tenant="chaos", job_id=CHAOS_JOB_ID)
+    scheduler = JobScheduler(store)
+    scheduler.recover()
+    converged = scheduler.run_until_idle(timeout=CHILD_TIMEOUT_S / 2)
+    record = store.load(CHAOS_JOB_ID)
+    state = record.state if record is not None else "<no record>"
+    if not converged or state != STATE_SUCCEEDED:
+        raise RuntimeError(
+            f"service recovery did not converge: job is {state}"
+        )
 
 
 @dataclass
@@ -430,6 +518,8 @@ class ChaosRunner:
         try:
             if spec.phase == "analyze":
                 self._analyze_phase_trial(spec, mode, trialdir, schedule, verdict)
+            elif spec.phase == "service":
+                self._service_phase_trial(spec, trialdir, schedule, verdict)
             else:
                 self._run_phase_trial(spec, mode, trialdir, schedule, verdict)
         except Exception as exc:  # noqa: BLE001 - a broken trial is a verdict
@@ -526,6 +616,121 @@ class ChaosRunner:
         verdict.violations += self._check_analysis(
             outdir, trialdir, spec, golden_thicket, pack=pack
         )
+
+    def _service_phase_trial(
+        self,
+        spec: PointSpec,
+        trialdir: Path,
+        schedule: ChaosSchedule,
+        verdict: TrialVerdict,
+    ) -> None:
+        """Kill the job service mid-transition, restart it, check I6.
+
+        Phase 1 runs a scheduler (armed) over a one-job store; the
+        strike kills it mid-save, mid-claim, or mid-drain. Phase 2
+        audits atomicity on the quiesced store (records parse sealed,
+        campaign targets untorn). Phase 3 fscks the whole service root.
+        Phase 4 restarts the service unarmed — recovery plus a client's
+        idempotent resubmit — and requires convergence to SUCCEEDED.
+        Phase 5 checks I6 and analysis equivalence against the golden.
+        """
+        golden_dir, golden_thicket = self._golden(spec)
+        root = trialdir / "service"
+        root.mkdir()
+        campaign = root / "campaigns" / CHAOS_JOB_ID
+
+        # Phase 1: the armed service run.
+        code = self._spawn(
+            _run_armed_service,
+            str(root),
+            schedule,
+            spec.name == "service.mid-drain",
+        )
+        verdict.killed = code == CHAOS_KILL_EXITCODE
+        if code not in (0, CHAOS_KILL_EXITCODE):
+            verdict.violations.append(
+                f"armed service died with unexpected exit code {code}"
+            )
+            return
+        # A killed scheduler leaves its job runner to notice the
+        # re-parenting and exit (JOB_ORPHANED); audit a quiescent store.
+        self._wait_jobs_quiesce(root)
+
+        # Phase 2: post-crash atomicity.
+        verdict.violations += [
+            f"post-crash: {v}"
+            for v in invariants.check_job_records_parse(root)
+        ]
+        snap = None
+        if campaign.is_dir():
+            snap = invariants.snapshot_store(campaign)
+            verdict.violations += self._check_target_atomicity(campaign)
+
+        # Phase 3: fsck the whole service root (records, leases,
+        # campaigns) — completed cells must survive it.
+        fsck_directory(root)
+        if snap is not None:
+            verdict.violations += [
+                f"post-fsck: {v}"
+                for v in invariants.check_completed_cells_remembered(
+                    snap, campaign
+                )
+            ]
+
+        # Phase 4: the restarted daemon (unarmed) must converge.
+        code = self._spawn(_run_service_recovery, str(root))
+        if code != 0:
+            verdict.violations.append(
+                f"service recovery failed with exit code {code}"
+            )
+            return
+
+        # Phase 5: I6, fsck-clean, and analysis equivalence.
+        expected = self._expected_cells(
+            _trial_params(campaign, "serial", spec)
+        )
+        verdict.violations += [
+            f"post-recovery: {v}"
+            for v in invariants.check_job_service(
+                root, {CHAOS_JOB_ID: expected}
+            )
+        ]
+        recheck = fsck_directory(root)
+        if not recheck.clean:
+            verdict.violations.append(
+                "post-recovery fsck still found damage: " + recheck.summary()
+            )
+        verdict.violations += self._check_analysis(
+            campaign, trialdir, spec, golden_thicket, pack=False
+        )
+
+    @staticmethod
+    def _wait_jobs_quiesce(root: Path, timeout_s: float = 15.0) -> None:
+        """Wait for orphaned job runners to notice their scheduler died
+        (the orphan watch's re-parenting poll) and exit, so the
+        post-crash audit reads a quiescent store."""
+        from repro.suite.manifest import LOCK_NAME, _pid_alive
+
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            live = False
+            for lease in sorted((root / "jobs").glob("*.lease")):
+                try:
+                    holder = json.loads(lease.read_text()).get("pid")
+                except (OSError, ValueError):
+                    holder = None
+                if _pid_alive(holder):
+                    live = True
+            for lock in sorted((root / "campaigns").glob(f"*/{LOCK_NAME}")):
+                try:
+                    holder = json.loads(lock.read_text()).get("pid")
+                except (OSError, ValueError):
+                    holder = None
+                if _pid_alive(holder):
+                    live = True
+            if not live:
+                return
+            time.sleep(0.1)
 
     def _analyze_phase_trial(
         self,

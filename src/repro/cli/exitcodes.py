@@ -2,7 +2,8 @@
 
 Scripts and CI drive ``rajaperf-sim`` and branch on its exit status, so
 the codes are API. Every subcommand maps its outcome to one of these
-constants; the CLI smoke tests assert them.
+constants; ``tests/test_exit_codes.py`` provokes each one for real, so
+the table cannot drift from behavior.
 
 ====  =========================================================
 code  meaning
@@ -11,10 +12,14 @@ code  meaning
 1     unclean run (kernel failures recorded, campaign finished)
 2     usage error (argparse, invalid fault spec, bad arguments)
 3     campaign directory locked by a live campaign
-4     analysis completed degraded (some sources failed to load)
+4     degraded (analysis lost sources, or shard-status found an
+      expired lease / inconsistent shard map)
 5     chaos invariant violation (or self-test failed to detect)
+6     job rejected by admission control (quota or queue bound)
+7     job id unknown to the campaign service job store
 73    worker crash sentinel (a supervised worker died mid-cell)
 74    shard orphaned (a shard supervisor lost its coordinator)
+75    job orphaned (a service job runner lost its scheduler)
 77    chaos kill (internal to the chaos harness's child runs)
 130   interrupted (SIGINT; 128 + signal number)
 ====  =========================================================
@@ -28,7 +33,10 @@ USAGE = 2
 CAMPAIGN_LOCKED = 3
 DEGRADED_ANALYSIS = 4
 INVARIANT_VIOLATION = 5
+JOB_REJECTED = 6
+JOB_NOT_FOUND = 7
 WORKER_CRASH = 73
 SHARD_ORPHANED = 74
+JOB_ORPHANED = 75
 CHAOS_KILL = 77
 INTERRUPTED = 130

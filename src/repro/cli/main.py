@@ -32,6 +32,10 @@ Subcommands mirror how the paper's pipeline is driven:
     Crash-consistency chaos trials: kill the pipeline at every durable
     write boundary and machine-check that fsck + resume + analyze
     converge (see docs/architecture.md).
+``serve`` / ``submit`` / ``jobs`` / ``cancel``
+    The durable campaign job service: a crash-safe job queue with a
+    lease-based scheduler and admission control, served over a local
+    HTTP/JSON API (see docs/architecture.md, "Campaign service").
 
 Exit codes are standardized in :mod:`repro.cli.exitcodes`.
 """
@@ -207,6 +211,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "archive exists yet.",
     )
     shard_status.add_argument("directory", help="campaign output directory")
+    shard_status.add_argument(
+        "--lease-timeout", type=float, default=30.0,
+        help="seconds after which an unrefreshed shard lease counts as "
+             "expired (exit 4 when the shard still has pending cells)",
+    )
 
     fsck = sub.add_parser(
         "fsck",
@@ -243,7 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restrict to these crash points (default: all; "
                             "see 'list' of points in the JSON report)")
     chaos.add_argument("--modes", nargs="+", default=None,
-                       choices=["serial", "supervised", "sharded"],
+                       choices=["serial", "supervised", "sharded", "service"],
                        help="campaign modes to trial (default: all)")
     chaos.add_argument("--report", default=None, metavar="FILE",
                        help="also write the JSON invariant report here")
@@ -257,7 +266,118 @@ def build_parser() -> argparse.ArgumentParser:
                             "purpose and assert the invariant checker "
                             "catches the loss")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the durable campaign job service daemon",
+        description="Serve the job store under ROOT over a local "
+                    "HTTP/JSON API and run queued jobs as campaigns in "
+                    "campaigns/<job-id>/. SIGTERM drains gracefully "
+                    "(running jobs requeue with --resume); after a hard "
+                    "kill, the next start recovers every job with no "
+                    "lost or duplicated work.",
+    )
+    serve.add_argument("root", help="service root directory (jobs/ + campaigns/)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0 picks a free one and prints it)")
+    serve.add_argument("--max-parallel", type=int, default=1,
+                       help="jobs run concurrently by this daemon")
+    serve.add_argument("--max-job-attempts", type=int, default=3,
+                       help="RUNNING attempts before a job parks as ORPHANED")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="active jobs service-wide before admission "
+                            "rejects (0 = reject everything)")
+    serve.add_argument("--max-queued-per-tenant", type=int, default=16,
+                       help="active jobs per tenant before admission rejects")
+    serve.add_argument("--max-tenant-bytes", type=int, default=None,
+                       help="campaign bytes a tenant may hold on disk "
+                            "(default: unlimited)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign job to the service",
+        description="Queue one campaign job, either against a running "
+                    "daemon (--url) or straight into a service root "
+                    "(--root; admission rules still apply). A rejected "
+                    "submission exits 6 with the reason on stderr.",
+    )
+    _service_target(submit)
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--job-id", default=None,
+                        help="caller-chosen id (makes submission "
+                             "idempotent across retries)")
+    submit.add_argument("--size", default="32M", help="problem size (e.g. 1K)")
+    submit.add_argument("--reps", type=int, default=1)
+    submit.add_argument("--variants", nargs="+",
+                        default=["Base_Seq", "RAJA_Seq"],
+                        choices=sorted(VARIANTS), metavar="VARIANT")
+    submit.add_argument("--machines", nargs="+", default=["SPR-DDR"],
+                        choices=list(MACHINES), metavar="MACHINE")
+    submit.add_argument("--kernels", nargs="+", default=[], metavar="KERNEL")
+    submit.add_argument("--trials", type=int, default=1)
+    submit.add_argument("--workers", type=int, default=1)
+    submit.add_argument("--shards", type=int, default=0)
+    submit.add_argument("--pack", action="store_true")
+    submit.add_argument("--execute", action="store_true")
+    submit.add_argument("--max-attempts", type=int, default=3,
+                        help="per-kernel retry budget inside the campaign")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal; exit "
+                             "reflects its final state")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait deadline in seconds")
+    _service_admission_flags(submit)
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="list jobs, show one job, or fetch its analyze result",
+        description="Query the job store (--url for a daemon, --root "
+                    "for the directory). --job narrows to one id; "
+                    "--result prints its analyze JSON, byte-equal to "
+                    "'analyze --json' on the campaign directory, exit 4 "
+                    "when degraded. Unknown job ids exit 7.",
+    )
+    _service_target(jobs)
+    jobs.add_argument("--tenant", default=None, help="filter by tenant")
+    jobs.add_argument("--state", default=None, help="filter by state")
+    jobs.add_argument("--job", default=None, metavar="JOB_ID",
+                      help="show a single job instead of the list")
+    jobs.add_argument("--result", action="store_true",
+                      help="print the job's analyze JSON (requires --job)")
+    jobs.add_argument("--metric", default="Avg time/rank")
+    jobs.add_argument("--wait", action="store_true",
+                      help="with --job: block until the job is terminal")
+    jobs.add_argument("--timeout", type=float, default=600.0,
+                      help="--wait deadline in seconds")
+
+    cancel = sub.add_parser(
+        "cancel",
+        help="request cancellation of a service job",
+        description="Drop the job's cancel marker; the scheduler stops "
+                    "it on its next tick. Unknown job ids exit 7.",
+    )
+    _service_target(cancel)
+    cancel.add_argument("job_id", help="id of the job to cancel")
+
     return parser
+
+
+def _service_target(parser: argparse.ArgumentParser) -> None:
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--url", default=None,
+                        help="base URL of a running daemon "
+                             "(e.g. http://127.0.0.1:8642)")
+    target.add_argument("--root", default=None,
+                        help="operate directly on a service root directory")
+
+
+def _service_admission_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-queue-depth", type=int, default=64,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--max-queued-per-tenant", type=int, default=16,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--max-tenant-bytes", type=int, default=None,
+                        help=argparse.SUPPRESS)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -350,27 +470,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     degraded = bool(thicket.load_errors)
     exit_code = exitcodes.DEGRADED_ANALYSIS if degraded else exitcodes.OK
     if args.json:
-        regions, profiles, matrix = thicket.metric_matrix(
-            args.metric, region_filter=lambda s: "_" in s
-        )
-        print(_json.dumps(
-            {
-                "profiles": [str(p) for p in thicket.profiles],
-                "metric": args.metric,
-                "regions": list(regions),
-                "columns": [str(p) for p in profiles],
-                "matrix": [[float(v) for v in row] for row in matrix],
-                "degraded": degraded,
-                "load_errors": {
-                    "count": len(thicket.load_errors),
-                    "sources": [
-                        {"source": src, "reason": reason}
-                        for src, reason in thicket.load_errors
-                    ],
-                },
-            },
-            indent=1,
-        ))
+        # The payload shape is shared with the service's result endpoint
+        # (repro.service.api), which is what keeps a service job result
+        # byte-equal to a direct analyze of its campaign directory.
+        from repro.service.api import analysis_payload
+
+        print(_json.dumps(analysis_payload(thicket, args.metric), indent=1))
         return exit_code
     print(thicket)
     if args.tree:
@@ -528,18 +633,23 @@ def _cmd_unpack(args: argparse.Namespace) -> int:
 
 
 def _cmd_shard_status(args: argparse.Namespace) -> int:
-    from repro.suite.coordinator import MAP_NAME, shard_status
+    from repro.suite.coordinator import shard_status_report
 
-    from pathlib import Path
-
-    print(shard_status(args.directory))
-    # A readable shard map is the contract; anything else (not sharded,
-    # or a map fsck must repair) is reported but exits unclean.
-    return (
-        exitcodes.OK
-        if (Path(args.directory) / MAP_NAME).exists()
-        else exitcodes.UNCLEAN_RUN
+    report = shard_status_report(
+        args.directory, lease_timeout=args.lease_timeout
     )
+    print(report.text())
+    # A readable shard map is the contract; anything else (not sharded,
+    # or a map fsck must repair) is reported but exits unclean. A map
+    # whose shards owe cells nobody live is working on — or that is
+    # internally inconsistent — is the degraded state monitors key off.
+    if not report.map_present:
+        return exitcodes.UNCLEAN_RUN
+    if report.degraded:
+        for reason in report.reasons:
+            print(f"degraded: {reason}", file=sys.stderr)
+        return exitcodes.DEGRADED_ANALYSIS
+    return exitcodes.OK
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
@@ -602,6 +712,231 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return exitcodes.OK
 
 
+# ------------------------------------------------------------ service cmds
+def _job_exit_code(state: str) -> int:
+    """Map a terminal job state onto the process exit-code contract."""
+    return {
+        "SUCCEEDED": exitcodes.OK,
+        "FAILED": exitcodes.UNCLEAN_RUN,
+        "CANCELLED": exitcodes.INTERRUPTED,
+        "ORPHANED": exitcodes.JOB_ORPHANED,
+    }.get(state, exitcodes.UNCLEAN_RUN)
+
+
+class _ServiceTarget:
+    """One call surface over either a daemon URL or a root directory."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        from repro.service.admission import AdmissionPolicy
+        from repro.service.api import ServiceAPI
+        from repro.service.jobstore import JobStore
+
+        self.url = getattr(args, "url", None)
+        self.api = None
+        if self.url is None:
+            policy = AdmissionPolicy(
+                max_queue_depth=getattr(args, "max_queue_depth", None),
+                max_queued_per_tenant=getattr(
+                    args, "max_queued_per_tenant", None
+                ),
+                max_tenant_bytes=getattr(args, "max_tenant_bytes", None),
+            )
+            self.api = ServiceAPI(JobStore(args.root), policy)
+        else:
+            self.url = self.url.rstrip("/")
+
+    def _call(self, method, route: str, body=None):
+        if self.api is None:
+            from repro.service.api import http_json
+
+            return http_json(f"{self.url}{route}", payload=body)
+        return method()
+
+    def submit(self, spec, tenant, job_id):
+        return self._call(
+            lambda: self.api.submit(spec, tenant=tenant, job_id=job_id),
+            "/api/jobs",
+            {"spec": spec, "tenant": tenant, "job_id": job_id},
+        )
+
+    def status(self, job_id):
+        return self._call(
+            lambda: self.api.status(job_id), f"/api/jobs/{job_id}"
+        )
+
+    def list_jobs(self, tenant, state):
+        query = "&".join(
+            f"{k}={v}"
+            for k, v in (("tenant", tenant), ("state", state))
+            if v
+        )
+        return self._call(
+            lambda: self.api.list_jobs(tenant=tenant, state=state),
+            "/api/jobs" + (f"?{query}" if query else ""),
+        )
+
+    def cancel(self, job_id):
+        return self._call(
+            lambda: self.api.cancel(job_id), f"/api/jobs/{job_id}/cancel", {}
+        )
+
+    def result(self, job_id, metric):
+        from urllib.parse import quote
+
+        return self._call(
+            lambda: self.api.result(job_id, metric=metric),
+            f"/api/jobs/{job_id}/result?metric={quote(metric)}",
+        )
+
+    def wait_terminal(self, job_id: str, timeout: float):
+        """Poll until the job is terminal; its final payload or None."""
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        while _time.monotonic() < deadline:
+            status, payload = self.status(job_id)
+            if status == 200 and payload["job"]["state"] in (
+                "SUCCEEDED", "FAILED", "CANCELLED", "ORPHANED",
+            ):
+                return payload["job"]
+            _time.sleep(0.2)
+        return None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.admission import AdmissionPolicy
+    from repro.service.daemon import ServiceDaemon
+    from repro.service.scheduler import SchedulerConfig
+
+    daemon = ServiceDaemon(
+        args.root,
+        host=args.host,
+        port=args.port,
+        policy=AdmissionPolicy(
+            max_queue_depth=args.max_queue_depth,
+            max_queued_per_tenant=args.max_queued_per_tenant,
+            max_tenant_bytes=args.max_tenant_bytes,
+        ),
+        scheduler_config=SchedulerConfig(
+            max_parallel=args.max_parallel,
+            max_job_attempts=args.max_job_attempts,
+        ),
+    )
+    print(f"serving {args.root} at {daemon.url}", flush=True)
+    daemon.serve_forever()
+    print("drained; bye", flush=True)
+    return exitcodes.OK
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    try:
+        spec = {
+            "problem_size": parse_size(args.size),
+            "reps": args.reps,
+            "variants": list(args.variants),
+            "machines": list(args.machines),
+            "kernels": list(args.kernels),
+            "trials": args.trials,
+            "workers": args.workers,
+            "shards": args.shards,
+            "pack": args.pack or args.shards > 0,
+            "execute": args.execute,
+            "max_attempts": args.max_attempts,
+        }
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exitcodes.USAGE
+    target = _ServiceTarget(args)
+    status, payload = target.submit(spec, args.tenant, args.job_id)
+    if payload.get("rejected"):
+        print(f"rejected: {payload.get('reason')}", file=sys.stderr)
+        return exitcodes.JOB_REJECTED
+    if status != 200:
+        print(f"error: {payload.get('error', payload)}", file=sys.stderr)
+        return exitcodes.USAGE
+    job = payload["job"]
+    print(f"job {job['job_id']} {job['state']}")
+    if not args.wait:
+        return exitcodes.OK
+    final = target.wait_terminal(job["job_id"], args.timeout)
+    if final is None:
+        print(
+            f"error: job {job['job_id']} not terminal after "
+            f"{args.timeout:.3g}s",
+            file=sys.stderr,
+        )
+        return exitcodes.UNCLEAN_RUN
+    print(_json.dumps(final, indent=1))
+    return _job_exit_code(final["state"])
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    target = _ServiceTarget(args)
+    if args.result and not args.job:
+        print("error: --result requires --job", file=sys.stderr)
+        return exitcodes.USAGE
+    if args.wait and not args.job:
+        print("error: --wait requires --job", file=sys.stderr)
+        return exitcodes.USAGE
+    if args.job is None:
+        status, payload = target.list_jobs(args.tenant, args.state)
+        for job in payload.get("jobs", []):
+            progress = job.get("progress") or {}
+            done = progress.get("ok", 0) + progress.get("failed", 0)
+            total = progress.get("total", "?")
+            print(
+                f"{job['job_id']:24s} {job['tenant']:12s} "
+                f"{job['state']:10s} {done}/{total} cells "
+                f"attempt {job['attempts']}"
+                + (f" [{job['reason']}]" if job.get("reason") else "")
+            )
+        return exitcodes.OK
+    if args.wait:
+        final = target.wait_terminal(args.job, args.timeout)
+        if final is None:
+            print(
+                f"error: job {args.job} not terminal after "
+                f"{args.timeout:.3g}s",
+                file=sys.stderr,
+            )
+            return exitcodes.UNCLEAN_RUN
+    status, payload = target.status(args.job)
+    if status == 404:
+        print(f"error: {payload.get('error')}", file=sys.stderr)
+        return exitcodes.JOB_NOT_FOUND
+    if not args.result:
+        print(_json.dumps(payload["job"], indent=1))
+        return exitcodes.OK
+    status, payload = target.result(args.job, args.metric)
+    if status == 404:
+        print(f"error: {payload.get('error')}", file=sys.stderr)
+        return exitcodes.JOB_NOT_FOUND
+    if status != 200:
+        print(f"error: {payload.get('error', payload)}", file=sys.stderr)
+        return exitcodes.UNCLEAN_RUN
+    result = payload["result"]
+    print(_json.dumps(result, indent=1))
+    return (
+        exitcodes.DEGRADED_ANALYSIS
+        if result.get("degraded")
+        else exitcodes.OK
+    )
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    target = _ServiceTarget(args)
+    status, payload = target.cancel(args.job_id)
+    if status == 404:
+        print(f"error: {payload.get('error')}", file=sys.stderr)
+        return exitcodes.JOB_NOT_FOUND
+    print(f"cancel requested for {args.job_id}")
+    return exitcodes.OK
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -618,6 +953,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "pack": _cmd_pack,
         "unpack": _cmd_unpack,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "cancel": _cmd_cancel,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,106 @@
+"""Admission control: bounded queue, per-tenant quotas, explicit reasons.
+
+A durable queue that accepts everything is an unbounded liability: disk
+fills, the scheduler ages into a backlog it can never drain, and every
+tenant's latency pays for one tenant's flood. Admission is therefore
+checked *before* a record is created, and a rejection is an explicit
+``REJECTED`` decision carrying the reason — backpressure the client can
+act on — rather than a 500 or a silent drop.
+
+Three independent bounds, each optional:
+
+* ``max_queue_depth`` — total SUBMITTED/QUEUED/RUNNING jobs across all
+  tenants (the service-wide bound on durable queue growth);
+* ``max_queued_per_tenant`` — active jobs per tenant (fair-share);
+* ``max_tenant_bytes`` — bytes of campaign output a tenant's jobs hold
+  on disk (terminal jobs count too: results are retained until
+  cancelled/GC'd, so a tenant cannot launder quota by finishing).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.service.jobstore import ACTIVE_STATES, JobStore
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The service's quota configuration (None disables a bound)."""
+
+    max_queue_depth: int | None = 64
+    max_queued_per_tenant: int | None = 16
+    max_tenant_bytes: int | None = 2 * 1024**3
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """ADMITTED, or REJECTED with the reason the client is told."""
+
+    admitted: bool
+    reason: str = ""
+
+    @property
+    def rejected(self) -> bool:
+        return not self.admitted
+
+
+def directory_bytes(directory: Path) -> int:
+    """Recursive byte count of one campaign directory (0 if absent)."""
+    total = 0
+    for dirpath, _dirnames, filenames in os.walk(directory):
+        for name in filenames:
+            try:
+                total += os.path.getsize(os.path.join(dirpath, name))
+            except OSError:  # racing deletion
+                continue
+    return total
+
+
+def tenant_disk_usage(store: JobStore, tenant: str) -> int:
+    """Bytes of campaign output currently held by one tenant's jobs."""
+    return sum(
+        directory_bytes(store.campaign_dir(record.job_id))
+        for record in store.list_jobs(tenant=tenant)
+    )
+
+
+def evaluate(
+    store: JobStore, tenant: str, policy: AdmissionPolicy
+) -> AdmissionDecision:
+    """Would the service admit one more job from ``tenant`` right now?"""
+    jobs = store.list_jobs()
+    active = [r for r in jobs if r.state in ACTIVE_STATES]
+    if policy.max_queue_depth is not None and len(active) >= policy.max_queue_depth:
+        return AdmissionDecision(
+            admitted=False,
+            reason=(
+                f"queue full: {len(active)} active job(s), "
+                f"limit {policy.max_queue_depth}"
+            ),
+        )
+    tenant_active = [r for r in active if r.tenant == tenant]
+    if (
+        policy.max_queued_per_tenant is not None
+        and len(tenant_active) >= policy.max_queued_per_tenant
+    ):
+        return AdmissionDecision(
+            admitted=False,
+            reason=(
+                f"tenant {tenant!r} has {len(tenant_active)} active "
+                f"job(s), limit {policy.max_queued_per_tenant}"
+            ),
+        )
+    if policy.max_tenant_bytes is not None:
+        used = tenant_disk_usage(store, tenant)
+        if used >= policy.max_tenant_bytes:
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"tenant {tenant!r} holds {used} byte(s) of campaign "
+                    f"output, limit {policy.max_tenant_bytes}"
+                ),
+            )
+    return AdmissionDecision(admitted=True)

@@ -1,0 +1,185 @@
+"""The campaign service daemon: HTTP front, scheduler loop, graceful drain.
+
+One process, two loops. A :class:`ThreadingHTTPServer` answers the JSON
+API on its own threads (reads are safe concurrently: records are
+immutable-on-disk between durable replaces, and analyze reads go
+through the ingest cache); the scheduler ticks on the main thread and
+stays the single writer of job records. ``SIGTERM``/``SIGINT`` trigger
+the graceful path: stop claiming, drain every running job back to
+QUEUED-with-resume, release leases, stop the HTTP server, exit 0. A
+``SIGKILL`` instead is exactly the chaos I6 scenario — the next start's
+``recover()`` converges every job with no lost or duplicated work.
+
+Routes::
+
+    GET  /healthz                     liveness + queue summary
+    POST /api/jobs                    submit {spec, tenant?, job_id?}
+    GET  /api/jobs[?tenant=&state=]   list
+    GET  /api/jobs/<id>               status
+    POST /api/jobs/<id>/cancel        request cancellation
+    GET  /api/jobs/<id>/result[?metric=]  analyze payload (degraded, never 500)
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.admission import AdmissionPolicy
+from repro.service.api import ServiceAPI
+from repro.service.jobstore import JobStore
+from repro.service.scheduler import JobScheduler, SchedulerConfig
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP shim over :class:`ServiceAPI` (set as ``server.api``)."""
+
+    server_version = "rajaperf-service/1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the daemon narrates; per-request noise helps nobody
+
+    def _respond(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, indent=1).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _api(self) -> ServiceAPI:
+        return self.server.api  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        query = {k: v[0] for k, v in parse_qs(url.query).items()}
+        parts = [p for p in url.path.split("/") if p]
+        if url.path == "/healthz":
+            daemon = self.server.daemon  # type: ignore[attr-defined]
+            self._respond(200, daemon.health())
+        elif parts[:2] == ["api", "jobs"] and len(parts) == 2:
+            self._respond(*self._api().list_jobs(
+                tenant=query.get("tenant"), state=query.get("state")
+            ))
+        elif parts[:2] == ["api", "jobs"] and len(parts) == 3:
+            self._respond(*self._api().status(parts[2]))
+        elif (
+            parts[:2] == ["api", "jobs"]
+            and len(parts) == 4
+            and parts[3] == "result"
+        ):
+            self._respond(*self._api().result(
+                parts[2], metric=query.get("metric", "Avg time/rank")
+            ))
+        else:
+            self._respond(404, {"error": f"no route {url.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw.strip() else {}
+        except ValueError:
+            self._respond(400, {"error": "request body is not JSON"})
+            return
+        if parts[:2] == ["api", "jobs"] and len(parts) == 2:
+            spec = body.get("spec")
+            if not isinstance(spec, dict):
+                self._respond(400, {"error": "body must carry a 'spec' object"})
+                return
+            self._respond(*self._api().submit(
+                spec,
+                tenant=str(body.get("tenant") or "default"),
+                job_id=body.get("job_id"),
+            ))
+        elif (
+            parts[:2] == ["api", "jobs"]
+            and len(parts) == 4
+            and parts[3] == "cancel"
+        ):
+            self._respond(*self._api().cancel(parts[2]))
+        else:
+            self._respond(404, {"error": f"no route {url.path}"})
+
+
+class ServiceDaemon:
+    """The long-running service process over one root directory."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        policy: AdmissionPolicy | None = None,
+        scheduler_config: SchedulerConfig | None = None,
+        tick_interval: float = 0.05,
+    ) -> None:
+        self.store = JobStore(root)
+        self.store.ensure_layout()
+        self.policy = policy or AdmissionPolicy()
+        self.api = ServiceAPI(self.store, self.policy)
+        self.scheduler = JobScheduler(self.store, scheduler_config)
+        self.tick_interval = tick_interval
+        self._stop = threading.Event()
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.api = self.api  # type: ignore[attr-defined]
+        self.httpd.daemon = self  # type: ignore[attr-defined]
+        self.httpd.daemon_threads = True
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def health(self) -> dict[str, Any]:
+        jobs = self.store.list_jobs()
+        by_state: dict[str, int] = {}
+        for record in jobs:
+            by_state[record.state] = by_state.get(record.state, 0) + 1
+        return {
+            "ok": True,
+            "url": self.url,
+            "jobs": len(jobs),
+            "by_state": by_state,
+            "draining": self._stop.is_set(),
+        }
+
+    def request_stop(self, *_sig: object) -> None:
+        self._stop.set()
+
+    # ----------------------------------------------------------------- run
+    def serve_forever(self, install_signals: bool = True) -> None:
+        """Recover, then tick until stopped; drain on the way out."""
+        if install_signals:
+            signal.signal(signal.SIGTERM, self.request_stop)
+            signal.signal(signal.SIGINT, self.request_stop)
+        http_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="service-http",
+            daemon=True,
+        )
+        http_thread.start()
+        try:
+            self.scheduler.recover()
+            while not self._stop.wait(self.tick_interval):
+                self.scheduler.tick()
+        finally:
+            self.scheduler.drain()
+            self.httpd.shutdown()
+            self.httpd.server_close()
+            http_thread.join(5.0)
+
+    def close(self) -> None:
+        """Release sockets without the serve loop (tests, failed starts)."""
+        self.httpd.server_close()

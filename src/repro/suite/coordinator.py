@@ -612,42 +612,166 @@ class ShardCoordinator:
 
 
 # ------------------------------------------------------------ shard status
-def shard_status(output_dir: str | Path) -> str:
-    """Human-readable status of a sharded campaign directory."""
+@dataclass
+class ShardStatusLine:
+    """One shard's row in the status report."""
+
+    index: int
+    ok: int = 0
+    assigned: int = 0
+    failed: int = 0
+    pending: int = 0
+    state: str = ""
+    #: non-empty when this shard makes the campaign look unhealthy
+    reason: str = ""
+
+
+@dataclass
+class ShardStatusReport:
+    """Machine-checkable status of a sharded campaign directory.
+
+    ``degraded`` is the operator signal the CLI turns into exit code 4:
+    some shard still owes cells but nothing live is working on them (its
+    lease is missing, expired past the timeout, or held by a dead PID),
+    or the shard map itself is inconsistent (duplicate cell ownership,
+    entries referencing shards outside the partition). A *completed*
+    campaign with dead leases is healthy — there is no pending work the
+    dead shard is sitting on.
+    """
+
+    output_dir: Path
+    map_present: bool = False
+    shards: int = 0
+    retired: list[int] = field(default_factory=list)
+    lines: list[ShardStatusLine] = field(default_factory=list)
+    map_reasons: list[str] = field(default_factory=list)
+    archive_present: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.map_reasons) or any(l.reason for l in self.lines)
+
+    @property
+    def reasons(self) -> list[str]:
+        return self.map_reasons + [
+            f"shard-{l.index}: {l.reason}" for l in self.lines if l.reason
+        ]
+
+    def text(self) -> str:
+        """The human-readable report (the old ``shard-status`` output,
+        plus a trailing reason column on unhealthy rows)."""
+        if not self.map_present:
+            if (self.output_dir / SHARD_DIR).is_dir():
+                return (
+                    f"{self.output_dir}: shard directories present "
+                    "but no shard map"
+                )
+            return f"{self.output_dir}: not a sharded campaign (no shard map)"
+        out = [
+            f"sharded campaign {self.output_dir}: {self.shards} shard(s), "
+            f"{len(self.retired)} retired"
+        ]
+        for line in self.lines:
+            reason = f" -- {line.reason}" if line.reason else ""
+            out.append(
+                f"  shard-{line.index}: {line.ok}/{line.assigned} ok, "
+                f"{line.failed} failed, {line.pending} pending "
+                f"[{line.state}]{reason}"
+            )
+        for reason in self.map_reasons:
+            out.append(f"  shard map inconsistent: {reason}")
+        out.append(
+            f"  campaign archive: {ARCHIVE_NAME} "
+            f"({'present' if self.archive_present else 'not merged yet'})"
+        )
+        return "\n".join(out)
+
+
+def shard_status_report(
+    output_dir: str | Path, lease_timeout: float = 30.0
+) -> ShardStatusReport:
+    """Audit a sharded campaign's progress, liveness, and map coherence."""
+    from repro.suite.manifest import _pid_alive
     from repro.suite.shard import shard_progress
 
     out_dir = Path(output_dir)
+    report = ShardStatusReport(output_dir=out_dir)
     shard_map = ShardMap.load(out_dir)
     if shard_map is None:
-        if (out_dir / SHARD_DIR).is_dir():
-            return f"{out_dir}: shard directories present but no shard map"
-        return f"{out_dir}: not a sharded campaign (no shard map)"
-    lines = [
-        f"sharded campaign {out_dir}: {shard_map.shards} shard(s), "
-        f"{len(shard_map.retired)} retired"
-    ]
+        return report
+    report.map_present = True
+    report.shards = shard_map.shards
+    report.retired = sorted(shard_map.retired)
+    report.archive_present = (out_dir / ARCHIVE_NAME).exists()
+
+    # Map coherence, independent of per-shard liveness.
+    known = {shard_dir_name(i) for i in range(shard_map.shards)}
+    owners: dict[str, list[str]] = {}
+    for name, keys in shard_map.assignment.items():
+        if name not in known:
+            report.map_reasons.append(
+                f"assignment entry {name!r} is outside the "
+                f"{shard_map.shards}-shard partition"
+            )
+        for key in keys:
+            owners.setdefault(key, []).append(name)
+    for key, names in sorted(owners.items()):
+        live = [
+            n for n in names
+            if n in known
+            and int(n.rsplit("-", 1)[1]) not in shard_map.retired
+        ]
+        if len(live) > 1:
+            report.map_reasons.append(
+                f"cell {key!r} assigned to {len(live)} live shards "
+                f"({', '.join(sorted(live))})"
+            )
+    for index in shard_map.retired:
+        if not 0 <= index < shard_map.shards:
+            report.map_reasons.append(
+                f"retired index {index} is outside the "
+                f"{shard_map.shards}-shard partition"
+            )
+
     for index in range(shard_map.shards):
-        keys = shard_map.keys_for(index)
-        progress = shard_progress(out_dir, index, keys)
-        if index in shard_map.retired:
-            state = "retired"
-        elif progress.lease_pid is not None and progress.lease_age is not None:
-            if progress.lease_age > 3600:
-                state = "lease expired"
-            else:
-                state = (
-                    f"lease pid {progress.lease_pid} "
-                    f"({progress.lease_age:.1f}s ago)"
-                )
-        else:
-            state = "no lease"
-        lines.append(
-            f"  shard-{index}: {progress.ok}/{progress.assigned} ok, "
-            f"{progress.failed} failed, {progress.pending} pending [{state}]"
+        progress = shard_progress(out_dir, index, shard_map.keys_for(index))
+        line = ShardStatusLine(
+            index=index,
+            ok=progress.ok,
+            assigned=progress.assigned,
+            failed=progress.failed,
+            pending=progress.pending,
         )
-    merged = out_dir / ARCHIVE_NAME
-    lines.append(
-        f"  campaign archive: {merged.name} "
-        f"({'present' if merged.exists() else 'not merged yet'})"
-    )
-    return "\n".join(lines)
+        lease = read_lease(shard_path(out_dir, index))
+        age = lease_age(lease)
+        holder = lease.get("pid") if lease is not None else None
+        if index in shard_map.retired:
+            line.state = "retired"
+        elif holder is not None and age is not None:
+            if age > lease_timeout:
+                line.state = "lease expired"
+            else:
+                line.state = f"lease pid {holder} ({age:.1f}s ago)"
+        else:
+            line.state = "no lease"
+        # Degradation: pending work nobody live is doing.
+        if index not in shard_map.retired and line.pending > 0:
+            if lease is None:
+                line.reason = f"{line.pending} cell(s) pending, no lease"
+            elif age is not None and age > lease_timeout:
+                line.reason = (
+                    f"{line.pending} cell(s) pending, lease expired "
+                    f"({age:.1f}s > {lease_timeout:.3g}s)"
+                )
+            elif not _pid_alive(holder):
+                line.reason = (
+                    f"{line.pending} cell(s) pending, "
+                    f"lease holder pid {holder} is dead"
+                )
+        report.lines.append(line)
+    return report
+
+
+def shard_status(output_dir: str | Path) -> str:
+    """Human-readable status of a sharded campaign directory."""
+    return shard_status_report(output_dir).text()

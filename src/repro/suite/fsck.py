@@ -43,6 +43,12 @@ repartitions — quarantines shard directories the map does not know
 (orphans from an older, wider partition), and sweeps the merge tree's
 ``.merge-scratch`` intermediates, which are pure derivatives of the
 shard archives.
+
+Campaign-service roots (:mod:`repro.service`) are audited too: every
+``jobs/<id>.json`` record is seal-verified (damage backed up as
+``.bak``), dead scheduler leases and stale takeover tokens swept, and
+each job's ``campaigns/<id>/`` directory recursed into as an ordinary
+campaign directory — so one ``fsck <root>`` audits the whole service.
 """
 
 from __future__ import annotations
@@ -256,6 +262,7 @@ def fsck_directory(
         _sweep_orphan_tmps(directory, report)
 
     _fsck_shards(directory, quarantine, mark_rerun, report)
+    _fsck_jobs(directory, quarantine, mark_rerun, report)
 
     return _finish(report, manifest, mark_rerun)
 
@@ -382,6 +389,132 @@ def _fsck_shards(
         if token.exists() and not _pid_alive(claimant):
             token.unlink(missing_ok=True)
             report.notes.append("stale lock-takeover token removed")
+
+
+def _fsck_jobs(
+    directory: Path,
+    quarantine: bool,
+    mark_rerun: bool,
+    report: FsckReport,
+) -> None:
+    """Audit a campaign-service root: job records, leases, campaigns.
+
+    Every ``jobs/<id>.json`` is seal-verified; a damaged record is
+    backed up as ``.bak`` (forensics first — scheduler recovery or an
+    idempotent resubmit reconstitutes the job). Lease files and takeover
+    tokens whose holders are dead are swept, cancel markers orphaned by
+    terminal jobs removed, and every job's campaign directory gets the
+    same recursive sub-pass shard directories get — except while a live
+    job runner holds its campaign lock. Campaign directories no job
+    record accounts for are reported: they are exactly the "duplicated
+    work" chaos invariant I6 forbids.
+    """
+    from repro.service.jobstore import (
+        CANCEL_SUFFIX,
+        LEASE_SUFFIX,
+        RECORD_SUFFIX,
+        JobRecordDamaged,
+        JobStore,
+        parse_record_text,
+    )
+
+    store = JobStore(directory)
+    if not store.jobs_dir.is_dir():
+        return
+
+    records = {}
+    for path in sorted(store.jobs_dir.glob(f"*{RECORD_SUFFIX}")):
+        if path.name.endswith(".bak"):
+            continue
+        job_id = path.name[: -len(RECORD_SUFFIX)]
+        try:
+            records[job_id] = parse_record_text(path.read_text())
+        except (OSError, JobRecordDamaged) as exc:
+            if quarantine:
+                backup = path.with_suffix(path.suffix + ".bak")
+                try:
+                    os.replace(path, backup)
+                    report.notes.append(
+                        f"damaged job record {path.name} backed up as "
+                        f"{backup.name} ({exc})"
+                    )
+                except OSError:  # pragma: no cover - racing writer
+                    report.notes.append(
+                        f"damaged job record {path.name} left in place "
+                        f"(backup failed): {exc}"
+                    )
+            else:
+                report.notes.append(f"damaged job record {path.name}: {exc}")
+
+    leases = sorted(store.jobs_dir.glob(f"*{LEASE_SUFFIX}")) + sorted(
+        store.jobs_dir.glob(f"*{LEASE_SUFFIX}.takeover")
+    )
+    for lease in leases:
+        if lease.name.endswith(".takeover"):
+            try:
+                claimant = json.loads(lease.read_text()).get("pid")
+            except (OSError, ValueError):
+                claimant = None
+            if not _pid_alive(claimant):
+                if quarantine:
+                    lease.unlink(missing_ok=True)
+                report.notes.append(
+                    f"stale lease-takeover token {lease.name} removed"
+                    if quarantine
+                    else f"stale lease-takeover token {lease.name}"
+                )
+            continue
+        job_id = lease.name[: -len(LEASE_SUFFIX)]
+        try:
+            holder = json.loads(lease.read_text()).get("pid")
+        except (OSError, ValueError):
+            holder = None
+        if _pid_alive(holder):
+            continue
+        if quarantine:
+            lease.unlink(missing_ok=True)
+        report.notes.append(
+            f"job {job_id}: scheduler lease holder pid {holder} is dead"
+            + ("; lease removed" if quarantine else "")
+        )
+        record = records.get(job_id)
+        if record is not None and record.state == "RUNNING":
+            report.notes.append(
+                f"job {job_id} is RUNNING with no live scheduler; "
+                "recovery will heal it"
+            )
+
+    for marker in sorted(store.jobs_dir.glob(f"*{CANCEL_SUFFIX}")):
+        job_id = marker.name[: -len(CANCEL_SUFFIX)]
+        record = records.get(job_id)
+        if record is not None and record.terminal:
+            if quarantine:
+                marker.unlink(missing_ok=True)
+            report.notes.append(
+                f"cancel marker for terminal job {job_id}"
+                + (" removed" if quarantine else "")
+            )
+
+    if store.campaigns_dir.is_dir():
+        for campaign in sorted(store.campaigns_dir.iterdir()):
+            if not campaign.is_dir():
+                continue
+            if campaign.name not in records:
+                report.notes.append(
+                    f"campaign directory {campaign.name} has no job "
+                    "record (unaccounted work; quarantine manually "
+                    "after forensics)"
+                )
+                continue
+            if _campaign_is_live(campaign):
+                report.notes.append(
+                    f"job campaign {campaign.name} is live; "
+                    "sub-pass skipped"
+                )
+                continue
+            report.shard_reports.append(
+                fsck_directory(campaign, quarantine, mark_rerun)
+            )
 
 
 def _check_archive(

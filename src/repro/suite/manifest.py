@@ -69,7 +69,18 @@ class CampaignLock:
 
     @classmethod
     def acquire(cls, output_dir: str | Path) -> "CampaignLock":
-        path = Path(output_dir) / LOCK_NAME
+        return cls.acquire_path(Path(output_dir) / LOCK_NAME)
+
+    @classmethod
+    def acquire_path(cls, path: str | Path) -> "CampaignLock":
+        """Acquire an arbitrary PID-lease lock file (same protocol).
+
+        The campaign service's per-job lease tokens are ordinary
+        instances of this lock living under ``jobs/`` instead of inside
+        a campaign directory; the O_EXCL claim and the exclusive
+        stale-lease takeover work identically.
+        """
+        path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         lease = json.dumps(
             {

@@ -132,9 +132,20 @@ def read_lease(shard_dir: Path) -> dict | None:
 
 
 def lease_age(lease: dict | None, now: float | None = None) -> float | None:
-    """Seconds since the lease was refreshed (None when unreadable)."""
+    """Seconds since the lease was refreshed (None when unreadable).
+
+    Prefers the lease's ``mono`` stamp against ``time.monotonic()``:
+    CLOCK_MONOTONIC is shared by every process on the host, and unlike
+    wall clock it cannot jump backwards (NTP step, manual reset) and
+    make a wedged shard look freshly alive — or jump forwards and get a
+    healthy shard killed. The wall-clock ``time`` stamp remains for
+    display and as a fallback for leases written by older shards.
+    """
     if lease is None:
         return None
+    mono = lease.get("mono")
+    if isinstance(mono, (int, float)) and now is None:
+        return time.monotonic() - mono
     stamp = lease.get("time")
     if not isinstance(stamp, (int, float)):
         return None
@@ -171,6 +182,8 @@ class ShardLease(threading.Thread):
                 "shard": self.index,
                 "pid": os.getpid(),
                 "seq": self._seq,
+                # monotonic for liveness math, wall clock for humans
+                "mono": time.monotonic(),
                 "time": time.time(),
             },
         )
