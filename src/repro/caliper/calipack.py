@@ -44,7 +44,7 @@ import os
 import re
 import shutil
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.caliper.cali import _analyze_bytes, serialize_cali
@@ -74,14 +74,32 @@ class CalipackError(ValueError):
     """A structurally damaged archive (bad magic, index, or footer)."""
 
 
+#: index sentinel for a global whose value is not a JSON scalar — the
+#: attribute exists but cannot be compared at the index level, so a
+#: predicate referencing it never skips the entry.
+NONSCALAR_ATTR = {"__nonscalar__": True}
+
+
 @dataclass(frozen=True)
 class ArchiveEntry:
-    """One archived profile: where it lives and what its bytes hash to."""
+    """One archived profile: where it lives and what its bytes hash to.
+
+    ``attrs`` (sealed archives only) carries the entry's scalar globals
+    as indexed attributes: the predicate-pushdown path evaluates
+    metadata filters against them and skips entries — no payload read,
+    no JSON parse — when the filter provably rejects them. ``metrics``
+    lists the entry's metric column names in document order, letting a
+    filtered composition reconstruct the exact column order a full
+    composition would produce. None for either means the index predates
+    them or the entry was unparseable; such entries are never skipped.
+    """
 
     name: str
     offset: int
     length: int
     crc32: int
+    attrs: dict | None = field(default=None, compare=False)
+    metrics: list | None = field(default=None, compare=False)
 
     @property
     def crc_hex(self) -> str:
@@ -196,27 +214,64 @@ class CalipackWriter:
                        corrupt_crc: bool = False) -> ArchiveEntry:
         return self.append_bytes(name, serialize_cali(profile, corrupt_crc))
 
+    def _collect_schemas(
+        self,
+    ) -> tuple[dict[str, tuple[dict, list[str]]], dict[str, list[str]]]:
+        """Indexed (attrs, metrics) per entry + the archive column registry.
+
+        Both are recomputed from the stored entry bytes at seal time —
+        never carried from a source index — so the sealed index is a
+        pure function of the entry set and canonical merges stay
+        byte-deterministic. Unparseable (damaged) entries contribute
+        nothing and simply get no schema.
+        """
+        schema_by_name: dict[str, tuple[dict, list[str]]] = {}
+        metrics: dict[str, None] = {}
+        globals_: dict[str, None] = {}
+        for entry in self._entries.values():
+            self._handle.seek(entry.offset)
+            data = self._handle.read(entry.length)
+            schema = extract_entry_schema(data)
+            if schema is None:
+                continue
+            attrs, entry_metrics, entry_globals = schema
+            schema_by_name[entry.name] = (attrs, entry_metrics)
+            for name in entry_metrics:
+                metrics.setdefault(name)
+            for name in entry_globals:
+                globals_.setdefault(name)
+        return schema_by_name, {
+            "metrics": list(metrics),
+            "globals": list(globals_),
+        }
+
     def close(self) -> Path:
         """Seal the archive: write the index and footer, fsync."""
         if self._closed:
             return self.path
         self._closed = True
         self._handle.truncate(self._good_end)
+        schema_by_name, columns = self._collect_schemas()
         self._handle.seek(self._good_end)
         crash_point("calipack.pre-index", path=self.path)
+        entries_payload = []
+        for e in self._entries.values():
+            record: dict[str, object] = {
+                "name": e.name,
+                "offset": e.offset,
+                "length": e.length,
+                "crc32": e.crc_hex,
+            }
+            schema = schema_by_name.get(e.name)
+            if schema is not None:
+                record["attrs"], record["metrics"] = schema
+            entries_payload.append(record)
         index = json.dumps(
             {
                 "format": INDEX_FORMAT,
                 "version": INDEX_VERSION,
-                "entries": [
-                    {
-                        "name": e.name,
-                        "offset": e.offset,
-                        "length": e.length,
-                        "crc32": e.crc_hex,
-                    }
-                    for e in self._entries.values()
-                ],
+                "columns": columns,
+                "entries": entries_payload,
             },
             separators=(",", ":"),
         ).encode("utf-8")
@@ -333,9 +388,142 @@ def load_index(path: str | Path) -> list[ArchiveEntry]:
             offset=int(e["offset"]),
             length=int(e["length"]),
             crc32=int(e["crc32"], 16),
+            attrs=e.get("attrs"),
+            metrics=e.get("metrics"),
         )
         for e in payload.get("entries", [])
     ]
+
+
+def load_columns_registry(path: str | Path) -> dict[str, list[str]] | None:
+    """The sealed archive's column registry, or None when absent.
+
+    ``{"metrics": [...], "globals": [...]}`` in first-seen order across
+    entries — the schema a filtered composition needs to pad skipped
+    entries' columns without parsing them. Archives sealed before attrs
+    existed (or unsealed segments) return None: pushdown then degrades
+    to reading everything, never to a wrong answer.
+    """
+    p = Path(path)
+    try:
+        footer = read_footer(p)
+    except OSError:
+        return None
+    if footer is None:
+        return None
+    index_off, index_len, declared_crc = footer
+    try:
+        with open(p, "rb") as handle:
+            handle.seek(index_off)
+            raw = handle.read(index_len)
+    except OSError:
+        return None
+    if len(raw) != index_len or zlib.crc32(raw) & 0xFFFFFFFF != declared_crc:
+        return None
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    columns = payload.get("columns")
+    if not isinstance(columns, dict):
+        return None
+    metrics = columns.get("metrics")
+    globals_ = columns.get("globals")
+    if not isinstance(metrics, list) or not isinstance(globals_, list):
+        return None
+    return {
+        "metrics": [str(m) for m in metrics],
+        "globals": [str(g) for g in globals_],
+    }
+
+
+def extract_entry_schema(
+    data: bytes,
+) -> tuple[dict, list[str], list[str]] | None:
+    """``(attrs, metric_names, global_names)`` from sealed ``.cali`` bytes.
+
+    ``attrs`` maps each global to its scalar value, or to
+    :data:`NONSCALAR_ATTR` when the value is structured. Metric names
+    come back in document (first-seen walk) order, matching the column
+    order the columnar composer produces. Damaged or non-JSON entries
+    return None.
+    """
+    status, _, payload = _analyze_bytes(data)
+    if status not in ("ok", "unsealed"):
+        return None
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if not isinstance(doc, dict):
+        return None
+    globals_ = doc.get("globals")
+    if not isinstance(globals_, dict):
+        globals_ = {}
+    attrs: dict[str, object] = {}
+    for key, value in globals_.items():
+        if value is None or isinstance(value, (str, int, float, bool)):
+            attrs[str(key)] = value
+        else:
+            attrs[str(key)] = dict(NONSCALAR_ATTR)
+    metrics: dict[str, None] = {}
+    records = doc.get("records")
+    stack = list(reversed(records)) if isinstance(records, list) else []
+    while stack:
+        node = stack.pop()
+        if not isinstance(node, dict):
+            continue
+        node_metrics = node.get("metrics")
+        if isinstance(node_metrics, dict):
+            for name in node_metrics:
+                metrics.setdefault(str(name))
+        children = node.get("children")
+        if isinstance(children, list):
+            stack.extend(reversed(children))
+    return attrs, list(metrics), [str(k) for k in globals_]
+
+
+def is_nonscalar_attr(value: object) -> bool:
+    """True for the :data:`NONSCALAR_ATTR` sentinel (or any structured
+    attr value a future writer might store)."""
+    return isinstance(value, (dict, list))
+
+
+def entry_passes(entry: ArchiveEntry, expr) -> bool:
+    """False only when ``expr`` *provably* rejects this entry's attrs."""
+    return attrs_pass(entry.attrs, expr)
+
+
+def attrs_pass(attrs: dict | None, expr) -> bool:
+    """False only when ``expr`` *provably* rejects these indexed attrs.
+
+    This is the index-level predicate: entries without attrs, attrs the
+    expression cannot be evaluated over (nonscalar sentinels, type
+    errors), or any other doubt keep the entry — the exact filter after
+    composition is always the authority; this only skips work.
+    Referenced attrs missing from the entry evaluate as None, matching
+    the metadata table's padding for absent globals.
+    """
+    import numpy as np
+
+    if attrs is None:
+        return True
+    refs = expr.references()
+    for name in refs:
+        if is_nonscalar_attr(attrs.get(name)):
+            return True
+    columns = {
+        name: np.array([attrs.get(name)], dtype=object) for name in refs
+    }
+    try:
+        mask = np.asarray(expr.evaluate(columns))
+        if mask.ndim == 0:
+            return bool(mask)
+        if not len(mask):
+            return True
+        return bool(mask.astype(bool)[0])
+    except Exception:
+        return True
 
 
 def scan_entries(path: str | Path) -> tuple[list[ArchiveEntry], int]:

@@ -145,6 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--json", action="store_true",
                          help="emit a machine-readable JSON report (metric "
                               "matrix + load_errors ledger) instead of text")
+    analyze.add_argument("--where", default=None, metavar="EXPR",
+                         help="metadata filter expression, pushed down into "
+                              "the archive index so rejected entries are "
+                              "never parsed (e.g. \"variant == 'RAJA_CUDA' "
+                              "and machine != 'lassen'\")")
+    analyze.add_argument("--incremental", action="store_true",
+                         help="reuse the longest cached prefix of the "
+                              "source set and compose only newly appended "
+                              "segments (requires the ingest cache)")
 
     pack = sub.add_parser(
         "pack",
@@ -449,9 +458,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     import json as _json
     import warnings as _warnings
 
+    from repro.dataframe import parse_expr
     from repro.thicket import ProfileLoadWarning, Thicket
     from repro.thicket.ingest_cache import default_cache_dir
 
+    if args.incremental and args.no_cache:
+        print("error: --incremental requires the ingest cache "
+              "(drop --no-cache)", file=sys.stderr)
+        return exitcodes.USAGE
+    where = None
+    if args.where is not None:
+        try:
+            where = parse_expr(args.where)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return exitcodes.USAGE
     cache = None if args.no_cache else default_cache_dir(args.files[0])
     with _warnings.catch_warnings(record=True) as caught:
         _warnings.simplefilter("always", ProfileLoadWarning)
@@ -460,6 +481,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             on_error="raise" if args.strict else "warn",
             workers=args.workers,
             cache=cache,
+            where=where,
+            incremental=args.incremental,
         )
     if not args.json:
         for warning in caught:

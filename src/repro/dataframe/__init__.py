@@ -8,15 +8,25 @@ arrays (numeric) or object arrays (strings), so vectorized operations stay
 vectorized per the HPC-Python guidance.
 """
 
+from repro.dataframe.expr import DictColumn, Expr, col, lit, parse_expr
 from repro.dataframe.frame import Frame
 from repro.dataframe.groupby import GroupBy
 from repro.dataframe.io import frame_from_csv, frame_from_json, frame_to_csv, frame_to_json
+from repro.dataframe.lazy import LazyFrame, LazyGroupBy, scan_cache
 
 __all__ = [
+    "DictColumn",
+    "Expr",
     "Frame",
     "GroupBy",
+    "LazyFrame",
+    "LazyGroupBy",
+    "col",
     "frame_from_csv",
     "frame_from_json",
     "frame_to_csv",
     "frame_to_json",
+    "lit",
+    "parse_expr",
+    "scan_cache",
 ]

@@ -23,9 +23,17 @@ def _as_column(values: object, length_hint: int | None = None) -> np.ndarray:
             if length_hint is None:
                 raise ValueError("scalar column requires a length hint")
             arr = np.full(length_hint, values)
+        elif seq and (isinstance(seq[0], str) or seq[0] is None):
+            # Short-circuit on the first element: string-led and
+            # None-led inputs go straight to object dtype.
+            arr = np.array(seq, dtype=object)
         else:
-            has_str = any(isinstance(v, str) or v is None for v in seq)
-            arr = np.array(seq, dtype=object) if has_str else np.asarray(seq)
+            # Let NumPy inspect the rest; a str/unicode result means a
+            # stringy or mixed payload whose original values (ints next
+            # to strings) must survive, so rebuild as object.
+            arr = np.asarray(seq)
+            if arr.dtype.kind in "US":
+                arr = np.array(seq, dtype=object)
     if arr.ndim != 1:
         raise ValueError(f"columns must be 1-D, got shape {arr.shape}")
     if arr.dtype.kind in "US":
@@ -165,10 +173,7 @@ class Frame:
 
     # ------------------------------------------------------------ selection
     def select(self, names: Sequence[str]) -> "Frame":
-        out = Frame()
-        out._nrows = self._nrows
-        out._cols = {n: self[n].copy() for n in names}
-        return out
+        return self.lazy().select(names).collect()
 
     def take(self, indices: object) -> "Frame":
         idx = np.asarray(indices)
@@ -179,15 +184,27 @@ class Frame:
             out._nrows = len(next(iter(out._cols.values())))
         return out
 
-    def filter(self, predicate: Callable[[Mapping[str, Any]], bool] | np.ndarray) -> "Frame":
+    def filter(self, predicate) -> "Frame":
         """Keep rows where ``predicate`` holds.
 
-        ``predicate`` is either a boolean mask or a callable applied to each
-        row dict (the callable form matches Thicket's ``filter_metadata``).
+        ``predicate`` is a column expression (``col("x") == 1``), a
+        boolean mask, or a callable applied to each row mapping (the
+        callable form matches Thicket's ``filter_metadata``). Callables
+        that turn out to be simple column predicates are vectorized by
+        tracing them once against symbolic columns; everything else runs
+        row-by-row over a single reusable row view.
         """
+        from repro.dataframe.expr import Expr
+
+        if isinstance(predicate, Expr):
+            return self.lazy().filter(predicate).collect()
         if callable(predicate):
+            expr = _vectorize_predicate(self, predicate)
+            if expr is not None:
+                return self.lazy().filter(expr).collect()
+            view = _RowView(self)
             mask = np.fromiter(
-                (bool(predicate(row)) for row in self.iter_rows()),
+                (bool(predicate(view.at(i))) for i in range(self._nrows)),
                 dtype=bool,
                 count=self._nrows,
             )
@@ -217,15 +234,7 @@ class Frame:
         """Stable lexicographic sort by the given columns (first is primary)."""
         if not names:
             raise ValueError("sort_by needs at least one column")
-        # np.lexsort uses the LAST key as primary, so reverse.
-        keys = []
-        for n in reversed(names):
-            col = self[n]
-            keys.append(col.astype(str) if col.dtype == object else col)
-        order = np.lexsort(keys)
-        if descending:
-            order = order[::-1]
-        return self.take(order)
+        return self.lazy().sort(*names, descending=descending).collect()
 
     # -------------------------------------------------------------- combine
     def vstack(self, other: "Frame") -> "Frame":
@@ -244,47 +253,23 @@ class Frame:
         return out
 
     def join(self, other: "Frame", on: str, how: str = "inner", suffix: str = "_r") -> "Frame":
-        """Hash join on a single key column."""
-        if how not in ("inner", "left"):
-            raise ValueError(f"how must be 'inner' or 'left', got {how!r}")
-        right_index: dict[Any, list[int]] = {}
-        right_key = other[on]
-        for j in range(other.nrows):
-            right_index.setdefault(right_key[j], []).append(j)
-        left_rows: list[int] = []
-        right_rows: list[int] = []
-        for i in range(self._nrows):
-            matches = right_index.get(self[on][i], [])
-            if matches:
-                for j in matches:
-                    left_rows.append(i)
-                    right_rows.append(j)
-            elif how == "left":
-                left_rows.append(i)
-                right_rows.append(-1)
-        data: dict[str, object] = {}
-        li = np.asarray(left_rows, dtype=int)
-        for n in self.columns:
-            data[n] = self[n][li] if len(li) else self[n][:0]
-        missing = np.asarray(right_rows) < 0
-        ri = np.asarray([max(j, 0) for j in right_rows], dtype=int)
-        for n in other.columns:
-            if n == on:
-                continue
-            name = n if n not in data else n + suffix
-            col = other[n][ri] if len(ri) else other[n][:0]
-            if missing.any():
-                col = col.astype(object)
-                col[missing] = None
-            data[name] = col
-        out = Frame(data) if data else Frame()
-        return out
+        """Hash join on a single key column (vectorized; see plan module)."""
+        from repro.dataframe.plan import vectorized_join
+
+        return vectorized_join(self, other, on, how=how, suffix=suffix)
 
     # ------------------------------------------------------------- groupby
     def groupby(self, *names: str) -> "GroupBy":
         from repro.dataframe.groupby import GroupBy
 
         return GroupBy(self, names)
+
+    # ---------------------------------------------------------------- lazy
+    def lazy(self) -> "LazyFrame":
+        """A deferred-query handle over this frame (see dataframe.lazy)."""
+        from repro.dataframe.lazy import LazyFrame
+
+        return LazyFrame.scan(self)
 
     # ------------------------------------------------------------ numeric
     def numeric_columns(self) -> list[str]:
@@ -296,3 +281,81 @@ class Frame:
         if not names:
             return np.empty((self._nrows, 0))
         return np.column_stack([self[n].astype(float) for n in names])
+
+
+class _RowView(Mapping):
+    """A reusable read-only row mapping over a frame.
+
+    ``Frame.filter``'s row fallback repositions one view per row instead
+    of building a dict per row; predicates see the usual Mapping surface
+    (``row["col"]``, ``row.get``, iteration over column names).
+    """
+
+    __slots__ = ("_cols", "_names", "_i")
+
+    def __init__(self, frame: "Frame") -> None:
+        self._cols = frame._cols
+        self._names = frame.columns
+        self._i = 0
+
+    def at(self, i: int) -> "_RowView":
+        self._i = i
+        return self
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._cols[name][self._i]
+        except KeyError:
+            raise KeyError(f"no column {name!r}; have {self._names}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+class _TraceRow(Mapping):
+    """The symbolic row handed to a candidate filter callable: column
+    access returns ``col(name)`` expressions instead of values."""
+
+    __slots__ = ("_names",)
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self._names = list(names)
+
+    def __getitem__(self, name: str):
+        from repro.dataframe.expr import col
+
+        if name in self._names:
+            return col(name)
+        raise KeyError(name)
+
+    def get(self, name: str, default: Any = None):
+        from repro.dataframe.expr import col, lit
+
+        return col(name) if name in self._names else lit(default)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+def _vectorize_predicate(frame: "Frame", predicate: Callable) -> "object | None":
+    """Trace ``predicate`` once against symbolic columns.
+
+    Simple column predicates (``lambda r: r["variant"] == "x"``) come
+    back as an expression tree we can evaluate vectorized. Anything the
+    trace cannot prove equivalent — ``and``/``or`` chains (truth-testing
+    an Expr raises), ``in`` on a column value, identity checks, plain
+    bool results — returns None and the caller keeps the row loop.
+    """
+    from repro.dataframe.expr import Expr
+
+    try:
+        result = predicate(_TraceRow(frame.columns))
+    except Exception:
+        return None
+    return result if isinstance(result, Expr) else None

@@ -3,6 +3,15 @@
 Thicket's workflow groups profile rows by metadata (variant, tuning,
 machine) and aggregates metrics across runs; ``GroupBy`` provides exactly
 that: iteration over groups and reduction with named aggregators.
+
+Grouping is vectorized: each key column is codified with
+``np.unique(return_inverse=True)``, multiple keys combine mixed-radix
+(re-compacted per step so codes never overflow), and group ids are
+remapped to deterministic first-occurrence order. ``size()``/``agg()``
+then reduce over stable-sorted row segments — no sub-Frame is
+materialized per group. Key columns NumPy cannot order (mixed object
+types, NaN keys, None) fall back to the original dict loop, whose
+semantics the vectorized path reproduces exactly.
 """
 
 from __future__ import annotations
@@ -27,6 +36,20 @@ AGGREGATORS: dict[str, Callable[[np.ndarray], float]] = {
 }
 
 
+def _codify(col: np.ndarray) -> np.ndarray | None:
+    """Per-row group codes for one key column, or None when NumPy cannot
+    order it with dict-equality semantics (NaN keys, mixed objects)."""
+    if col.dtype.kind == "f" and np.isnan(col).any():
+        # dict semantics: every NaN key is its own group (fresh scalars
+        # never compare equal); np.unique would merge them.
+        return None
+    try:
+        _, inverse = np.unique(col, return_inverse=True)
+    except TypeError:
+        return None
+    return inverse.astype(np.int64)
+
+
 class GroupBy:
     """Lazily-evaluated grouping of a frame by one or more key columns."""
 
@@ -38,44 +61,138 @@ class GroupBy:
                 raise KeyError(f"no column {key!r} to group by")
         self.frame = frame
         self.keys = list(keys)
-        self._groups: dict[tuple, list[int]] = {}
         cols = [frame[k] for k in self.keys]
-        for i in range(frame.nrows):
+        codes = self._combined_codes(cols, frame.nrows)
+        if codes is None:
+            self._init_fallback(cols, frame.nrows)
+        else:
+            self._init_vectorized(codes, cols, frame.nrows)
+        self._key_to_group: dict[tuple, int] | None = None
+
+    @staticmethod
+    def _combined_codes(cols: list[np.ndarray], nrows: int) -> np.ndarray | None:
+        if nrows == 0:
+            return np.zeros(0, dtype=np.int64)
+        combined: np.ndarray | None = None
+        for col in cols:
+            codes = _codify(col)
+            if codes is None:
+                return None
+            if combined is None:
+                combined = codes
+            else:
+                # Mixed-radix merge, re-compacted each step so the
+                # product of cardinalities never overflows int64.
+                radix = int(codes.max()) + 1
+                combined = combined * radix + codes
+                _, combined = np.unique(combined, return_inverse=True)
+                combined = combined.astype(np.int64)
+        return combined
+
+    def _init_vectorized(
+        self, codes: np.ndarray, cols: list[np.ndarray], nrows: int
+    ) -> None:
+        ngroups = int(codes.max()) + 1 if nrows else 0
+        # Remap group ids to first-occurrence order: the row index where
+        # each group first appears decides its rank.
+        first_row = np.full(ngroups, nrows, dtype=np.int64)
+        np.minimum.at(first_row, codes, np.arange(nrows, dtype=np.int64))
+        rank_order = np.argsort(first_row, kind="stable")
+        remap = np.empty(ngroups, dtype=np.int64)
+        remap[rank_order] = np.arange(ngroups, dtype=np.int64)
+        codes = remap[codes] if nrows else codes
+        self._codes = codes
+        self._order = np.argsort(codes, kind="stable")
+        self._counts = np.bincount(codes, minlength=ngroups)
+        self._starts = np.cumsum(self._counts) - self._counts
+        rep_rows = first_row[rank_order]
+        self._rep_rows = rep_rows
+        self._keys_list = [
+            tuple(col[r] for col in cols) for r in rep_rows
+        ]
+
+    def _init_fallback(self, cols: list[np.ndarray], nrows: int) -> None:
+        groups: dict[tuple, list[int]] = {}
+        for i in range(nrows):
             key = tuple(c[i] for c in cols)
-            self._groups.setdefault(key, []).append(i)
+            groups.setdefault(key, []).append(i)
+        self._keys_list = list(groups)
+        rows_per_group = [np.asarray(rows, dtype=np.int64) for rows in groups.values()]
+        self._counts = np.asarray([len(r) for r in rows_per_group], dtype=np.int64)
+        self._starts = np.cumsum(self._counts) - self._counts
+        self._order = (
+            np.concatenate(rows_per_group)
+            if rows_per_group
+            else np.zeros(0, dtype=np.int64)
+        )
+        self._rep_rows = np.asarray(
+            [r[0] for r in rows_per_group], dtype=np.int64
+        )
+        codes = np.zeros(nrows, dtype=np.int64)
+        for g, rows in enumerate(rows_per_group):
+            codes[rows] = g
+        self._codes = codes
+
+    # ------------------------------------------------------------- access
+    def _group_rows(self, g: int) -> np.ndarray:
+        start = self._starts[g]
+        return self._order[start:start + self._counts[g]]
+
+    @property
+    def _groups(self) -> dict[tuple, list[int]]:
+        """Key tuple -> row indices, first-seen order (compat view)."""
+        return {
+            key: self._group_rows(g).tolist()
+            for g, key in enumerate(self._keys_list)
+        }
 
     def __len__(self) -> int:
-        return len(self._groups)
+        return len(self._keys_list)
 
     def __iter__(self) -> Iterator[tuple[tuple, Frame]]:
         """Yield (key-tuple, sub-frame) pairs in first-seen order."""
-        for key, rows in self._groups.items():
-            yield key, self.frame.take(np.asarray(rows, dtype=int))
+        for g, key in enumerate(self._keys_list):
+            yield key, self.frame.take(self._group_rows(g))
 
     def groups(self) -> dict[tuple, Frame]:
         return dict(iter(self))
 
     def get(self, *key_values: object) -> Frame:
+        if self._key_to_group is None:
+            self._key_to_group = {
+                key: g for g, key in enumerate(self._keys_list)
+            }
         key = tuple(key_values)
-        if key not in self._groups:
-            raise KeyError(f"no group {key!r}; have {list(self._groups)}")
-        return self.frame.take(np.asarray(self._groups[key], dtype=int))
+        if key not in self._key_to_group:
+            raise KeyError(f"no group {key!r}; have {self._keys_list}")
+        return self.frame.take(self._group_rows(self._key_to_group[key]))
+
+    # --------------------------------------------------------- reductions
+    def _key_data(self) -> dict[str, list]:
+        # Column-wise key values via the representative (first) row of
+        # each group; Frame() applies the same list coercion
+        # from_records would, so dtypes match the legacy output exactly.
+        return {
+            k: [self._keys_list[g][j] for g in range(len(self._keys_list))]
+            for j, k in enumerate(self.keys)
+        }
 
     def size(self) -> Frame:
         """One row per group with a ``count`` column."""
-        records = []
-        for key, rows in self._groups.items():
-            rec = dict(zip(self.keys, key))
-            rec["count"] = len(rows)
-            records.append(rec)
-        return Frame.from_records(records)
+        if not self._keys_list:
+            return Frame()
+        data: dict[str, object] = self._key_data()
+        data["count"] = [int(c) for c in self._counts]
+        return Frame(data)
 
     def agg(self, spec: Mapping[str, str | Callable[[np.ndarray], Any]]) -> Frame:
         """Aggregate columns: ``spec`` maps column -> aggregator (name or fn).
 
         The result has one row per group, the key columns, and one column
         per aggregated metric named ``<column>_<aggname>`` (or ``<column>``
-        when a callable is supplied).
+        when a callable is supplied). Each aggregator runs over a slice of
+        the stable-sorted column — rows appear in frame order, exactly as
+        the per-group index lists used to provide.
         """
         resolved: list[tuple[str, str, Callable[[np.ndarray], Any]]] = []
         for col, how in spec.items():
@@ -89,14 +206,16 @@ class GroupBy:
                         f"unknown aggregator {how!r}; have {list(AGGREGATORS)}"
                     )
                 resolved.append((col, f"{col}_{how}", AGGREGATORS[how]))
-        records = []
-        for key, rows in self._groups.items():
-            idx = np.asarray(rows, dtype=int)
-            rec: dict[str, Any] = dict(zip(self.keys, key))
-            for col, out_name, fn in resolved:
-                rec[out_name] = fn(self.frame[col][idx])
-            records.append(rec)
-        return Frame.from_records(records)
+        if not self._keys_list:
+            return Frame()
+        data: dict[str, object] = self._key_data()
+        for col, out_name, fn in resolved:
+            sorted_vals = self.frame[col][self._order]
+            data[out_name] = [
+                fn(sorted_vals[self._starts[g]:self._starts[g] + self._counts[g]])
+                for g in range(len(self._keys_list))
+            ]
+        return Frame(data)
 
     def apply(self, fn: Callable[[Frame], Mapping[str, Any]]) -> Frame:
         """Apply ``fn`` to each sub-frame; collect returned dicts as rows."""

@@ -1,0 +1,141 @@
+"""The :class:`LazyFrame` deferred-query surface.
+
+``frame.lazy()`` (or :func:`scan_cache` for an on-disk ingest-cache
+table) gives a handle whose ``filter`` / ``select`` / ``with_column`` /
+``sort`` / ``join`` / ``groupby().agg`` calls only build a plan;
+``collect()`` optimizes the plan (mask fusion, predicate pushdown into
+the scan, column pruning) and executes it vectorized. Results are
+bit-identical to the eager :class:`~repro.dataframe.Frame` methods —
+the eager methods are themselves one-node plans over the same executor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.dataframe.expr import Expr, Lit
+from repro.dataframe.frame import Frame
+from repro.dataframe.plan import (
+    Filter,
+    GroupAgg,
+    Join,
+    Plan,
+    Scan,
+    ScanCache,
+    Select,
+    Sort,
+    WithColumn,
+    execute,
+    optimize,
+)
+
+__all__ = ["LazyFrame", "LazyGroupBy", "scan_cache"]
+
+
+class LazyFrame:
+    """A deferred query: every method extends the plan, nothing runs."""
+
+    __slots__ = ("_plan",)
+
+    def __init__(self, plan: Plan) -> None:
+        self._plan = plan
+
+    @classmethod
+    def scan(cls, frame: Frame) -> "LazyFrame":
+        return cls(Scan(frame))
+
+    # ----------------------------------------------------------- operators
+    def filter(self, predicate: Expr | np.ndarray) -> "LazyFrame":
+        """Keep rows where ``predicate`` holds (an Expr or boolean mask)."""
+        if isinstance(predicate, Expr):
+            expr = predicate
+        elif isinstance(predicate, np.ndarray) or (
+            not callable(predicate) and hasattr(predicate, "__len__")
+        ):
+            expr = Lit(np.asarray(predicate))
+        else:
+            raise TypeError(
+                "LazyFrame.filter takes an Expr (col(...) == value) or a "
+                "boolean mask; for arbitrary callables use the eager "
+                "Frame.filter"
+            )
+        return LazyFrame(Filter(self._plan, expr))
+
+    def select(self, names: Sequence[str]) -> "LazyFrame":
+        return LazyFrame(Select(self._plan, names))
+
+    def with_column(self, name: str, value: Expr | Any) -> "LazyFrame":
+        expr = value if isinstance(value, Expr) else Lit(value)
+        return LazyFrame(WithColumn(self._plan, name, expr))
+
+    def sort(self, *names: str, descending: bool = False) -> "LazyFrame":
+        if not names:
+            raise ValueError("sort needs at least one column")
+        return LazyFrame(Sort(self._plan, names, descending))
+
+    # Alias matching the eager spelling.
+    sort_by = sort
+
+    def join(
+        self,
+        other: "LazyFrame | Frame",
+        on: str,
+        how: str = "inner",
+        suffix: str = "_r",
+    ) -> "LazyFrame":
+        if how not in ("inner", "left"):
+            raise ValueError(f"how must be 'inner' or 'left', got {how!r}")
+        right = other._plan if isinstance(other, LazyFrame) else Scan(other)
+        return LazyFrame(Join(self._plan, right, on, how, suffix))
+
+    def groupby(self, *keys: str) -> "LazyGroupBy":
+        if not keys:
+            raise ValueError("groupby needs at least one key column")
+        return LazyGroupBy(self._plan, keys)
+
+    # ---------------------------------------------------------- execution
+    def collect(self) -> Frame:
+        """Optimize and run the plan, materializing an eager Frame."""
+        return execute(optimize(self._plan))
+
+    def explain(self, optimized: bool = True) -> str:
+        """The plan tree as indented text (post-optimization by default)."""
+        plan = optimize(self._plan) if optimized else self._plan
+        return plan.explain()
+
+    def __repr__(self) -> str:
+        return f"LazyFrame(\n{self.explain(optimized=False)}\n)"
+
+
+class LazyGroupBy:
+    """The plan-building counterpart of :class:`repro.dataframe.GroupBy`."""
+
+    __slots__ = ("_plan", "_keys")
+
+    def __init__(self, plan: Plan, keys: Sequence[str]) -> None:
+        self._plan = plan
+        self._keys = tuple(keys)
+
+    def agg(
+        self, spec: Mapping[str, str | Callable[[np.ndarray], Any]]
+    ) -> LazyFrame:
+        return LazyFrame(GroupAgg(self._plan, self._keys, spec))
+
+    def size(self) -> LazyFrame:
+        return LazyFrame(GroupAgg(self._plan, self._keys, None))
+
+
+def scan_cache(path: str, table: str = "metadata") -> LazyFrame:
+    """Lazily scan one table (``"dataframe"`` or ``"metadata"``) of an
+    ingest-cache ``.tic`` file.
+
+    Column buffers are read only when the collected plan references
+    them, and plan predicates are pushed into the scan so string
+    equality runs over dictionary codes before anything is decoded.
+    """
+    from repro.thicket.ingest_cache import ColumnStore
+
+    return LazyFrame(ScanCache(ColumnStore(path, table)))

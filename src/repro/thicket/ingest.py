@@ -25,8 +25,9 @@ This module replaces it:
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from collections.abc import Sequence
 from typing import Any, BinaryIO
 
 import numpy as np
@@ -62,13 +63,22 @@ class FileRef:
 
 @dataclass(frozen=True)
 class EntryRef:
-    """One entry inside a ``.calipack`` archive (located by the index)."""
+    """One entry inside a ``.calipack`` archive (located by the index).
+
+    ``attrs``/``metrics`` mirror the sealed index's per-entry schema
+    (scalar globals and document-order metric names); None when the
+    archive predates them. They feed predicate pushdown — deciding
+    entry survival and reconstructing skipped entries' column order
+    without reading any payload.
+    """
 
     archive: str
     name: str
     offset: int
     length: int
     crc32: int
+    attrs: dict | None = field(default=None, compare=False)
+    metrics: list | None = field(default=None, compare=False)
 
     @property
     def label(self) -> str:
@@ -136,6 +146,8 @@ def _entry_ref(archive: str | Path, entry: calipack.ArchiveEntry) -> EntryRef:
         offset=entry.offset,
         length=entry.length,
         crc32=entry.crc32,
+        attrs=entry.attrs,
+        metrics=entry.metrics,
     )
 
 
@@ -264,9 +276,11 @@ class TableBuilder:
         return (self.data.cols, self.data.n, self.meta.cols, self.meta.n)
 
 
-def build_frames(builder: TableBuilder) -> tuple[Frame, Frame]:
-    """Builders -> (dataframe, metadata) with the NaN metric coercion."""
-    frame = Frame(builder.data.finish()) if builder.data.n else Frame()
+def coerce_metrics(frame: Frame) -> Frame:
+    """The dataframe's NaN metric coercion: object columns get their
+    ``None`` gaps replaced by NaN and become float when every value
+    converts. Idempotent — re-coercing an already coerced frame (the
+    incremental merge path) changes nothing."""
     for col in frame.columns:
         if col in ("profile", "name", "path"):
             continue
@@ -279,8 +293,82 @@ def build_frames(builder: TableBuilder) -> tuple[Frame, Frame]:
                 frame = frame.with_column(col, coerced.astype(float))
             except (TypeError, ValueError):
                 frame = frame.with_column(col, coerced)
+    return frame
+
+
+def build_frames(builder: TableBuilder) -> tuple[Frame, Frame]:
+    """Builders -> (dataframe, metadata) with the NaN metric coercion."""
+    frame = Frame(builder.data.finish()) if builder.data.n else Frame()
+    frame = coerce_metrics(frame)
     metadata = Frame(builder.meta.finish()) if builder.meta.n else Frame()
     return frame, metadata
+
+
+def concat_composed(a: Frame, b: Frame) -> Frame:
+    """Outer row-concat with *composition* semantics.
+
+    The incremental path splices a cached prefix table and a freshly
+    composed suffix table, and the result must be bit-identical to one
+    full composition. Columns present on both sides with the same dtype
+    concatenate vectorized; a column missing on one side (or typed
+    differently per side) is rebuilt through the same Python-list
+    coercion ``ColumnBuilder`` + :class:`Frame` would apply to the full
+    value sequence — ``None`` fill and all — so dtypes come out exactly
+    as a from-scratch compose would produce them.
+    """
+    if not a.columns and not a.nrows:
+        return b
+    if not b.columns and not b.nrows:
+        return a
+    all_cols = list(dict.fromkeys(list(a.columns) + list(b.columns)))
+    cols: dict[str, object] = {}
+    for name in all_cols:
+        in_a, in_b = name in a, name in b
+        if in_a and in_b and a[name].dtype == b[name].dtype:
+            cols[name] = np.concatenate([a[name], b[name]])
+            continue
+        values = list(a[name]) if in_a else [None] * a.nrows
+        values.extend(list(b[name]) if in_b else [None] * b.nrows)
+        cols[name] = values
+    return Frame(cols)
+
+
+def index_pushdown(
+    units: list[Any], expr
+) -> tuple[list[Any], list[int], list[str], list[str]] | None:
+    """Plan an index-level predicate pushdown over archive entries.
+
+    Returns ``(kept_units, kept_indices, meta_columns, metric_columns)``
+    — the surviving entries with their *original* source indices (so
+    fallback profile ids stay stable) plus the full composition's
+    metadata and metric column orders, reconstructed from the per-entry
+    index schema so skipped entries' columns can be padded back in.
+
+    Returns None — compose everything, filter exactly — whenever the
+    skip cannot be proven safe: any non-archive source, any entry
+    without indexed schema, a predicate referencing the synthesized
+    ``profile`` column, or a predicate rejecting every entry (the empty
+    result's dtypes are not reconstructible from the index alone).
+    """
+    if not units or not all(isinstance(u, EntryRef) for u in units):
+        return None
+    if any(u.attrs is None or u.metrics is None for u in units):
+        return None
+    if "profile" in expr.references():
+        return None
+    kept: list[Any] = []
+    kept_indices: list[int] = []
+    meta_cols: dict[str, None] = {"profile": None}
+    metric_cols: dict[str, None] = {}
+    for index, unit in enumerate(units):
+        meta_cols.update(dict.fromkeys(unit.attrs))
+        metric_cols.update(dict.fromkeys(unit.metrics))
+        if calipack.attrs_pass(unit.attrs, expr):
+            kept.append(unit)
+            kept_indices.append(index)
+    if not kept:
+        return None
+    return kept, kept_indices, list(meta_cols), list(metric_cols)
 
 
 # ----------------------------------------------------------- chunk loading
@@ -312,12 +400,12 @@ def _load_chunk(args):
     casualties and composes the survivors; the parent owns warning
     emission so messages stay ordered.
     """
-    refs, start_index, on_error = args
+    refs, indices, on_error = args
     builder = TableBuilder()
     errors: list[tuple[str, str]] = []
     handles: dict[str, BinaryIO] = {}
     try:
-        for offset, ref in enumerate(refs):
+        for ref, index in zip(refs, indices):
             try:
                 payload = _read_ref_payload(ref, handles)
             except (OSError, ValueError, KeyError) as exc:
@@ -325,7 +413,7 @@ def _load_chunk(args):
                     raise
                 errors.append((ref.label, f"{type(exc).__name__}: {exc}"))
                 continue
-            builder.add_payload(payload, start_index + offset)
+            builder.add_payload(payload, index)
     finally:
         for handle in handles.values():
             handle.close()
@@ -333,25 +421,36 @@ def _load_chunk(args):
 
 
 def compose_units(
-    units: list[Any], workers: int, on_error: str
+    units: list[Any], workers: int, on_error: str,
+    indices: Sequence[int] | None = None,
 ) -> tuple[TableBuilder, int, list[tuple[str, str]]]:
     """Compose all units (serial or fanned out); returns the merged
-    builder, the number of profiles composed, and the load errors."""
+    builder, the number of profiles composed, and the load errors.
+
+    ``indices`` assigns each unit its profile index (fallback-id seed);
+    default is positional. Pushdown and incremental composition pass the
+    units' *original* source positions so a partial compose mints the
+    same profile ids a full compose would.
+    """
+    if indices is None:
+        indices = range(len(units))
     builder = TableBuilder()
     errors: list[tuple[str, str]] = []
     refs = [u for u in units if not isinstance(u, CaliProfile)]
     if workers > 1 and len(refs) > 1:
-        loaded = _compose_parallel(units, workers, on_error, builder, errors)
+        loaded = _compose_parallel(
+            units, indices, workers, on_error, builder, errors
+        )
     else:
-        loaded = _compose_serial(units, on_error, builder, errors)
+        loaded = _compose_serial(units, indices, on_error, builder, errors)
     return builder, loaded, errors
 
 
-def _compose_serial(units, on_error, builder, errors) -> int:
+def _compose_serial(units, indices, on_error, builder, errors) -> int:
     handles: dict[str, BinaryIO] = {}
     loaded = 0
     try:
-        for index, unit in enumerate(units):
+        for unit, index in zip(units, indices):
             if isinstance(unit, CaliProfile):
                 builder.add_profile(unit, index)
                 loaded += 1
@@ -371,7 +470,7 @@ def _compose_serial(units, on_error, builder, errors) -> int:
     return loaded
 
 
-def _compose_parallel(units, workers, on_error, builder, errors) -> int:
+def _compose_parallel(units, indices, workers, on_error, builder, errors) -> int:
     """Fan ref runs out to a pool; merge chunk columns in source order.
 
     In-memory profiles (rare in mixed source lists) compose locally in
@@ -385,28 +484,30 @@ def _compose_parallel(units, workers, on_error, builder, errors) -> int:
     except ValueError:  # pragma: no cover - non-POSIX platform
         ctx = multiprocessing.get_context("spawn")
 
-    # Partition into runs of local (CaliProfile) and pooled (ref) units.
-    runs: list[tuple[str, int, list[Any]]] = []  # (kind, start_index, items)
-    for index, unit in enumerate(units):
+    # Partition into runs of local (CaliProfile) and pooled (ref) units,
+    # each unit keeping its assigned profile index.
+    runs: list[tuple[str, list[Any], list[int]]] = []  # (kind, items, idxs)
+    for unit, index in zip(units, indices):
         kind = "local" if isinstance(unit, CaliProfile) else "pool"
         if runs and runs[-1][0] == kind:
-            runs[-1][2].append(unit)
+            runs[-1][1].append(unit)
+            runs[-1][2].append(index)
         else:
-            runs.append((kind, index, [unit]))
+            runs.append((kind, [unit], [index]))
 
-    refs_total = sum(len(items) for kind, _, items in runs if kind == "pool")
+    refs_total = sum(len(items) for kind, items, _ in runs if kind == "pool")
     pool_workers = max(1, min(workers, refs_total))
     chunk_size = max(1, -(-refs_total // (pool_workers * _CHUNKS_PER_WORKER)))
     loaded = 0
     with ctx.Pool(pool_workers) as pool:
-        for kind, start, items in runs:
+        for kind, items, idxs in runs:
             if kind == "local":
-                for offset, profile in enumerate(items):
-                    builder.add_profile(profile, start + offset)
+                for profile, index in zip(items, idxs):
+                    builder.add_profile(profile, index)
                     loaded += 1
                 continue
             tasks = [
-                (items[i : i + chunk_size], start + i, on_error)
+                (items[i : i + chunk_size], idxs[i : i + chunk_size], on_error)
                 for i in range(0, len(items), chunk_size)
             ]
             for state, chunk_loaded, chunk_errors in pool.map(

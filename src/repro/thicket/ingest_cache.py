@@ -18,7 +18,8 @@ Entries are single files in a ``.ingest_cache/`` directory::
     <blob bytes>
 
 The header describes both tables column by column; the blob carries the
-column data. Numeric columns are raw array buffers (``ndarray.tobytes``
+column data plus the JSON-encoded source list (``sources_ref``), kept
+out of the header so its size never taxes a column-selective scan. Numeric columns are raw array buffers (``ndarray.tobytes``
 / ``np.frombuffer`` by exact dtype string, so a cache load reproduces
 dtypes bit-for-bit); string/object columns are dictionary-encoded
 (unique values + a ``u4`` code array — profile ids, region names, and
@@ -80,6 +81,7 @@ def _encode_frame(frame: Frame, blob: bytearray) -> dict[str, Any]:
             spec.update(
                 kind="raw", dtype=arr.dtype.str,
                 offset=len(blob), nbytes=len(raw),
+                crc32=f"{zlib.crc32(raw) & 0xFFFFFFFF:08x}",
             )
             blob.extend(raw)
         else:
@@ -91,6 +93,7 @@ def _encode_frame(frame: Frame, blob: bytearray) -> dict[str, Any]:
                 spec.update(
                     kind="dict", values=list(uniq),
                     offset=len(blob), nbytes=len(raw),
+                    crc32=f"{zlib.crc32(raw) & 0xFFFFFFFF:08x}",
                 )
                 blob.extend(raw)
             else:
@@ -146,16 +149,30 @@ def store(
     """Persist composed tables for this exact source set; prune old entries."""
     blob = bytearray()
     header = {
-        "sources": sources,
         "dataframe": _encode_frame(dataframe, blob),
         "metadata": _encode_frame(metadata, blob),
     }
+    # The source list scales with the campaign (100k profiles -> megabytes
+    # of JSON) while the column specs stay tiny; storing it as its own
+    # blob buffer keeps the header cheap to parse, so a column-selective
+    # scan never pays for the source inventory it doesn't need.
+    src_raw = json.dumps(sources, separators=(",", ":")).encode("utf-8")
+    header["sources_ref"] = {
+        "offset": len(blob),
+        "nbytes": len(src_raw),
+        "crc32": f"{zlib.crc32(src_raw) & 0xFFFFFFFF:08x}",
+    }
+    blob.extend(src_raw)
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     body = header_bytes + bytes(blob)
     crc = zlib.crc32(body) & 0xFFFFFFFF
+    # hcrc seals the header JSON alone so a partial (column-selective)
+    # reader can verify the header without touching the blob; per-column
+    # crc32 fields in the specs cover each buffer slice the same way.
+    hcrc = zlib.crc32(header_bytes) & 0xFFFFFFFF
     head = (
         f"{_MAGIC} header={len(header_bytes)} blob={len(blob)} "
-        f"crc32={crc:08x}\n"
+        f"crc32={crc:08x} hcrc={hcrc:08x}\n"
     ).encode("ascii")
     target = cache_path(cache_dir, cache_key(sources))
     crash_point("ingest-cache.pre-store", path=target)
@@ -164,11 +181,8 @@ def store(
     return out
 
 
-def load(
-    cache_dir: str | Path, sources: list[tuple[str, str]]
-) -> tuple[Frame, Frame] | None:
-    """(dataframe, metadata) on a verified hit; None on any miss/damage."""
-    path = cache_path(cache_dir, cache_key(sources))
+def _load_verified(path: Path) -> tuple[dict, bytes] | None:
+    """Whole-file read + CRC verify: ``(header, blob)``, or None on damage."""
     try:
         raw = path.read_bytes()
     except OSError:
@@ -190,16 +204,291 @@ def load(
         if zlib.crc32(body) & 0xFFFFFFFF != declared_crc:
             return None
         header = json.loads(body[:header_len].decode("utf-8"))
-        if [list(s) for s in header.get("sources", [])] != [
-            list(s) for s in sources
-        ]:
-            return None  # hash collision or hand-renamed file
-        blob = body[header_len:]
-        dataframe = _decode_frame(header["dataframe"], blob)
-        metadata = _decode_frame(header["metadata"], blob)
+        return header, body[header_len:]
     except (ValueError, KeyError, IndexError, UnicodeDecodeError):
         return None
+
+
+def _sources_from_blob(header: dict, blob: bytes) -> list[list[str]] | None:
+    """The stored source list, wherever this file's layout put it.
+
+    Newer files carry a ``sources_ref`` buffer in the blob (CRC-guarded
+    like any column); older ones inlined ``sources`` in the header JSON.
+    """
+    if "sources" in header:
+        return [list(s) for s in header["sources"]]
+    ref = header.get("sources_ref")
+    if not isinstance(ref, dict):
+        return None
+    try:
+        raw = blob[int(ref["offset"]) : int(ref["offset"]) + int(ref["nbytes"])]
+    except (ValueError, KeyError, TypeError):
+        return None
+    return _decode_sources(raw, ref)
+
+
+def load(
+    cache_dir: str | Path, sources: list[tuple[str, str]]
+) -> tuple[Frame, Frame] | None:
+    """(dataframe, metadata) on a verified hit; None on any miss/damage."""
+    loaded = _load_verified(cache_path(cache_dir, cache_key(sources)))
+    if loaded is None:
+        return None
+    header, blob = loaded
+    if _sources_from_blob(header, blob) != [list(s) for s in sources]:
+        return None  # hash collision or hand-renamed file
+    try:
+        dataframe = _decode_frame(header["dataframe"], blob)
+        metadata = _decode_frame(header["metadata"], blob)
+    except (ValueError, KeyError, IndexError):
+        return None
     return dataframe, metadata
+
+
+def find_prefix(
+    cache_dir: str | Path, sources: list[tuple[str, str]]
+) -> tuple[int, Frame, Frame] | None:
+    """The longest cached *prefix* of ``sources``: ``(count, df, md)``.
+
+    Incremental analyze calls this on an exact-key miss after a campaign
+    grew: a cache entry stored for the first N sources (N < len) means
+    only sources[N:] need composing, and the suffix tables splice onto
+    the cached ones. Candidate headers are read cheaply (head line +
+    header JSON, ``hcrc``-verified); the winning file is then re-read
+    fully CRC-verified. Anything damaged is just not a candidate.
+    """
+    want = [list(s) for s in sources]
+    best: tuple[int, Path] | None = None
+    try:
+        entries = list(Path(cache_dir).glob("thicket-*" + CACHE_SUFFIX))
+    except OSError:
+        return None
+    for path in entries:
+        got = _read_header_at(path)
+        if got is None:
+            continue
+        header, blob_base = got
+        stored = _peek_sources(path, header, blob_base)
+        if stored is None:
+            continue
+        n = len(stored)
+        if not 0 < n < len(want) or stored != want[:n]:
+            continue
+        if best is None or n > best[0]:
+            best = (n, path)
+    if best is None:
+        return None
+    loaded = _load_verified(best[1])
+    if loaded is None:
+        return None
+    header, blob = loaded
+    try:
+        dataframe = _decode_frame(header["dataframe"], blob)
+        metadata = _decode_frame(header["metadata"], blob)
+    except (ValueError, KeyError, IndexError):
+        return None
+    return best[0], dataframe, metadata
+
+
+def _parse_head(head: str) -> dict[str, int] | None:
+    """The head line's fields; None unless it parses (hcrc optional)."""
+    if not head.startswith(_MAGIC):
+        return None
+    try:
+        fields = dict(part.split("=", 1) for part in head[len(_MAGIC):].split())
+        out = {
+            "header": int(fields["header"]),
+            "blob": int(fields["blob"]),
+            "crc32": int(fields["crc32"], 16),
+        }
+        if "hcrc" in fields:
+            out["hcrc"] = int(fields["hcrc"], 16)
+        return out
+    except (ValueError, KeyError):
+        return None
+
+
+def _read_header_at(path: Path) -> tuple[dict, int] | None:
+    """``(header, blob_base)`` — no blob read, ``hcrc``-verified.
+
+    Files without an ``hcrc`` field (older writers) are skipped: without
+    it the header cannot be verified short of reading the whole file,
+    and partial readers must never trust unverified bytes. ``blob_base``
+    is the file offset where the blob starts, for targeted buffer reads.
+    """
+    try:
+        with open(path, "rb") as handle:
+            head = handle.readline(4096)
+            try:
+                fields = _parse_head(head.decode("ascii").rstrip("\n"))
+            except UnicodeDecodeError:
+                return None
+            if fields is None or "hcrc" not in fields:
+                return None
+            header_bytes = handle.read(fields["header"])
+    except OSError:
+        return None
+    if len(header_bytes) != fields["header"]:
+        return None
+    if zlib.crc32(header_bytes) & 0xFFFFFFFF != fields["hcrc"]:
+        return None
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    return header, len(head) + fields["header"]
+
+
+def _read_header(path: Path) -> dict | None:
+    """Head line + header JSON only — no blob read, ``hcrc``-verified."""
+    got = _read_header_at(path)
+    return None if got is None else got[0]
+
+
+def _peek_sources(
+    path: Path, header: dict, blob_base: int
+) -> list[list[str]] | None:
+    """The stored source list via a targeted read — no full-file load."""
+    if "sources" in header:
+        return [list(s) for s in header["sources"]]
+    ref = header.get("sources_ref")
+    if not isinstance(ref, dict):
+        return None
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(blob_base + int(ref["offset"]))
+            raw = handle.read(int(ref["nbytes"]))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    return _decode_sources(raw, ref)
+
+
+def _decode_sources(raw: bytes, ref: dict) -> list[list[str]] | None:
+    """CRC-verify and parse one ``sources_ref`` buffer; None on damage."""
+    try:
+        if len(raw) != int(ref["nbytes"]):
+            return None
+        if zlib.crc32(raw) & 0xFFFFFFFF != int(ref["crc32"], 16):
+            return None
+        return [list(s) for s in json.loads(raw.decode("utf-8"))]
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+        return None
+
+
+class ColumnStore:
+    """Column-selective reader over one table of a ``.tic`` cache file.
+
+    The lazy query engine's scan source: ``load_columns`` reads only the
+    requested columns' byte ranges from the blob (per-column CRC
+    verified) and hands dictionary-encoded string columns back as
+    :class:`repro.dataframe.DictColumn` — codes, not objects — so
+    pushed-down equality predicates never decode what they reject.
+    Damage raises :class:`ValueError` (a scan is an explicit read, not a
+    cache probe; silently returning nothing would be a wrong answer).
+    """
+
+    def __init__(self, path: str | Path, table: str = "metadata") -> None:
+        if table not in ("dataframe", "metadata"):
+            raise ValueError(
+                f"table must be 'dataframe' or 'metadata', got {table!r}"
+            )
+        self.path = Path(path)
+        self.table = table
+        got = _read_header_at(self.path)
+        if got is None:
+            raise ValueError(
+                f"{self.path}: not a verifiable ingest-cache file "
+                f"(missing, damaged, or pre-hcrc format)"
+            )
+        header, self._blob_base = got
+        spec = header.get(table)
+        if not isinstance(spec, dict):
+            raise ValueError(f"{self.path}: cache file has no {table!r} table")
+        self._spec = spec
+        self.nrows = int(spec["nrows"])
+        self._columns: dict[str, dict] = {
+            c["name"]: c for c in spec["columns"]
+        }
+
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def load_columns(
+        self, names: "frozenset[str] | set[str] | None" = None
+    ) -> tuple[dict[str, Any], int]:
+        """``(columns, nrows)`` for ``names`` (None = all), header order.
+
+        Raw numeric columns come back as owned ndarrays, dict-encoded
+        string columns as :class:`DictColumn`, JSON-fallback columns as
+        object arrays. Unknown names raise KeyError like a Frame lookup.
+        """
+        from repro.dataframe.expr import DictColumn
+
+        if names is not None:
+            for name in names:
+                if name not in self._columns:
+                    raise KeyError(
+                        f"no column {name!r}; have {list(self._columns)}"
+                    )
+        out: dict[str, Any] = {}
+        with open(self.path, "rb") as handle:
+            for name, col in self._columns.items():
+                if names is not None and name not in names:
+                    continue
+                kind = col["kind"]
+                if kind == "json":
+                    arr = np.empty(len(col["values"]), dtype=object)
+                    arr[:] = col["values"]
+                    if len(arr) != self.nrows:
+                        raise ValueError(
+                            f"{self.path}: column {name!r} has {len(arr)} "
+                            f"rows, expected {self.nrows}"
+                        )
+                    out[name] = arr
+                    continue
+                raw = self._read_buffer(handle, col)
+                if kind == "raw":
+                    arr = np.frombuffer(raw, dtype=np.dtype(col["dtype"])).copy()
+                    if len(arr) != self.nrows:
+                        raise ValueError(
+                            f"{self.path}: column {name!r} has {len(arr)} "
+                            f"rows, expected {self.nrows}"
+                        )
+                    out[name] = arr
+                elif kind == "dict":
+                    codes = np.frombuffer(raw, dtype="<u4")
+                    if len(codes) != self.nrows:
+                        raise ValueError(
+                            f"{self.path}: column {name!r} has {len(codes)} "
+                            f"rows, expected {self.nrows}"
+                        )
+                    values = np.empty(len(col["values"]), dtype=object)
+                    values[:] = col["values"]
+                    out[name] = DictColumn(codes, values)
+                else:
+                    raise ValueError(
+                        f"{self.path}: unknown cache column kind {kind!r}"
+                    )
+        return out, self.nrows
+
+    def _read_buffer(self, handle, col: dict) -> bytes:
+        handle.seek(self._blob_base + int(col["offset"]))
+        raw = handle.read(int(col["nbytes"]))
+        if len(raw) != int(col["nbytes"]):
+            raise ValueError(
+                f"{self.path}: column {col['name']!r} buffer truncated"
+            )
+        declared = col.get("crc32")
+        if declared is None:
+            raise ValueError(
+                f"{self.path}: column {col['name']!r} has no buffer CRC "
+                f"(pre-partial-read cache format)"
+            )
+        if zlib.crc32(raw) & 0xFFFFFFFF != int(declared, 16):
+            raise ValueError(
+                f"{self.path}: column {col['name']!r} buffer CRC mismatch"
+            )
+        return raw
 
 
 def _prune(cache_dir: Path, keep: int) -> None:

@@ -21,7 +21,7 @@ from typing import Any
 import numpy as np
 
 from repro.caliper.records import CaliProfile
-from repro.dataframe import Frame
+from repro.dataframe import Expr, Frame, col, parse_expr
 from repro.thicket import ingest, ingest_cache
 
 PATH_SEP = "/"
@@ -54,6 +54,8 @@ class Thicket:
         on_error: str = "raise",
         workers: int = 1,
         cache: str | Path | None = None,
+        where: "Expr | str | None" = None,
+        incremental: bool = False,
     ) -> "Thicket":
         """Build a Thicket from profiles, ``.cali`` files, or archives.
 
@@ -75,11 +77,26 @@ class Thicket:
         repeated load of an unchanged source set returns without
         parsing any payload, and any change to any profile changes its
         CRC and misses the cache naturally.
+
+        ``where`` restricts the ensemble to profiles whose metadata
+        satisfies a column expression (``col("variant") == "RAJA_CUDA"``
+        or the equivalent ``--where`` string). When every source is a
+        sealed archive entry the predicate is pushed into the calipack
+        index: entries it provably rejects are never read or parsed,
+        and the exact filter still runs over the survivors, so the
+        result always equals composing everything and filtering after.
+
+        ``incremental`` reuses the longest cached *prefix* of the source
+        set when the exact identity misses: appending segments to a
+        campaign recomposes only the new entries, splices them onto the
+        cached tables (bit-identical to a full recompose), and stores
+        the updated composition under the full identity.
         """
         if on_error not in ("raise", "warn"):
             raise ValueError(f"on_error must be 'raise' or 'warn', got {on_error!r}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        where_expr = _resolve_where(where)
         units, expand_errors = ingest.expand_sources(sources)
         if expand_errors and on_error == "raise":
             src, reason = expand_errors[0]
@@ -91,11 +108,26 @@ class Thicket:
         if identity is not None and not expand_errors:
             hit = ingest_cache.load(cache, identity)
             if hit is not None:
-                thicket = cls(*hit)
-                return thicket
+                return _apply_where(cls(*hit), where_expr)
+
+        if incremental and identity is not None and not expand_errors:
+            prefix = ingest_cache.find_prefix(cache, identity)
+            if prefix is not None:
+                thicket = cls._compose_suffix(
+                    units, prefix, workers, on_error, expand_errors,
+                    cache, identity,
+                )
+                return _apply_where(thicket, where_expr)
+
+        compose, indices, pad = units, None, None
+        if where_expr is not None:
+            plan = ingest.index_pushdown(units, where_expr)
+            if plan is not None and len(plan[0]) < len(units):
+                compose, indices, meta_cols, metric_cols = plan
+                pad = (meta_cols, metric_cols)
 
         builder, loaded, load_errors = ingest.compose_units(
-            units, workers, on_error
+            compose, workers, on_error, indices=indices
         )
         load_errors = expand_errors + load_errors
         ingest.warn_load_errors(load_errors, ProfileLoadWarning)
@@ -106,9 +138,42 @@ class Thicket:
                 else f"no readable profiles (skipped {len(load_errors)})"
             )
         frame, metadata = ingest.build_frames(builder)
+        if pad is not None:
+            frame, metadata = _pad_schema(frame, metadata, *pad)
         thicket = cls(frame, metadata)
         thicket.load_errors = load_errors
-        if identity is not None and not load_errors:
+        # Only a complete composition is cacheable; a pushdown-reduced
+        # one covers a predicate-specific subset of the ensemble.
+        if identity is not None and not load_errors and pad is None:
+            try:
+                ingest_cache.store(cache, identity, frame, metadata)
+            except OSError:  # pragma: no cover - read-only cache dir
+                pass
+        return _apply_where(thicket, where_expr)
+
+    @classmethod
+    def _compose_suffix(
+        cls, units, prefix, workers, on_error, expand_errors, cache, identity
+    ) -> "Thicket":
+        """Incremental path: cached prefix tables + a composed suffix.
+
+        The suffix composes with its units' original source indices and
+        splices onto the prefix through the composition-semantics
+        concat, so the merged tables are bit-identical to recomposing
+        every source from scratch.
+        """
+        n, pre_df, pre_md = prefix
+        builder, _, load_errors = ingest.compose_units(
+            units[n:], workers, on_error, indices=range(n, len(units))
+        )
+        load_errors = expand_errors + load_errors
+        ingest.warn_load_errors(load_errors, ProfileLoadWarning)
+        suf_df, suf_md = ingest.build_frames(builder)
+        frame = ingest.coerce_metrics(ingest.concat_composed(pre_df, suf_df))
+        metadata = ingest.concat_composed(pre_md, suf_md)
+        thicket = cls(frame, metadata)
+        thicket.load_errors = load_errors
+        if not load_errors:
             try:
                 ingest_cache.store(cache, identity, frame, metadata)
             except OSError:  # pragma: no cover - read-only cache dir
@@ -136,16 +201,20 @@ class Thicket:
         skip = {"profile", "name", "path", "depth"}
         return [c for c in self.dataframe.columns if c not in skip]
 
-    def filter_metadata(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Thicket":
-        """Keep profiles whose metadata row satisfies ``predicate``."""
+    def filter_metadata(
+        self,
+        predicate: "Expr | Callable[[Mapping[str, Any]], bool]",
+    ) -> "Thicket":
+        """Keep profiles whose metadata row satisfies ``predicate``.
+
+        ``predicate`` is a column expression (``col("variant") == "x"``)
+        evaluated vectorized, or a row callable (vectorized by tracing
+        when it proves to be a simple column predicate). The dataframe
+        is cut to the surviving profiles with one ``np.isin`` pass.
+        """
         keep_md = self.metadata.filter(predicate)
-        keep_ids = set(keep_md["profile"].tolist())
         keep_df = self.dataframe.filter(
-            np.fromiter(
-                (p in keep_ids for p in self.dataframe["profile"]),
-                dtype=bool,
-                count=self.dataframe.nrows,
-            )
+            _membership_mask(self.dataframe["profile"], keep_md["profile"])
         )
         return Thicket(keep_df, keep_md)
 
@@ -180,6 +249,16 @@ class Thicket:
         unknown = [k for k in equals if k not in self.metadata]
         if unknown:
             raise KeyError(f"no metadata columns {unknown}; have {self.metadata.columns}")
+        if equals and all(
+            v is None or isinstance(v, (str, int, float, bool))
+            for v in equals.values()
+        ):
+            expr: Expr | None = None
+            for k, v in equals.items():
+                term = col(k) == v
+                expr = term if expr is None else (expr & term)
+            return self.filter_metadata(expr)
+        # Non-scalar values keep dict-equality semantics via the row path.
         return self.filter_metadata(
             lambda md: all(md.get(k) == v for k, v in equals.items())
         )
@@ -190,16 +269,25 @@ class Thicket:
             raise KeyError(f"no metadata column {key!r}")
         out: dict[Any, Thicket] = {}
         for value, sub_md in self.metadata.groupby(key):
-            ids = set(sub_md["profile"].tolist())
             sub_df = self.dataframe.filter(
-                np.fromiter(
-                    (p in ids for p in self.dataframe["profile"]),
-                    dtype=bool,
-                    count=self.dataframe.nrows,
-                )
+                _membership_mask(self.dataframe["profile"], sub_md["profile"])
             )
             out[value[0]] = Thicket(sub_df, sub_md)
         return out
+
+    def lazy(self, table: str = "metadata"):
+        """A deferred-query handle over one of the thicket's tables.
+
+        ``thicket.lazy().filter(col("variant") == "x").select([...])``
+        builds a plan and runs it vectorized on ``collect()`` — the
+        same expression API ``where=`` pushes into the archive index.
+        """
+        if table not in ("metadata", "dataframe"):
+            raise ValueError(
+                f"table must be 'metadata' or 'dataframe', got {table!r}"
+            )
+        frame = self.metadata if table == "metadata" else self.dataframe
+        return frame.lazy()
 
     def metric_for_profile(self, profile: Any, metric: str) -> dict[str, float]:
         """region name -> metric value for one profile."""
@@ -314,6 +402,71 @@ def _aggregate(values: np.ndarray, agg: str) -> float:
 
 def _profile_id(profile: CaliProfile, index: int) -> str:
     return ingest.profile_id(profile.globals, index)
+
+
+def _resolve_where(where: "Expr | str | None") -> "Expr | None":
+    """Normalize a ``where=`` argument: expression, query string, None."""
+    if where is None or isinstance(where, Expr):
+        return where
+    if isinstance(where, str):
+        return parse_expr(where)
+    raise TypeError(
+        f"where must be a column expression or a query string, "
+        f"got {type(where).__name__}"
+    )
+
+
+def _apply_where(thicket: "Thicket", where_expr: "Expr | None") -> "Thicket":
+    """The exact metadata filter — always the authority after pushdown."""
+    if where_expr is None:
+        return thicket
+    filtered = thicket.filter_metadata(where_expr)
+    filtered.load_errors = thicket.load_errors
+    return filtered
+
+
+def _membership_mask(values: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Boolean mask of ``values`` rows whose value appears in ``keep``."""
+    keep_list = list(dict.fromkeys(keep.tolist()))
+    try:
+        return np.isin(values, np.array(keep_list, dtype=object))
+    except (TypeError, ValueError):  # pragma: no cover - unorderable ids
+        keep_set = set(keep_list)
+        return np.fromiter(
+            (v in keep_set for v in values), dtype=bool, count=len(values)
+        )
+
+
+def _pad_schema(
+    frame: Frame, metadata: Frame, meta_cols: list, metric_cols: list
+) -> tuple[Frame, Frame]:
+    """Pad a pushdown-reduced composition back to the full schema.
+
+    Entries the index filter skipped never composed, so columns only
+    they carry are missing; a full compose would have kept those columns
+    (``None``-backfilled metadata, NaN-coerced metrics) and the exact
+    filter only removes *rows*. Reinstate them — in the full compose's
+    first-seen order, reconstructed from the per-entry index schema —
+    so filtered-with-pushdown equals filtered-after-composing.
+    """
+    md_cols: dict[str, object] = {}
+    for name in meta_cols:
+        if name in metadata:
+            md_cols[name] = metadata[name]
+        else:
+            md_cols[name] = np.array([None] * metadata.nrows, dtype=object)
+    for name in metadata.columns:
+        md_cols.setdefault(name, metadata[name])
+
+    df_cols: dict[str, object] = {}
+    for name in list(ingest.CORE_COLUMNS) + list(metric_cols):
+        if name in frame:
+            df_cols[name] = frame[name]
+        else:
+            df_cols[name] = np.full(frame.nrows, np.nan)
+    for name in frame.columns:
+        df_cols.setdefault(name, frame[name])
+    return Frame(df_cols), Frame(md_cols)
 
 
 def _outer_vstack(a: Frame, b: Frame) -> Frame:

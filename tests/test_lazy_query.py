@@ -1,0 +1,210 @@
+"""Lazy/eager equivalence: the golden contract of the query engine.
+
+The eager :class:`Frame` methods are one-node plans over the same
+executor the optimizer feeds, so any divergence between ``frame.lazy()
+... collect()`` and the eager chain means an optimizer rewrite (mask
+fusion, predicate pushdown, column pruning) changed semantics. The
+sweep here drives randomized frames through randomized operator chains
+and requires bit-identical results — values, column order, and dtypes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Frame, col, lit, parse_expr
+from repro.dataframe.expr import DictColumn
+
+VARIANTS = ["RAJA_Seq", "RAJA_CUDA", "Base_Seq", "Lambda_HIP"]
+MACHINES = ["lassen", "quartz", "corona"]
+
+
+def random_frame(rng: np.random.Generator, nrows: int) -> Frame:
+    """A metadata-shaped frame: strings, ints, floats-with-NaN, Nones."""
+    tags = np.array(
+        [None if rng.random() < 0.2 else f"t{rng.integers(3)}" for _ in range(nrows)],
+        dtype=object,
+    )
+    time = rng.uniform(0.1, 5.0, nrows)
+    time[rng.random(nrows) < 0.15] = np.nan
+    return Frame({
+        "variant": np.array(rng.choice(VARIANTS, nrows), dtype=object),
+        "machine": np.array(rng.choice(MACHINES, nrows), dtype=object),
+        "trial": rng.integers(0, 4, nrows).astype(np.int64),
+        "time": time,
+        "tag": tags,
+    })
+
+
+def assert_identical(lazy: Frame, eager: Frame) -> None:
+    assert lazy.columns == eager.columns
+    assert lazy.equals(eager)
+    for name in eager.columns:
+        assert lazy[name].dtype == eager[name].dtype, name
+
+
+PREDICATES = [
+    lambda: col("variant") == "RAJA_CUDA",
+    lambda: col("machine") != "quartz",
+    lambda: col("trial") >= 2,
+    lambda: col("time") < 2.5,
+    lambda: col("variant").is_in(["RAJA_Seq", "Base_Seq"]),
+    lambda: col("tag").is_null(),
+    lambda: ~(col("tag").is_null()),
+    lambda: (col("variant") == "RAJA_CUDA") & (col("trial") > 0),
+    lambda: (col("machine") == "lassen") | (col("trial") == 3),
+    lambda: (col("time") * 2.0) > (col("trial") + 0.5),
+]
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_equivalence_sweep(seed):
+    """Randomized chains of filter/select/with_column/sort collect to the
+    exact frames the eager methods produce."""
+    rng = np.random.default_rng(seed)
+    frame = random_frame(rng, int(rng.integers(1, 200)))
+
+    eager = frame
+    lazy = frame.lazy()
+    for _ in range(int(rng.integers(1, 5))):
+        op = rng.integers(4)
+        if op == 0:
+            pred = PREDICATES[rng.integers(len(PREDICATES))]()
+            eager, lazy = eager.filter(pred), lazy.filter(pred)
+        elif op == 1:
+            keep = [c for c in eager.columns if rng.random() < 0.7] or ["variant"]
+            eager, lazy = eager.select(keep), lazy.select(keep)
+        elif op == 2:
+            if "trial" in eager.columns:
+                eager = eager.with_column("double", eager["trial"] * 2)
+                lazy = lazy.with_column("double", col("trial") * 2)
+        else:
+            keys = [c for c in ("variant", "machine", "trial") if c in eager.columns]
+            if keys:
+                k = keys[int(rng.integers(len(keys)))]
+                desc = bool(rng.random() < 0.5)
+                eager = eager.sort_by(k, descending=desc)
+                lazy = lazy.sort(k, descending=desc)
+    assert_identical(lazy.collect(), eager)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_groupby_equivalence(seed):
+    rng = np.random.default_rng(100 + seed)
+    frame = random_frame(rng, int(rng.integers(5, 150)))
+    spec = {"time": "mean", "trial": "max"}
+
+    eager = frame.groupby("variant", "machine").agg(spec)
+    lazy = frame.lazy().groupby("variant", "machine").agg(spec).collect()
+    assert_identical(lazy, eager)
+
+    eager_size = frame.groupby("machine").size()
+    lazy_size = frame.lazy().groupby("machine").size().collect()
+    assert_identical(lazy_size, eager_size)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_join_equivalence(seed):
+    rng = np.random.default_rng(200 + seed)
+    left = random_frame(rng, int(rng.integers(1, 80)))
+    right = Frame({
+        "machine": np.array(MACHINES[: 2 + seed % 2], dtype=object),
+        "cores": np.arange(2 + seed % 2, dtype=np.int64) * 16 + 40,
+    })
+    for how in ("inner", "left"):
+        eager = left.join(right, on="machine", how=how)
+        lazy = left.lazy().join(right, on="machine", how=how).collect()
+        assert_identical(lazy, eager)
+
+
+def test_groupby_first_occurrence_order():
+    """Group rows come out in first-occurrence order of the key values,
+    deterministically — not sorted, not hash order."""
+    frame = Frame({
+        "k": np.array(["b", "a", "c", "a", "b", "d"], dtype=object),
+        "v": np.arange(6, dtype=np.int64),
+    })
+    size = frame.groupby("k").size()
+    assert list(size["k"]) == ["b", "a", "c", "d"]
+    assert list(size["count"]) == [2, 2, 1, 1]
+    agg = frame.groupby("k").agg({"v": "sum"})
+    assert list(agg["k"]) == ["b", "a", "c", "d"]
+    assert list(agg["v_sum"]) == [4 + 0, 1 + 3, 2, 5]
+    lazy = frame.lazy().groupby("k").size().collect()
+    assert_identical(lazy, size)
+
+
+def test_filter_chain_fuses_and_matches():
+    """Two stacked filters fuse into one mask; a precomputed boolean mask
+    (positional) still composes correctly with expression filters."""
+    rng = np.random.default_rng(7)
+    frame = random_frame(rng, 60)
+    mask = frame["trial"] >= 1
+
+    eager = frame.filter(mask).filter(col("machine") == "lassen")
+    lazy = frame.lazy().filter(mask).filter(col("machine") == "lassen").collect()
+    assert_identical(lazy, eager)
+
+
+def test_expr_has_no_truth_value():
+    with pytest.raises(TypeError, match="no truth value"):
+        bool(col("a") == 1)
+    with pytest.raises(TypeError):
+        # `and` forces truth-testing; the loud error is what stops a
+        # silently-wrong scalar mask.
+        (col("a") == 1) and (col("b") == 2)
+
+
+def test_expr_references_and_conjuncts():
+    expr = (col("a") == 1) & ((col("b") > col("c")) & ~col("d").is_null())
+    assert expr.references() == {"a", "b", "c", "d"}
+    assert len(expr.conjuncts()) == 3
+
+
+def test_dict_column_code_space_equality():
+    """Equality over a DictColumn compares u4 codes, never decodes."""
+    values = np.array(["x", "y", "z"], dtype=object)
+    codes = np.array([0, 1, 2, 1, 0], dtype="<u4")
+    cols = {"c": DictColumn(codes, values)}
+    mask = (col("c") == "y").evaluate(cols)
+    assert mask.tolist() == [False, True, False, True, False]
+    # A literal absent from the dictionary can't match any row.
+    assert (col("c") == "missing").evaluate(cols).tolist() == [False] * 5
+    assert (col("c") != "missing").evaluate(cols).tolist() == [True] * 5
+    isin = col("c").is_in(["x", "z", "nope"]).evaluate(cols)
+    assert isin.tolist() == [True, False, True, False, True]
+
+
+def test_parse_expr_language():
+    cols = {
+        "variant": np.array(["a", "b", "a"], dtype=object),
+        "trial": np.array([0, 1, 2], dtype=np.int64),
+    }
+    expr = parse_expr("variant == 'a' and trial < 2")
+    assert expr.evaluate(cols).tolist() == [True, False, False]
+    assert parse_expr("trial in (0, 2)").evaluate(cols).tolist() == [
+        True, False, True,
+    ]
+    assert parse_expr("not (variant != 'a')").evaluate(cols).tolist() == [
+        True, False, True,
+    ]
+    assert parse_expr("trial >= -1").evaluate(cols).tolist() == [True] * 3
+
+
+@pytest.mark.parametrize("bad", [
+    "open('x')",                # calls
+    "col.attr == 1",            # attribute access
+    "a[0] == 1",                # subscripts
+    "a == b == c",              # chained comparison
+    "a in b",                   # non-literal membership
+    "a ==",                     # syntax error
+    "{'a': 1}",                 # unsupported literal
+])
+def test_parse_expr_rejects_unsafe_syntax(bad):
+    with pytest.raises(ValueError):
+        parse_expr(bad)
+
+
+def test_lit_broadcasts_in_with_column():
+    frame = Frame({"a": np.arange(4, dtype=np.int64)})
+    out = frame.lazy().with_column("b", lit(7)).collect()
+    assert out["b"].tolist() == [7, 7, 7, 7]

@@ -1,0 +1,357 @@
+"""Predicate pushdown into the calipack index and the ingest cache.
+
+Pushdown is an optimization with a correctness contract: it may only
+skip work, never change an answer. Every test here pins a composed
+result against the eager full-compose-then-filter path — at 0%, some,
+and 100% index-level rejection — while counting payload parses to prove
+the skipping actually happened. The incremental path gets the same
+treatment: prefix reuse must be bit-for-bit identical (dtypes included)
+to a from-scratch recompose.
+"""
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.caliper import calipack
+from repro.caliper.records import CaliProfile, RegionRecord
+from repro.cli import exitcodes
+from repro.cli.main import main
+from repro.dataframe import Frame, col, scan_cache
+from repro.thicket import Thicket, ingest_cache
+
+N_PROFILES = 8
+
+
+def make_profile(i, extra=None, metric_extra=None):
+    g = {"machine": f"m{i % 2}", "variant": f"v{i % 3}", "trial": 0}
+    if extra:
+        g.update(extra)
+    profile = CaliProfile(globals=g)
+    root = RegionRecord(name="RAJAPerf", path=("RAJAPerf",), metrics={})
+    kids = []
+    for k in range(3):
+        metrics = {"time": float(i * 10 + k), "reps": float(k)}
+        if metric_extra and k == 0:
+            metrics.update(metric_extra)
+        kids.append(
+            RegionRecord(name=f"K_{k}", path=("RAJAPerf", f"K_{k}"), metrics=metrics)
+        )
+    root.children = kids
+    profile.roots = [root]
+    return profile
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    """Eight profiles; the last one carries extra metadata and an extra
+    metric, so excluding it exercises schema padding."""
+    path = tmp_path_factory.mktemp("campaign") / "campaign.calipack"
+    with calipack.CalipackWriter(path) as writer:
+        for i in range(N_PROFILES):
+            extra = {"only_late": "yes"} if i == 7 else None
+            metric_extra = {"special": 1.0} if i == 7 else None
+            writer.append_profile(f"p{i}.cali", make_profile(i, extra, metric_extra))
+    return path
+
+
+@pytest.fixture
+def parse_counter(monkeypatch):
+    import repro.thicket.ingest as ingest_mod
+
+    calls = {"n": 0}
+    orig = ingest_mod.parse_cali_payload
+
+    def counting(data, label):
+        calls["n"] += 1
+        return orig(data, label)
+
+    monkeypatch.setattr(ingest_mod, "parse_cali_payload", counting)
+    return calls
+
+
+class TestIndexPushdown:
+    def test_rejecting_some_entries_skips_their_parses(self, archive, parse_counter):
+        full = Thicket.from_caliperreader(str(archive))
+        eager = full.filter_metadata(col("variant") == "v1")
+
+        parse_counter["n"] = 0
+        pushed = Thicket.from_caliperreader(str(archive), where=col("variant") == "v1")
+        assert parse_counter["n"] == 3  # i in {1, 4, 7}
+        assert pushed.metadata.equals(eager.metadata)
+        assert pushed.dataframe.equals(eager.dataframe)
+
+    def test_rejecting_nothing_matches_full_compose(self, archive, parse_counter):
+        full = Thicket.from_caliperreader(str(archive))
+        parse_counter["n"] = 0
+        pushed = Thicket.from_caliperreader(str(archive), where=col("trial") == 0)
+        assert parse_counter["n"] == N_PROFILES
+        assert pushed.metadata.equals(full.metadata)
+        assert pushed.dataframe.equals(full.dataframe)
+
+    def test_rejecting_everything_falls_back_to_full_compose(
+        self, archive, parse_counter
+    ):
+        """An all-rejected pushdown can't reconstruct result dtypes from
+        the index alone, so it composes fully and filters exactly."""
+        full = Thicket.from_caliperreader(str(archive))
+        eager = full.filter_metadata(col("variant") == "nope")
+
+        parse_counter["n"] = 0
+        pushed = Thicket.from_caliperreader(
+            str(archive), where=col("variant") == "nope"
+        )
+        assert parse_counter["n"] == N_PROFILES
+        assert pushed.metadata.nrows == 0
+        assert pushed.metadata.columns == eager.metadata.columns
+        assert pushed.metadata.equals(eager.metadata)
+        assert pushed.dataframe.equals(eager.dataframe)
+
+    def test_schema_padding_when_schema_bearing_entry_is_rejected(self, archive):
+        """Excluding the only profile that defines a column/metric must
+        still reproduce the full-compose schema — order, Nones, NaNs."""
+        full = Thicket.from_caliperreader(str(archive))
+        expr = col("variant") == "v0"  # i in {0, 3, 6}; excludes p7
+        eager = full.filter_metadata(expr)
+        pushed = Thicket.from_caliperreader(str(archive), where=expr)
+        assert pushed.metadata.columns == eager.metadata.columns
+        assert pushed.dataframe.columns == eager.dataframe.columns
+        assert pushed.metadata.equals(eager.metadata)
+        assert pushed.dataframe.equals(eager.dataframe)
+        for name in eager.dataframe.columns:
+            assert pushed.dataframe[name].dtype == eager.dataframe[name].dtype
+
+    def test_where_accepts_expression_strings(self, archive):
+        full = Thicket.from_caliperreader(str(archive))
+        pushed = Thicket.from_caliperreader(
+            str(archive), where="variant == 'v1' and machine == 'm1'"
+        )
+        eager = full.filter_metadata((col("variant") == "v1") & (col("machine") == "m1"))
+        assert pushed.metadata.equals(eager.metadata)
+        assert pushed.dataframe.equals(eager.dataframe)
+
+    def test_where_rejects_non_expressions(self, archive):
+        with pytest.raises(TypeError):
+            Thicket.from_caliperreader(str(archive), where=42)
+
+
+class TestIncremental:
+    def test_prefix_reuse_is_bit_identical(self, archive, tmp_path, parse_counter):
+        cache = tmp_path / "cache"
+        prefix = [f"{archive}::p{i}.cali" for i in range(5)]
+        Thicket.from_caliperreader(prefix, cache=cache)
+
+        everything = [f"{archive}::p{i}.cali" for i in range(N_PROFILES)]
+        parse_counter["n"] = 0
+        incremental = Thicket.from_caliperreader(
+            everything, cache=cache, incremental=True
+        )
+        assert parse_counter["n"] == 3  # only the appended suffix
+        full = Thicket.from_caliperreader(everything)
+        assert incremental.metadata.columns == full.metadata.columns
+        assert incremental.metadata.equals(full.metadata)
+        assert incremental.dataframe.equals(full.dataframe)
+        for name in full.dataframe.columns:
+            assert incremental.dataframe[name].dtype == full.dataframe[name].dtype
+        for name in full.metadata.columns:
+            assert incremental.metadata[name].dtype == full.metadata[name].dtype
+
+    def test_incremental_result_is_stored_for_exact_hits(
+        self, archive, tmp_path, parse_counter
+    ):
+        cache = tmp_path / "cache"
+        prefix = [f"{archive}::p{i}.cali" for i in range(5)]
+        everything = [f"{archive}::p{i}.cali" for i in range(N_PROFILES)]
+        Thicket.from_caliperreader(prefix, cache=cache)
+        Thicket.from_caliperreader(everything, cache=cache, incremental=True)
+
+        parse_counter["n"] = 0
+        again = Thicket.from_caliperreader(everything, cache=cache)
+        assert parse_counter["n"] == 0
+        full = Thicket.from_caliperreader(everything)
+        assert again.metadata.equals(full.metadata)
+        assert again.dataframe.equals(full.dataframe)
+
+    def test_incremental_composes_with_where(self, archive, tmp_path):
+        cache = tmp_path / "cache"
+        everything = [f"{archive}::p{i}.cali" for i in range(N_PROFILES)]
+        Thicket.from_caliperreader(everything, cache=cache)
+        filtered = Thicket.from_caliperreader(
+            everything, cache=cache, incremental=True, where=col("variant") == "v1"
+        )
+        full = Thicket.from_caliperreader(everything)
+        eager = full.filter_metadata(col("variant") == "v1")
+        assert filtered.metadata.equals(eager.metadata)
+        assert filtered.dataframe.equals(eager.dataframe)
+
+
+# --------------------------------------------------------- column store
+@pytest.fixture
+def stored_tables(tmp_path):
+    metadata = Frame({
+        "profile": np.array([f"p{i}" for i in range(10)], dtype=object),
+        "variant": np.array([f"v{i % 3}" for i in range(10)], dtype=object),
+        "trial": np.arange(10, dtype=np.int64),
+    })
+    dataframe = Frame({
+        "profile": np.array([f"p{i}" for i in range(10)], dtype=object),
+        "time": np.linspace(0.0, 1.0, 10),
+    })
+    sources = [(f"p{i}.cali", f"{i:08x}") for i in range(10)]
+    path = ingest_cache.store(tmp_path, sources, dataframe, metadata)
+    return path, sources, dataframe, metadata
+
+
+class TestColumnStore:
+    def test_selective_load_returns_only_requested(self, stored_tables):
+        path, _, _, metadata = stored_tables
+        store = ingest_cache.ColumnStore(path, "metadata")
+        cols, nrows = store.load_columns({"variant"})
+        assert list(cols) == ["variant"]
+        assert nrows == metadata.nrows
+        from repro.dataframe.expr import DictColumn
+        assert isinstance(cols["variant"], DictColumn)
+        assert cols["variant"].decode().tolist() == metadata["variant"].tolist()
+
+    def test_unknown_column_raises_keyerror(self, stored_tables):
+        path, _, _, _ = stored_tables
+        with pytest.raises(KeyError):
+            ingest_cache.ColumnStore(path, "metadata").load_columns({"nope"})
+
+    def test_unknown_table_raises(self, stored_tables):
+        path, _, _, _ = stored_tables
+        with pytest.raises(ValueError):
+            ingest_cache.ColumnStore(path, "bogus")
+
+    def test_scan_reads_only_referenced_buffers(self, stored_tables, monkeypatch):
+        """A pruned+pushed plan touches exactly the buffers it needs:
+        the predicate column and the projected columns, nothing else."""
+        path, _, _, _ = stored_tables
+        read = []
+        orig = ingest_cache.ColumnStore._read_buffer
+
+        def counting(self, handle, colspec):
+            read.append(colspec["name"])
+            return orig(self, handle, colspec)
+
+        monkeypatch.setattr(ingest_cache.ColumnStore, "_read_buffer", counting)
+        result = (
+            scan_cache(str(path), table="metadata")
+            .filter(col("variant") == "v1")
+            .select(["profile"])
+            .collect()
+        )
+        assert sorted(read) == ["profile", "variant"]
+        assert result.columns == ["profile"]
+        assert result["profile"].tolist() == ["p1", "p4", "p7"]
+
+    def test_collect_matches_eager_load(self, stored_tables):
+        path, sources, _, metadata = stored_tables
+        eager = metadata.filter(col("trial") >= 5).select(["profile", "trial"])
+        lazy = (
+            scan_cache(str(path), table="metadata")
+            .filter(col("trial") >= 5)
+            .select(["profile", "trial"])
+            .collect()
+        )
+        assert lazy.equals(eager)
+        assert lazy["trial"].dtype == eager["trial"].dtype
+
+
+class TestCacheLayout:
+    def test_sources_live_in_the_blob_not_the_header(self, stored_tables):
+        """The header must stay O(columns): a 100k-profile source list in
+        the header JSON would tax every column-selective scan."""
+        path, sources, dataframe, metadata = stored_tables
+        raw = path.read_bytes()
+        nl = raw.index(b"\n")
+        fields = dict(
+            part.split("=", 1)
+            for part in raw[:nl].decode("ascii")[len("#thicket-ingest-cache v1"):].split()
+        )
+        header = json.loads(raw[nl + 1 : nl + 1 + int(fields["header"])])
+        assert "sources" not in header
+        assert "sources_ref" in header
+        hit = ingest_cache.load(path.parent, sources)
+        assert hit is not None
+        assert hit[0].equals(dataframe) and hit[1].equals(metadata)
+
+    def test_inline_sources_layout_still_loads(self, tmp_path):
+        """Files written before sources moved into the blob keep working."""
+        metadata = Frame({"profile": np.array(["p0", "p1"], dtype=object)})
+        dataframe = Frame({"profile": np.array(["p0", "p1"], dtype=object)})
+        sources = [("p0.cali", "00000001"), ("p1.cali", "00000002")]
+
+        blob = bytearray()
+        header = {
+            "sources": sources,
+            "dataframe": ingest_cache._encode_frame(dataframe, blob),
+            "metadata": ingest_cache._encode_frame(metadata, blob),
+        }
+        header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        body = header_bytes + bytes(blob)
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        hcrc = zlib.crc32(header_bytes) & 0xFFFFFFFF
+        head = (
+            f"{ingest_cache._MAGIC} header={len(header_bytes)} "
+            f"blob={len(blob)} crc32={crc:08x} hcrc={hcrc:08x}\n"
+        ).encode("ascii")
+        target = ingest_cache.cache_path(tmp_path, ingest_cache.cache_key(sources))
+        target.write_bytes(head + body)
+
+        hit = ingest_cache.load(tmp_path, sources)
+        assert hit is not None
+        assert hit[1].equals(metadata)
+        grown = sources + [("p2.cali", "00000003")]
+        found = ingest_cache.find_prefix(tmp_path, grown)
+        assert found is not None and found[0] == 2
+
+    def test_find_prefix_spans_the_new_layout(self, stored_tables):
+        path, sources, dataframe, metadata = stored_tables
+        grown = sources + [("p10.cali", "0000000a")]
+        found = ingest_cache.find_prefix(path.parent, grown)
+        assert found is not None
+        n, df, md = found
+        assert n == len(sources)
+        assert df.equals(dataframe) and md.equals(metadata)
+
+
+class TestAnalyzeCli:
+    def test_where_filters_profiles(self, archive, capsys):
+        rc = main([
+            "analyze", "--json", "--no-cache", "--metric", "time",
+            "--where", "machine == 'm1'", str(archive),
+        ])
+        assert rc == exitcodes.OK
+        payload = json.loads(capsys.readouterr().out)
+        # Odd i only: the three distinct m1/<variant> profile ids.
+        assert sorted(payload["profiles"]) == ["m1/v0", "m1/v1", "m1/v2"]
+        assert payload["load_errors"]["count"] == 0
+
+    def test_invalid_where_is_a_usage_error(self, archive, capsys):
+        rc = main([
+            "analyze", "--json", "--no-cache",
+            "--where", "variant ==", str(archive),
+        ])
+        assert rc == exitcodes.USAGE
+        assert "invalid --where" in capsys.readouterr().err
+
+    def test_incremental_requires_the_cache(self, archive, capsys):
+        rc = main(["analyze", "--json", "--no-cache", "--incremental", str(archive)])
+        assert rc == exitcodes.USAGE
+        assert "--incremental requires" in capsys.readouterr().err
+
+    def test_incremental_analyze_covers_appended_segment(self, archive, capsys):
+        prefix = [f"{archive}::p{i}.cali" for i in range(5)]
+        assert main(["analyze", "--json", "--metric", "time", *prefix]) == exitcodes.OK
+        capsys.readouterr()
+        everything = [f"{archive}::p{i}.cali" for i in range(N_PROFILES)]
+        rc = main([
+            "analyze", "--json", "--metric", "time", "--incremental", *everything,
+        ])
+        assert rc == exitcodes.OK
+        payload = json.loads(capsys.readouterr().out)
+        # All six distinct machine/variant profile ids across the 8 entries.
+        assert len(payload["profiles"]) == 6

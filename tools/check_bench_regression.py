@@ -13,6 +13,11 @@ record, and compares them against ``benchmarks/baselines/kernel_execution.json``
   machine-dependent, so refresh the baseline (``--update``) when the CI
   runner class changes.
 
+Other baseline files (``--baseline``) gate other suites: a baseline may
+declare its own ``"metrics"`` list (e.g. ``benchmarks/baselines/query.json``
+gates ``speedup`` and ``lazy_queries_per_sec`` for the lazy query engine);
+without one, the default engine metrics above apply.
+
 Exit status 0 = within tolerance, 1 = regression, 2 = usage/format error.
 """
 
@@ -30,16 +35,24 @@ DEFAULT_BASELINE = (
     / "kernel_execution.json"
 )
 
-#: extra_info keys gated per benchmark (higher is better for all).
+#: extra_info keys gated per benchmark when the baseline file does not
+#: declare its own ``"metrics"`` list (higher is better for all).
 GATED_METRICS = ("speedup", "engine_cells_per_sec")
 
 
-def load_results(bench_json: Path) -> dict[str, dict]:
+def gated_metrics(baseline: dict) -> tuple[str, ...]:
+    """The metric names this baseline gates (its ``metrics`` list)."""
+    return tuple(baseline.get("metrics", GATED_METRICS))
+
+
+def load_results(
+    bench_json: Path, metrics: tuple[str, ...] = GATED_METRICS
+) -> dict[str, dict]:
     data = json.loads(bench_json.read_text())
     out: dict[str, dict] = {}
     for bench in data.get("benchmarks", []):
         extra = bench.get("extra_info") or {}
-        if any(metric in extra for metric in GATED_METRICS):
+        if any(metric in extra for metric in metrics):
             out[bench["name"]] = extra
     return out
 
@@ -52,7 +65,7 @@ def check(results: dict[str, dict], baseline: dict) -> list[str]:
         if got is None:
             failures.append(f"{name}: missing from benchmark results")
             continue
-        for metric in GATED_METRICS:
+        for metric in gated_metrics(baseline):
             if metric not in expected:
                 continue
             floor = expected[metric] * (1.0 - tolerance)
@@ -74,7 +87,7 @@ def update_baseline(results: dict[str, dict], baseline_path: Path) -> None:
         got = results.get(name)
         if got is None:
             raise SystemExit(f"cannot update: {name} missing from results")
-        for metric in GATED_METRICS:
+        for metric in gated_metrics(baseline):
             if metric in entry:
                 entry[metric] = round(float(got[metric]), 2)
     baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -94,8 +107,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        results = load_results(args.bench_json)
         baseline = json.loads(args.baseline.read_text())
+        results = load_results(args.bench_json, gated_metrics(baseline))
     except (OSError, json.JSONDecodeError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -106,11 +119,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     failures = check(results, baseline)
+    metrics = gated_metrics(baseline)
     for name, extra in sorted(results.items()):
-        print(
-            f"{name}: speedup={extra.get('speedup')} "
-            f"engine_cells_per_sec={extra.get('engine_cells_per_sec')}"
-        )
+        shown = " ".join(f"{m}={extra.get(m)}" for m in metrics)
+        print(f"{name}: {shown}")
     if failures:
         print("\nBENCHMARK REGRESSION:", file=sys.stderr)
         for line in failures:
