@@ -526,19 +526,19 @@ def attrs_pass(attrs: dict | None, expr) -> bool:
         return True
 
 
-def scan_entries(path: str | Path) -> tuple[list[ArchiveEntry], int]:
-    """Salvage scan: walk the entry framing headers directly.
+def scan_frames(path: str | Path) -> tuple[list[ArchiveEntry], int]:
+    """Every *complete* entry frame in append order, duplicates included.
 
-    Returns ``(entries, good_end)`` where ``good_end`` is the offset
-    just past the last *complete* entry — a partial tail (crashed
-    append) or an old index/footer region is excluded. Works on
-    unfinished (footer-less) segments; last-wins on duplicate names.
+    The raw framing walk behind :func:`scan_entries`, without the
+    last-wins dedup — retention's archive compaction uses it to count
+    (and then drop) superseded duplicate frames. ``good_end`` is the
+    offset just past the last complete entry.
     """
     p = Path(path)
     raw = p.read_bytes()
     if not raw.startswith(MAGIC):
         raise CalipackError(f"{p}: not a calipack archive")
-    entries: dict[str, ArchiveEntry] = {}
+    frames: list[ArchiveEntry] = []
     pos = len(MAGIC)
     good_end = pos
     while pos < len(raw):
@@ -551,14 +551,31 @@ def scan_entries(path: str | Path) -> tuple[list[ArchiveEntry], int]:
             break  # truncated final entry: drop it
         data = raw[offset : offset + length]
         name = match.group(1).decode("ascii", "replace")
-        entries[name] = ArchiveEntry(
-            name=name,
-            offset=offset,
-            length=length,
-            crc32=zlib.crc32(data) & 0xFFFFFFFF,
+        frames.append(
+            ArchiveEntry(
+                name=name,
+                offset=offset,
+                length=length,
+                crc32=zlib.crc32(data) & 0xFFFFFFFF,
+            )
         )
         pos = offset + length
         good_end = pos
+    return frames, good_end
+
+
+def scan_entries(path: str | Path) -> tuple[list[ArchiveEntry], int]:
+    """Salvage scan: walk the entry framing headers directly.
+
+    Returns ``(entries, good_end)`` where ``good_end`` is the offset
+    just past the last *complete* entry — a partial tail (crashed
+    append) or an old index/footer region is excluded. Works on
+    unfinished (footer-less) segments; last-wins on duplicate names.
+    """
+    frames, good_end = scan_frames(path)
+    entries: dict[str, ArchiveEntry] = {}
+    for entry in frames:
+        entries[entry.name] = entry
     return list(entries.values()), good_end
 
 

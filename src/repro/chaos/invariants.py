@@ -34,6 +34,14 @@ for (no duplicated campaign work), every SUCCEEDED job's campaign
 records its full expected cell set ``ok`` (no lost work), and no
 terminal job still holds a live scheduler lease.
 
+**I7 — retention never half-deletes and compaction never alters what a
+reader resolves.** After a GC/compaction pass crashed anywhere and
+recovery ran, every job is *fully live* (sealed record present, every
+pre-GC sealed profile byte-identical, no tombstone) or *fully
+reclaimed* (no record, no tombstone, no campaign directory, no
+markers) — never in between. A surviving job's compacted archive
+resolves every pre-compaction readable entry to identical bytes.
+
 Each check returns a list of violation strings — empty means the
 invariant holds. The checks only ever *read* the campaign directory.
 """
@@ -358,6 +366,10 @@ def check_job_service(
     if store.campaigns_dir.is_dir():
         for campaign in sorted(store.campaigns_dir.iterdir()):
             if campaign.is_dir() and campaign.name not in records:
+                if store.tombstone_path(campaign.name).exists():
+                    # Condemned mid-reclamation, not unaccounted work;
+                    # I7's convergence check owns this case.
+                    continue
                 violations.append(
                     f"campaign directory {campaign.name} has no job "
                     "record: duplicated or unaccounted campaign work"
@@ -371,6 +383,67 @@ def check_job_service(
                 f"terminal job {job_id} still holds a live scheduler "
                 f"lease (pid {lease.get('pid')})"
             )
+    return violations
+
+
+def check_retention(
+    root: str | Path, pre: dict[str, StoreSnapshot]
+) -> list[str]:
+    """I7: after GC + recovery, every job is fully live or reclaimed.
+
+    ``pre`` maps job ids to :func:`snapshot_store` snapshots of their
+    campaign directories taken *before* the GC/compaction pass. A job is
+    **fully live** when its sealed record still parses, no tombstone
+    exists, and every pre-GC sealed profile is still resolvable with
+    identical bytes (compaction drops superseded duplicate frames and
+    damage, never what a reader resolved). A job is **fully reclaimed**
+    when record, tombstone, campaign directory, and every marker are all
+    gone. Any intermediate state after recovery is a violation.
+    """
+    from repro.service.jobstore import (
+        JobRecordDamaged,
+        JobStore,
+        parse_record_text,
+    )
+
+    store = JobStore(root)
+    violations: list[str] = []
+    for job_id in sorted(pre):
+        residue = {
+            "record": store.record_path(job_id).exists(),
+            "tombstone": store.tombstone_path(job_id).exists(),
+            "campaign": store.campaign_dir(job_id).is_dir(),
+            "lease": store.lease_path(job_id).exists(),
+            "cancel marker": store.cancel_path(job_id).exists(),
+            "pin marker": store.pin_path(job_id).exists(),
+        }
+        if not any(residue.values()):
+            continue  # fully reclaimed
+        if not residue["record"] or residue["tombstone"]:
+            present = ", ".join(k for k, v in residue.items() if v)
+            violations.append(
+                f"job {job_id} is neither fully live nor fully "
+                f"reclaimed after recovery (present: {present})"
+            )
+            continue
+        try:
+            parse_record_text(store.record_path(job_id).read_text())
+        except (OSError, JobRecordDamaged) as exc:
+            violations.append(f"job {job_id}: record unreadable: {exc}")
+            continue
+        post = snapshot_store(store.campaign_dir(job_id))
+        for name, crc in sorted(pre[job_id].profiles.items()):
+            got = post.profiles.get(name)
+            if got is None:
+                violations.append(
+                    f"job {job_id}: sealed profile {name} (crc {crc}) "
+                    "lost by retention/compaction"
+                )
+            elif got != crc:
+                violations.append(
+                    f"job {job_id}: sealed profile {name} altered by "
+                    f"retention/compaction: crc {crc} -> {got}"
+                )
     return violations
 
 

@@ -203,6 +203,33 @@ REGISTERED_POINTS: dict[str, PointSpec] = {
             description="graceful drain: about to stop a running job "
             "and requeue it; record still RUNNING, lease still held",
         ),
+        # ---- service/retention.py: GC + archive compaction ------------
+        PointSpec(
+            "retention.pre-tombstone",
+            phase="retention",
+            modes=("service",),
+            description="retention GC: job selected for collection, "
+            "tombstone not yet durably written (job must stay fully "
+            "live)",
+        ),
+        PointSpec(
+            "retention.mid-delete",
+            phase="retention",
+            modes=("service",),
+            description="retention GC: tombstone durable, campaign "
+            "directory partially removed (fsck must finish the "
+            "reclamation)",
+        ),
+        PointSpec(
+            "retention.pre-compact-swap",
+            phase="retention",
+            modes=("service",),
+            torn=True,
+            pack=True,
+            description="archive compaction: rebuilt archive written to "
+            "scratch, atomic swap not yet performed (torn: partial "
+            "scratch tail; original must stay bit-identical)",
+        ),
         # ---- campaign loops: between two cells' durable records -------
         PointSpec(
             "executor.post-cell",

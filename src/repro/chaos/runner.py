@@ -192,6 +192,88 @@ def _run_armed_service(
     scheduler.run_until_idle(timeout=CHILD_TIMEOUT_S / 2)
 
 
+def _retention_job_spec() -> dict:
+    """The retention trial's job spec: the service spec, packed.
+
+    Packed because retention trials also exercise archive compaction —
+    ``retention.pre-compact-swap`` needs a sealed ``campaign.calipack``
+    to rebuild."""
+    spec = dict(_service_job_spec())
+    spec["pack"] = True
+    return spec
+
+
+#: the retention trial's jobs, submission order = age order (the ids
+#: also sort that way: created_at has one-second granularity, and the
+#: deterministic tie-break inside a second is the job id)
+RETENTION_JOBS = ("gc-old", "gc-young")
+
+
+def _build_retention_seed(root: str) -> None:
+    """Child body: a service root with two SUCCEEDED packed jobs."""
+    from repro.service.jobstore import STATE_SUCCEEDED, JobStore
+    from repro.service.scheduler import JobScheduler
+
+    store = JobStore(root)
+    store.ensure_layout()
+    for job_id in RETENTION_JOBS:
+        store.submit(_retention_job_spec(), tenant="chaos", job_id=job_id)
+    scheduler = JobScheduler(store)
+    scheduler.recover()
+    scheduler.run_until_idle(timeout=CHILD_TIMEOUT_S / 2)
+    for job_id in RETENTION_JOBS:
+        record = store.load(job_id)
+        state = record.state if record is not None else "<no record>"
+        if state != STATE_SUCCEEDED:
+            raise RuntimeError(f"seed job {job_id} is {state}")
+
+
+def _run_armed_retention(root: str, schedule: ChaosSchedule) -> None:
+    """Child body: a GC + compaction pass with the strike armed.
+
+    The policy condemns the oldest of the two terminal jobs
+    (``max_terminal_jobs=1``); the survivor's archive is then compacted.
+    ``retention.pre-tombstone`` fires before the condemnation lands,
+    ``retention.mid-delete`` inside the tree removal, and
+    ``retention.pre-compact-swap`` between the scratch seal and the swap.
+    """
+    from repro.caliper.calipack import ARCHIVE_NAME
+    from repro.service.jobstore import JobStore
+    from repro.service.retention import (
+        RetentionPolicy,
+        compact_archive,
+        gc,
+    )
+
+    arm(schedule)
+    store = JobStore(root)
+    gc(store, RetentionPolicy(max_terminal_jobs=1))
+    archive = store.campaign_dir(RETENTION_JOBS[-1]) / ARCHIVE_NAME
+    if archive.is_file():
+        compact_archive(archive)
+
+
+def _run_retention_recovery(root: str) -> None:
+    """Child body: the unarmed converging pass a restarted daemon runs."""
+    from repro.caliper.calipack import ARCHIVE_NAME
+    from repro.service.jobstore import JobStore
+    from repro.service.retention import (
+        RetentionPolicy,
+        compact_archive,
+        gc,
+    )
+
+    store = JobStore(root)
+    report = gc(store, RetentionPolicy(max_terminal_jobs=1))
+    if store.list_tombstone_ids():
+        raise RuntimeError(
+            f"tombstones survived recovery gc: {report.summary()}"
+        )
+    archive = store.campaign_dir(RETENTION_JOBS[-1]) / ARCHIVE_NAME
+    if archive.is_file():
+        compact_archive(archive)
+
+
 def _run_service_recovery(root: str) -> None:
     """Child body: what a restarted daemon does — recover and converge.
 
@@ -347,6 +429,7 @@ class ChaosRunner:
             else tempfile.mkdtemp(prefix="rajaperf-chaos-")
         )
         self._goldens: dict[tuple[bool, bool], tuple[Path, object]] = {}
+        self._retention_seed_dir: Path | None = None
         self._ctx = multiprocessing.get_context("fork")
 
     # ------------------------------------------------------------- plumbing
@@ -520,6 +603,8 @@ class ChaosRunner:
                 self._analyze_phase_trial(spec, mode, trialdir, schedule, verdict)
             elif spec.phase == "service":
                 self._service_phase_trial(spec, trialdir, schedule, verdict)
+            elif spec.phase == "retention":
+                self._retention_phase_trial(spec, trialdir, schedule, verdict)
             else:
                 self._run_phase_trial(spec, mode, trialdir, schedule, verdict)
         except Exception as exc:  # noqa: BLE001 - a broken trial is a verdict
@@ -702,6 +787,100 @@ class ChaosRunner:
             )
         verdict.violations += self._check_analysis(
             campaign, trialdir, spec, golden_thicket, pack=False
+        )
+
+    def _retention_seed(self) -> Path:
+        """A converged two-job service root, built once, copied per trial."""
+        if self._retention_seed_dir is not None:
+            return self._retention_seed_dir
+        seed_root = self.workdir / "retention-seed"
+        code = self._spawn(_build_retention_seed, str(seed_root))
+        if code != 0:
+            raise RuntimeError(f"retention seed build exited {code}")
+        self._retention_seed_dir = seed_root
+        return seed_root
+
+    def _retention_phase_trial(
+        self,
+        spec: PointSpec,
+        trialdir: Path,
+        schedule: ChaosSchedule,
+        verdict: TrialVerdict,
+    ) -> None:
+        """Kill GC/compaction mid-destruction, recover, check I7.
+
+        Phase 1 copies a converged two-SUCCEEDED-job root and runs an
+        armed GC pass (policy condemns the older job) plus a compaction
+        of the survivor's archive; the strike lands before the tombstone,
+        inside the tree removal, or between the compaction seal and
+        swap. Phase 2 audits atomicity (records parse; the survivor's
+        store is untorn). Phase 3 fscks the root — finishing any
+        interrupted reclamation the sealed tombstone proves and sweeping
+        orphan compaction scratch. Phase 4 runs the unarmed converging
+        pass a restarted daemon would. Phase 5 checks I7: the condemned
+        job is fully reclaimed, the survivor fully live with every
+        pre-GC sealed profile byte-identical, and the survivor's
+        campaign analysis-equivalent to the golden.
+        """
+        golden_dir, golden_thicket = self._golden(spec)
+        seed = self._retention_seed()
+        root = trialdir / "service"
+        shutil.copytree(seed, root)
+        survivor = root / "campaigns" / RETENTION_JOBS[-1]
+
+        pre = {
+            job_id: invariants.snapshot_store(root / "campaigns" / job_id)
+            for job_id in RETENTION_JOBS
+        }
+
+        # Phase 1: the armed GC + compaction pass.
+        code = self._spawn(_run_armed_retention, str(root), schedule)
+        verdict.killed = code == CHAOS_KILL_EXITCODE
+        if code not in (0, CHAOS_KILL_EXITCODE):
+            verdict.violations.append(
+                f"armed retention pass died with unexpected exit code {code}"
+            )
+            return
+
+        # Phase 2: post-crash atomicity — a GC crash must never tear a
+        # record, and never touch the surviving job's store at all.
+        verdict.violations += [
+            f"post-crash: {v}"
+            for v in invariants.check_job_records_parse(root)
+        ]
+        verdict.violations += [
+            f"post-crash survivor: {v}"
+            for v in self._check_target_atomicity(survivor)
+        ]
+
+        # Phase 3: fsck finishes what the tombstone proves.
+        fsck_directory(root)
+
+        # Phase 4: the unarmed converging pass.
+        code = self._spawn(_run_retention_recovery, str(root))
+        if code != 0:
+            verdict.violations.append(
+                f"retention recovery failed with exit code {code}"
+            )
+            return
+
+        # Phase 5: I7 plus fsck-clean plus analysis equivalence.
+        verdict.violations += [
+            f"post-recovery: {v}"
+            for v in invariants.check_retention(root, pre)
+        ]
+        old_id = RETENTION_JOBS[0]
+        if (root / "campaigns" / old_id).exists():
+            verdict.violations.append(
+                f"post-recovery: condemned job {old_id} was not reclaimed"
+            )
+        recheck = fsck_directory(root)
+        if not recheck.clean:
+            verdict.violations.append(
+                "post-recovery fsck still found damage: " + recheck.summary()
+            )
+        verdict.violations += self._check_analysis(
+            survivor, trialdir, spec, golden_thicket, pack=True
         )
 
     @staticmethod

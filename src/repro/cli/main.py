@@ -36,6 +36,11 @@ Subcommands mirror how the paper's pipeline is driven:
     The durable campaign job service: a crash-safe job queue with a
     lease-based scheduler and admission control, served over a local
     HTTP/JSON API (see docs/architecture.md, "Campaign service").
+``gc``
+    Crash-safe retention over a service root: tombstoned GC of terminal
+    jobs by age/count/tenant-bytes policy, archive compaction, pin and
+    unpin (see docs/architecture.md, "Retention, compaction & disk
+    health").
 
 Exit codes are standardized in :mod:`repro.cli.exitcodes`.
 """
@@ -301,6 +306,68 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-tenant-bytes", type=int, default=None,
                        help="campaign bytes a tenant may hold on disk "
                             "(default: unlimited)")
+    serve.add_argument("--soft-free-bytes", type=int, default=None,
+                       help="soft disk watermark: admission rejects every "
+                            "submission and GC runs immediately when the "
+                            "filesystem's free bytes fall to this "
+                            "($REPRO_DISK_SOFT_BYTES when unset)")
+    serve.add_argument("--hard-free-bytes", type=int, default=None,
+                       help="hard disk watermark: additionally pause "
+                            "claiming new jobs until space is reclaimed "
+                            "($REPRO_DISK_HARD_BYTES when unset)")
+    serve.add_argument("--retention-max-age", type=float, default=None,
+                       metavar="SECONDS",
+                       help="GC terminal jobs older than this")
+    serve.add_argument("--retention-keep", type=int, default=None,
+                       metavar="N",
+                       help="GC oldest terminal jobs beyond the newest N "
+                            "(pinned jobs are never collected)")
+    serve.add_argument("--retention-tenant-bytes", type=int, default=None,
+                       help="GC a tenant's oldest terminal jobs until its "
+                            "campaign bytes fit this budget")
+    serve.add_argument("--retention-interval", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="cadence of background GC passes (GC also runs "
+                            "immediately under disk pressure)")
+    serve.add_argument("--scrub-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="run the background scrubber at this cadence, "
+                            "re-verifying every CRC seal under the root "
+                            "(default: no scrubbing)")
+
+    gc_cmd = sub.add_parser(
+        "gc",
+        help="crash-safe retention GC over a service root",
+        description="Finish any interrupted reclamation a sealed "
+                    "tombstone proves, then collect terminal jobs the "
+                    "policy condemns via two-phase tombstone deletes — a "
+                    "crash at any byte leaves every job fully live or "
+                    "provably condemned, never half-deleted. Non-terminal "
+                    "and pinned jobs are never collected. --compact also "
+                    "rewrites surviving sealed archives without "
+                    "superseded duplicate frames or damaged entries.",
+    )
+    gc_cmd.add_argument("root", help="service root directory (jobs/ + campaigns/)")
+    gc_cmd.add_argument("--dry-run", action="store_true",
+                        help="report what would be collected; write nothing")
+    gc_cmd.add_argument("--max-age", type=float, default=None,
+                        metavar="SECONDS",
+                        help="collect terminal jobs older than this")
+    gc_cmd.add_argument("--keep", type=int, default=None, metavar="N",
+                        help="collect oldest terminal jobs beyond the "
+                             "newest N")
+    gc_cmd.add_argument("--max-tenant-bytes", type=int, default=None,
+                        help="collect a tenant's oldest terminal jobs "
+                             "until its campaign bytes fit this budget")
+    gc_cmd.add_argument("--compact", action="store_true",
+                        help="also compact surviving terminal jobs' "
+                             "campaign archives")
+    gc_cmd.add_argument("--pin", nargs="+", default=[], metavar="JOB_ID",
+                        help="exempt these jobs from GC before the pass")
+    gc_cmd.add_argument("--unpin", nargs="+", default=[], metavar="JOB_ID",
+                        help="clear these jobs' GC exemption before the pass")
+    gc_cmd.add_argument("--json", action="store_true",
+                        help="emit the machine-readable GC report")
 
     submit = sub.add_parser(
         "submit",
@@ -657,19 +724,36 @@ def _cmd_unpack(args: argparse.Namespace) -> int:
 
 def _cmd_shard_status(args: argparse.Namespace) -> int:
     from repro.suite.coordinator import shard_status_report
+    from repro.util.diskstat import (
+        STATE_HARD,
+        disk_free_bytes,
+        watermarks_from_env,
+    )
 
     report = shard_status_report(
         args.directory, lease_timeout=args.lease_timeout
     )
     print(report.text())
+    # The ambient hard watermark degrades status like an expired lease
+    # would: a campaign under it cannot durably make progress.
+    disk_reasons = []
+    watermarks = watermarks_from_env()
+    if (
+        watermarks.enabled
+        and watermarks.state(args.directory) == STATE_HARD
+    ):
+        disk_reasons.append(
+            f"disk free {disk_free_bytes(args.directory)} byte(s) at or "
+            f"below the hard watermark ({watermarks.hard_free_bytes})"
+        )
     # A readable shard map is the contract; anything else (not sharded,
     # or a map fsck must repair) is reported but exits unclean. A map
     # whose shards owe cells nobody live is working on — or that is
     # internally inconsistent — is the degraded state monitors key off.
     if not report.map_present:
         return exitcodes.UNCLEAN_RUN
-    if report.degraded:
-        for reason in report.reasons:
+    if report.degraded or disk_reasons:
+        for reason in list(report.reasons) + disk_reasons:
             print(f"degraded: {reason}", file=sys.stderr)
         return exitcodes.DEGRADED_ANALYSIS
     return exitcodes.OK
@@ -753,16 +837,22 @@ class _ServiceTarget:
         from repro.service.admission import AdmissionPolicy
         from repro.service.api import ServiceAPI
         from repro.service.jobstore import JobStore
+        from repro.util.diskstat import watermarks_from_env
 
         self.url = getattr(args, "url", None)
         self.api = None
         if self.url is None:
+            # Flag-less commands pick the watermarks up from the ambient
+            # env ($REPRO_DISK_SOFT_BYTES / $REPRO_DISK_HARD_BYTES), so a
+            # direct-root submit honors the same disk backpressure the
+            # daemon enforces.
             policy = AdmissionPolicy(
                 max_queue_depth=getattr(args, "max_queue_depth", None),
                 max_queued_per_tenant=getattr(
                     args, "max_queued_per_tenant", None
                 ),
                 max_tenant_bytes=getattr(args, "max_tenant_bytes", None),
+                watermarks=watermarks_from_env(),
             )
             self.api = ServiceAPI(JobStore(args.root), policy)
         else:
@@ -829,8 +919,30 @@ class _ServiceTarget:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.admission import AdmissionPolicy
     from repro.service.daemon import ServiceDaemon
+    from repro.service.retention import RetentionPolicy
     from repro.service.scheduler import SchedulerConfig
+    from repro.util.diskstat import DiskWatermarks, watermarks_from_env
 
+    if args.soft_free_bytes is not None or args.hard_free_bytes is not None:
+        try:
+            watermarks = DiskWatermarks(
+                soft_free_bytes=args.soft_free_bytes,
+                hard_free_bytes=args.hard_free_bytes,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return exitcodes.USAGE
+    else:
+        watermarks = watermarks_from_env()
+    try:
+        retention = RetentionPolicy(
+            max_age_s=args.retention_max_age,
+            max_terminal_jobs=args.retention_keep,
+            max_tenant_bytes=args.retention_tenant_bytes,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exitcodes.USAGE
     daemon = ServiceDaemon(
         args.root,
         host=args.host,
@@ -839,15 +951,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queue_depth=args.max_queue_depth,
             max_queued_per_tenant=args.max_queued_per_tenant,
             max_tenant_bytes=args.max_tenant_bytes,
+            watermarks=watermarks,
         ),
         scheduler_config=SchedulerConfig(
             max_parallel=args.max_parallel,
             max_job_attempts=args.max_job_attempts,
+            watermarks=watermarks if watermarks.enabled else None,
         ),
+        retention=retention if retention.enabled else None,
+        retention_interval=args.retention_interval,
+        scrub_interval=args.scrub_interval,
     )
     print(f"serving {args.root} at {daemon.url}", flush=True)
     daemon.serve_forever()
     print("drained; bye", flush=True)
+    return exitcodes.OK
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.jobstore import JobError, JobStore
+    from repro.service.retention import RetentionPolicy, gc
+
+    try:
+        policy = RetentionPolicy(
+            max_age_s=args.max_age,
+            max_terminal_jobs=args.keep,
+            max_tenant_bytes=args.max_tenant_bytes,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exitcodes.USAGE
+    store = JobStore(args.root)
+    if not store.jobs_dir.is_dir():
+        print(f"error: {args.root} is not a service root (no jobs/)",
+              file=sys.stderr)
+        return exitcodes.USAGE
+    try:
+        for job_id in args.pin:
+            store.pin(job_id)
+        for job_id in args.unpin:
+            store.unpin(job_id)
+    except JobError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exitcodes.JOB_NOT_FOUND
+    report = gc(
+        store, policy, dry_run=args.dry_run, compact=args.compact
+    )
+    if args.json:
+        print(_json.dumps(report.to_payload(), indent=1))
+    else:
+        print(report.summary())
     return exitcodes.OK
 
 
@@ -898,6 +1053,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 def _cmd_jobs(args: argparse.Namespace) -> int:
     import json as _json
 
+    from repro.service.jobstore import ALL_STATES
+
+    if args.state is not None and args.state not in ALL_STATES:
+        # The store's list filter silently returns nothing for unknown
+        # states; a typo must be a usage error, not an empty listing.
+        print(
+            f"error: unknown state {args.state!r}; "
+            f"one of {', '.join(sorted(ALL_STATES))}",
+            file=sys.stderr,
+        )
+        return exitcodes.USAGE
     target = _ServiceTarget(args)
     if args.result and not args.job:
         print("error: --result requires --job", file=sys.stderr)
@@ -917,6 +1083,15 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
                 f"attempt {job['attempts']}"
                 + (f" [{job['reason']}]" if job.get("reason") else "")
             )
+        disk = payload.get("disk") or {}
+        if disk.get("state") == "hard":
+            print(
+                f"degraded: disk free {disk.get('free_bytes')} byte(s) at "
+                f"or below the hard watermark "
+                f"({disk.get('hard_free_bytes')}); claims are paused",
+                file=sys.stderr,
+            )
+            return exitcodes.DEGRADED_ANALYSIS
         return exitcodes.OK
     if args.wait:
         final = target.wait_terminal(args.job, args.timeout)
@@ -977,6 +1152,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "unpack": _cmd_unpack,
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
+        "gc": _cmd_gc,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
         "cancel": _cmd_cancel,

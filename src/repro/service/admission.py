@@ -15,6 +15,12 @@ Three independent bounds, each optional:
 * ``max_tenant_bytes`` — bytes of campaign output a tenant's jobs hold
   on disk (terminal jobs count too: results are retained until
   cancelled/GC'd, so a tenant cannot launder quota by finishing).
+
+A fourth, service-wide bound is the **soft disk watermark**
+(:mod:`repro.util.diskstat`): when the filesystem's free bytes fall to
+the configured soft watermark, *every* submission is rejected with a
+``disk pressure`` reason until retention GC (or the operator) reclaims
+space — backpressure arrives before ENOSPC can tear a durable write.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.service.jobstore import ACTIVE_STATES, JobStore
+from repro.util.diskstat import STATE_OK, DiskWatermarks, disk_free_bytes
 
 
 @dataclass(frozen=True)
@@ -33,6 +40,7 @@ class AdmissionPolicy:
     max_queue_depth: int | None = 64
     max_queued_per_tenant: int | None = 16
     max_tenant_bytes: int | None = 2 * 1024**3
+    watermarks: DiskWatermarks = DiskWatermarks()
 
 
 @dataclass(frozen=True)
@@ -71,6 +79,22 @@ def evaluate(
     store: JobStore, tenant: str, policy: AdmissionPolicy
 ) -> AdmissionDecision:
     """Would the service admit one more job from ``tenant`` right now?"""
+    if policy.watermarks.enabled:
+        state = policy.watermarks.state(store.root)
+        if state != STATE_OK:
+            free = disk_free_bytes(store.root)
+            limit = (
+                policy.watermarks.hard_free_bytes
+                if state == "hard"
+                else policy.watermarks.soft_free_bytes
+            )
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"disk pressure: {free} byte(s) free at or below the "
+                    f"{state} watermark ({limit})"
+                ),
+            )
     jobs = store.list_jobs()
     active = [r for r in jobs if r.state in ACTIVE_STATES]
     if policy.max_queue_depth is not None and len(active) >= policy.max_queue_depth:

@@ -96,7 +96,12 @@ class ServiceAPI:
     ) -> tuple[int, dict[str, Any]]:
         states = frozenset((state,)) if state else None
         records = self.store.list_jobs(tenant=tenant, states=states)
-        return 200, {"jobs": [r.to_payload() for r in records]}
+        payload: dict[str, Any] = {"jobs": [r.to_payload() for r in records]}
+        if self.policy.watermarks.enabled:
+            # Operators key exit-4-style degradation off this: a listing
+            # under the hard watermark means claims are paused.
+            payload["disk"] = self.policy.watermarks.describe(self.store.root)
+        return 200, payload
 
     def cancel(self, job_id: str) -> tuple[int, dict[str, Any]]:
         try:

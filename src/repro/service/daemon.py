@@ -1,18 +1,30 @@
 """The campaign service daemon: HTTP front, scheduler loop, graceful drain.
 
-One process, two loops. A :class:`ThreadingHTTPServer` answers the JSON
-API on its own threads (reads are safe concurrently: records are
-immutable-on-disk between durable replaces, and analyze reads go
-through the ingest cache); the scheduler ticks on the main thread and
-stays the single writer of job records. ``SIGTERM``/``SIGINT`` trigger
-the graceful path: stop claiming, drain every running job back to
-QUEUED-with-resume, release leases, stop the HTTP server, exit 0. A
-``SIGKILL`` instead is exactly the chaos I6 scenario — the next start's
-``recover()`` converges every job with no lost or duplicated work.
+One process, two loops plus two background rails. A
+:class:`ThreadingHTTPServer` answers the JSON API on its own threads
+(reads are safe concurrently: records are immutable-on-disk between
+durable replaces, and analyze reads go through the ingest cache); the
+scheduler ticks on the main thread and stays the single writer of job
+records. ``SIGTERM``/``SIGINT`` trigger the graceful path: stop
+claiming, drain every running job back to QUEUED-with-resume, release
+leases, stop the HTTP server, exit 0. A ``SIGKILL`` instead is exactly
+the chaos I6 scenario — the next start's ``recover()`` converges every
+job with no lost or duplicated work.
+
+The rails (both optional):
+
+* **retention** — a :class:`~repro.service.retention.RetentionPolicy`
+  runs as periodic GC passes on the scheduler thread (so GC shares the
+  single-writer discipline), at ``retention_interval`` cadence —
+  immediately when the soft disk watermark trips;
+* **scrubbing** — a :class:`~repro.suite.scrub.Scrubber` daemon thread
+  continuously re-verifies CRC seals (records, tombstones, archives,
+  ingest caches) at ``scrub_interval`` cadence, quarantining damage
+  through the fsck machinery.
 
 Routes::
 
-    GET  /healthz                     liveness + queue summary
+    GET  /healthz                     liveness + queue summary + disk state
     POST /api/jobs                    submit {spec, tenant?, job_id?}
     GET  /api/jobs[?tenant=&state=]   list
     GET  /api/jobs/<id>               status
@@ -25,6 +37,7 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
@@ -33,7 +46,9 @@ from urllib.parse import parse_qs, urlparse
 from repro.service.admission import AdmissionPolicy
 from repro.service.api import ServiceAPI
 from repro.service.jobstore import JobStore
+from repro.service.retention import RetentionPolicy, gc
 from repro.service.scheduler import JobScheduler, SchedulerConfig
+from repro.util.diskstat import STATE_OK
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -120,6 +135,9 @@ class ServiceDaemon:
         policy: AdmissionPolicy | None = None,
         scheduler_config: SchedulerConfig | None = None,
         tick_interval: float = 0.05,
+        retention: RetentionPolicy | None = None,
+        retention_interval: float = 60.0,
+        scrub_interval: float | None = None,
     ) -> None:
         self.store = JobStore(root)
         self.store.ensure_layout()
@@ -127,6 +145,15 @@ class ServiceDaemon:
         self.api = ServiceAPI(self.store, self.policy)
         self.scheduler = JobScheduler(self.store, scheduler_config)
         self.tick_interval = tick_interval
+        self.retention = retention
+        self.retention_interval = retention_interval
+        self._next_gc = 0.0  # first tick runs GC (finishes interrupted work)
+        self.gc_passes = 0
+        self.scrubber = None
+        if scrub_interval is not None:
+            from repro.suite.scrub import Scrubber
+
+            self.scrubber = Scrubber(root, scrub_interval)
         self._stop = threading.Event()
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
         self.httpd.api = self.api  # type: ignore[attr-defined]
@@ -147,16 +174,46 @@ class ServiceDaemon:
         by_state: dict[str, int] = {}
         for record in jobs:
             by_state[record.state] = by_state.get(record.state, 0) + 1
-        return {
+        payload = {
             "ok": True,
             "url": self.url,
             "jobs": len(jobs),
             "by_state": by_state,
             "draining": self._stop.is_set(),
         }
+        if self.policy.watermarks.enabled:
+            payload["disk"] = self.policy.watermarks.describe(self.store.root)
+            payload["claims_paused"] = self.scheduler.claims_paused()
+        if self.retention is not None:
+            payload["gc_passes"] = self.gc_passes
+        if self.scrubber is not None:
+            payload["scrub_passes"] = self.scrubber.passes
+        return payload
 
     def request_stop(self, *_sig: object) -> None:
         self._stop.set()
+
+    # ------------------------------------------------------------ retention
+    def _maybe_gc(self) -> None:
+        """Run a GC pass when due — immediately under disk pressure.
+
+        GC runs on the scheduler thread between ticks so the record
+        store keeps exactly one writer; a pass on a small store is
+        milliseconds, and a large reclamation is work the service
+        *needs* stalled claims for anyway.
+        """
+        if self.retention is None or not self.retention.enabled:
+            return
+        now = time.monotonic()
+        pressured = (
+            self.policy.watermarks.enabled
+            and self.policy.watermarks.state(self.store.root) != STATE_OK
+        )
+        if now < self._next_gc and not pressured:
+            return
+        self._next_gc = now + self.retention_interval
+        gc(self.store, self.retention)
+        self.gc_passes += 1
 
     # ----------------------------------------------------------------- run
     def serve_forever(self, install_signals: bool = True) -> None:
@@ -170,11 +227,16 @@ class ServiceDaemon:
             daemon=True,
         )
         http_thread.start()
+        if self.scrubber is not None:
+            self.scrubber.start()
         try:
             self.scheduler.recover()
             while not self._stop.wait(self.tick_interval):
                 self.scheduler.tick()
+                self._maybe_gc()
         finally:
+            if self.scrubber is not None:
+                self.scrubber.stop()
             self.scheduler.drain()
             self.httpd.shutdown()
             self.httpd.server_close()
@@ -182,4 +244,6 @@ class ServiceDaemon:
 
     def close(self) -> None:
         """Release sockets without the serve loop (tests, failed starts)."""
+        if self.scrubber is not None:
+            self.scrubber.stop(timeout=0.1)
         self.httpd.server_close()

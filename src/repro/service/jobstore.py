@@ -52,8 +52,12 @@ CAMPAIGNS_DIR = "campaigns"
 RECORD_SUFFIX = ".json"
 LEASE_SUFFIX = ".lease"
 CANCEL_SUFFIX = ".cancel"
+TOMBSTONE_SUFFIX = ".tombstone"
+PIN_SUFFIX = ".pin"
 RECORD_FORMAT = "rajaperf-job"
 RECORD_VERSION = 1
+TOMBSTONE_FORMAT = "rajaperf-tombstone"
+TOMBSTONE_VERSION = 1
 
 STATE_SUBMITTED = "SUBMITTED"
 STATE_QUEUED = "QUEUED"
@@ -90,6 +94,10 @@ class JobError(ValueError):
 
 class JobRecordDamaged(JobError):
     """A job record on disk failed its seal (torn or bit-rotted)."""
+
+
+class TombstoneDamaged(JobError):
+    """A tombstone on disk failed its seal — it condemns nothing."""
 
 
 # --------------------------------------------------------------- job spec
@@ -276,6 +284,49 @@ def parse_record_text(text: str) -> JobRecord:
     return JobRecord.from_payload(payload)
 
 
+def seal_tombstone(payload: dict[str, Any]) -> str:
+    """A tombstone's durable on-disk text (same seal discipline).
+
+    A tombstone is the retention subsystem's *condemnation proof*: its
+    durable existence (sealed, CRC-verified) is what authorizes the
+    destructive phase of a GC. Anything short of a fully-verifying
+    tombstone condemns nothing — a torn or bit-rotted one is quarantined
+    by fsck and the job stays live.
+    """
+    envelope = {
+        "format": TOMBSTONE_FORMAT,
+        "version": TOMBSTONE_VERSION,
+        "crc32": _payload_crc(payload),
+        "tombstone": payload,
+    }
+    return json.dumps(envelope, indent=1, sort_keys=True)
+
+
+def parse_tombstone_text(text: str) -> dict[str, Any]:
+    """Parse + verify a tombstone; :class:`TombstoneDamaged` on damage."""
+    try:
+        envelope = json.loads(text)
+    except ValueError as exc:
+        raise TombstoneDamaged(f"tombstone does not parse: {exc}") from exc
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("format") != TOMBSTONE_FORMAT
+    ):
+        raise TombstoneDamaged("not a tombstone envelope")
+    payload = envelope.get("tombstone")
+    if not isinstance(payload, dict):
+        raise TombstoneDamaged("envelope carries no tombstone payload")
+    expected = envelope.get("crc32")
+    actual = _payload_crc(payload)
+    if expected != actual:
+        raise TombstoneDamaged(
+            f"tombstone seal mismatch: recorded {expected}, computed {actual}"
+        )
+    if not payload.get("job_id"):
+        raise TombstoneDamaged("tombstone names no job_id")
+    return payload
+
+
 def _wallclock() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%S")
 
@@ -317,6 +368,12 @@ class JobStore:
 
     def cancel_path(self, job_id: str) -> Path:
         return self.jobs_dir / f"{job_id}{CANCEL_SUFFIX}"
+
+    def tombstone_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}{TOMBSTONE_SUFFIX}"
+
+    def pin_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}{PIN_SUFFIX}"
 
     def campaign_dir(self, job_id: str) -> Path:
         return self.campaigns_dir / job_id
@@ -467,6 +524,67 @@ class JobStore:
 
     def clear_cancel(self, job_id: str) -> None:
         self.cancel_path(job_id).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ pin
+    def pin(self, job_id: str) -> None:
+        """Exempt the job from retention GC (a sibling marker file)."""
+        record = self.load(job_id)
+        if record is None:
+            raise JobError(f"unknown job {job_id!r}")
+        self.pin_path(job_id).touch()
+
+    def unpin(self, job_id: str) -> None:
+        self.pin_path(job_id).unlink(missing_ok=True)
+
+    def pinned(self, job_id: str) -> bool:
+        return self.pin_path(job_id).exists()
+
+    # ------------------------------------------------------------ tombstone
+    def write_tombstone(self, record: JobRecord, reason: str) -> Path:
+        """Durably condemn the job (phase one of the two-phase GC)."""
+        payload = {
+            "job_id": record.job_id,
+            "tenant": record.tenant,
+            "state": record.state,
+            "reason": reason,
+            "condemned_at": _wallclock(),
+        }
+        path = self.tombstone_path(record.job_id)
+        return write_durable_text(path, seal_tombstone(payload))
+
+    def read_tombstone(self, job_id: str) -> dict[str, Any] | None:
+        """The job's verified tombstone payload, or None.
+
+        A damaged tombstone is backed up as ``.bak`` (forensics, like a
+        damaged record) and reported as None — it condemns nothing.
+        """
+        path = self.tombstone_path(job_id)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            return parse_tombstone_text(text)
+        except TombstoneDamaged as exc:
+            backup = path.with_suffix(path.suffix + ".bak")
+            try:
+                os.replace(path, backup)
+                saved = f"; backed up as {backup.name}"
+            except OSError:
+                saved = "; backup failed, damaged file left in place"
+            warnings.warn(
+                f"damaged tombstone {path} ({exc}){saved}", stacklevel=2
+            )
+            return None
+
+    def list_tombstone_ids(self) -> list[str]:
+        if not self.jobs_dir.is_dir():
+            return []
+        return sorted(
+            p.name[: -len(TOMBSTONE_SUFFIX)]
+            for p in self.jobs_dir.glob(f"*{TOMBSTONE_SUFFIX}")
+            if not p.name.endswith(".bak")
+        )
 
     # ---------------------------------------------------------------- lease
     def claim(self, job_id: str):

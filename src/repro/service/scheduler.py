@@ -60,6 +60,7 @@ from repro.service.jobstore import (
     params_from_spec,
 )
 from repro.suite.errors import CampaignLockedError
+from repro.util.diskstat import STATE_HARD, DiskWatermarks
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,9 @@ class SchedulerConfig:
     lock_retry_delay: float = 0.2
     #: seconds a reaped child gets to die after terminate() before kill()
     child_grace: float = 10.0
+    #: disk watermarks; at the *hard* watermark the scheduler stops
+    #: claiming queued jobs (running ones finish) until space returns
+    watermarks: DiskWatermarks | None = None
 
 
 class JobScheduler:
@@ -279,7 +283,23 @@ class JobScheduler:
                 self._record_progress(record)
 
     # ---------------------------------------------------------------- claim
+    def claims_paused(self) -> bool:
+        """True while the hard disk watermark forbids new claims.
+
+        Running jobs are left to finish (stopping them mid-write risks
+        exactly the torn state the watermark exists to prevent); only
+        *new* work is paused until free space recovers.
+        """
+        wm = self.config.watermarks
+        return (
+            wm is not None
+            and wm.enabled
+            and wm.state(self.store.root) == STATE_HARD
+        )
+
     def _claim_next(self) -> None:
+        if self.claims_paused():
+            return
         now = time.monotonic()
         for record in self.store.list_jobs(states={STATE_QUEUED}):
             if len(self._children) >= self.config.max_parallel:

@@ -283,10 +283,15 @@ def _sweep_orphan_tmps(directory: Path, report: FsckReport) -> None:
 
     A ``<name>.<pid>.<n>.tmp`` left behind is dead weight: its payload
     was never renamed into place, so nothing references it, and a tmp is
-    re-derived fresh on every write — safe to remove. Skipped entirely
-    while a live campaign holds the directory lock, because that
-    campaign's in-flight tmps are not orphans.
+    re-derived fresh on every write — safe to remove. Compaction scratch
+    siblings (``*.compact-scratch``) get the same treatment: an orphan
+    scratch means the swap never happened, the original archive is still
+    authoritative, and the next compaction rebuilds from it. Skipped
+    entirely while a live campaign holds the directory lock, because
+    that campaign's in-flight tmps are not orphans.
     """
+    from repro.service.retention import COMPACT_SCRATCH_SUFFIX
+
     if _campaign_is_live(directory):
         return
     roots = [
@@ -297,7 +302,9 @@ def _sweep_orphan_tmps(directory: Path, report: FsckReport) -> None:
     for root in roots:
         if not root.is_dir():
             continue
-        for tmp in sorted(root.glob(TMP_GLOB)):
+        for tmp in sorted(root.glob(TMP_GLOB)) + sorted(
+            root.glob("*" + COMPACT_SCRATCH_SUFFIX)
+        ):
             try:
                 tmp.unlink()
             except OSError:  # pragma: no cover - racing cleanup
@@ -407,7 +414,10 @@ def _fsck_jobs(
     same recursive sub-pass shard directories get — except while a live
     job runner holds its campaign lock. Campaign directories no job
     record accounts for are reported: they are exactly the "duplicated
-    work" chaos invariant I6 forbids.
+    work" chaos invariant I6 forbids — *unless* a sealed tombstone
+    condemns them, in which case the interrupted reclamation is finished
+    (quarantine mode) or reported as pending; a damaged tombstone
+    condemns nothing and is backed up as forensics.
     """
     from repro.service.jobstore import (
         CANCEL_SUFFIX,
@@ -415,7 +425,9 @@ def _fsck_jobs(
         RECORD_SUFFIX,
         JobRecordDamaged,
         JobStore,
+        TombstoneDamaged,
         parse_record_text,
+        parse_tombstone_text,
     )
 
     store = JobStore(directory)
@@ -445,6 +457,63 @@ def _fsck_jobs(
                     )
             else:
                 report.notes.append(f"damaged job record {path.name}: {exc}")
+
+    # Tombstones: a sealed one is proof of an interrupted reclamation —
+    # finish it (the destructive path re-runs retention's own reclaim,
+    # which is idempotent). A damaged one condemns nothing.
+    condemned: set[str] = set()
+    for job_id in sorted(store.list_tombstone_ids()):
+        try:
+            text = store.tombstone_path(job_id).read_text()
+        except OSError:  # pragma: no cover - racing reclaim
+            continue
+        try:
+            parse_tombstone_text(text)
+        except TombstoneDamaged as exc:
+            if quarantine:
+                import warnings as _warnings
+
+                with _warnings.catch_warnings():
+                    _warnings.simplefilter("ignore")
+                    store.read_tombstone(job_id)  # backs up as .bak
+                report.notes.append(
+                    f"damaged tombstone for job {job_id} backed up "
+                    f"(condemns nothing): {exc}"
+                )
+            else:
+                report.notes.append(
+                    f"damaged tombstone for job {job_id}: {exc}"
+                )
+            continue
+        record = records.get(job_id)
+        if record is not None and not record.terminal:
+            report.notes.append(
+                f"tombstone for non-terminal job {job_id} "
+                f"(state {record.state}) refused"
+                + ("; backed up" if quarantine else "")
+            )
+            if quarantine:
+                path = store.tombstone_path(job_id)
+                try:
+                    os.replace(path, path.with_suffix(path.suffix + ".bak"))
+                except OSError:  # pragma: no cover - racing writer
+                    pass
+            continue
+        condemned.add(job_id)
+        if quarantine:
+            from repro.service.retention import reclaim
+
+            reclaim(store, job_id)
+            records.pop(job_id, None)
+            report.notes.append(
+                f"interrupted reclamation of job {job_id} completed "
+                "(sealed tombstone)"
+            )
+        else:
+            report.notes.append(
+                f"job {job_id} is condemned by a sealed tombstone; "
+                "reclamation incomplete (gc or fsck repair finishes it)"
+            )
 
     leases = sorted(store.jobs_dir.glob(f"*{LEASE_SUFFIX}")) + sorted(
         store.jobs_dir.glob(f"*{LEASE_SUFFIX}.takeover")
@@ -500,6 +569,10 @@ def _fsck_jobs(
             if not campaign.is_dir():
                 continue
             if campaign.name not in records:
+                if campaign.name in condemned:
+                    # Residue of a reclamation finished above, or one
+                    # still pending in report-only mode — accounted for.
+                    continue
                 report.notes.append(
                     f"campaign directory {campaign.name} has no job "
                     "record (unaccounted work; quarantine manually "

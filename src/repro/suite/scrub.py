@@ -1,0 +1,274 @@
+"""Background scrubbing: continuous re-verification of CRC seals.
+
+Damage that happens *after* a successful durable write — bit rot, a
+misbehaving disk, an operator's stray edit — is only discovered when
+something reads the bytes. For archives that may go unread for months
+that is too late to page anyone. The scrubber closes the gap: a pass
+walks a service root re-verifying every seal the durability stack
+maintains and routes damage through the existing quarantine machinery
+immediately:
+
+* **job records** — seal-verified via the store's own loader, so a
+  damaged record is backed up as ``.bak`` exactly as a foreground read
+  would do;
+* **tombstones** — same discipline (a damaged tombstone condemns
+  nothing and must not linger looking like proof);
+* **campaign archives** — every sealed ``.calipack`` entry of a
+  *terminal* job (a running job's archive is legitimately in flux) is
+  CRC-checked; any damage triggers a full
+  :func:`~repro.suite.fsck.fsck_directory` pass on that campaign so
+  the quarantine/rerun bookkeeping stays in one place;
+* **ingest-cache entries** — whole-body seal check; a damaged ``.tic``
+  is already a silent miss to readers, so the scrubber simply reclaims
+  its bytes.
+
+:class:`Scrubber` wraps a pass in a daemon thread with a cadence
+(``serve --scrub-interval``); :func:`scrub_service_root` is the
+synchronous single pass the thread (and tests, and operators via the
+``gc`` machinery) call directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.service.jobstore import JobStore
+
+
+@dataclass
+class ScrubReport:
+    """One scrub pass's findings."""
+
+    root: Path
+    records_checked: int = 0
+    records_damaged: list[str] = field(default_factory=list)
+    tombstones_checked: int = 0
+    tombstones_damaged: list[str] = field(default_factory=list)
+    archives_checked: int = 0
+    entries_checked: int = 0
+    entries_damaged: list[str] = field(default_factory=list)
+    cache_entries_checked: int = 0
+    cache_entries_dropped: list[str] = field(default_factory=list)
+    fsck_campaigns: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.records_damaged
+            or self.tombstones_damaged
+            or self.entries_damaged
+            or self.cache_entries_dropped
+        )
+
+    def summary(self) -> str:
+        out = [
+            f"scrub {self.root}: {self.records_checked} record(s), "
+            f"{self.tombstones_checked} tombstone(s), "
+            f"{self.archives_checked} archive(s) "
+            f"({self.entries_checked} entries), "
+            f"{self.cache_entries_checked} cache entr(ies) verified"
+        ]
+        for job_id in self.records_damaged:
+            out.append(f"  damaged job record: {job_id}")
+        for job_id in self.tombstones_damaged:
+            out.append(f"  damaged tombstone: {job_id}")
+        for ref in self.entries_damaged:
+            out.append(f"  damaged archive entry: {ref}")
+        for path in self.cache_entries_dropped:
+            out.append(f"  dropped damaged cache entry: {path}")
+        for campaign in self.fsck_campaigns:
+            out.append(f"  fsck pass run on: {campaign}")
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        if self.clean:
+            out.append("  all seals verified")
+        return "\n".join(out)
+
+
+def _scrub_archive(report: ScrubReport, archive: Path) -> bool:
+    """CRC-check every entry of one archive; True when damage found."""
+    from repro.caliper.calipack import (
+        CalipackError,
+        load_entries,
+        member_ref,
+        verify_entry,
+    )
+
+    try:
+        entries = load_entries(archive)
+    except (CalipackError, OSError) as exc:
+        report.notes.append(f"unreadable archive {archive}: {exc}")
+        return True
+    report.archives_checked += 1
+    damaged = False
+    for entry in entries:
+        report.entries_checked += 1
+        try:
+            status, _detail = verify_entry(archive, entry)
+        except OSError:
+            status = "truncated"
+        if status in ("truncated", "corrupt"):
+            report.entries_damaged.append(member_ref(archive, entry.name))
+            damaged = True
+    return damaged
+
+
+def _scrub_cache_dir(report: ScrubReport, cache_dir: Path) -> None:
+    from repro.thicket.ingest_cache import CACHE_SUFFIX, verify_cache_file
+
+    try:
+        listing = sorted(cache_dir.glob("thicket-*" + CACHE_SUFFIX))
+    except OSError:  # pragma: no cover - racing cleanup
+        return
+    for path in listing:
+        report.cache_entries_checked += 1
+        if verify_cache_file(path):
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue  # already reclaimed by a racing prune
+        report.cache_entries_dropped.append(str(path))
+
+
+def scrub_service_root(
+    root: str | Path | JobStore, quarantine: bool = True
+) -> ScrubReport:
+    """One synchronous scrub pass over a service root.
+
+    ``quarantine=False`` is report-only: damaged records/tombstones are
+    detected by re-sealing the text directly (no ``.bak`` side effect)
+    and no fsck pass is triggered.
+    """
+    from repro.caliper.calipack import ARCHIVE_NAME
+    from repro.service.jobstore import (
+        parse_record_text,
+        parse_tombstone_text,
+        JobError,
+    )
+    from repro.thicket.ingest_cache import CACHE_DIR_NAME
+
+    store = root if isinstance(root, JobStore) else JobStore(root)
+    report = ScrubReport(root=store.root)
+
+    # --- job records ---------------------------------------------------
+    terminal_unleased: list[str] = []
+    for job_id in store.list_ids():
+        report.records_checked += 1
+        try:
+            text = store.record_path(job_id).read_text()
+        except OSError:
+            continue  # deleted under us (GC finished): nothing to verify
+        try:
+            record = parse_record_text(text)
+        except JobError:
+            report.records_damaged.append(job_id)
+            if quarantine:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    store.load(job_id)  # backs the damage up as .bak
+            continue
+        if record.terminal and not store.lease_holder_alive(job_id):
+            terminal_unleased.append(job_id)
+
+    # --- tombstones ----------------------------------------------------
+    for job_id in store.list_tombstone_ids():
+        report.tombstones_checked += 1
+        try:
+            text = store.tombstone_path(job_id).read_text()
+        except OSError:
+            continue
+        try:
+            parse_tombstone_text(text)
+        except JobError:
+            report.tombstones_damaged.append(job_id)
+            if quarantine:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    store.read_tombstone(job_id)  # backs up as .bak
+
+    # --- campaign archives + ingest caches (terminal jobs only) --------
+    for job_id in terminal_unleased:
+        campaign = store.campaign_dir(job_id)
+        archive = campaign / ARCHIVE_NAME
+        if archive.is_file():
+            damaged = _scrub_archive(report, archive)
+            if damaged and quarantine:
+                from repro.suite.fsck import fsck_directory
+
+                fsck_directory(campaign, quarantine=True, mark_rerun=True)
+                report.fsck_campaigns.append(str(campaign))
+        cache_dir = campaign / CACHE_DIR_NAME
+        if cache_dir.is_dir():
+            if quarantine:
+                _scrub_cache_dir(report, cache_dir)
+            else:
+                from repro.thicket.ingest_cache import (
+                    CACHE_SUFFIX,
+                    verify_cache_file,
+                )
+
+                for path in sorted(
+                    cache_dir.glob("thicket-*" + CACHE_SUFFIX)
+                ):
+                    report.cache_entries_checked += 1
+                    if not verify_cache_file(path):
+                        report.cache_entries_dropped.append(str(path))
+    return report
+
+
+class Scrubber:
+    """The daemon's background scrub thread (cadence in seconds).
+
+    A pass re-verifies every seal under the root; damage is quarantined
+    through the same machinery a foreground read would use, so the
+    thread is safe to run beside a live scheduler — the only campaigns
+    it touches are terminal and unleased.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        interval: float,
+        on_report=None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"scrub interval must be > 0, got {interval}")
+        self.root = Path(root)
+        self.interval = interval
+        self.on_report = on_report
+        self.passes = 0
+        self.last_report: ScrubReport | None = None
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-scrubber", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+
+    def scrub_once(self) -> ScrubReport:
+        report = scrub_service_root(self.root)
+        self.passes += 1
+        self.last_report = report
+        if self.on_report is not None:
+            self.on_report(report)
+        return report
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.scrub_once()
+            except Exception as exc:  # pragma: no cover - defensive
+                # A scrub failure must never take the daemon down; the
+                # next pass retries from scratch.
+                warnings.warn(f"scrub pass failed: {exc}", stacklevel=1)

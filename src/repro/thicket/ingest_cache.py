@@ -47,8 +47,10 @@ from repro.util.fsio import write_durable_bytes
 CACHE_DIR_NAME = ".ingest_cache"
 CACHE_SUFFIX = ".tic"
 _MAGIC = "#thicket-ingest-cache v1"
-#: cache entries kept per directory (oldest evicted after a store)
-KEEP_ENTRIES = 8
+#: byte budget for a directory's cache entries (LRU eviction after a
+#: store); overridable via $REPRO_INGEST_CACHE_BYTES
+CACHE_BYTES_ENV = "REPRO_INGEST_CACHE_BYTES"
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
 
 
 def cache_key(sources: list[tuple[str, str]]) -> str:
@@ -177,7 +179,7 @@ def store(
     target = cache_path(cache_dir, cache_key(sources))
     crash_point("ingest-cache.pre-store", path=target)
     out = write_durable_bytes(target, head + body)
-    _prune(Path(cache_dir), keep=KEEP_ENTRIES)
+    _prune(Path(cache_dir), budget=cache_budget_bytes())
     return out
 
 
@@ -491,16 +493,54 @@ class ColumnStore:
         return raw
 
 
-def _prune(cache_dir: Path, keep: int) -> None:
+def cache_budget_bytes() -> int:
+    """The directory byte budget ($REPRO_INGEST_CACHE_BYTES or default)."""
+    import os
+
+    raw = os.environ.get(CACHE_BYTES_ENV)
+    if raw is not None:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_CACHE_BYTES
+
+
+def verify_cache_file(path: str | Path) -> bool:
+    """Does this ``.tic`` file verify against its whole-body seal?
+
+    The scrubber's probe: a damaged entry is already a silent miss to
+    readers; verifying it out-of-band lets the scrubber reclaim the
+    bytes instead of paying for the miss forever.
+    """
+    return _load_verified(Path(path)) is not None
+
+
+def _prune(cache_dir: Path, budget: int) -> None:
+    """Byte-budget LRU eviction: drop oldest entries until under budget.
+
+    Every filesystem call tolerates a concurrent delete (two analyze
+    processes can prune the same directory): an entry that vanishes
+    between the listing and its stat/unlink simply stops counting.
+    """
+    entries: list[tuple[float, int, Path]] = []
     try:
-        entries = sorted(
-            cache_dir.glob("thicket-*" + CACHE_SUFFIX),
-            key=lambda p: p.stat().st_mtime,
-        )
-    except OSError:  # pragma: no cover - racing cleanup
+        listing = list(cache_dir.glob("thicket-*" + CACHE_SUFFIX))
+    except OSError:  # pragma: no cover - racing cleanup of the dir itself
         return
-    for stale in entries[:-keep] if keep else entries:
+    for path in listing:
+        try:
+            stat = path.stat()
+        except OSError:
+            continue  # deleted under us: no longer occupies budget
+        entries.append((stat.st_mtime, stat.st_size, path))
+    entries.sort()
+    total = sum(size for _, size, _ in entries)
+    for _, size, stale in entries:
+        if total <= budget:
+            break
         try:
             stale.unlink()
-        except OSError:  # pragma: no cover - racing cleanup
-            pass
+        except OSError:
+            pass  # already gone: the race did our work
+        total -= size

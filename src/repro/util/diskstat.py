@@ -1,0 +1,134 @@
+"""Disk watermark monitoring for graceful degradation under pressure.
+
+The campaign service and the sharded coordinator both write large
+archives; running the filesystem to ENOSPC mid-write is the one failure
+mode the durable-write protocol cannot make atomic (the tmp write
+itself fails). Instead of discovering pressure at the worst moment, the
+service samples free space and degrades *before* writes start failing:
+
+* **soft watermark** — free bytes at or below this: admission rejects
+  new submissions (with an explicit reason) and the daemon triggers a
+  retention GC pass to reclaim terminal jobs' campaigns.
+* **hard watermark** — free bytes at or below this: the scheduler stops
+  claiming queued jobs entirely, and ``jobs`` / ``shard-status`` report
+  the degradation (exit code 4) so monitors page before data is at
+  risk.
+
+Watermarks are plumbed explicitly (``serve --soft-free-bytes`` /
+``--hard-free-bytes``) or ambiently via ``$REPRO_DISK_SOFT_BYTES`` /
+``$REPRO_DISK_HARD_BYTES`` for commands that have no flags for them
+(``shard-status``). For deterministic tests and CI smoke runs,
+``$REPRO_DISK_FREE_BYTES`` overrides the measured free space — the
+state machine can then be driven without actually filling a disk.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+#: fake the measured free bytes (deterministic tests / CI smoke)
+FREE_BYTES_ENV = "REPRO_DISK_FREE_BYTES"
+#: ambient watermark configuration for flag-less commands
+SOFT_BYTES_ENV = "REPRO_DISK_SOFT_BYTES"
+HARD_BYTES_ENV = "REPRO_DISK_HARD_BYTES"
+
+#: watermark states, in order of severity
+STATE_OK = "ok"
+STATE_SOFT = "soft"
+STATE_HARD = "hard"
+
+
+def disk_free_bytes(path: str | Path) -> int | None:
+    """Free bytes on the filesystem holding ``path`` (None if unknown).
+
+    ``$REPRO_DISK_FREE_BYTES`` wins over the real measurement so tests
+    and CI can drive the watermark state machine deterministically.
+    """
+    override = os.environ.get(FREE_BYTES_ENV)
+    if override is not None:
+        try:
+            return max(0, int(override))
+        except ValueError:
+            pass
+    probe = Path(path)
+    while not probe.exists():
+        parent = probe.parent
+        if parent == probe:
+            return None
+        probe = parent
+    try:
+        stat = os.statvfs(str(probe))
+    except (OSError, AttributeError):  # pragma: no cover - exotic fs
+        return None
+    return stat.f_bavail * stat.f_frsize
+
+
+@dataclass(frozen=True)
+class DiskWatermarks:
+    """Soft/hard free-byte thresholds; ``None`` disables a rail."""
+
+    soft_free_bytes: int | None = None
+    hard_free_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.soft_free_bytes is not None
+            and self.hard_free_bytes is not None
+            and self.hard_free_bytes > self.soft_free_bytes
+        ):
+            raise ValueError(
+                "hard watermark must be at or below the soft watermark "
+                f"({self.hard_free_bytes} > {self.soft_free_bytes})"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.soft_free_bytes is not None
+            or self.hard_free_bytes is not None
+        )
+
+    def state(self, path: str | Path) -> str:
+        """``ok`` / ``soft`` / ``hard`` for the filesystem under ``path``."""
+        if not self.enabled:
+            return STATE_OK
+        free = disk_free_bytes(path)
+        if free is None:
+            return STATE_OK
+        if self.hard_free_bytes is not None and free <= self.hard_free_bytes:
+            return STATE_HARD
+        if self.soft_free_bytes is not None and free <= self.soft_free_bytes:
+            return STATE_SOFT
+        return STATE_OK
+
+    def describe(self, path: str | Path) -> dict:
+        """Machine-readable health payload (daemon ``/healthz``, CLI)."""
+        return {
+            "state": self.state(path),
+            "free_bytes": disk_free_bytes(path),
+            "soft_free_bytes": self.soft_free_bytes,
+            "hard_free_bytes": self.hard_free_bytes,
+        }
+
+
+def watermarks_from_env() -> DiskWatermarks:
+    """Ambient watermarks from the environment (disabled when unset)."""
+
+    def _read(name: str) -> int | None:
+        raw = os.environ.get(name)
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            return None
+
+    soft = _read(SOFT_BYTES_ENV)
+    hard = _read(HARD_BYTES_ENV)
+    if soft is not None and hard is not None and hard > soft:
+        # Misconfigured ambient rails degrade to disabled rather than
+        # crashing flag-less commands like shard-status.
+        return DiskWatermarks()
+    return DiskWatermarks(soft_free_bytes=soft, hard_free_bytes=hard)

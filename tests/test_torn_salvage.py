@@ -10,7 +10,13 @@ every boundary, asserting the recovery contract at each one:
   an explicit :class:`~repro.caliper.calipack.CalipackError` — it never
   hands back wrong bytes;
 * ingest cache: :func:`~repro.thicket.ingest_cache.load` always reports
-  a silent miss (``None``) — never an exception, never a stale hit.
+  a silent miss (``None``) — never an exception, never a stale hit;
+* job store: every truncation or bit-flip of a sealed job record or
+  retention tombstone either raises the explicit damage error
+  (:class:`~repro.service.jobstore.JobRecordDamaged` /
+  :class:`~repro.service.jobstore.TombstoneDamaged`) or resolves to the
+  byte-identical payload — a torn tombstone can never condemn a
+  different job.
 """
 
 import json
@@ -22,6 +28,7 @@ import pytest
 from repro.caliper import calipack
 from repro.caliper.cali import footer_line
 from repro.dataframe import Frame
+from repro.service import jobstore
 from repro.thicket import ingest_cache
 
 
@@ -196,3 +203,79 @@ class TestCacheSidecarTruncationSweep:
         imposter = ingest_cache.cache_path(cache_dir, ingest_cache.cache_key(other))
         imposter.write_bytes(pristine)  # hand-renamed stale entry
         assert ingest_cache.load(cache_dir, other) is None
+
+
+# -------------------------------------------------------- job-store seals
+@pytest.fixture
+def sealed_record():
+    """A sealed job record's text plus its canonical payload."""
+    record = jobstore.JobRecord(
+        job_id="torn-test",
+        tenant="acme",
+        spec={"problem_size": 1024, "kernels": ["Basic_DAXPY"]},
+        state=jobstore.STATE_SUCCEEDED,
+        seq=7,
+    )
+    return jobstore.seal_record(record), record.to_payload()
+
+
+class TestJobRecordTruncationSweep:
+    def test_every_truncation_is_damaged_or_identical(self, sealed_record):
+        text, payload = sealed_record
+        for cut in range(len(text)):
+            try:
+                got = jobstore.parse_record_text(text[:cut])
+            except jobstore.JobRecordDamaged:
+                continue  # explicit damage: acceptable
+            # a prefix that still parses must resolve to the same record
+            assert got.to_payload() == payload, f"misparse at byte {cut}"
+
+    def test_seeded_byte_flips_never_misparse(self, sealed_record):
+        text, payload = sealed_record
+        positions = sorted(
+            {zlib.crc32(f"flip:{i}".encode()) % len(text)
+             for i in range(64)}
+        )
+        for pos in positions:
+            mutated = text[:pos] + chr(ord(text[pos]) ^ 0x01) + text[pos + 1:]
+            try:
+                got = jobstore.parse_record_text(mutated)
+            except jobstore.JobRecordDamaged:
+                continue
+            assert got.to_payload() == payload, f"misparse at byte {pos}"
+
+
+class TestTombstoneTruncationSweep:
+    """A tombstone authorizes destruction: a torn one must condemn
+    nothing (damage is explicit), never resolve to a different job."""
+
+    PAYLOAD = {
+        "job_id": "torn-test",
+        "tenant": "acme",
+        "state": jobstore.STATE_SUCCEEDED,
+        "reason": "retention policy",
+        "condemned_at": "2026-08-08T00:00:00",
+    }
+
+    def test_every_truncation_is_damaged_or_identical(self):
+        text = jobstore.seal_tombstone(self.PAYLOAD)
+        for cut in range(len(text)):
+            try:
+                got = jobstore.parse_tombstone_text(text[:cut])
+            except jobstore.TombstoneDamaged:
+                continue  # explicit damage: condemns nothing
+            assert got == self.PAYLOAD, f"misparse at byte {cut}"
+
+    def test_seeded_byte_flips_never_misparse(self):
+        text = jobstore.seal_tombstone(self.PAYLOAD)
+        positions = sorted(
+            {zlib.crc32(f"flip:{i}".encode()) % len(text)
+             for i in range(64)}
+        )
+        for pos in positions:
+            mutated = text[:pos] + chr(ord(text[pos]) ^ 0x01) + text[pos + 1:]
+            try:
+                got = jobstore.parse_tombstone_text(mutated)
+            except jobstore.TombstoneDamaged:
+                continue
+            assert got == self.PAYLOAD, f"misparse at byte {pos}"
