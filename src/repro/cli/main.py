@@ -131,6 +131,20 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="declare a shard wedged when its lease goes "
                           "unrefreshed for this long (sharded mode)")
+    run.add_argument("--schedule", choices=["lpt", "fifo"], default="lpt",
+                     help="cell dispatch order: 'lpt' sorts and shards "
+                          "cells by estimated cost (longest first), "
+                          "'fifo' keeps the seed sweep order")
+    run.add_argument("--batch-cells", default="auto", metavar="N",
+                     help="group up to N cheap cells into one dispatch "
+                          "message ('auto' sizes batches from the cost "
+                          "model; 1 disables batching)")
+    run.add_argument("--no-shm", action="store_true",
+                     help="disable the shared-memory result transport "
+                          "and send profiles over the result queue")
+    run.add_argument("--cost-from", default=None, metavar="MANIFEST",
+                     help="override the analytic cost model with measured "
+                          "cell times from a prior campaign's manifest")
 
     analyze = sub.add_parser("analyze", help="Thicket EDA over .cali profiles")
     analyze.add_argument("files", nargs="+",
@@ -489,6 +503,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             heartbeat_timeout=args.heartbeat_timeout,
             shards=args.shards,
             shard_lease_timeout=args.shard_lease_timeout,
+            schedule=args.schedule,
+            batch_cells=args.batch_cells,
+            shm=not args.no_shm,
+            cost_from=args.cost_from,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

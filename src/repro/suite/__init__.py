@@ -50,8 +50,24 @@ from repro.suite.manifest import LOCK_NAME, MANIFEST_NAME, CampaignLock, Campaig
 from repro.suite.executor import CellOutcome, RunResult, SuiteExecutor
 from repro.suite.fsck import FsckReport, ProfileCheck, fsck_directory
 from repro.suite.heartbeat import HeartbeatEmitter, HeartbeatMonitor
+from repro.suite.costmodel import CellCostModel, load_measured_costs
+from repro.suite.schedule import (
+    SCHEDULE_FIFO,
+    SCHEDULE_LPT,
+    SCHEDULES,
+    ReadyHeap,
+    lpt_partition_keys,
+    order_lpt,
+    plan_batch,
+)
+from repro.suite.shm_transport import ShmRing, create_ring
 from repro.suite.supervisor import CampaignSupervisor
-from repro.suite.worker import WORKER_CRASH_EXITCODE, CellResult, CellTask
+from repro.suite.worker import (
+    WORKER_CRASH_EXITCODE,
+    CellBatch,
+    CellResult,
+    CellTask,
+)
 from repro.suite.summary import group_summary, suite_inventory
 
 __all__ = [
@@ -109,4 +125,16 @@ __all__ = [
     "MANIFEST_NAME",
     "WORKER_CRASH_EXITCODE",
     "WorkerCrashError",
+    "CellCostModel",
+    "load_measured_costs",
+    "SCHEDULE_FIFO",
+    "SCHEDULE_LPT",
+    "SCHEDULES",
+    "ReadyHeap",
+    "order_lpt",
+    "lpt_partition_keys",
+    "plan_batch",
+    "CellBatch",
+    "ShmRing",
+    "create_ring",
 ]

@@ -83,6 +83,10 @@ from repro.util.fsio import write_durable_text
 MAP_NAME = "shard_map.json"
 MAP_VERSION = 1
 
+#: shard-map partition strategies
+STRATEGY_ROUND_ROBIN = "round_robin"
+STRATEGY_LPT = "lpt"
+
 #: bounded retries when a shard exits CAMPAIGN_LOCKED (a predecessor's
 #: orphan poll has not fired yet); not charged to the respawn budget
 LOCK_RETRY_LIMIT = 50
@@ -111,6 +115,9 @@ class ShardMap:
     #: shard dir name -> assigned cell keys (current truth, post-healing)
     assignment: dict[str, list[str]] = field(default_factory=dict)
     retired: list[int] = field(default_factory=list)
+    #: how the partition was cut (informational; maps written before the
+    #: cost-model scheduler carry no strategy and load as round_robin)
+    strategy: str = STRATEGY_ROUND_ROBIN
 
     @classmethod
     def load(cls, output_dir: str | Path) -> "ShardMap | None":
@@ -151,6 +158,7 @@ class ShardMap:
             fingerprint=dict(payload.get("fingerprint", {})),
             assignment=assignment,
             retired=[int(i) for i in payload.get("retired", [])],
+            strategy=str(payload.get("strategy", STRATEGY_ROUND_ROBIN)),
         )
 
     def save(self) -> Path:
@@ -163,6 +171,7 @@ class ShardMap:
             "fingerprint": self.fingerprint,
             "assignment": self.assignment,
             "retired": sorted(self.retired),
+            "strategy": self.strategy,
         }
         return write_durable_text(
             self.path, json.dumps(payload, indent=1, sort_keys=True)
@@ -176,8 +185,11 @@ def partition_keys(keys: list[str], shards: int) -> dict[str, list[str]]:
     """Deterministic round-robin partition of cell keys across shards.
 
     Round-robin (rather than contiguous chunks) interleaves the sweep
-    order, so machines and variants spread evenly and no shard ends up
-    owning all the expensive cells.
+    order, so machines and variants spread evenly — but it balances
+    *counts*, not cost: a shard that draws the expensive tunings still
+    finishes long after the others. :func:`partition_keys_lpt` balances
+    by estimated cost and is the default; this remains the ``--schedule
+    fifo`` path and the interpretation of strategy-less legacy maps.
     """
     assignment: dict[str, list[str]] = {
         shard_dir_name(k): [] for k in range(shards)
@@ -185,6 +197,23 @@ def partition_keys(keys: list[str], shards: int) -> dict[str, list[str]]:
     for i, key in enumerate(keys):
         assignment[shard_dir_name(i % shards)].append(key)
     return assignment
+
+
+def partition_keys_lpt(
+    keys: list[str], shards: int, cost_fn
+) -> dict[str, list[str]]:
+    """Greedy LPT bin-pack of cell keys over shard bins (by est. cost).
+
+    Deterministic: a pure function of the key order and the cost
+    function (:class:`~repro.suite.costmodel.CellCostModel` estimates or
+    measured overrides). The merged campaign archive is unaffected by
+    which shard runs which cell — the merge canonicalizes — so changing
+    strategies only moves wall-clock, never bytes.
+    """
+    from repro.suite.schedule import lpt_partition_keys
+
+    bins = lpt_partition_keys(keys, shards, cost_fn)
+    return {shard_dir_name(i): bins[i] for i in range(shards)}
 
 
 # ------------------------------------------------------------- supervision
@@ -302,10 +331,16 @@ class ShardCoordinator:
 
         A resumed campaign must keep cells on the shards that already
         hold their completions, so an existing map with a matching
-        configuration is adopted verbatim; only keys the map has never
-        seen (a sweep extended with more trials, say) are dealt out
-        round-robin to the surviving shards.
+        configuration is adopted verbatim — whatever strategy cut it,
+        including strategy-less maps from before the cost-model
+        scheduler. Only keys the map has never seen (a sweep extended
+        with more trials, say) are dealt out to the surviving shards:
+        to the estimated-lightest bin under an LPT map, round-robin
+        otherwise.
         """
+        from repro.suite.costmodel import CellCostModel
+        from repro.suite.schedule import SCHEDULE_LPT, order_lpt
+
         params = self.params
         existing = ShardMap.load(out_dir)
         if (
@@ -319,17 +354,44 @@ class ShardCoordinator:
                 survivors = [
                     k for k in range(existing.shards) if k not in existing.retired
                 ] or list(range(existing.shards))
-                for i, key in enumerate(new):
-                    existing.assignment.setdefault(
-                        shard_dir_name(survivors[i % len(survivors)]), []
-                    ).append(key)
+                if existing.strategy == STRATEGY_LPT:
+                    costs = CellCostModel.for_params(params)
+                    loads = {
+                        index: sum(
+                            costs.cost_of_key(k)
+                            for k in existing.keys_for(index)
+                        )
+                        for index in survivors
+                    }
+                    for key in order_lpt(new, costs.cost_of_key):
+                        index = min(survivors, key=lambda i: (loads[i], i))
+                        existing.assignment.setdefault(
+                            shard_dir_name(index), []
+                        ).append(key)
+                        loads[index] += costs.cost_of_key(key)
+                else:
+                    for i, key in enumerate(new):
+                        existing.assignment.setdefault(
+                            shard_dir_name(survivors[i % len(survivors)]), []
+                        ).append(key)
             existing.save()
             return existing
+        if params.schedule == SCHEDULE_LPT:
+            strategy = STRATEGY_LPT
+            assignment = partition_keys_lpt(
+                pending,
+                params.shards,
+                CellCostModel.for_params(params).cost_of_key,
+            )
+        else:
+            strategy = STRATEGY_ROUND_ROBIN
+            assignment = partition_keys(pending, params.shards)
         shard_map = ShardMap(
             path=out_dir / MAP_NAME,
             shards=params.shards,
             fingerprint=params.fingerprint(),
-            assignment=partition_keys(pending, params.shards),
+            assignment=assignment,
+            strategy=strategy,
         )
         shard_map.save()
         return shard_map
@@ -602,11 +664,17 @@ class ShardCoordinator:
                             f"{owner.get(key, ['?'])[0]}",
                         )
                     )
+            elapsed = entry.get("elapsed_s")
             manifest.record(
                 key,
                 status,
                 file=file,
                 failed_kernels=list(entry.get("failed_kernels", [])),
+                elapsed_s=(
+                    float(elapsed)
+                    if isinstance(elapsed, (int, float))
+                    else None
+                ),
             )
         manifest.save()
 
@@ -622,6 +690,9 @@ class ShardStatusLine:
     failed: int = 0
     pending: int = 0
     state: str = ""
+    #: estimated total cost (seconds) of this shard's assignment, from
+    #: the cost model (measured manifest times win over analytics)
+    est_cost: float | None = None
     #: non-empty when this shard makes the campaign look unhealthy
     reason: str = ""
 
@@ -646,10 +717,28 @@ class ShardStatusReport:
     lines: list[ShardStatusLine] = field(default_factory=list)
     map_reasons: list[str] = field(default_factory=list)
     archive_present: bool = False
+    strategy: str = STRATEGY_ROUND_ROBIN
 
     @property
     def degraded(self) -> bool:
         return bool(self.map_reasons) or any(l.reason for l in self.lines)
+
+    @property
+    def balance_ratio(self) -> float | None:
+        """max/min estimated shard cost over live shards (imbalance
+        observability: 1.0 is perfect, large means stragglers). None
+        when costs are unavailable or fewer than two shards are live."""
+        costs = [
+            line.est_cost
+            for line in self.lines
+            if line.index not in self.retired and line.est_cost is not None
+        ]
+        if len(costs) < 2:
+            return None
+        lightest = min(costs)
+        if lightest <= 0:
+            return float("inf") if max(costs) > 0 else 1.0
+        return max(costs) / lightest
 
     @property
     def reasons(self) -> list[str]:
@@ -669,15 +758,23 @@ class ShardStatusReport:
             return f"{self.output_dir}: not a sharded campaign (no shard map)"
         out = [
             f"sharded campaign {self.output_dir}: {self.shards} shard(s), "
-            f"{len(self.retired)} retired"
+            f"{len(self.retired)} retired, {self.strategy} partition"
         ]
         for line in self.lines:
+            cost = (
+                f", cost~{line.est_cost:.3g}s"
+                if line.est_cost is not None
+                else ""
+            )
             reason = f" -- {line.reason}" if line.reason else ""
             out.append(
                 f"  shard-{line.index}: {line.ok}/{line.assigned} ok, "
-                f"{line.failed} failed, {line.pending} pending "
+                f"{line.failed} failed, {line.pending} pending{cost} "
                 f"[{line.state}]{reason}"
             )
+        ratio = self.balance_ratio
+        if ratio is not None:
+            out.append(f"  estimated cost balance (max/min): {ratio:.2f}")
         for reason in self.map_reasons:
             out.append(f"  shard map inconsistent: {reason}")
         out.append(
@@ -685,6 +782,49 @@ class ShardStatusReport:
             f"({'present' if self.archive_present else 'not merged yet'})"
         )
         return "\n".join(out)
+
+
+def _campaign_cost_model(out_dir: Path):
+    """Best-effort cost model for a campaign directory, or None.
+
+    Rebuilds :class:`~repro.suite.run_params.RunParams` from the root
+    manifest's fingerprint so analytic estimates match what the
+    campaign actually ran, and overrides them with any measured
+    ``elapsed_s`` the manifest already holds. Unreadable or pre-model
+    manifests degrade to None — status reporting must never fail on
+    cost estimation.
+    """
+    from repro.suite.costmodel import CellCostModel, load_measured_costs
+    from repro.suite.features import Feature
+    from repro.suite.groups import Group
+
+    manifest_path = out_dir / MANIFEST_NAME
+    measured = load_measured_costs(manifest_path)
+    try:
+        fingerprint = dict(
+            json.loads(manifest_path.read_text()).get("fingerprint", {})
+        )
+        params = RunParams(
+            problem_size=int(fingerprint["problem_size"]),
+            reps=int(fingerprint.get("reps", 1)),
+            variants=tuple(fingerprint.get("variants", [])),
+            machines=tuple(fingerprint.get("machines", [])),
+            groups=tuple(Group(g) for g in fingerprint.get("groups", [])),
+            kernels=tuple(fingerprint.get("kernels", [])),
+            features=tuple(Feature(f) for f in fingerprint.get("features", [])),
+            gpu_block_sizes=tuple(
+                int(b) for b in fingerprint.get("gpu_block_sizes", [256])
+            ),
+            execute=bool(fingerprint.get("execute", False)),
+            trials=int(fingerprint.get("trials", 1)),
+        )
+    except Exception:  # noqa: BLE001 - missing/old manifest, bad fingerprint
+        if measured:
+            # No usable fingerprint, but real timings exist: estimate
+            # from those alone (unknown cells fall back to the default).
+            return CellCostModel(RunParams(), measured=measured)
+        return None
+    return CellCostModel(params, measured=measured)
 
 
 def shard_status_report(
@@ -703,6 +843,8 @@ def shard_status_report(
     report.shards = shard_map.shards
     report.retired = sorted(shard_map.retired)
     report.archive_present = (out_dir / ARCHIVE_NAME).exists()
+    report.strategy = shard_map.strategy
+    costs = _campaign_cost_model(out_dir)
 
     # Map coherence, independent of per-shard liveness.
     known = {shard_dir_name(i) for i in range(shard_map.shards)}
@@ -734,13 +876,19 @@ def shard_status_report(
             )
 
     for index in range(shard_map.shards):
-        progress = shard_progress(out_dir, index, shard_map.keys_for(index))
+        assigned_keys = shard_map.keys_for(index)
+        progress = shard_progress(out_dir, index, assigned_keys)
         line = ShardStatusLine(
             index=index,
             ok=progress.ok,
             assigned=progress.assigned,
             failed=progress.failed,
             pending=progress.pending,
+            est_cost=(
+                sum(costs.cost_of_key(k) for k in assigned_keys)
+                if costs is not None
+                else None
+            ),
         )
         lease = read_lease(shard_path(out_dir, index))
         age = lease_age(lease)

@@ -111,6 +111,9 @@ class CellOutcome:
     records: list[KernelRunRecord]
     written: Path | None = None
     write_error: str | None = None
+    #: measured wall time of the whole cell (kernels + profile write) —
+    #: recorded in the manifest to feed a later run's ``--cost-from``
+    elapsed_s: float | None = None
 
     @property
     def failed(self) -> bool:
@@ -282,6 +285,7 @@ class SuiteExecutor:
                             else None
                         ),
                         failed_kernels=outcome.failed_kernels,
+                        elapsed_s=outcome.elapsed_s,
                     )
                     manifest.save()
                     crash_point("executor.post-cell", path=manifest.path)
@@ -309,6 +313,7 @@ class SuiteExecutor:
         bookkeeping.
         """
         params = self.params
+        cell_start = time.perf_counter()
         profile, records = self._run_one_cell(cell)
         written: Path | None = None
         write_error: str | None = None
@@ -341,6 +346,7 @@ class SuiteExecutor:
             records=records,
             written=written,
             write_error=write_error,
+            elapsed_s=time.perf_counter() - cell_start,
         )
 
     def _write_profile(self, profile: CaliProfile, target: Path, cell: _Cell) -> Path:

@@ -227,12 +227,18 @@ class CampaignManifest:
         status: str,
         file: str | None = None,
         failed_kernels: list[str] | None = None,
+        elapsed_s: float | None = None,
     ) -> None:
-        self.cells[key] = {
+        entry = {
             "status": status,
             "file": file,
             "failed_kernels": list(failed_kernels or []),
         }
+        if elapsed_s is not None:
+            # Measured wall time feeds the scheduler's cost model on a
+            # later run (``--cost-from``); absent for model-only cells.
+            entry["elapsed_s"] = elapsed_s
+        self.cells[key] = entry
 
     def mark_for_rerun(self, key: str, reason: str) -> None:
         """Demote a cell so ``--resume`` re-runs it (fsck healing)."""

@@ -78,6 +78,11 @@ class RunParams:
     # --- sharded scale-out execution (see coordinator.py) ---
     shards: int = 0  # >0 partitions cells across shard supervisors
     shard_lease_timeout: float = 30.0  # seconds without a lease refresh = stale
+    # --- cost-model scheduling (see costmodel.py / schedule.py) ---
+    schedule: str = "lpt"  # "lpt" orders/packs by estimated cost; "fifo" = seed order
+    batch_cells: str | int = "auto"  # cells per dispatch message ("auto" or >= 1)
+    shm: bool = True  # shared-memory result transport (queue fallback when off)
+    cost_from: str | None = None  # manifest path supplying measured cell costs
 
     def __post_init__(self) -> None:
         self.problem_size = parse_size(self.problem_size)
@@ -134,6 +139,24 @@ class RunParams:
                 "fail_fast is incompatible with shards > 0: a sharded "
                 "campaign isolates failures by design"
             )
+        from repro.suite.schedule import SCHEDULES
+
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"schedule must be one of {list(SCHEDULES)}, got {self.schedule!r}"
+            )
+        if self.batch_cells != "auto":
+            try:
+                self.batch_cells = int(self.batch_cells)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"batch_cells must be 'auto' or an integer >= 1, "
+                    f"got {self.batch_cells!r}"
+                ) from None
+            if self.batch_cells < 1:
+                raise ValueError(
+                    f"batch_cells must be >= 1, got {self.batch_cells}"
+                )
 
     def effective_heartbeat_interval(self) -> float:
         """How often workers beat (a fraction of the staleness deadline)."""
@@ -154,7 +177,13 @@ class RunParams:
         )
 
     def fingerprint(self) -> dict[str, object]:
-        """Configuration identity recorded in the campaign manifest."""
+        """Configuration identity recorded in the campaign manifest.
+
+        Scheduling knobs (schedule/batch_cells/shm/cost_from), like the
+        worker and shard counts, stay out: they change *how* the same
+        cell set runs, never what it produces, so a resumed campaign or
+        an adopted shard map must survive changing them.
+        """
         return {
             "problem_size": self.problem_size,
             "reps": self.reps,

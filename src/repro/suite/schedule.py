@@ -1,0 +1,190 @@
+"""Campaign scheduling primitives: LPT ordering, bin-packing, batching.
+
+The seed scheduler was FIFO everywhere: the supervisor handed cells to
+workers in registry sweep order, and the shard coordinator dealt cells
+round-robin by *count*. Both strand the drain on stragglers — a
+``RAJA_CUDA`` cell at block 64 can cost three orders of magnitude more
+than a ``Base_Seq`` cell, so whichever worker draws it last holds the
+whole campaign open. This module supplies the deterministic pieces the
+execution layers compose:
+
+* :func:`order_lpt` — longest-processing-time-first ordering (stable:
+  equal costs keep their sweep order);
+* :func:`lpt_partition_keys` — greedy LPT bin-pack of cell keys over
+  shard bins (each key lands in the currently lightest bin);
+* :class:`ReadyHeap` — the supervisor's pending set, keyed by ready
+  time so backoff delays don't force an O(n) scan per dispatch;
+* :func:`plan_batch` — groups small ready cells into one IPC message,
+  shrinking toward single-cell dispatch as the tail drains.
+
+Everything here is a pure function of its inputs (plus the monotonic
+``now`` the caller passes in) — no clocks, no RNG — so a campaign's
+schedule is reproducible and the merged archive bytes cannot depend on
+scheduling decisions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+SCHEDULE_FIFO = "fifo"
+SCHEDULE_LPT = "lpt"
+#: accepted values for ``RunParams.schedule`` / ``--schedule``.
+SCHEDULES = (SCHEDULE_LPT, SCHEDULE_FIFO)
+
+#: batch size cap when ``batch_cells="auto"``.
+AUTO_BATCH_CAP = 8
+
+#: tail shrink factor: a batch never exceeds 1/(workers * this) of the
+#: remaining estimated cost, so near the drain batches degrade to single
+#: cells and the tail still load-balances across workers.
+TAIL_OVERSUBSCRIBE = 4
+
+
+def resolve_batch_cap(batch_cells: str | int) -> int:
+    """Effective per-batch cell cap for a ``batch_cells`` knob value."""
+    if batch_cells == "auto":
+        return AUTO_BATCH_CAP
+    cap = int(batch_cells)
+    return max(1, cap)
+
+
+def order_lpt(items: Sequence[T], cost_fn: Callable[[T], float]) -> list[T]:
+    """``items`` longest-first; ties keep their original (sweep) order."""
+    indexed = list(enumerate(items))
+    indexed.sort(key=lambda pair: (-cost_fn(pair[1]), pair[0]))
+    return [item for _idx, item in indexed]
+
+
+def lpt_partition_keys(
+    keys: Iterable[str],
+    shards: int,
+    cost_fn: Callable[[str], float],
+) -> list[list[str]]:
+    """Greedy LPT bin-pack of ``keys`` over ``shards`` bins.
+
+    Keys are considered longest-first and each lands in the currently
+    lightest bin (ties broken by lowest shard index), which bounds the
+    heaviest bin at 4/3 of optimal. Deterministic: depends only on the
+    key order and the cost function. Within each bin, keys are restored
+    to their original sweep order so shard-local execution and resume
+    bookkeeping look the same as a round-robin deal.
+    """
+    ordered = list(keys)
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    rank = {key: idx for idx, key in enumerate(ordered)}
+    bins: list[list[str]] = [[] for _ in range(shards)]
+    # heap of (accumulated cost, shard index)
+    heap: list[tuple[float, int]] = [(0.0, idx) for idx in range(shards)]
+    heapq.heapify(heap)
+    for key in order_lpt(ordered, cost_fn):
+        load, idx = heapq.heappop(heap)
+        bins[idx].append(key)
+        heapq.heappush(heap, (load + max(cost_fn(key), 0.0), idx))
+    for bucket in bins:
+        bucket.sort(key=rank.__getitem__)
+    return bins
+
+
+class ReadyHeap:
+    """Pending tasks keyed by ready time, FIFO among the ready.
+
+    The seed supervisor kept pending tasks in a deque and rotated the
+    whole thing O(n) per dispatch to find one whose backoff delay had
+    elapsed. This heap pops in ``(ready_time, insertion order)`` order:
+    tasks with no backoff (ready time 0) come out in exactly the order
+    they were pushed, and a delayed retry surfaces only once its ready
+    time has passed. ``peek_ready``/``pop`` are O(log n).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, object]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, task, ready_time: float = 0.0) -> None:
+        heapq.heappush(self._heap, (ready_time, self._seq, task))
+        self._seq += 1
+
+    def peek_ready(self, now: float):
+        """The next dispatchable task, or None if none is ready yet.
+
+        The heap root is the earliest-ready task; if even it is still
+        backing off, nothing below it can be ready either.
+        """
+        if not self._heap:
+            return None
+        ready_time, _seq, task = self._heap[0]
+        if ready_time > now:
+            return None
+        return task
+
+    def pop(self):
+        """Remove and return the earliest-ready task (caller checked
+        readiness via :meth:`peek_ready`)."""
+        _ready, _seq, task = heapq.heappop(self._heap)
+        return task
+
+    def next_ready_at(self) -> float | None:
+        """Earliest ready time of any pending task, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def drain(self) -> list:
+        """Remove and return all tasks in heap order (used at shutdown
+        to report what never ran)."""
+        out = []
+        while self._heap:
+            out.append(self.pop())
+        return out
+
+
+def plan_batch(
+    queue: ReadyHeap,
+    now: float,
+    cost_of: Callable[[object], float],
+    remaining_cost: float,
+    workers: int,
+    cap: int,
+) -> list:
+    """Pop the next dispatch unit: one task, or a batch of small ones.
+
+    The first ready task always dispatches (progress guarantee). More
+    ready tasks are appended while the batch stays under both the cell
+    cap and a cost share of ``remaining / (workers * TAIL_OVERSUBSCRIBE)``
+    — so early in a campaign small cells coalesce into one pickle
+    round-trip, and near the drain the share shrinks until every cell
+    ships alone and the tail load-balances. Retried tasks
+    (``attempt > 1``) always ride solo: a crash mid-batch must not
+    entangle unrelated cells in the retry bookkeeping.
+    """
+    first = queue.peek_ready(now)
+    if first is None:
+        return []
+    queue.pop()
+    if cap <= 1 or getattr(first, "attempt", 1) > 1:
+        return [first]
+    batch = [first]
+    total = cost_of(first)
+    share = max(remaining_cost, 0.0) / max(workers, 1) / TAIL_OVERSUBSCRIBE
+    while len(batch) < cap:
+        nxt = queue.peek_ready(now)
+        if nxt is None or getattr(nxt, "attempt", 1) > 1:
+            break
+        nxt_cost = cost_of(nxt)
+        if total + nxt_cost > share:
+            break
+        queue.pop()
+        batch.append(nxt)
+        total += nxt_cost
+    return batch

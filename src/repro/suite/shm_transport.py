@@ -1,0 +1,170 @@
+"""Shared-memory result transport for supervised campaigns.
+
+A supervised worker's :class:`~repro.suite.worker.CellResult` carries
+the cell's whole Caliper region tree, and the seed path pickled that
+tree through a ``multiprocessing.Queue`` — one copy into the feeder
+pipe, one copy out — for every cell. This module moves the bulk bytes
+out of band: the worker serializes the profile to its sealed ``.cali``
+byte form (:func:`~repro.caliper.cali.serialize_cali` — the exact bytes
+a file write would produce), drops them into a slot of a fixed
+``multiprocessing.shared_memory`` ring, and sends only the slot index
+through the queue. The supervisor reads the slot, verifies the CRC in
+the slot header, rebuilds the profile, and recycles the slot.
+
+Lifecycle is deliberately one-sided to dodge a CPython footgun:
+``SharedMemory`` registers with the ``resource_tracker`` on *attach* as
+well as on create, so a worker that re-attached by name would fight the
+supervisor over unlink at exit. Instead the ring is **created before
+the workers fork and inherited** — workers never attach, never close,
+never unlink; the supervisor owns the segment's whole life. That also
+means the ring requires the ``fork`` start method: :func:`create_ring`
+returns None anywhere else (and on any shm failure, e.g. a full
+``/dev/shm``), and the caller falls back to the pickled-queue path.
+
+Slot ownership is a free-list queue: workers ``get`` a free slot index
+(with a short timeout — exhaustion degrades to the queue path, never
+deadlocks), the supervisor ``put``\\ s it back after reading. A slot
+held by a crashed worker is simply lost; the ring shrinks but the
+campaign continues.
+
+Slot layout::
+
+    [u32 payload length][u32 CRC32][payload bytes ...]
+
+A corrupt slot (impossible length, CRC mismatch) reads as None — the
+result survives with its metadata, only the in-memory profile is lost.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import struct
+import zlib
+
+#: per-slot header: payload length, CRC32 of the payload
+HEADER = struct.Struct("<II")
+
+DEFAULT_SLOT_COUNT = 64
+DEFAULT_SLOT_SIZE = 256 * 1024
+
+#: how long a worker waits for a free slot before falling back to the
+#: pickled queue path (exhaustion must degrade, not deadlock)
+SLOT_WAIT_S = 0.2
+
+
+class ShmRing:
+    """A fixed ring of shared-memory payload slots with a free list.
+
+    Create in the supervisor *before* forking workers; pass the object
+    itself through ``Process`` args (fork inherits the mapping — the
+    ring must never be pickled or re-attached by name).
+    """
+
+    def __init__(
+        self,
+        ctx,
+        slot_count: int = DEFAULT_SLOT_COUNT,
+        slot_size: int = DEFAULT_SLOT_SIZE,
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        if slot_count < 1 or slot_size <= HEADER.size:
+            raise ValueError("ShmRing needs >=1 slot and room for a header")
+        self.slot_count = slot_count
+        self.slot_size = slot_size
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=slot_count * slot_size
+        )
+        self._free = ctx.Queue()
+        for index in range(slot_count):
+            self._free.put(index)
+        self._closed = False
+
+    @property
+    def capacity(self) -> int:
+        """Largest payload one slot holds."""
+        return self.slot_size - HEADER.size
+
+    # ------------------------------------------------------------- worker
+    def try_write(self, payload: bytes, timeout: float = SLOT_WAIT_S) -> int | None:
+        """Claim a slot and fill it; None when the payload is oversize or
+        no slot frees up in time (caller falls back to the queue path)."""
+        if len(payload) > self.capacity:
+            return None
+        try:
+            slot = self._free.get(timeout=timeout)
+        except (queue_mod.Empty, OSError, ValueError):
+            return None
+        offset = slot * self.slot_size
+        buf = self._shm.buf
+        HEADER.pack_into(buf, offset, len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        buf[offset + HEADER.size : offset + HEADER.size + len(payload)] = payload
+        return slot
+
+    # --------------------------------------------------------- supervisor
+    def read(self, slot: int) -> bytes | None:
+        """The slot's payload (CRC-verified), releasing the slot either way.
+
+        None on damage — the caller keeps the result's metadata and
+        loses only the in-memory profile.
+        """
+        try:
+            if not 0 <= slot < self.slot_count:
+                return None
+            offset = slot * self.slot_size
+            length, crc = HEADER.unpack_from(self._shm.buf, offset)
+            if length > self.capacity:
+                return None
+            start = offset + HEADER.size
+            payload = bytes(self._shm.buf[start : start + length])
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                return None
+            return payload
+        finally:
+            self.release(slot)
+
+    def release(self, slot: int) -> None:
+        if not 0 <= slot < self.slot_count:
+            return
+        try:
+            self._free.put(slot)
+        except (OSError, ValueError):  # pragma: no cover - teardown race
+            pass
+
+    def close(self) -> None:
+        """Supervisor-side teardown: drop the free list, unmap, unlink."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._free.cancel_join_thread()
+            self._free.close()
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a view still exported
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+
+
+def create_ring(
+    ctx,
+    slot_count: int = DEFAULT_SLOT_COUNT,
+    slot_size: int = DEFAULT_SLOT_SIZE,
+) -> ShmRing | None:
+    """A ring for this context, or None when shm transport cannot work.
+
+    Requires the ``fork`` start method (inheritance is the only safe
+    attach — see the module docstring) and a functioning shared-memory
+    backend; any failure means "use the queue path", never an error.
+    """
+    try:
+        if ctx.get_start_method() != "fork":
+            return None
+        return ShmRing(ctx, slot_count=slot_count, slot_size=slot_size)
+    except Exception:  # noqa: BLE001 - transport is best-effort by design
+        return None

@@ -37,6 +37,18 @@ Supervision model (the worker lifecycle state machine):
 Exactly one campaign may own an output directory: the supervisor holds
 the manifest's :class:`CampaignLock` (PID lease; stale leases from dead
 campaigns are taken over automatically).
+
+Scheduling (PR 10): pending cells are ordered longest-first by the
+:class:`~repro.suite.costmodel.CellCostModel` estimate (``--schedule
+lpt``; ``fifo`` preserves sweep order), small cells coalesce into
+:class:`~repro.suite.worker.CellBatch` dispatch messages that shrink
+toward single cells as the tail drains (``--batch-cells``), result
+payloads ride a shared-memory ring instead of the pickled queue
+(``--no-shm`` to disable), and the loop blocks on a single select-style
+wait over the result/heartbeat queues and worker sentinels — it wakes
+O(events), not O(elapsed/50ms). None of it changes what a campaign
+produces: results are keyed by cell and the packed archive is
+canonicalized, so outputs are byte-identical across every knob setting.
 """
 
 from __future__ import annotations
@@ -48,13 +60,22 @@ import threading
 import time
 from collections import deque
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.chaos.points import crash_point
 from repro.faults import FaultInjector, FaultSpec, active_injector
+from repro.suite.costmodel import CellCostModel
 from repro.suite.heartbeat import HeartbeatMonitor
+from repro.suite.schedule import (
+    SCHEDULE_LPT,
+    ReadyHeap,
+    order_lpt,
+    plan_batch,
+    resolve_batch_cap,
+)
 from repro.suite.session import CampaignSession
+from repro.suite.shm_transport import create_ring
 from repro.suite.report import (
     STATUS_FAILED,
     STATUS_RETRIED,
@@ -63,7 +84,7 @@ from repro.suite.report import (
     RunReport,
 )
 from repro.suite.run_params import RunParams
-from repro.suite.worker import CellResult, CellTask, worker_main
+from repro.suite.worker import CellBatch, CellResult, CellTask, worker_main
 
 
 def _mp_context():
@@ -81,11 +102,20 @@ class _WorkerHandle:
     worker_id: int
     process: multiprocessing.Process
     task_queue: object  # per-worker queue: exactly-once assignment tracking
-    task: CellTask | None = None  # the in-flight cell, if any
+    #: in-flight cells, dispatch order. Workers execute and report in
+    #: order, so after a death tasks[0] is the one that was running.
+    tasks: deque = field(default_factory=deque)
 
     @property
     def busy(self) -> bool:
-        return self.task is not None
+        return bool(self.tasks)
+
+    def finish(self, key: str) -> None:
+        """Drop the in-flight task a result just settled."""
+        for task in self.tasks:
+            if task.key == key:
+                self.tasks.remove(task)
+                return
 
 
 class CampaignSupervisor:
@@ -99,6 +129,12 @@ class CampaignSupervisor:
 
     #: how long a drain waits for in-flight cells before terminating them
     DRAIN_GRACE_FACTOR = 2.0
+
+    #: longest the event wait sleeps with nothing to wake it (a worker's
+    #: first heartbeat after a long cell, say); 0.05 while draining so a
+    #: shutdown stays as responsive as the seed loop
+    MAX_WAIT_S = 0.5
+    DRAIN_WAIT_S = 0.05
 
     def __init__(
         self,
@@ -114,6 +150,10 @@ class CampaignSupervisor:
         self._shutdown = False
         self._ctx = _mp_context()
         self._next_worker_id = 0
+        #: loop telemetry (asserted by tests: the loop is O(events), not
+        #: O(elapsed / poll interval))
+        self.loop_iterations = 0
+        self.results_handled = 0
 
     # ------------------------------------------------------------- signals
     def _install_signal_handlers(self):
@@ -133,8 +173,8 @@ class CampaignSupervisor:
 
     # -------------------------------------------------------------- workers
     def _spawn_worker(self, result_queue, heartbeat_queue, write_files: bool,
-                      specs: list[FaultSpec], monitor: HeartbeatMonitor
-                      ) -> _WorkerHandle:
+                      specs: list[FaultSpec], monitor: HeartbeatMonitor,
+                      shm_ring=None) -> _WorkerHandle:
         worker_id = self._next_worker_id
         self._next_worker_id += 1
         task_queue = self._ctx.Queue()
@@ -148,6 +188,9 @@ class CampaignSupervisor:
                 heartbeat_queue,
                 specs,
                 write_files,
+                # fork-inherited, never pickled/re-attached (see
+                # shm_transport); None under spawn or --no-shm
+                shm_ring,
             ),
             name=f"campaign-worker-{worker_id}",
             daemon=True,
@@ -178,7 +221,7 @@ class CampaignSupervisor:
         session = CampaignSession(params, write_files).open()
         manifest = session.manifest
         try:
-            pending: deque[CellTask] = deque()
+            pending: list[CellTask] = []
             for cell in cells:
                 if (
                     params.resume
@@ -196,9 +239,16 @@ class CampaignSupervisor:
                         fname=cell.fname,
                     )
                 )
+            costs = CellCostModel.for_params(params)
+            if params.schedule == SCHEDULE_LPT:
+                # Longest first: the expensive cells start immediately
+                # instead of landing on one worker after everyone else
+                # drained, which is what strands a FIFO campaign's tail.
+                pending = order_lpt(pending, costs.cost_of_task)
             if pending:
                 self._run_pool(
-                    pending, report, profiles, paths, manifest, write_files
+                    pending, costs, report, profiles, paths, manifest,
+                    write_files,
                 )
                 if manifest is not None and write_files:
                     manifest.save()
@@ -209,19 +259,47 @@ class CampaignSupervisor:
         return RunResult(profiles=profiles, cali_paths=paths, report=report)
 
     # ------------------------------------------------------------ the loop
-    def _run_pool(self, pending, report, profiles, paths, manifest, write_files):
+    def _run_pool(self, pending, costs, report, profiles, paths, manifest,
+                  write_files):
         params = self.params
         policy = params.retry_policy()
         specs = list(self.injector.specs) if self.injector is not None else []
         result_queue = self._ctx.Queue()
         heartbeat_queue = self._ctx.Queue()
         monitor = HeartbeatMonitor(params.heartbeat_timeout)
+        # The shm ring must exist before any worker forks: workers use
+        # the inherited mapping and never attach by name.
+        shm_ring = create_ring(self._ctx) if params.shm else None
+        batch_cap = resolve_batch_cap(params.batch_cells)
         #: cell key -> precomputed backoff waits (salted, deterministic)
         backoffs: dict[str, list[float]] = {}
-        #: cell key -> earliest monotonic dispatch time (crash backoff)
-        ready_at: dict[str, float] = {}
         workers: dict[int, _WorkerHandle] = {}
         drain_deadline: float | None = None
+
+        queue = ReadyHeap()
+        remaining_cost = 0.0
+        for task in pending:
+            queue.push(task)
+            remaining_cost += costs.cost_of_task(task)
+
+        def resolve_transport(result: CellResult) -> None:
+            """Rebuild a shm-parked profile (and recycle its slot)."""
+            if result.shm_slot is None:
+                return
+            slot, result.shm_slot = result.shm_slot, None
+            if shm_ring is None:  # pragma: no cover - worker had a ring, we lost it
+                return
+            payload = shm_ring.read(slot)
+            if payload is None:
+                return  # damaged slot: metadata survives, profile is lost
+            from repro.caliper.cali import parse_cali_payload, profile_from_payload
+
+            try:
+                result.profile = profile_from_payload(
+                    parse_cali_payload(payload, f"<shm slot {slot}>")
+                )
+            except ValueError:  # pragma: no cover - CRC passed, parse failed
+                result.profile = None
 
         def record_result(result: CellResult) -> None:
             for rec in result.records:
@@ -237,6 +315,7 @@ class CampaignSupervisor:
                     result.status,
                     file=result.file,
                     failed_kernels=result.failed_kernels,
+                    elapsed_s=result.elapsed_s,
                 )
                 manifest.save()
                 crash_point("supervisor.post-record", path=manifest.path)
@@ -244,12 +323,22 @@ class CampaignSupervisor:
                 self.on_cell_complete(result.key)
 
         def handle_worker_death(handle: _WorkerHandle, reason: str) -> None:
-            """Requeue the dead/stale worker's cell under the retry policy."""
+            """Requeue the dead/stale worker's cells under the retry policy.
+
+            Only the in-progress cell (``tasks[0]`` — workers execute a
+            batch in dispatch order) is charged an attempt; cells queued
+            behind it never started and requeue verbatim.
+            """
+            nonlocal remaining_cost
             monitor.forget(handle.worker_id)
             workers.pop(handle.worker_id, None)
-            task = handle.task
-            if task is None or self._shutdown:
+            tasks = list(handle.tasks)
+            if not tasks or self._shutdown:
                 return  # idle death, or draining: --resume will finish it
+            task, unstarted = tasks[0], tasks[1:]
+            for t in unstarted:
+                queue.push(t)
+                remaining_cost += costs.cost_of_task(t)
             key = task.key
             if task.attempt >= policy.max_attempts:
                 report.add(
@@ -285,21 +374,45 @@ class CampaignSupervisor:
             )
             waits = backoffs.setdefault(key, list(policy.delays(salt=key)))
             wait = waits[task.attempt - 1] if task.attempt - 1 < len(waits) else 0.0
-            ready_at[key] = time.monotonic() + wait
-            pending.append(task.next_attempt())
+            queue.push(task.next_attempt(), ready_time=time.monotonic() + wait)
+            remaining_cost += costs.cost_of_task(task)
+
+        def wait_timeout(now: float) -> float:
+            """How long the event wait may sleep: until the next thing
+            the loop itself must initiate (a backoff expiry when a worker
+            sits idle, a stale verdict, the drain deadline)."""
+            timeout = self.DRAIN_WAIT_S if self._shutdown else self.MAX_WAIT_S
+            if queue and any(not h.busy for h in workers.values()):
+                next_ready = queue.next_ready_at()
+                if next_ready is not None:
+                    timeout = min(timeout, max(next_ready - now, 0.0))
+            for handle in workers.values():
+                if handle.busy:
+                    seen = monitor.last_seen(handle.worker_id)
+                    if seen is not None:
+                        timeout = min(
+                            timeout,
+                            max(seen + params.heartbeat_timeout - now, 0.0),
+                        )
+            if drain_deadline is not None:
+                timeout = min(timeout, max(drain_deadline - now, 0.0))
+            return max(timeout, 0.01)
 
         previous_handlers = self._install_signal_handlers()
         try:
-            for _ in range(min(params.workers, len(pending))):
+            for _ in range(min(params.workers, len(queue))):
                 handle = self._spawn_worker(
-                    result_queue, heartbeat_queue, write_files, specs, monitor
+                    result_queue, heartbeat_queue, write_files, specs, monitor,
+                    shm_ring,
                 )
                 workers[handle.worker_id] = handle
 
-            while pending or any(h.busy for h in workers.values()):
+            while queue or any(h.busy for h in workers.values()):
+                self.loop_iterations += 1
                 now = time.monotonic()
                 if self._shutdown:
-                    pending.clear()
+                    queue.drain()
+                    remaining_cost = 0.0
                     if drain_deadline is None:
                         drain_deadline = now + max(
                             self.DRAIN_GRACE_FACTOR * params.heartbeat_timeout, 5.0
@@ -309,16 +422,30 @@ class CampaignSupervisor:
                     if not any(h.busy for h in workers.values()):
                         break
 
-                # Dispatch: one cell per idle worker, respecting backoff.
+                # Dispatch: a batch of ready cells per idle worker.
                 for handle in workers.values():
-                    if handle.busy or not pending:
+                    if handle.busy or not queue:
                         continue
-                    task = self._pop_ready(pending, ready_at, now)
-                    if task is None:
-                        break
-                    handle.task = task
+                    batch = plan_batch(
+                        queue, now, costs.cost_of_task, remaining_cost,
+                        params.workers, batch_cap,
+                    )
+                    if not batch:
+                        break  # everything left is still backing off
+                    remaining_cost -= sum(costs.cost_of_task(t) for t in batch)
+                    handle.tasks.extend(batch)
                     monitor.beat(handle.worker_id)  # dispatch restarts the clock
-                    handle.task_queue.put(task)
+                    handle.task_queue.put(
+                        batch[0] if len(batch) == 1 else CellBatch(tuple(batch))
+                    )
+
+                # One blocking wait for anything that needs the loop:
+                # a result, a heartbeat, a worker death (its sentinel),
+                # or a deadline the supervisor must act on. O(events)
+                # wakeups — an idle supervisor sleeps, it does not poll.
+                self._wait_events(
+                    result_queue, heartbeat_queue, workers, wait_timeout(now)
+                )
 
                 # Heartbeats: drain and stamp with the supervisor's clock.
                 while True:
@@ -328,17 +455,23 @@ class CampaignSupervisor:
                         break
                     monitor.beat(worker_id)
 
-                # Results.
-                try:
-                    result = result_queue.get(timeout=0.05)
-                except queue_mod.Empty:
-                    result = None
-                if result is not None:
+                # Results: drain everything available, then re-dispatch
+                # the freed workers before any liveness verdicts.
+                got_result = False
+                while True:
+                    try:
+                        result = result_queue.get_nowait()
+                    except queue_mod.Empty:
+                        break
+                    got_result = True
+                    self.results_handled += 1
+                    resolve_transport(result)
                     handle = workers.get(result.worker_id)
                     if handle is not None:
-                        handle.task = None
+                        handle.finish(result.key)
                     record_result(result)
-                    continue  # drain results before liveness verdicts
+                if got_result:
+                    continue
 
                 # Liveness: loud deaths first, then quiet (stale) ones.
                 for handle in list(workers.values()):
@@ -356,13 +489,14 @@ class CampaignSupervisor:
                             f"({params.heartbeat_timeout:.3g}s)",
                         )
                 # Respawn up to the pool size while work remains.
-                while not self._shutdown and pending and len(workers) < min(
-                    params.workers, len(pending) + sum(
+                while not self._shutdown and queue and len(workers) < min(
+                    params.workers, len(queue) + sum(
                         1 for h in workers.values() if h.busy
                     )
                 ):
                     handle = self._spawn_worker(
-                        result_queue, heartbeat_queue, write_files, specs, monitor
+                        result_queue, heartbeat_queue, write_files, specs,
+                        monitor, shm_ring,
                     )
                     workers[handle.worker_id] = handle
         finally:
@@ -382,13 +516,36 @@ class CampaignSupervisor:
             for q in (result_queue, heartbeat_queue):
                 q.cancel_join_thread()
                 q.close()
+            if shm_ring is not None:
+                shm_ring.close()
 
     @staticmethod
-    def _pop_ready(pending, ready_at, now: float) -> CellTask | None:
-        """The first pending task whose backoff wait has elapsed."""
-        for _ in range(len(pending)):
-            task = pending.popleft()
-            if ready_at.get(task.key, 0.0) <= now:
-                return task
-            pending.append(task)  # still cooling down: rotate
-        return None
+    def _wait_events(result_queue, heartbeat_queue, workers, timeout: float) -> None:
+        """Block until a queue has data, a worker dies, or ``timeout``.
+
+        ``multiprocessing.connection.wait`` selects over the queues'
+        reader pipes and every worker's process sentinel, so results,
+        heartbeats, and deaths all wake the loop immediately; with
+        nothing to report the supervisor just sleeps out the timeout.
+        Falls back to a bounded sleep if the pipe internals are missing
+        (non-CPython queue implementations).
+        """
+        sentries = []
+        for q in (result_queue, heartbeat_queue):
+            reader = getattr(q, "_reader", None)
+            if reader is not None:
+                sentries.append(reader)
+        for handle in workers.values():
+            try:
+                sentries.append(handle.process.sentinel)
+            except ValueError:  # pragma: no cover - process already closed
+                pass
+        if not sentries:  # pragma: no cover - defensive fallback
+            time.sleep(min(timeout, 0.05))
+            return
+        try:
+            from multiprocessing.connection import wait
+
+            wait(sentries, timeout)
+        except (ImportError, OSError):  # pragma: no cover - raced close
+            time.sleep(min(timeout, 0.05))

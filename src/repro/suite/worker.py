@@ -71,6 +71,20 @@ class CellTask:
         return dataclasses.replace(self, attempt=self.attempt + 1)
 
 
+@dataclass(frozen=True)
+class CellBatch:
+    """Several small cells in one dispatch message.
+
+    The scheduler (:func:`repro.suite.schedule.plan_batch`) groups cells
+    whose estimated cost is small so a sweep pays O(batches), not
+    O(cells), queue round-trips. The worker still executes and reports
+    cell by cell — one :class:`CellResult` each — so heartbeat, retry,
+    and resume semantics are identical to single-cell dispatch.
+    """
+
+    tasks: tuple[CellTask, ...]
+
+
 @dataclass
 class CellResult:
     """What a worker sends back for one completed (or failed) cell."""
@@ -82,6 +96,8 @@ class CellResult:
     file: str | None = None
     profile: object | None = None  # CaliProfile (picklable region tree)
     failed_kernels: list[str] = field(default_factory=list)
+    elapsed_s: float | None = None  # measured cell wall time (cost model feed)
+    shm_slot: int | None = None  # profile parked in the shm ring, not pickled
 
 
 def _rebuild_cell(task: CellTask):
@@ -108,7 +124,29 @@ def run_cell_task(executor, task: CellTask, write_files: bool) -> CellResult:
         file=str(outcome.written) if outcome.written is not None else None,
         profile=outcome.profile,
         failed_kernels=outcome.failed_kernels,
+        elapsed_s=outcome.elapsed_s,
     )
+
+
+def _offload_profile(result: CellResult, shm_ring) -> None:
+    """Park the result's profile bytes in the shm ring when possible.
+
+    On success the pickled result crosses the queue without its region
+    tree; the supervisor rebuilds it from the slot. Any failure (no
+    ring, oversize payload, slot exhaustion) leaves the profile in the
+    result — the queue path always works.
+    """
+    if shm_ring is None or result.profile is None:
+        return
+    from repro.caliper.cali import serialize_cali
+
+    try:
+        slot = shm_ring.try_write(serialize_cali(result.profile))
+    except Exception:  # noqa: BLE001 - transport is best-effort
+        slot = None
+    if slot is not None:
+        result.profile = None
+        result.shm_slot = slot
 
 
 def worker_main(
@@ -119,6 +157,7 @@ def worker_main(
     heartbeat_queue,
     fault_specs: list[FaultSpec],
     write_files: bool,
+    shm_ring=None,
 ) -> None:
     """Worker process entry point (must stay importable for ``spawn``)."""
     from repro.suite.executor import SuiteExecutor
@@ -172,48 +211,52 @@ def worker_main(
 
     while True:
         try:
-            task = task_queue.get(timeout=_ORPHAN_POLL_S)
+            item = task_queue.get(timeout=_ORPHAN_POLL_S)
         except queue_mod.Empty:
             if os.getppid() != supervisor_pid:
                 break  # orphaned: our supervisor is gone
             continue
-        if task is None:
+        if item is None:
             break
-        site = FaultSite(
-            kernel="*", variant=task.variant, trial=task.trial, machine=task.machine
-        )
-        if injector is not None:
-            if injector.worker_crash(site, task.attempt) is not None:
-                os._exit(WORKER_CRASH_EXITCODE)  # the segfault equivalent
-            stall = injector.stale_seconds(site, task.attempt)
-            if stall:
-                emitter.suppress()
-                time.sleep(stall)  # wedged: the supervisor must kill us
-        try:
-            result = run_cell_task(executor, task, write_files)
-        except ChaosCrash:  # a simulated crash must stay a crash
-            raise
-        except BaseException as exc:  # noqa: BLE001 - cell never dies silently
-            result = CellResult(
-                worker_id=worker_id,
-                key=task.key,
-                status=STATUS_FAILED,
-                records=[
-                    KernelRunRecord(
-                        kernel="<worker>",
-                        machine=task.machine,
-                        variant=task.variant,
-                        tuning=task.tuning,
-                        trial=task.trial,
-                        status=STATUS_FAILED,
-                        attempts=task.attempt,
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-                ],
-                failed_kernels=["<worker>"],
+        tasks = item.tasks if isinstance(item, CellBatch) else (item,)
+        for task in tasks:
+            site = FaultSite(
+                kernel="*", variant=task.variant, trial=task.trial,
+                machine=task.machine,
             )
-        result.worker_id = worker_id
-        result_queue.put(result)
+            if injector is not None:
+                if injector.worker_crash(site, task.attempt) is not None:
+                    os._exit(WORKER_CRASH_EXITCODE)  # the segfault equivalent
+                stall = injector.stale_seconds(site, task.attempt)
+                if stall:
+                    emitter.suppress()
+                    time.sleep(stall)  # wedged: the supervisor must kill us
+            try:
+                result = run_cell_task(executor, task, write_files)
+            except ChaosCrash:  # a simulated crash must stay a crash
+                raise
+            except BaseException as exc:  # noqa: BLE001 - cell never dies silently
+                result = CellResult(
+                    worker_id=worker_id,
+                    key=task.key,
+                    status=STATUS_FAILED,
+                    records=[
+                        KernelRunRecord(
+                            kernel="<worker>",
+                            machine=task.machine,
+                            variant=task.variant,
+                            tuning=task.tuning,
+                            trial=task.trial,
+                            status=STATUS_FAILED,
+                            attempts=task.attempt,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    ],
+                    failed_kernels=["<worker>"],
+                )
+            result.worker_id = worker_id
+            _offload_profile(result, shm_ring)
+            result_queue.put(result)
     if executor.profile_sink is not None:
         executor.profile_sink.close()  # seal the segment's index
     emitter.stop()

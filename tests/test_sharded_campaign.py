@@ -203,6 +203,76 @@ def test_repeatedly_dying_shard_is_retired_and_residue_reassigned(tmp_path):
     assert invariants.check_shard_campaign(_expected_keys(params), outdir) == []
 
 
+# ------------------------------------------------- cost-model partitioning
+def test_lpt_partition_merges_bit_identical_to_round_robin(tmp_path):
+    """The partition strategy decides which shard runs a cell, never
+    what the cell produces: LPT and round-robin sharded campaigns merge
+    to byte-identical archives, and the map records how it was cut."""
+    fifo_dir, lpt_dir = tmp_path / "fifo", tmp_path / "lpt"
+    assert SuiteExecutor(
+        _params(fifo_dir, shards=3, schedule="fifo")
+    ).run(write_files=True).report.clean
+    assert SuiteExecutor(
+        _params(lpt_dir, shards=3, schedule="lpt")
+    ).run(write_files=True).report.clean
+
+    assert _archive_bytes(fifo_dir) == _archive_bytes(lpt_dir)
+    assert ShardMap.load(fifo_dir).strategy == "round_robin"
+    assert ShardMap.load(lpt_dir).strategy == "lpt"
+
+
+def test_legacy_strategyless_map_adopts_as_round_robin(tmp_path):
+    """Shard maps written before the cost-model scheduler carry no
+    strategy key: they load as round_robin and a resume adopts the
+    existing assignment verbatim even under ``--schedule lpt``."""
+    params = _params(tmp_path, shards=2, schedule="fifo")
+    assert SuiteExecutor(params).run(write_files=True).report.clean
+    golden = _archive_bytes(tmp_path)
+
+    map_path = tmp_path / "shard_map.json"
+    payload = json.loads(map_path.read_text())
+    assignment_before = payload.pop("strategy") and payload["assignment"]
+    map_path.write_text(json.dumps(payload))
+
+    legacy = ShardMap.load(tmp_path)
+    assert legacy is not None
+    assert legacy.strategy == "round_robin"
+
+    resumed = SuiteExecutor(
+        dataclasses.replace(params, resume=True, schedule="lpt")
+    ).run(write_files=True)
+    assert resumed.report.clean
+    adopted = ShardMap.load(tmp_path)
+    assert adopted.strategy == "round_robin"  # adoption never re-cuts
+    assert adopted.assignment == assignment_before
+    assert _archive_bytes(tmp_path) == golden
+
+
+def test_shard_status_shows_estimated_cost_and_balance(tmp_path):
+    """On a cost-skewed campaign the status report carries the per-shard
+    estimated-cost column, the partition strategy, and the balance
+    ratio of the cut."""
+    params = _params(
+        tmp_path,
+        shards=2,
+        machines=("SPR-DDR", "P9-V100"),
+        variants=("Base_Seq", "RAJA_Seq", "RAJA_CUDA"),
+        gpu_block_sizes=(8,),
+    )
+    assert SuiteExecutor(params).run(write_files=True).report.clean
+
+    text = shard_status(tmp_path)
+    assert "lpt partition" in text
+    assert "cost~" in text
+    ratio_lines = [
+        line
+        for line in text.splitlines()
+        if "estimated cost balance (max/min):" in line
+    ]
+    assert len(ratio_lines) == 1
+    assert float(ratio_lines[0].rsplit(":", 1)[1]) >= 1.0
+
+
 # ------------------------------------------------------------ status + fsck
 def test_shard_status_reports_per_shard_progress(tmp_path, capsys):
     params = _params(tmp_path)
